@@ -1,0 +1,153 @@
+package vdnn
+
+import (
+	"vdnn/internal/core"
+	"vdnn/internal/dnn"
+	"vdnn/internal/gpu"
+	"vdnn/internal/networks"
+	"vdnn/internal/pcie"
+	"vdnn/internal/tensor"
+)
+
+// The public API is a thin facade over the internal packages: type aliases
+// keep one definition of each concept while hiding the internal import
+// paths from downstream users.
+
+// Policy selects the memory manager (paper Section III-C).
+type Policy = core.Policy
+
+// Memory-management policies.
+const (
+	// Baseline is the Torch-style network-wide allocation policy.
+	Baseline = core.Baseline
+	// VDNNAll offloads every feature-extraction layer's input feature map.
+	VDNNAll = core.VDNNAll
+	// VDNNConv offloads only the CONV layers' input feature maps.
+	VDNNConv = core.VDNNConv
+	// VDNNDyn profiles at startup to balance trainability and performance.
+	VDNNDyn = core.VDNNDyn
+)
+
+// AlgoMode selects convolution algorithms: the paper's (m) memory-optimal
+// and (p) performance-optimal variants, plus the dynamic policy's greedy
+// online downgrade mode.
+type AlgoMode = core.AlgoMode
+
+// Algorithm modes.
+const (
+	MemOptimal  = core.MemOptimal
+	PerfOptimal = core.PerfOptimal
+	GreedyAlgo  = core.GreedyAlgo
+)
+
+// PrefetchMode selects the prefetch schedule (Figure 9 JIT by default).
+type PrefetchMode = core.PrefetchMode
+
+// Prefetch schedules.
+const (
+	PrefetchJIT   = core.PrefetchJIT
+	PrefetchFig10 = core.PrefetchFig10
+	PrefetchNone  = core.PrefetchNone
+	PrefetchEager = core.PrefetchEager
+)
+
+// Config selects what to simulate; see the field documentation on
+// core.Config.
+type Config = core.Config
+
+// Result carries every metric of a simulated training iteration.
+type Result = core.Result
+
+// LayerStats is the per-layer view of a Result.
+type LayerStats = core.LayerStats
+
+// GPU describes the simulated device.
+type GPU = gpu.Spec
+
+// Link describes a host interconnect.
+type Link = pcie.Link
+
+// Network is a layer graph ready to simulate.
+type Network = dnn.Network
+
+// Builder assembles custom networks layer by layer.
+type Builder = dnn.Builder
+
+// Tensor is a feature-map buffer inside a network under construction.
+type Tensor = dnn.Tensor
+
+// DType is a tensor element type.
+type DType = tensor.DType
+
+// Element types.
+const (
+	Float32 = tensor.Float32
+	Float16 = tensor.Float16
+)
+
+// TitanX returns the paper's evaluation GPU: NVIDIA Titan X (Maxwell),
+// 7 TFLOPS, 336 GB/s, 12 GB, PCIe gen3 x16.
+func TitanX() GPU { return gpu.TitanX() }
+
+// TitanXNVLink returns a what-if Titan X with an NVLINK-class interconnect.
+func TitanXNVLink() GPU { return gpu.TitanXNVLink() }
+
+// GTX980 returns the 4 GB previous-generation Maxwell card.
+func GTX980() GPU { return gpu.GTX980() }
+
+// TeslaK40 returns the Kepler-generation 12 GB compute card.
+func TeslaK40() GPU { return gpu.TeslaK40() }
+
+// PascalP100 returns a forward-looking 16 GB HBM2 device with NVLINK.
+func PascalP100() GPU { return gpu.PascalP100() }
+
+// PCIeGen3 returns the paper's interconnect (12.8 GB/s effective DMA).
+func PCIeGen3() Link { return pcie.Gen3x16() }
+
+// NVLink returns a first-generation NVLINK link model.
+func NVLink() Link { return pcie.NVLink1() }
+
+// Run simulates training one network under one configuration. When the
+// configuration cannot train the network (out of memory), the Result has
+// Trainable == false and reports the hypothetical memory demand measured on
+// an oracular device; a non-nil error indicates an invalid configuration.
+func Run(net *Network, cfg Config) (*Result, error) { return core.Run(net, cfg) }
+
+// BuildNetwork constructs one of the paper's benchmark networks by name:
+// "alexnet", "overfeat", "googlenet", "vgg16", or the very deep variants
+// "vgg116", "vgg216", "vgg316", "vgg416".
+func BuildNetwork(name string, batch int) (*Network, error) { return networks.ByName(name, batch) }
+
+// NetworkNames lists the names BuildNetwork accepts.
+func NetworkNames() []string { return networks.Names() }
+
+// AlexNet builds the AlexNet benchmark (one-weird-trick variant).
+func AlexNet(batch int) *Network { return networks.AlexNet(batch) }
+
+// OverFeat builds the OverFeat (fast) benchmark.
+func OverFeat(batch int) *Network { return networks.OverFeat(batch) }
+
+// GoogLeNet builds GoogLeNet v1 (fork/join inception topology).
+func GoogLeNet(batch int) *Network { return networks.GoogLeNet(batch) }
+
+// VGG16 builds VGG-16 (Model D).
+func VGG16(batch int) *Network { return networks.VGG16(batch) }
+
+// VGGDeep builds the very deep VGG variants of the paper's case study:
+// convLayers must be 16 + a multiple of 100 (116, 216, 316, 416).
+func VGGDeep(convLayers, batch int) *Network { return networks.VGGDeep(convLayers, batch) }
+
+// ResNet50 builds ResNet-50 (residual bottleneck blocks with BN).
+func ResNet50(batch int) *Network { return networks.ResNet50(batch) }
+
+// ResNet101 builds ResNet-101.
+func ResNet101(batch int) *Network { return networks.ResNet101(batch) }
+
+// ResNet152 builds ResNet-152, the >100-convolution ImageNet winner the
+// paper's introduction anticipates.
+func ResNet152(batch int) *Network { return networks.ResNet152(batch) }
+
+// NewBuilder starts a custom network definition with the given input batch
+// size and element type. The builder API mirrors Torch/Caffe-style model
+// definitions; see the dnn.Builder methods.
+func NewBuilder(name string, batch int, d DType) *Builder { return dnn.NewBuilder(name, batch, d) }

@@ -1,0 +1,95 @@
+package vdnn_test
+
+import (
+	"fmt"
+	"testing"
+
+	"vdnn"
+)
+
+func TestPublicAPISmoke(t *testing.T) {
+	net, err := vdnn.BuildNetwork("alexnet", 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := vdnn.Run(net, vdnn.Config{Spec: vdnn.TitanX(), Policy: vdnn.VDNNAll, Algo: vdnn.MemOptimal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Trainable {
+		t.Fatalf("AlexNet(32) should train: %s", res.FailReason)
+	}
+	if res.OffloadBytes == 0 {
+		t.Fatal("vDNN-all should offload")
+	}
+}
+
+func TestPublicAPINames(t *testing.T) {
+	names := vdnn.NetworkNames()
+	if len(names) != 11 {
+		t.Fatalf("network names = %v", names)
+	}
+	for _, n := range names {
+		if _, err := vdnn.BuildNetwork(n, 8); err != nil {
+			t.Errorf("%s: %v", n, err)
+		}
+	}
+	if _, err := vdnn.BuildNetwork("nope", 8); err == nil {
+		t.Fatal("unknown name accepted")
+	}
+}
+
+func TestPublicZooBuilders(t *testing.T) {
+	for _, net := range []*vdnn.Network{
+		vdnn.AlexNet(8), vdnn.OverFeat(8), vdnn.GoogLeNet(8), vdnn.VGG16(8), vdnn.VGGDeep(116, 8),
+	} {
+		if err := net.Validate(); err != nil {
+			t.Errorf("%s: %v", net.Name, err)
+		}
+	}
+}
+
+func TestPublicBuilder(t *testing.T) {
+	b := vdnn.NewBuilder("custom", 16, vdnn.Float32)
+	x := b.Input(3, 64, 64)
+	x = b.Conv(x, "c1", 32, 3, 1, 1)
+	x = b.ReLU(x, "r1")
+	x = b.MaxPool(x, "p1", 2, 2, 0)
+	x = b.FC(x, "fc", 10)
+	b.SoftmaxLoss(x, "loss")
+	net, err := b.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := vdnn.Run(net, vdnn.Config{Spec: vdnn.TitanX(), Policy: vdnn.VDNNDyn})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Trainable {
+		t.Fatal("tiny custom network must train")
+	}
+}
+
+func TestPublicLinksAndSpecs(t *testing.T) {
+	if vdnn.TitanX().MemBytes != 12<<30 {
+		t.Fatal("TitanX spec wrong")
+	}
+	if vdnn.NVLink().EffBps <= vdnn.PCIeGen3().EffBps {
+		t.Fatal("NVLink should be faster than PCIe gen3")
+	}
+	if vdnn.TitanXNVLink().Link.EffBps != vdnn.NVLink().EffBps {
+		t.Fatal("TitanXNVLink should carry the NVLink link")
+	}
+}
+
+// ExampleRun demonstrates the headline result: VGG-16 with batch 256 (a
+// 28 GB workload) training on a 12 GB Titan X under the dynamic policy.
+func ExampleRun() {
+	net := vdnn.VGG16(256)
+	res, err := vdnn.Run(net, vdnn.Config{Spec: vdnn.TitanX(), Policy: vdnn.VDNNDyn})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("trainable:", res.Trainable)
+	// Output: trainable: true
+}

@@ -1,0 +1,305 @@
+package vdnn_test
+
+// One benchmark per table/figure of the paper's evaluation. Each bench
+// regenerates the corresponding experiment end to end (building the
+// networks, simulating every configuration the figure compares) and
+// publishes its headline values as benchmark metrics, so
+// `go test -bench=. -benchmem` doubles as the reproduction harness.
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"vdnn/internal/core"
+	"vdnn/internal/cudnnsim"
+	"vdnn/internal/figures"
+	"vdnn/internal/gpu"
+	"vdnn/internal/memalloc"
+	"vdnn/internal/networks"
+	"vdnn/internal/report"
+	"vdnn/internal/sim"
+	"vdnn/internal/tensor"
+)
+
+func freshSuite() *figures.Suite { return figures.NewSuite(gpu.TitanX()) }
+
+// rowCount sanity-checks the regenerated table and returns it.
+func mustRows(b *testing.B, t *report.Table, want int) {
+	b.Helper()
+	if len(t.Rows) != want {
+		b.Fatalf("%s: %d rows, want %d", t.Title, len(t.Rows), want)
+	}
+}
+
+func BenchmarkFig01BaselineMemory(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := freshSuite()
+		t := s.Fig1()
+		mustRows(b, t, 10)
+		untrainable := 0
+		for _, r := range t.Rows {
+			if r[3] == "no" {
+				untrainable++
+			}
+		}
+		b.ReportMetric(float64(untrainable), "untrainable-nets")
+	}
+}
+
+func BenchmarkFig04MemoryBreakdown(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := freshSuite()
+		mustRows(b, s.Fig4(), 10)
+	}
+}
+
+func BenchmarkFig05PerLayerMemory(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := freshSuite()
+		mustRows(b, s.Fig5(), 16)
+	}
+}
+
+func BenchmarkFig06LatencyReuse(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := freshSuite()
+		t := s.Fig6()
+		mustRows(b, t, 16)
+		// Headline: first-layer reuse distance (paper: > 1200 ms).
+		var ms float64
+		if _, err := sscanFloat(t.Rows[0][3], &ms); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(ms, "conv1-reuse-ms")
+	}
+}
+
+func BenchmarkFig11MemoryUsage(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := freshSuite()
+		t := s.Fig11()
+		mustRows(b, t, 6)
+	}
+}
+
+func BenchmarkFig12OffloadSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := freshSuite()
+		t := s.Fig12()
+		mustRows(b, t, 6)
+		var mb float64
+		if _, err := sscanFloat(t.Rows[5][1], &mb); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(mb, "vgg256-offload-MB")
+	}
+}
+
+func BenchmarkFig13DramBandwidth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := freshSuite()
+		mustRows(b, s.Fig13(), 16)
+	}
+}
+
+func BenchmarkFig14Performance(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := freshSuite()
+		t := s.Fig14()
+		mustRows(b, t, 6)
+		// Headline: average dyn normalized performance (paper ~0.97, worst 0.82).
+		var sum float64
+		for _, r := range t.Rows {
+			var v float64
+			if _, err := sscanFloat(r[5], &v); err != nil {
+				b.Fatal(err)
+			}
+			sum += v
+		}
+		b.ReportMetric(sum/float64(len(t.Rows)), "dyn-normalized-perf")
+	}
+}
+
+func BenchmarkFig15VeryDeep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := freshSuite()
+		t := s.Fig15()
+		mustRows(b, t, 4)
+		var mb float64
+		if _, err := sscanFloat(t.Rows[3][4], &mb); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(mb/1024, "vgg416-base-need-GB")
+	}
+}
+
+func BenchmarkPowerStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := freshSuite()
+		mustRows(b, s.Power(), 5)
+	}
+}
+
+func BenchmarkAblationPrefetch(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := freshSuite()
+		mustRows(b, s.AblationPrefetch(), 4)
+	}
+}
+
+func BenchmarkAblationPageMigration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := freshSuite()
+		t := s.AblationPageMigration()
+		mustRows(b, t, 2)
+		slow := strings.TrimSuffix(t.Rows[1][3], "x")
+		var v float64
+		if _, err := sscanFloat(slow, &v); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(v, "pagemig-slowdown-x")
+	}
+}
+
+func BenchmarkAblationInterconnect(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := freshSuite()
+		mustRows(b, s.AblationInterconnect(), 3)
+	}
+}
+
+func BenchmarkAblationCapacity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := freshSuite()
+		mustRows(b, s.AblationCapacity(), 6)
+	}
+}
+
+func BenchmarkAblationBatchScaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := freshSuite()
+		mustRows(b, s.AblationBatchScaling(), 6)
+	}
+}
+
+// --- substrate micro-benchmarks ---
+
+// BenchmarkSimulateIteration measures the simulator's own throughput on one
+// full VGG-16 (64) training iteration under vDNN-all.
+func BenchmarkSimulateIteration(b *testing.B) {
+	net := networks.VGG16(64)
+	cfg := core.Config{Spec: gpu.TitanX(), Policy: core.VDNNAll, Algo: core.MemOptimal}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Run(net, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulateDynProfiling measures a full dynamic-policy profiling
+// cascade on the hardest workload (VGG-16 (256)).
+func BenchmarkSimulateDynProfiling(b *testing.B) {
+	net := networks.VGG16(256)
+	cfg := core.Config{Spec: gpu.TitanX(), Policy: core.VDNNDyn}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Run(net, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAllocatorChurn measures the cnmem-style pool under the
+// alloc/free churn pattern of a training iteration.
+func BenchmarkAllocatorChurn(b *testing.B) {
+	sizes := []int64{3 << 20, 64 << 20, 256 << 20, 1 << 20, 128 << 20}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := memalloc.New(2 << 30)
+		var live []*memalloc.Block
+		t := int64(0)
+		for j := 0; j < 200; j++ {
+			t++
+			blk, err := p.Alloc(simTime(t), sizes[j%len(sizes)], memalloc.KindFeatureMap, "x")
+			if err != nil {
+				b.Fatal(err)
+			}
+			live = append(live, blk)
+			if len(live) > 6 {
+				p.Free(live[0], simTime(t))
+				live = live[1:]
+			}
+		}
+		for _, blk := range live {
+			p.Free(blk, simTime(t))
+		}
+	}
+}
+
+// BenchmarkConvCostModel measures the cuDNN cost-model evaluation itself.
+func BenchmarkConvCostModel(b *testing.B) {
+	spec := gpu.TitanX()
+	g := cudnnsim.ConvGeom{N: 128, C: 64, H: 224, W: 224, K: 64, R: 3, S: 3,
+		StrideH: 1, StrideW: 1, PadH: 1, PadW: 1, DType: tensor.Float32}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, a := range []cudnnsim.ConvAlgo{cudnnsim.ImplicitGEMM, cudnnsim.FFT, cudnnsim.FFTTiling} {
+			_ = cudnnsim.ConvCost(spec, g, a, cudnnsim.Fwd)
+		}
+	}
+}
+
+// BenchmarkNetworkConstruction measures graph building for the deepest
+// network.
+func BenchmarkNetworkConstruction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if networks.VGGDeep(416, 32) == nil {
+			b.Fatal("nil network")
+		}
+	}
+}
+
+// --- helpers ---
+
+func simTime(t int64) sim.Time { return sim.Time(t) }
+
+func sscanFloat(s string, out *float64) (int, error) {
+	return fmt.Sscanf(strings.ReplaceAll(s, ",", ""), "%f", out)
+}
+
+func BenchmarkAblationWeightOffload(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := freshSuite()
+		mustRows(b, s.AblationWeightOffload(), 2)
+	}
+}
+
+func BenchmarkCaseStudyMultiGPU(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := freshSuite()
+		mustRows(b, s.CaseStudyMultiGPU(), 2)
+	}
+}
+
+func BenchmarkCaseStudyPrecision(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := freshSuite()
+		mustRows(b, s.CaseStudyPrecision(), 3)
+	}
+}
+
+func BenchmarkCaseStudyDevices(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := freshSuite()
+		mustRows(b, s.CaseStudyDevices(), 5)
+	}
+}
+
+func BenchmarkCaseStudyResNet(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := freshSuite()
+		mustRows(b, s.CaseStudyResNet(), 4)
+	}
+}

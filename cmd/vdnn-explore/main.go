@@ -1,0 +1,138 @@
+// vdnn-explore runs what-if sweeps beyond the paper's evaluation: GPU
+// memory capacity, interconnect bandwidth, batch size, prefetch schedule and
+// transfer-mode trade-offs, for any of the benchmark networks.
+//
+//	vdnn-explore -network vgg16 -batch 256 capacity
+//	vdnn-explore -network googlenet link
+//	vdnn-explore -network vgg16 -batch 128 batch
+//
+// Sweeps: capacity, link, batch, prefetch, pagemig.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"vdnn/internal/core"
+	"vdnn/internal/gpu"
+	"vdnn/internal/networks"
+	"vdnn/internal/pcie"
+	"vdnn/internal/report"
+)
+
+func main() {
+	var (
+		network = flag.String("network", "vgg16", "network: "+strings.Join(networks.Names(), ", "))
+		batch   = flag.Int("batch", 64, "batch size")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: vdnn-explore [-network N] [-batch B] capacity|link|batch|prefetch|pagemig")
+		os.Exit(1)
+	}
+
+	switch flag.Arg(0) {
+	case "capacity":
+		capacitySweep(*network, *batch)
+	case "link":
+		linkSweep(*network, *batch)
+	case "batch":
+		batchSweep(*network)
+	case "prefetch":
+		prefetchSweep(*network, *batch)
+	case "pagemig":
+		pagemigSweep(*network, *batch)
+	default:
+		fmt.Fprintf(os.Stderr, "vdnn-explore: unknown sweep %q\n", flag.Arg(0))
+		os.Exit(1)
+	}
+}
+
+func runOne(net string, batch int, cfg core.Config) *core.Result {
+	n, err := networks.ByName(net, batch)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vdnn-explore:", err)
+		os.Exit(1)
+	}
+	r, err := core.Run(n, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vdnn-explore:", err)
+		os.Exit(1)
+	}
+	return r
+}
+
+func capacitySweep(net string, batch int) {
+	t := report.NewTable(fmt.Sprintf("GPU capacity sweep — %s (%d)", net, batch),
+		"capacity (GB)", "base(p)", "vDNN-dyn", "dyn max usage (MB)", "dyn FE (ms)")
+	for _, gb := range []int64{4, 6, 8, 12, 16, 24, 32, 48} {
+		spec := gpu.TitanX().WithMemory(gb << 30)
+		base := runOne(net, batch, core.Config{Spec: spec, Policy: core.Baseline, Algo: core.PerfOptimal})
+		dyn := runOne(net, batch, core.Config{Spec: spec, Policy: core.VDNNDyn})
+		t.AddRow(fmt.Sprintf("%d", gb), yesNo(base.Trainable), yesNo(dyn.Trainable),
+			report.FmtMiB(dyn.MaxUsage), report.FmtMs(int64(dyn.FETime)))
+	}
+	t.Render(os.Stdout)
+}
+
+func linkSweep(net string, batch int) {
+	t := report.NewTable(fmt.Sprintf("interconnect sweep — %s (%d), vDNN-all(m)", net, batch),
+		"link", "eff GB/s", "FE (ms)", "offload stalls hidden?")
+	oracle := runOne(net, batch, core.Config{Spec: gpu.TitanX(), Policy: core.VDNNConv, Algo: core.MemOptimal, Oracle: true})
+	for _, link := range []pcie.Link{pcie.Gen2x16(), pcie.Gen3x16(), pcie.NVLink1()} {
+		spec := gpu.TitanX()
+		spec.Link = link
+		r := runOne(net, batch, core.Config{Spec: spec, Policy: core.VDNNAll, Algo: core.MemOptimal, Oracle: true})
+		hidden := "partly"
+		if float64(r.FETime) <= 1.02*float64(oracle.FETime) {
+			hidden = "yes"
+		}
+		t.AddRow(link.Name, fmt.Sprintf("%.1f", float64(link.EffBps)/1e9),
+			report.FmtMs(int64(r.FETime)), hidden)
+	}
+	t.Render(os.Stdout)
+}
+
+func batchSweep(net string) {
+	t := report.NewTable(fmt.Sprintf("batch-size sweep — %s on 12 GB", net),
+		"batch", "base(p)", "base(m)", "vDNN-dyn", "dyn FE (ms)")
+	for _, b := range []int{16, 32, 64, 128, 192, 256, 384, 512} {
+		baseP := runOne(net, b, core.Config{Spec: gpu.TitanX(), Policy: core.Baseline, Algo: core.PerfOptimal})
+		baseM := runOne(net, b, core.Config{Spec: gpu.TitanX(), Policy: core.Baseline, Algo: core.MemOptimal})
+		dyn := runOne(net, b, core.Config{Spec: gpu.TitanX(), Policy: core.VDNNDyn})
+		t.AddRow(fmt.Sprintf("%d", b), yesNo(baseP.Trainable), yesNo(baseM.Trainable),
+			yesNo(dyn.Trainable), report.FmtMs(int64(dyn.FETime)))
+	}
+	t.Render(os.Stdout)
+}
+
+func prefetchSweep(net string, batch int) {
+	t := report.NewTable(fmt.Sprintf("prefetch schedule sweep — %s (%d), vDNN-all(m)", net, batch),
+		"schedule", "max (MB)", "avg (MB)", "FE (ms)", "on-demand")
+	for _, m := range []core.PrefetchMode{core.PrefetchJIT, core.PrefetchFig10, core.PrefetchEager, core.PrefetchNone} {
+		r := runOne(net, batch, core.Config{Spec: gpu.TitanX(), Policy: core.VDNNAll, Algo: core.MemOptimal, Oracle: true, Prefetch: m})
+		t.AddRow(m.String(), report.FmtMiB(r.MaxUsage), report.FmtMiB(r.AvgUsage),
+			report.FmtMs(int64(r.FETime)), fmt.Sprintf("%d", r.OnDemandFetches))
+	}
+	t.Render(os.Stdout)
+}
+
+func pagemigSweep(net string, batch int) {
+	t := report.NewTable(fmt.Sprintf("transfer-mode sweep — %s (%d), vDNN-all(m)", net, batch),
+		"mode", "FE (ms)", "slowdown")
+	dma := runOne(net, batch, core.Config{Spec: gpu.TitanX(), Policy: core.VDNNAll, Algo: core.MemOptimal, Oracle: true})
+	pm := runOne(net, batch, core.Config{Spec: gpu.TitanX(), Policy: core.VDNNAll, Algo: core.MemOptimal, Oracle: true, PageMigration: true})
+	t.AddRow("pinned DMA", report.FmtMs(int64(dma.FETime)), "1.0x")
+	t.AddRow("page migration", report.FmtMs(int64(pm.FETime)),
+		fmt.Sprintf("%.1fx", float64(pm.FETime)/float64(dma.FETime)))
+	t.Render(os.Stdout)
+}
+
+func yesNo(b bool) string {
+	if b {
+		return "yes"
+	}
+	return "no"
+}

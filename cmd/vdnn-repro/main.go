@@ -1,0 +1,83 @@
+// vdnn-repro regenerates the paper's evaluation: every figure of Section V
+// plus the power study and the design-choice ablations. Run with no
+// arguments for everything, or name the experiments to regenerate:
+//
+//	vdnn-repro fig1 fig11 fig14
+//	vdnn-repro -csv fig12 > fig12.csv
+//
+// Experiments: fig1, fig4, fig5, fig6, fig11, fig12, fig13, fig14, fig15,
+// power, ablation-prefetch, ablation-pagemig, ablation-link,
+// ablation-capacity, ablation-weights, ablation-batch, case-multigpu,
+// case-precision, case-devices, case-resnet.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"vdnn/internal/figures"
+	"vdnn/internal/gpu"
+	"vdnn/internal/report"
+)
+
+func main() {
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	flag.Parse()
+
+	suite := figures.NewSuite(gpu.TitanX())
+	all := []struct {
+		name string
+		gen  func() *report.Table
+	}{
+		{"fig1", suite.Fig1},
+		{"fig4", suite.Fig4},
+		{"fig5", suite.Fig5},
+		{"fig6", suite.Fig6},
+		{"fig11", suite.Fig11},
+		{"fig12", suite.Fig12},
+		{"fig13", suite.Fig13},
+		{"fig14", suite.Fig14},
+		{"fig15", suite.Fig15},
+		{"power", suite.Power},
+		{"ablation-prefetch", suite.AblationPrefetch},
+		{"ablation-pagemig", suite.AblationPageMigration},
+		{"ablation-link", suite.AblationInterconnect},
+		{"ablation-capacity", suite.AblationCapacity},
+		{"ablation-weights", suite.AblationWeightOffload},
+		{"ablation-batch", suite.AblationBatchScaling},
+		{"case-multigpu", suite.CaseStudyMultiGPU},
+		{"case-precision", suite.CaseStudyPrecision},
+		{"case-devices", suite.CaseStudyDevices},
+		{"case-resnet", suite.CaseStudyResNet},
+	}
+
+	want := flag.Args()
+	selected := map[string]bool{}
+	for _, w := range want {
+		selected[w] = true
+	}
+	known := map[string]bool{}
+	for _, e := range all {
+		known[e.name] = true
+	}
+	for _, w := range want {
+		if !known[w] {
+			fmt.Fprintf(os.Stderr, "vdnn-repro: unknown experiment %q\n", w)
+			os.Exit(1)
+		}
+	}
+
+	for _, e := range all {
+		if len(selected) > 0 && !selected[e.name] {
+			continue
+		}
+		t := e.gen()
+		if *csv {
+			t.CSV(os.Stdout)
+		} else {
+			t.Render(os.Stdout)
+			fmt.Println()
+		}
+	}
+}

@@ -1,0 +1,178 @@
+// vdnn-sim simulates one training configuration of one network and prints
+// the metrics the paper reports: trainability, memory usage, transfer
+// traffic, performance and power. With -layers it also prints the per-layer
+// breakdown (Figures 5, 6 and 13), and with -trace a schedule excerpt that
+// shows the offload/prefetch overlap of Figure 9.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"vdnn/internal/core"
+	"vdnn/internal/dnn"
+	"vdnn/internal/gpu"
+	"vdnn/internal/networks"
+	"vdnn/internal/pcie"
+	"vdnn/internal/report"
+	"vdnn/internal/tensor"
+)
+
+func main() {
+	var (
+		network  = flag.String("network", "vgg16", "network: "+strings.Join(networks.Names(), ", "))
+		batch    = flag.Int("batch", 64, "batch size")
+		policy   = flag.String("policy", "dyn", "memory policy: base, all, conv, dyn")
+		algo     = flag.String("algo", "p", "convolution algorithms: m (memory-optimal), p (performance-optimal)")
+		memGB    = flag.Int("gpu-mem", 12, "GPU memory in GB")
+		link     = flag.String("link", "pcie3", "interconnect: pcie2, pcie3, nvlink")
+		prefetch = flag.String("prefetch", "jit", "prefetch schedule: jit, fig10, eager, none")
+		pagemig  = flag.Bool("page-migration", false, "use page-migration transfers instead of pinned DMA")
+		oracle   = flag.Bool("oracle", false, "simulate a GPU with unlimited memory")
+		layers   = flag.Bool("layers", false, "print the per-layer table")
+		trace    = flag.Bool("trace", false, "print a schedule excerpt (offload/prefetch overlap)")
+		chrome   = flag.String("chrome-trace", "", "write the schedule as Chrome trace JSON to this file")
+	)
+	flag.Parse()
+
+	net, err := networks.ByName(*network, *batch)
+	fail(err)
+
+	spec := gpu.TitanX()
+	spec.MemBytes = int64(*memGB) << 30
+	switch *link {
+	case "pcie2":
+		spec.Link = pcie.Gen2x16()
+	case "pcie3":
+		// default
+	case "nvlink":
+		spec.Link = pcie.NVLink1()
+	default:
+		fail(fmt.Errorf("unknown link %q", *link))
+	}
+
+	cfg := core.Config{Spec: spec, Oracle: *oracle, PageMigration: *pagemig, CaptureSchedule: *chrome != ""}
+	switch *policy {
+	case "base":
+		cfg.Policy = core.Baseline
+	case "all":
+		cfg.Policy = core.VDNNAll
+	case "conv":
+		cfg.Policy = core.VDNNConv
+	case "dyn":
+		cfg.Policy = core.VDNNDyn
+	default:
+		fail(fmt.Errorf("unknown policy %q", *policy))
+	}
+	switch *algo {
+	case "m":
+		cfg.Algo = core.MemOptimal
+	case "p":
+		cfg.Algo = core.PerfOptimal
+	default:
+		fail(fmt.Errorf("unknown algo mode %q", *algo))
+	}
+	switch *prefetch {
+	case "jit":
+		cfg.Prefetch = core.PrefetchJIT
+	case "fig10":
+		cfg.Prefetch = core.PrefetchFig10
+	case "eager":
+		cfg.Prefetch = core.PrefetchEager
+	case "none":
+		cfg.Prefetch = core.PrefetchNone
+	default:
+		fail(fmt.Errorf("unknown prefetch mode %q", *prefetch))
+	}
+
+	res, err := core.Run(net, cfg)
+	fail(err)
+
+	s := net.Summary()
+	fmt.Printf("%s on %s (%d GB, %s)\n", net.Name, spec.Name, *memGB, spec.Link.Name)
+	fmt.Printf("  layers: %d (%d CONV, %d FC), weights %s, feature maps %s\n",
+		s.Layers, s.ConvLayers, s.FCLayers, tensor.FormatBytes(s.WeightBytes), tensor.FormatBytes(s.FeatureMapBytes))
+	fmt.Printf("  policy: %v %v, prefetch %v\n", res.Policy, res.Algo, cfg.Prefetch)
+	if res.Chosen != "" {
+		fmt.Printf("  dynamic profiling chose: %s\n", res.Chosen)
+	}
+	if res.Trainable {
+		fmt.Printf("  trainable: yes\n")
+	} else {
+		fmt.Printf("  trainable: NO — %s\n", res.FailReason)
+	}
+	fmt.Printf("  memory: max %s, avg %s (pool) + %s classifier-side\n",
+		tensor.FormatBytes(res.MaxUsage), tensor.FormatBytes(res.AvgUsage), tensor.FormatBytes(res.FrameworkBytes))
+	fmt.Printf("  transfers: offload %s, prefetch %s, pinned host %s, on-demand fetches %d\n",
+		tensor.FormatBytes(res.OffloadBytes), tensor.FormatBytes(res.PrefetchBytes),
+		tensor.FormatBytes(res.HostPinnedPeak), res.OnDemandFetches)
+	fmt.Printf("  time: iteration %.1f ms (feature extraction %.1f ms)\n",
+		res.IterTime.Msec(), res.FETime.Msec())
+	fmt.Printf("  power: avg %.0f W, max %.0f W\n", res.Power.AvgW, res.Power.MaxW)
+
+	if *layers {
+		t := report.NewTable("per-layer stats",
+			"layer", "kind", "fwd ms", "bwd ms", "reuse ms", "fwd GB/s", "x (MB)", "ws (MB)", "algo", "offloaded")
+		for _, ls := range res.Layers {
+			off := ""
+			if ls.Offloaded {
+				off = "yes"
+			}
+			algo := ""
+			if ls.Kind == dnn.Conv {
+				algo = ls.AlgoFwd.String()
+			}
+			t.AddRow(ls.Name, ls.Kind.String(),
+				report.FmtMs(int64(ls.FwdTime)), report.FmtMs(int64(ls.BwdTime)),
+				report.FmtMs(int64(ls.ReuseDistance)),
+				fmt.Sprintf("%.0f", ls.FwdBW/1e9),
+				report.FmtMiB(ls.XBytes), report.FmtMiB(ls.FwdWSBytes), algo, off)
+		}
+		fmt.Println()
+		t.Render(os.Stdout)
+	}
+
+	if *trace {
+		fmt.Println()
+		printTrace(res)
+	}
+
+	if *chrome != "" {
+		f, err := os.Create(*chrome)
+		fail(err)
+		fail(res.WriteChromeTrace(f))
+		fail(f.Close())
+		fmt.Printf("\nwrote Chrome trace to %s (open in chrome://tracing or ui.perfetto.dev)\n", *chrome)
+	}
+}
+
+// printTrace shows the Figure 9 overlap: forward kernels on stream_compute
+// with the offloads that hide beneath them.
+func printTrace(res *core.Result) {
+	t := report.NewTable("schedule excerpt (first feature-extraction layers)",
+		"layer", "fwd start (ms)", "fwd end (ms)", "offloaded (MB)", "bwd start (ms)", "bwd end (ms)")
+	count := 0
+	for _, ls := range res.Layers {
+		if ls.Stage != dnn.FeatureExtraction {
+			continue
+		}
+		t.AddRow(ls.Name,
+			report.FmtMs(int64(ls.FwdStart)), report.FmtMs(int64(ls.FwdEnd)),
+			report.FmtMiB(ls.OffloadBytes),
+			report.FmtMs(int64(ls.BwdStart)), report.FmtMs(int64(ls.BwdEnd)))
+		count++
+		if count >= 12 {
+			break
+		}
+	}
+	t.Render(os.Stdout)
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vdnn-sim:", err)
+		os.Exit(1)
+	}
+}

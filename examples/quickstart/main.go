@@ -1,0 +1,57 @@
+// Quickstart: define a small convolutional network with the builder API,
+// then compare the baseline memory manager against vDNN on a simulated
+// Titan X — the one-minute tour of what the library does.
+package main
+
+import (
+	"fmt"
+
+	"vdnn"
+)
+
+func main() {
+	// A small CIFAR-style convnet, defined the way the paper's API (and
+	// Torch/Caffe) compose networks.
+	b := vdnn.NewBuilder("tiny-convnet", 256, vdnn.Float32)
+	x := b.Input(3, 64, 64)
+	x = b.Conv(x, "conv1", 64, 3, 1, 1)
+	x = b.ReLU(x, "relu1")
+	x = b.Conv(x, "conv2", 64, 3, 1, 1)
+	x = b.ReLU(x, "relu2")
+	x = b.MaxPool(x, "pool1", 2, 2, 0)
+	x = b.Conv(x, "conv3", 128, 3, 1, 1)
+	x = b.ReLU(x, "relu3")
+	x = b.MaxPool(x, "pool2", 2, 2, 0)
+	x = b.FC(x, "fc1", 256)
+	x = b.ReLU(x, "relu4")
+	x = b.FC(x, "fc2", 10)
+	b.SoftmaxLoss(x, "loss")
+	net, err := b.Finalize()
+	if err != nil {
+		panic(err)
+	}
+
+	titan := vdnn.TitanX()
+	for _, cfg := range []struct {
+		label  string
+		policy vdnn.Policy
+		algo   vdnn.AlgoMode
+	}{
+		{"baseline (perf-optimal)", vdnn.Baseline, vdnn.PerfOptimal},
+		{"vDNN-all (mem-optimal) ", vdnn.VDNNAll, vdnn.MemOptimal},
+		{"vDNN-dyn               ", vdnn.VDNNDyn, 0},
+	} {
+		res, err := vdnn.Run(net, vdnn.Config{Spec: titan, Policy: cfg.policy, Algo: cfg.algo})
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%s  max %6.0f MB  avg %6.0f MB  offloaded %6.0f MB  iter %6.2f ms\n",
+			cfg.label,
+			float64(res.MaxUsage)/(1<<20), float64(res.AvgUsage)/(1<<20),
+			float64(res.OffloadBytes)/(1<<20), res.IterTime.Msec())
+	}
+
+	fmt.Println()
+	fmt.Println("vDNN trades PCIe transfers for GPU memory: same network, same GPU,")
+	fmt.Println("a fraction of the resident footprint.")
+}

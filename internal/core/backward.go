@@ -1,0 +1,344 @@
+package core
+
+import (
+	"fmt"
+
+	"vdnn/internal/cudnnsim"
+	"vdnn/internal/dnn"
+	"vdnn/internal/memalloc"
+	"vdnn/internal/sim"
+)
+
+// findPrefetchLayer is a direct port of the paper's Figure 10: starting from
+// the layer below the one whose backward pass is about to run, walk toward
+// layer 0 looking for a layer that offloaded its input feature maps and has
+// not been prefetched yet. Under the paper's window policy the search stops
+// at the first CONV layer that needs no prefetch, bounding how early data is
+// brought back (prefetching too early would let it camp in GPU memory
+// again). The eager ablation removes that bound.
+func (e *executor) findPrefetchLayer(currLayerID int) int {
+	for id := currLayerID - 1; id >= 0; id-- {
+		if e.lay[id].offloaded && !e.lay[id].prefetched {
+			e.lay[id].prefetched = true
+			return id
+		}
+		if e.cfg.Prefetch == PrefetchFig10 && e.net.Layers[id].Kind == dnn.Conv {
+			return -1
+		}
+	}
+	return -1
+}
+
+// prefetchBuffers re-allocates device space for the given buffers and
+// launches their H2D transfers on stream_memory.
+func (e *executor) prefetchBuffers(label string, bufs []*dnn.Tensor) ([]*sim.Op, error) {
+	var ops []*sim.Op
+	for _, t := range bufs {
+		bs := e.buf[t]
+		if !bs.offloaded {
+			continue
+		}
+		b, err := e.alloc(t.Bytes(e.net.DType), memalloc.KindFeatureMap, fmt.Sprintf("fm%d", t.ID))
+		if err != nil {
+			return nil, err
+		}
+		op := e.dev.Prefetch(fmt.Sprintf("PRE:%s(fm%d)", label, t.ID), t.Bytes(e.net.DType))
+		bs.block = b
+		bs.offloaded = false
+		bs.lastWrite = op
+		ops = append(ops, op)
+	}
+	return ops, nil
+}
+
+// fetchOnDemand serializes a blocking copy-back of one buffer — the paper's
+// "naive" path that vDNN's prefetching exists to avoid. It only runs under
+// PrefetchNone or if the window policy ever misses (counted and asserted in
+// tests).
+func (e *executor) fetchOnDemand(t *dnn.Tensor) error {
+	bs := e.buf[t]
+	b, err := e.alloc(t.Bytes(e.net.DType), memalloc.KindFeatureMap, fmt.Sprintf("fm%d", t.ID))
+	if err != nil {
+		return err
+	}
+	// The naive path has no lookahead: the copy is requested only when the
+	// backward computation reaches the layer, so it starts after all queued
+	// compute drains and the next kernel waits on it (the serialization the
+	// paper's Section III-A describes).
+	op := e.dev.Prefetch(fmt.Sprintf("FETCH(fm%d)", t.ID), t.Bytes(e.net.DType), e.dev.StreamCompute.Last())
+	e.dev.TL.Wait(op)
+	bs.block = b
+	bs.offloaded = false
+	bs.lastWrite = op
+	e.onDemand++
+	return nil
+}
+
+// ensureGrad returns the gradient buffer for an aliasing root, allocating it
+// on first write (vDNN) or returning the baseline's shared slot.
+func (e *executor) ensureGrad(root *dnn.Tensor) (*memalloc.Block, error) {
+	bs := e.buf[root]
+	if bs.gradBlock != nil {
+		return bs.gradBlock, nil
+	}
+	gi := e.gradInfos[root]
+	if gi == nil {
+		return nil, fmt.Errorf("core: no gradient info for fm%d", root.ID)
+	}
+	b, err := e.alloc(gi.Bytes, memalloc.KindGradMap, fmt.Sprintf("grad%d", root.ID))
+	if err != nil {
+		return nil, err
+	}
+	bs.gradBlock = b
+	return b, nil
+}
+
+// backwardLayer issues one layer's backward pass: prefetch scheduling,
+// on-demand fetch fallback, gradient allocation, the backward kernels, the
+// release of Y/dY/workspace, and the end-of-layer synchronization when a
+// prefetch is in flight (Figures 8, 9, 10).
+func (e *executor) backwardLayer(l *dnn.Layer) error {
+	st := &e.stats[l.ID]
+	d := e.net.DType
+
+	// 1. Prefetch scheduling (vDNN only).
+	var preOps []*sim.Op
+	if e.vdnnManaged() && e.cfg.Prefetch != PrefetchNone {
+		// Weight-offloading extension: bring this step's scheduled weights
+		// back just in time (their only backward reader is their own layer).
+		for _, wl := range e.wPrefetchAt[l.ID] {
+			ws := e.wState[wl]
+			if ws == nil || !ws.offloaded {
+				continue
+			}
+			b, err := e.alloc(wl.WeightBytes(d), memalloc.KindWeights, wl.Name+".W")
+			if err != nil {
+				return err
+			}
+			op := e.dev.Prefetch("PRE:"+wl.Name+".W", wl.WeightBytes(d))
+			ws.block = b
+			ws.offloaded = false
+			ws.lastWrite = op
+			preOps = append(preOps, op)
+		}
+	}
+	if e.vdnnManaged() {
+		switch e.cfg.Prefetch {
+		case PrefetchJIT:
+			ops, err := e.prefetchBuffers(l.Name, e.plan.PrefetchAt[l.ID])
+			if err != nil {
+				return err
+			}
+			preOps = ops
+		case PrefetchFig10, PrefetchEager:
+			if pid := e.findPrefetchLayer(l.ID); pid >= 0 {
+				ops, err := e.prefetchBuffers(e.net.Layers[pid].Name, e.plan.OffloadAt[pid])
+				if err != nil {
+					return err
+				}
+				preOps = ops
+			}
+		case PrefetchNone:
+			// On-demand fetches only (step 2).
+		}
+	}
+
+	// 2. On-demand fetch of anything this layer's kernels read that is
+	// still host-resident (the paper's serialized fallback path).
+	var readBytes int64
+	for _, t := range l.BwdReads() {
+		readBytes += t.Bytes(d)
+		if e.buf[t].offloaded {
+			if err := e.fetchOnDemand(t); err != nil {
+				return err
+			}
+		}
+		if e.buf[t].block == nil {
+			return fmt.Errorf("core: bwd read fm%d not resident", t.ID)
+		}
+	}
+	if ws := e.wState[l]; ws != nil && ws.offloaded {
+		// Naive weight fetch: serialize behind queued compute like any
+		// on-demand transfer.
+		b, err := e.alloc(l.WeightBytes(d), memalloc.KindWeights, l.Name+".W")
+		if err != nil {
+			return err
+		}
+		op := e.dev.Prefetch("FETCH:"+l.Name+".W", l.WeightBytes(d), e.dev.StreamCompute.Last())
+		e.dev.TL.Wait(op)
+		ws.block = b
+		ws.offloaded = false
+		ws.lastWrite = op
+		e.onDemand++
+	}
+
+	// 3. Gradient buffers. The gradient of this layer's output must already
+	// exist (written by its consumers' backward passes); gradients of its
+	// inputs are allocated at first write.
+	if l.Kind != dnn.SoftmaxLoss {
+		outRoot := dnn.GradRoot(l.Output)
+		if e.gradInfos[outRoot] != nil && e.buf[outRoot].gradBlock == nil {
+			return fmt.Errorf("core: dY for %s missing", l.Name)
+		}
+	}
+	var gradInBytes int64
+	for _, in := range l.Inputs {
+		root := dnn.GradRoot(in)
+		if e.gradInfos[root] == nil {
+			continue // network input: gradient skipped
+		}
+		if _, err := e.ensureGrad(root); err != nil {
+			return err
+		}
+		if !e.buf[root].gradWritten {
+			e.buf[root].gradWritten = true
+		}
+		gradInBytes += e.gradInfos[root].Bytes
+	}
+
+	// 4. Workspace for the convolution backward kernels.
+	var algos LayerAlgos
+	var wsBytes int64
+	var wsBlock *memalloc.Block
+	if l.Kind == dnn.Conv {
+		algos = e.pickAlgos(l)
+		st.AlgoBwdData = algos.BwdData
+		st.AlgoBwdFilter = algos.BwdFilter
+		g := l.ConvGeom(d)
+		wsBytes = algos.BwdData.Workspace(g, cudnnsim.BwdData)
+		if w := algos.BwdFilter.Workspace(g, cudnnsim.BwdFilter); w > wsBytes {
+			wsBytes = w
+		}
+		if wsBytes > 0 && e.vdnnManaged() {
+			b, err := e.alloc(wsBytes, memalloc.KindWorkspace, l.Name+".bws")
+			if err != nil {
+				return err
+			}
+			wsBlock = b
+		}
+		if e.sharedWS != nil && wsBytes > e.sharedWS.Size {
+			return fmt.Errorf("core: bwd workspace %d exceeds shared buffer %d", wsBytes, e.sharedWS.Size)
+		}
+	}
+
+	// 5. Kernels.
+	ops := e.bwdKernels(l, algos)
+	var lastOp *sim.Op
+	for _, ko := range ops {
+		if lastOp == nil || ko.op.End > lastOp.End {
+			lastOp = ko.op
+		}
+		if ko.op.End > st.BwdEnd {
+			st.BwdEnd = ko.op.End
+		}
+		st.BwdTime += ko.cost.Dur
+		if st.BwdStart == 0 || ko.op.Start < st.BwdStart {
+			st.BwdStart = ko.op.Start
+		}
+		if ko.cost.Dur > 0 {
+			if bw := float64(ko.cost.DRAMBytes) / ko.cost.Dur.Seconds(); bw > st.BwdBW {
+				st.BwdBW = bw
+			}
+		}
+	}
+	outRootBytes := int64(0)
+	if gi := e.gradInfos[dnn.GradRoot(l.Output)]; gi != nil {
+		outRootBytes = gi.Bytes
+	}
+	bws := readBytes + st.WeightBytes*2 + wsBytes + gradInBytes + outRootBytes + l.MaskBytes(d)
+	if bws > st.BwdWorkingSet {
+		st.BwdWorkingSet = bws
+	}
+
+	// 6. Releases once this layer's backward computation completes: every
+	// feature map whose last backward reader this layer is (Figure 8: "data
+	// associated with the black Xs can safely be released"), the gradient
+	// map this layer's backward consumed as its last reader, and the
+	// temporary workspace. Frees take effect at host issue time: cnmem's
+	// stream-ordered semantics let a later-issued allocation reuse the
+	// memory safely because the compute stream executes in order.
+	if e.vdnnManaged() {
+		relTime := e.now()
+		if wsBlock != nil {
+			e.pool.Free(wsBlock, relTime)
+		}
+		for _, t := range e.freeAtBwd[l.ID] {
+			bs := e.buf[t]
+			if !bs.persist && bs.block != nil {
+				e.pool.Free(bs.block, relTime)
+				bs.block = nil
+				bs.offloaded = false
+			}
+		}
+		outRoot := dnn.GradRoot(l.Output)
+		if gi := e.gradInfos[outRoot]; gi != nil && gi.LastReader == l {
+			bs := e.buf[outRoot]
+			if bs.gradBlock != nil && !bs.gradPersist {
+				e.pool.Free(bs.gradBlock, relTime)
+				bs.gradBlock = nil
+			}
+		}
+	}
+
+	// 7. End-of-layer synchronization when a prefetch is in flight, so the
+	// next layer's backward cannot start before the data lands.
+	if len(preOps) > 0 {
+		if lastOp != nil {
+			e.dev.TL.Wait(lastOp)
+		}
+		for _, p := range preOps {
+			e.dev.TL.Wait(p)
+		}
+	}
+	return nil
+}
+
+type kernelOp struct {
+	op   *sim.Op
+	cost cudnnsim.Cost
+}
+
+// bwdKernels issues the backward kernels of one layer and returns them.
+func (e *executor) bwdKernels(l *dnn.Layer, algos LayerAlgos) []kernelOp {
+	spec := e.cfg.Spec
+	d := e.net.DType
+	var out []kernelOp
+	issue := func(label string, c cudnnsim.Cost, deps ...*sim.Op) {
+		op := e.dev.Kernel(label, c.Dur, c.Flops, c.DRAMBytes, deps...)
+		out = append(out, kernelOp{op, c})
+	}
+	xDep := e.buf[l.In()].lastWrite
+	var wDep *sim.Op
+	if ws := e.wState[l]; ws != nil {
+		wDep = ws.lastWrite
+	}
+	switch l.Kind {
+	case dnn.Conv:
+		g := l.ConvGeom(d)
+		if e.gradInfos[dnn.GradRoot(l.In())] != nil {
+			issue("BWD-DATA:"+l.Name, cudnnsim.ConvCost(spec, g, algos.BwdData, cudnnsim.BwdData), xDep, wDep)
+		}
+		issue("BWD-FILTER:"+l.Name, cudnnsim.ConvCost(spec, g, algos.BwdFilter, cudnnsim.BwdFilter), xDep)
+	case dnn.ReLU:
+		issue("BWD:"+l.Name, cudnnsim.ActivationBwdCost(spec, l.In().Bytes(d)), xDep)
+	case dnn.Pool:
+		issue("BWD:"+l.Name, cudnnsim.PoolBwdCost(spec, l.In().Bytes(d), l.Output.Bytes(d)), xDep)
+	case dnn.LRN:
+		issue("BWD:"+l.Name, cudnnsim.LRNBwdCost(spec, l.In().Bytes(d)), xDep)
+	case dnn.Concat, dnn.Add:
+		// Backward of a channel concat or elementwise add is pure views
+		// over the output gradient; no kernel.
+	case dnn.BatchNorm:
+		issue("BWD:"+l.Name, cudnnsim.ElementwiseCost(spec, l.In().Bytes(d), 4), xDep)
+	case dnn.FC:
+		in := l.In().Shape
+		inF, outF, n := in.PerSample(), int64(l.FC.OutFeatures), int64(in.N)
+		issue("BWD-DATA:"+l.Name, cudnnsim.GEMMCost(spec, inF, outF, n, d.Size()), xDep)
+		issue("BWD-FILTER:"+l.Name, cudnnsim.GEMMCost(spec, outF, n, inF, d.Size()), xDep)
+	case dnn.Dropout:
+		issue("BWD:"+l.Name, cudnnsim.DropoutBwdCost(spec, l.In().Bytes(d), l.MaskBytes(d)), xDep)
+	case dnn.SoftmaxLoss:
+		issue("BWD:"+l.Name, cudnnsim.SoftmaxCost(spec, l.In().Bytes(d)), xDep)
+	}
+	return out
+}

@@ -1,0 +1,321 @@
+// Package core implements the paper's contribution: the vDNN runtime memory
+// manager that virtualizes DNN memory across GPU and CPU memory, together
+// with the Torch-style baseline memory manager it is evaluated against.
+//
+// The executor simulates the host-side issue loop exactly as Section III-B
+// describes: a compute stream carries the cuDNN kernels, a memory stream
+// carries offload (D2H) and prefetch (H2D) transfers, and the host
+// synchronizes the two at layer boundaries when transfers are in flight.
+// Memory comes from a cnmem-style pool sized to the GPU's usable capacity;
+// OOM during a pass means the configuration cannot train the network
+// (the paper's "trainability").
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"vdnn/internal/cudnnsim"
+	"vdnn/internal/dnn"
+	"vdnn/internal/gpu"
+	"vdnn/internal/memalloc"
+	"vdnn/internal/sim"
+)
+
+// Policy selects the memory manager (Section III-C).
+type Policy int
+
+const (
+	// Baseline is the Torch-style network-wide allocation policy with shared
+	// gradient buffers and a single reused workspace.
+	Baseline Policy = iota
+	// VDNNAll offloads every feature-extraction layer's input feature map.
+	VDNNAll
+	// VDNNConv offloads only the CONV layers' input feature maps.
+	VDNNConv
+	// VDNNDyn profiles at startup to pick the offload policy and per-layer
+	// algorithms that balance trainability and performance.
+	VDNNDyn
+)
+
+var policyNames = [...]string{"base", "vDNN-all", "vDNN-conv", "vDNN-dyn"}
+
+func (p Policy) String() string {
+	if p >= 0 && int(p) < len(policyNames) {
+		return policyNames[p]
+	}
+	return fmt.Sprintf("Policy(%d)", int(p))
+}
+
+// AlgoMode selects convolution algorithms for the static policies: the
+// paper's (m) memory-optimal and (p) performance-optimal variants.
+type AlgoMode int
+
+const (
+	// MemOptimal uses implicit GEMM everywhere: zero workspace.
+	MemOptimal AlgoMode = iota
+	// PerfOptimal uses the fastest algorithm per layer, workspace unlimited.
+	PerfOptimal
+	// GreedyAlgo picks, at each layer during the pass, the fastest algorithm
+	// whose workspace fits in currently free pool memory (the dynamic
+	// policy's final profiling phase).
+	GreedyAlgo
+)
+
+var algoModeNames = [...]string{"(m)", "(p)", "(greedy)"}
+
+func (m AlgoMode) String() string {
+	if m >= 0 && int(m) < len(algoModeNames) {
+		return algoModeNames[m]
+	}
+	return fmt.Sprintf("AlgoMode(%d)", int(m))
+}
+
+// PrefetchMode selects the prefetch scheduling strategy. The default is the
+// just-in-time schedule of the paper's Figure 9; the literal Figure 10
+// search-window code and two degenerate schedules exist as ablations.
+type PrefetchMode int
+
+const (
+	// PrefetchJIT is the schedule of the paper's Figure 9: the prefetch of a
+	// layer's offloaded X overlaps the backward computation of the layer
+	// immediately preceding its first backward use, so it is "guaranteed to
+	// be ready before layer(n-1)'s computation" while camping in GPU memory
+	// for the least possible time.
+	PrefetchJIT PrefetchMode = iota
+	// PrefetchFig10 is the literal pseudo-code of the paper's Figure 10:
+	// walk backward for the next offloaded layer, stopping at the closest
+	// preceding CONV layer. In networks with interleaved ACTV/POOL layers
+	// this launches prefetches a few layers earlier than Figure 9's
+	// schedule, raising peak memory.
+	PrefetchFig10
+	// PrefetchNone disables prefetching: offloaded maps are fetched
+	// on demand, serializing backward computation (the paper's "naive" case).
+	PrefetchNone
+	// PrefetchEager removes the CONV-layer window bound entirely,
+	// prefetching as early as possible; data camps in GPU memory again (the
+	// pitfall Section III-B warns about).
+	PrefetchEager
+)
+
+func (m PrefetchMode) String() string {
+	switch m {
+	case PrefetchJIT:
+		return "jit"
+	case PrefetchFig10:
+		return "fig10-window"
+	case PrefetchNone:
+		return "none"
+	case PrefetchEager:
+		return "eager"
+	}
+	return fmt.Sprintf("PrefetchMode(%d)", int(m))
+}
+
+// Config selects what to run.
+type Config struct {
+	Spec   gpu.Spec
+	Policy Policy
+	Algo   AlgoMode
+
+	// Oracle removes the device memory capacity limit: the paper's
+	// "hypothetical, oracular GPU with enough memory to hold the entire
+	// DNN" used to normalize performance when the baseline cannot train.
+	Oracle bool
+
+	Prefetch      PrefetchMode
+	PageMigration bool // ablation: page-migration transfers instead of DMA
+
+	// Iterations to simulate; the last one (steady state: pinned host
+	// buffers already allocated) is measured. Default 2.
+	Iterations int
+
+	// HostBytes sizes host DRAM (default 64 GB, the paper's testbed).
+	HostBytes int64
+
+	// SkipWeightUpdate drops the SGD update kernels at iteration end
+	// (convnet-benchmarks timing protocol).
+	SkipWeightUpdate bool
+
+	// OffloadWeights extends the vDNN policies to the layer weights, the
+	// extension the paper sketches in Section III ("The intuitions of vDNN
+	// can also be applied to weights..., but with less of a memory saving
+	// benefit"): each feature-extraction layer's weights are offloaded
+	// during its forward pass and prefetched back for its backward pass.
+	// Ignored by the baseline policy.
+	OffloadWeights bool
+
+	// Debug records the live allocation set at the usage peak
+	// (Result.DebugPeakLive), for attributing memory spikes.
+	Debug bool
+
+	// CaptureSchedule records every operation of the measured iteration
+	// (Result.Schedule), enabling timeline inspection and Chrome-trace
+	// export — the runnable version of the paper's Figure 9.
+	CaptureSchedule bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Iterations == 0 {
+		c.Iterations = 2
+	}
+	if c.HostBytes == 0 {
+		c.HostBytes = 64 << 30
+	}
+	return c
+}
+
+// LayerStats is the per-layer view of a run, feeding Figures 5, 6 and 13.
+type LayerStats struct {
+	Name  string
+	Kind  dnn.LayerKind
+	Stage dnn.Stage
+
+	FwdTime, BwdTime sim.Time
+	FwdStart, FwdEnd sim.Time
+	BwdStart, BwdEnd sim.Time
+	// ReuseDistance is the paper's Figure 6 metric: latency between the end
+	// of the layer's forward pass and the start of its backward pass.
+	ReuseDistance sim.Time
+
+	FwdBW, BwdBW float64 // max achieved DRAM bandwidth, bytes/sec
+
+	XBytes, YBytes int64
+	WeightBytes    int64
+	FwdWSBytes     int64
+	FwdWorkingSet  int64
+	BwdWorkingSet  int64
+
+	AlgoFwd, AlgoBwdData, AlgoBwdFilter cudnnsim.ConvAlgo // CONV layers only
+
+	Offloaded    bool  // this layer triggered an offload of its input X
+	OffloadBytes int64 // bytes it offloaded
+}
+
+// Result is the outcome of simulating one configuration.
+type Result struct {
+	Network string
+	Batch   int
+	Policy  Policy
+	Algo    AlgoMode
+	Oracle  bool
+	// Chosen describes the configuration the dynamic policy settled on.
+	Chosen string
+
+	Trainable  bool
+	FailReason string
+
+	IterTime sim.Time // full training iteration latency
+	FETime   sim.Time // feature-extraction portion (paper's performance metric)
+
+	// MaxUsage and AvgUsage are the vDNN memory pool's peak and
+	// time-weighted average usage over the measured iteration — the metric
+	// of the paper's Figure 11. The pool holds everything the memory manager
+	// controls (feature maps, gradient maps, FE weights, workspaces);
+	// classifier-side allocations live in FrameworkBytes.
+	MaxUsage int64
+	AvgUsage int64
+	// FrameworkBytes is the static classifier-side memory outside the pool
+	// (FC weights/gradients, masks, classifier activations), as in the
+	// paper's prototype where classification layers run unmodified Torch.
+	FrameworkBytes int64
+	// PeakByKind breaks down the network-wide peak (pool peak + framework)
+	// by functional category — the paper's Figure 4.
+	PeakByKind map[memalloc.Kind]int64
+
+	// MaxWorkingSet is the largest set of bytes any single layer's kernels
+	// touch at once — the "maximum layer-wise usage" of Figure 1.
+	MaxWorkingSet int64
+
+	OffloadBytes    int64 // D2H traffic in the measured iteration
+	PrefetchBytes   int64 // H2D traffic in the measured iteration
+	OnDemandFetches int   // blocking fetches (0 under the window policy)
+
+	HostPinnedPeak int64 // CPU-side allocation (Figure 15)
+
+	Power gpu.PowerStats
+
+	Layers []LayerStats
+
+	// Schedule is the op-level timeline of the measured iteration
+	// (Config.CaptureSchedule).
+	Schedule []ScheduleOp
+
+	// Debug attribution of the pool usage peak (Config.Debug).
+	DebugPeakTime  sim.Time
+	DebugPeakLive  map[string]int64
+	DebugFreeSpans [][2]int64 // free list at OOM (failed real-capacity run)
+}
+
+// ScheduleOp is one scheduled operation of the measured iteration.
+type ScheduleOp struct {
+	Engine string // compute, copyD2H, copyH2D
+	Label  string
+	Kind   string
+	Start  sim.Time
+	End    sim.Time
+}
+
+// AllocFailure is the error returned when a configuration runs out of pool
+// memory; it carries the free-list snapshot for diagnosis.
+type AllocFailure struct {
+	Label     string
+	Err       error
+	FreeSpans [][2]int64
+}
+
+func (a *AllocFailure) Error() string { return fmt.Sprintf("allocating %s: %v", a.Label, a.Err) }
+
+// Unwrap exposes the underlying allocator error.
+func (a *AllocFailure) Unwrap() error { return a.Err }
+
+// UsageMiB is a display helper: max and average usage in MiB.
+func (r *Result) UsageMiB() (max, avg float64) {
+	return float64(r.MaxUsage) / (1 << 20), float64(r.AvgUsage) / (1 << 20)
+}
+
+// TotalMaxUsage is the network-wide peak: pool peak plus the framework-side
+// classifier memory (the accounting of Figures 1 and 4).
+func (r *Result) TotalMaxUsage() int64 { return r.MaxUsage + r.FrameworkBytes }
+
+// Run simulates one configuration of one network. A configuration that
+// cannot train (OOM) is re-simulated on an oracle-sized pool so its
+// hypothetical memory demand can still be reported (the starred bars of
+// Figure 11); Trainable is false in that case.
+func Run(net *dnn.Network, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Spec.Validate(); err != nil {
+		return nil, err
+	}
+	if err := net.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Policy == VDNNDyn {
+		return runDynamic(net, cfg)
+	}
+	plan, err := buildPlan(net, cfg.Spec, cfg.Policy, cfg.Algo)
+	if err != nil {
+		return nil, err
+	}
+	res, runErr := execute(net, cfg, plan)
+	if runErr == nil {
+		return res, nil
+	}
+	// OOM: report the hypothetical demand on an oracular device.
+	oracleCfg := cfg
+	oracleCfg.Oracle = true
+	res, err = execute(net, oracleCfg, plan)
+	if err != nil {
+		return nil, fmt.Errorf("core: oracle rerun failed: %w", err)
+	}
+	res.Oracle = cfg.Oracle
+	res.Trainable = false
+	res.FailReason = runErr.Error()
+	if cfg.Debug {
+		var af *AllocFailure
+		if errors.As(runErr, &af) {
+			res.DebugFreeSpans = af.FreeSpans
+		}
+	}
+	return res, nil
+}

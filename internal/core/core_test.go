@@ -1,0 +1,651 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"vdnn/internal/dnn"
+	"vdnn/internal/gpu"
+	"vdnn/internal/networks"
+)
+
+// Simulations are deterministic, so results are cached across tests.
+var (
+	cacheMu sync.Mutex
+	cache   = map[string]*Result{}
+)
+
+func run(t *testing.T, net *dnn.Network, cfg Config) *Result {
+	t.Helper()
+	key := fmt.Sprintf("%s|%v|%v|%v|%v|%v|%d|%d", net.Name, cfg.Policy, cfg.Algo, cfg.Oracle,
+		cfg.Prefetch, cfg.PageMigration, cfg.Iterations, cfg.HostBytes)
+	cacheMu.Lock()
+	r, ok := cache[key]
+	cacheMu.Unlock()
+	if ok {
+		return r
+	}
+	r, err := Run(net, cfg)
+	if err != nil {
+		t.Fatalf("%s %v%v: %v", net.Name, cfg.Policy, cfg.Algo, err)
+	}
+	cacheMu.Lock()
+	cache[key] = r
+	cacheMu.Unlock()
+	return r
+}
+
+func titan() gpu.Spec { return gpu.TitanX() }
+
+func cfg(p Policy, a AlgoMode) Config { return Config{Spec: titan(), Policy: p, Algo: a} }
+
+// nets used repeatedly; built once.
+var (
+	alexNet    = networks.AlexNet(128)
+	overFeat   = networks.OverFeat(128)
+	googLeNet  = networks.GoogLeNet(128)
+	vgg64      = networks.VGG16(64)
+	vgg128     = networks.VGG16(128)
+	vgg256     = networks.VGG16(256)
+	vgg416Deep = networks.VGGDeep(416, 32)
+)
+
+// TestTrainabilityMatrix reproduces the starred entries of the paper's
+// Figure 11 exactly: which (policy, algorithm-mode) pairs can train each of
+// the six conventional networks on a 12 GB Titan X.
+func TestTrainabilityMatrix(t *testing.T) {
+	type want struct {
+		net       *dnn.Network
+		policy    Policy
+		algo      AlgoMode
+		trainable bool
+	}
+	cases := []want{
+		// AlexNet, OverFeat, GoogLeNet, VGG-16 (64): everything trains.
+		{alexNet, Baseline, MemOptimal, true},
+		{alexNet, Baseline, PerfOptimal, true},
+		{alexNet, VDNNAll, PerfOptimal, true},
+		{overFeat, Baseline, PerfOptimal, true},
+		{overFeat, VDNNConv, PerfOptimal, true},
+		{googLeNet, Baseline, PerfOptimal, true},
+		{googLeNet, VDNNAll, MemOptimal, true},
+		{vgg64, Baseline, MemOptimal, true},
+		{vgg64, Baseline, PerfOptimal, true},
+		{vgg64, VDNNAll, PerfOptimal, true},
+		{vgg64, VDNNConv, PerfOptimal, true},
+		// VGG-16 (128): only the baseline with performance-optimal
+		// algorithms fails (the paper's 15 GB requirement).
+		{vgg128, Baseline, MemOptimal, true},
+		{vgg128, Baseline, PerfOptimal, false},
+		{vgg128, VDNNAll, MemOptimal, true},
+		{vgg128, VDNNAll, PerfOptimal, true},
+		{vgg128, VDNNConv, MemOptimal, true},
+		{vgg128, VDNNConv, PerfOptimal, true},
+		// VGG-16 (256): baseline fails outright (28 GB); static vDNN fails
+		// with performance-optimal algorithms, trains with memory-optimal.
+		{vgg256, Baseline, MemOptimal, false},
+		{vgg256, Baseline, PerfOptimal, false},
+		{vgg256, VDNNAll, MemOptimal, true},
+		{vgg256, VDNNAll, PerfOptimal, false},
+		{vgg256, VDNNConv, MemOptimal, true},
+		{vgg256, VDNNConv, PerfOptimal, false},
+	}
+	for _, c := range cases {
+		r := run(t, c.net, cfg(c.policy, c.algo))
+		if r.Trainable != c.trainable {
+			t.Errorf("%s %v %v: trainable = %v, want %v (%s)",
+				c.net.Name, c.policy, c.algo, r.Trainable, c.trainable, r.FailReason)
+		}
+	}
+}
+
+// TestDynTrainsEverything: the dynamic policy must train all ten studied
+// DNNs (the paper's headline result).
+func TestDynTrainsEverything(t *testing.T) {
+	for _, net := range []*dnn.Network{alexNet, overFeat, googLeNet, vgg64, vgg128, vgg256, vgg416Deep} {
+		r := run(t, net, cfg(VDNNDyn, 0))
+		if !r.Trainable {
+			t.Errorf("%s: vDNN-dyn failed to train: %s", net.Name, r.FailReason)
+		}
+	}
+}
+
+// TestBaselineMemoryTotals checks the absolute allocation sizes the paper
+// quotes: AlexNet ~1.1 GB, VGG-16 (128) ~15 GB and VGG-16 (256) ~28 GB with
+// performance-optimal algorithms.
+func TestBaselineMemoryTotals(t *testing.T) {
+	cases := []struct {
+		net      *dnn.Network
+		lo, hi   float64 // total allocation in GiB
+		whatsaid string
+	}{
+		{alexNet, 0.9, 1.4, "1.1 GB"},
+		{vgg128, 14.0, 16.5, "15 GB"},
+		{vgg256, 26.5, 30.5, "28 GB"},
+	}
+	for _, c := range cases {
+		r := run(t, c.net, cfg(Baseline, PerfOptimal))
+		got := float64(r.TotalMaxUsage()) / (1 << 30)
+		if got < c.lo || got > c.hi {
+			t.Errorf("%s baseline(p) total = %.2f GiB, want ~%s", c.net.Name, got, c.whatsaid)
+		}
+	}
+}
+
+// TestVGG128AllMPeak checks the paper's Section V-A observation: VGG-16
+// (128) under memory-optimal vDNN-all "only uses up to 4.8 GB out of the
+// 12 GB of available memory".
+func TestVGG128AllMPeak(t *testing.T) {
+	r := run(t, vgg128, cfg(VDNNAll, MemOptimal))
+	gb := float64(r.MaxUsage) / (1 << 30)
+	if gb < 4.2 || gb > 5.4 {
+		t.Fatalf("VGG-16(128) vDNN-all(m) peak = %.2f GiB, want ~4.8 GiB", gb)
+	}
+}
+
+// TestAverageMemorySavings reproduces the abstract's savings: vDNN-all
+// reduces average memory usage of AlexNet by up to ~89%, OverFeat ~91%,
+// GoogLeNet ~95%, and ~90% for VGG-16 (256).
+func TestAverageMemorySavings(t *testing.T) {
+	cases := []struct {
+		net     *dnn.Network
+		baseAlg AlgoMode
+		minSave float64
+	}{
+		{alexNet, PerfOptimal, 0.78},
+		{overFeat, PerfOptimal, 0.82},
+		{googLeNet, PerfOptimal, 0.90},
+		{vgg256, MemOptimal, 0.85},
+	}
+	for _, c := range cases {
+		base := run(t, c.net, cfg(Baseline, c.baseAlg))
+		all := run(t, c.net, cfg(VDNNAll, MemOptimal))
+		save := 1 - float64(all.AvgUsage)/float64(base.AvgUsage)
+		if save < c.minSave || save > 0.99 {
+			t.Errorf("%s: avg memory savings = %.0f%%, want >= %.0f%%",
+				c.net.Name, save*100, c.minSave*100)
+		}
+	}
+}
+
+// TestMemoryOrderingAcrossPolicies: for every conventional network,
+// vDNN-all uses the least average memory, vDNN-conv more, baseline the most
+// (paper Figure 11's consistent ordering).
+func TestMemoryOrderingAcrossPolicies(t *testing.T) {
+	for _, net := range []*dnn.Network{alexNet, overFeat, googLeNet, vgg64, vgg128, vgg256} {
+		all := run(t, net, cfg(VDNNAll, MemOptimal))
+		conv := run(t, net, cfg(VDNNConv, MemOptimal))
+		base := run(t, net, cfg(Baseline, MemOptimal))
+		if !(all.AvgUsage < conv.AvgUsage && conv.AvgUsage < base.AvgUsage) {
+			t.Errorf("%s: avg usage ordering violated: all=%d conv=%d base=%d",
+				net.Name, all.AvgUsage, conv.AvgUsage, base.AvgUsage)
+		}
+		if all.MaxUsage > base.MaxUsage {
+			t.Errorf("%s: vDNN-all max exceeds baseline", net.Name)
+		}
+	}
+}
+
+// TestPerformanceShape reproduces Figure 14's shape: static vDNN with
+// memory-optimal algorithms loses roughly half the performance; vDNN-conv
+// is at least as fast as vDNN-all; the dynamic policy recovers nearly all
+// of it.
+func TestPerformanceShape(t *testing.T) {
+	var normSum float64
+	var normCnt int
+	for _, net := range []*dnn.Network{alexNet, overFeat, googLeNet, vgg64, vgg128, vgg256} {
+		oracle := run(t, net, Config{Spec: titan(), Policy: Baseline, Algo: PerfOptimal, Oracle: true})
+		allM := run(t, net, Config{Spec: titan(), Policy: VDNNAll, Algo: MemOptimal, Oracle: true})
+		convM := run(t, net, Config{Spec: titan(), Policy: VDNNConv, Algo: MemOptimal, Oracle: true})
+		convP := run(t, net, Config{Spec: titan(), Policy: VDNNConv, Algo: PerfOptimal, Oracle: true})
+		dyn := run(t, net, cfg(VDNNDyn, 0))
+
+		norm := func(r *Result) float64 { return float64(oracle.FETime) / float64(r.FETime) }
+		if n := norm(allM); n < 0.25 || n > 0.60 {
+			t.Errorf("%s: vDNN-all(m) normalized perf = %.2f, want ~0.3-0.5", net.Name, n)
+		}
+		if convM.FETime > allM.FETime {
+			t.Errorf("%s: vDNN-conv(m) slower than vDNN-all(m)", net.Name)
+		}
+		// GoogLeNet's many small layers hide transfers worst (paper Fig 14
+		// shows it lowest as well).
+		minConvP := 0.75
+		if net == googLeNet {
+			minConvP = 0.62
+		}
+		if n := norm(convP); n < minConvP {
+			t.Errorf("%s: vDNN-conv(p) normalized perf = %.2f, want > %.2f", net.Name, n, minConvP)
+		}
+		n := norm(dyn)
+		if n < 0.74 || n > 1.02 {
+			t.Errorf("%s: vDNN-dyn normalized perf = %.2f, want 0.74-1.0", net.Name, n)
+		}
+		normSum += n
+		normCnt++
+	}
+	// Average dyn throughput ~97% of baseline in the paper.
+	if avg := normSum / float64(normCnt); avg < 0.90 {
+		t.Errorf("average vDNN-dyn normalized perf = %.2f, want >= 0.90", avg)
+	}
+}
+
+// TestDynChoices verifies the dynamic policy's profiling decisions: for
+// networks that fit, it adopts the fastest no-offload configuration; for
+// VGG-16 (128) it needs offloading; for VGG-16 (256) it must downgrade
+// algorithms (greedy phase).
+func TestDynChoices(t *testing.T) {
+	for _, net := range []*dnn.Network{alexNet, overFeat, googLeNet, vgg64} {
+		r := run(t, net, cfg(VDNNDyn, 0))
+		if !strings.Contains(r.Chosen, "baseline") {
+			t.Errorf("%s: dyn chose %q, want the no-offload baseline", net.Name, r.Chosen)
+		}
+		if r.OffloadBytes != 0 {
+			t.Errorf("%s: dyn offloaded %d bytes, want 0", net.Name, r.OffloadBytes)
+		}
+	}
+	r128 := run(t, vgg128, cfg(VDNNDyn, 0))
+	if !strings.Contains(r128.Chosen, "vDNN") {
+		t.Errorf("VGG-16(128): dyn chose %q, want a vDNN offload config", r128.Chosen)
+	}
+	r256 := run(t, vgg256, cfg(VDNNDyn, 0))
+	if !strings.Contains(r256.Chosen, "greedy") {
+		t.Errorf("VGG-16(256): dyn chose %q, want a greedy-downgrade config", r256.Chosen)
+	}
+	// Paper: dyn reaches 82% of the oracular baseline for VGG-16 (256).
+	oracle := run(t, vgg256, Config{Spec: titan(), Policy: Baseline, Algo: PerfOptimal, Oracle: true})
+	if n := float64(oracle.FETime) / float64(r256.FETime); n < 0.72 || n > 0.95 {
+		t.Errorf("VGG-16(256): dyn normalized perf = %.2f, want ~0.82", n)
+	}
+}
+
+// TestOffloadTraffic reproduces Figure 12's shape: vDNN-all offloads more
+// than vDNN-conv, VGG-16 (256) offloads ~15 GB, and traffic equals the
+// pinned host allocation.
+func TestOffloadTraffic(t *testing.T) {
+	for _, net := range []*dnn.Network{alexNet, googLeNet, vgg64, vgg256} {
+		all := run(t, net, cfg(VDNNAll, MemOptimal))
+		conv := run(t, net, cfg(VDNNConv, MemOptimal))
+		if all.OffloadBytes <= conv.OffloadBytes {
+			t.Errorf("%s: all offload %d <= conv offload %d", net.Name, all.OffloadBytes, conv.OffloadBytes)
+		}
+		if conv.OffloadBytes <= 0 {
+			t.Errorf("%s: conv offload = %d, want > 0", net.Name, conv.OffloadBytes)
+		}
+		if all.HostPinnedPeak != all.OffloadBytes {
+			t.Errorf("%s: pinned %d != offloaded %d", net.Name, all.HostPinnedPeak, all.OffloadBytes)
+		}
+	}
+	all256 := run(t, vgg256, cfg(VDNNAll, MemOptimal))
+	gb := float64(all256.OffloadBytes) / (1 << 30)
+	if gb < 13 || gb > 17 {
+		t.Errorf("VGG-16(256) vDNN-all offload = %.1f GiB, want ~14.5 (paper: up to ~16 GB)", gb)
+	}
+	// Every offloaded byte comes back: each offloaded buffer has a backward
+	// reader (conv/pool/FC backward reads X; in-place ReLU backward reads Y,
+	// which covers even GoogLeNet's concat branch outputs).
+	for _, net := range []*dnn.Network{vgg256, googLeNet} {
+		r := run(t, net, cfg(VDNNAll, MemOptimal))
+		if r.PrefetchBytes != r.OffloadBytes {
+			t.Errorf("%s: prefetch %d != offload %d", net.Name, r.PrefetchBytes, r.OffloadBytes)
+		}
+	}
+}
+
+// TestReuseDistances reproduces Section III-A's numbers: the first layer's
+// input feature map is not reused for >60 ms on AlexNet and >1200 ms on
+// VGG-16 (64) (with memory-optimal algorithms), and reuse distance shrinks
+// monotonically with layer depth.
+func TestReuseDistances(t *testing.T) {
+	a := run(t, alexNet, cfg(Baseline, MemOptimal))
+	if ms := a.Layers[0].ReuseDistance.Msec(); ms < 60 {
+		t.Errorf("AlexNet conv1 reuse distance = %.0f ms, want > 60 ms", ms)
+	}
+	v := run(t, vgg64, cfg(Baseline, MemOptimal))
+	if ms := v.Layers[0].ReuseDistance.Msec(); ms < 1200 {
+		t.Errorf("VGG-16(64) conv1_1 reuse distance = %.0f ms, want > 1200 ms", ms)
+	}
+	// Monotone decreasing along the CONV layers of the linear VGG.
+	prev := v.Layers[0].ReuseDistance
+	for _, ls := range v.Layers {
+		if ls.Kind != dnn.Conv {
+			continue
+		}
+		if ls.ReuseDistance > prev {
+			t.Fatalf("reuse distance increased at %s", ls.Name)
+		}
+		prev = ls.ReuseDistance
+	}
+}
+
+// TestConvDominatesComputeTime checks Section III-C's premise: 70-80%+ of
+// feature-extraction time is spent in CONV layers.
+func TestConvDominatesComputeTime(t *testing.T) {
+	r := run(t, vgg64, cfg(Baseline, PerfOptimal))
+	var conv, total float64
+	for _, ls := range r.Layers {
+		if ls.Stage != dnn.FeatureExtraction {
+			continue
+		}
+		d := float64(ls.FwdTime + ls.BwdTime)
+		total += d
+		if ls.Kind == dnn.Conv {
+			conv += d
+		}
+	}
+	if frac := conv / total; frac < 0.70 {
+		t.Fatalf("CONV fraction of FE time = %.0f%%, want > 70%%", frac*100)
+	}
+}
+
+// TestWorkingSetFraction reproduces Figure 1's right axis: the maximum
+// layer-wise working set is a modest fraction of the network-wide
+// allocation, and the fraction shrinks as networks deepen.
+func TestWorkingSetFraction(t *testing.T) {
+	frac := func(net *dnn.Network) float64 {
+		r := run(t, net, cfg(Baseline, PerfOptimal))
+		return float64(r.MaxWorkingSet) / float64(r.TotalMaxUsage())
+	}
+	fa, fg, fv := frac(alexNet), frac(googLeNet), frac(vgg416Deep)
+	for name, f := range map[string]float64{"AlexNet": fa, "GoogLeNet": fg, "VGG-416": fv} {
+		if f <= 0.01 || f >= 0.85 {
+			t.Errorf("%s working-set fraction = %.2f, out of plausible range", name, f)
+		}
+	}
+	if !(fa > fg && fg > fv) {
+		t.Errorf("working-set fraction should shrink with depth: alex=%.2f googlenet=%.2f vgg416=%.2f", fa, fg, fv)
+	}
+	if fv > 0.10 {
+		t.Errorf("VGG-416 uses %.0f%% of its allocation at once; paper: deeper nets leave most memory idle", fv*100)
+	}
+}
+
+// TestPrefetchModes compares the scheduling ablations on VGG-16 (64):
+// just-in-time (default) needs the least memory; the literal Figure 10 code
+// prefetches earlier (>= peak); eager earlier still; on-demand has no
+// prefetches but serializes transfers.
+func TestPrefetchModes(t *testing.T) {
+	base := Config{Spec: titan(), Policy: VDNNAll, Algo: MemOptimal, Oracle: true}
+	jit := base
+	jit.Prefetch = PrefetchJIT
+	fig10 := base
+	fig10.Prefetch = PrefetchFig10
+	eager := base
+	eager.Prefetch = PrefetchEager
+	none := base
+	none.Prefetch = PrefetchNone
+
+	rJIT := run(t, vgg64, jit)
+	rFig := run(t, vgg64, fig10)
+	rEager := run(t, vgg64, eager)
+	rNone := run(t, vgg64, none)
+
+	if rJIT.OnDemandFetches != 0 || rFig.OnDemandFetches != 0 || rEager.OnDemandFetches != 0 {
+		t.Fatalf("window policies must not fall back to on-demand fetches: %d %d %d",
+			rJIT.OnDemandFetches, rFig.OnDemandFetches, rEager.OnDemandFetches)
+	}
+	if rNone.OnDemandFetches == 0 {
+		t.Fatal("PrefetchNone must fetch on demand")
+	}
+	if !(rJIT.MaxUsage <= rFig.MaxUsage && rFig.MaxUsage <= rEager.MaxUsage) {
+		t.Errorf("peak memory should grow with prefetch eagerness: jit=%d fig10=%d eager=%d",
+			rJIT.MaxUsage, rFig.MaxUsage, rEager.MaxUsage)
+	}
+	if rNone.FETime <= rJIT.FETime {
+		t.Errorf("on-demand fetching should be slower: none=%v jit=%v", rNone.FETime, rJIT.FETime)
+	}
+}
+
+// TestPageMigrationAblation reproduces the Section II-C argument: paging at
+// 80-200 MB/s instead of 12.8 GB/s DMA cripples training performance.
+func TestPageMigrationAblation(t *testing.T) {
+	dma := run(t, vgg64, Config{Spec: titan(), Policy: VDNNAll, Algo: MemOptimal, Oracle: true})
+	pm := run(t, vgg64, Config{Spec: titan(), Policy: VDNNAll, Algo: MemOptimal, Oracle: true, PageMigration: true})
+	ratio := float64(pm.FETime) / float64(dma.FETime)
+	if ratio < 5 {
+		t.Fatalf("page migration slowdown = %.1fx, want >= 5x", ratio)
+	}
+}
+
+// TestOracleMatchesRealWhenFits: removing the capacity limit must not change
+// the schedule of a configuration that already fits.
+func TestOracleMatchesRealWhenFits(t *testing.T) {
+	real := run(t, alexNet, cfg(Baseline, PerfOptimal))
+	oracle := run(t, alexNet, Config{Spec: titan(), Policy: Baseline, Algo: PerfOptimal, Oracle: true})
+	if real.FETime != oracle.FETime || real.MaxUsage != oracle.MaxUsage {
+		t.Fatalf("oracle changed a fitting run: fe %v vs %v, max %d vs %d",
+			real.FETime, oracle.FETime, real.MaxUsage, oracle.MaxUsage)
+	}
+}
+
+// TestSteadyState: extra iterations must not change per-iteration metrics
+// (pinned buffers are reused; the allocation pattern repeats).
+func TestSteadyState(t *testing.T) {
+	two := run(t, vgg64, Config{Spec: titan(), Policy: VDNNAll, Algo: MemOptimal, Iterations: 2})
+	four := run(t, vgg64, Config{Spec: titan(), Policy: VDNNAll, Algo: MemOptimal, Iterations: 4})
+	if two.OffloadBytes != four.OffloadBytes {
+		t.Errorf("offload bytes changed across iterations: %d vs %d", two.OffloadBytes, four.OffloadBytes)
+	}
+	diff := two.FETime - four.FETime
+	if diff < 0 {
+		diff = -diff
+	}
+	if float64(diff) > 0.01*float64(two.FETime) {
+		t.Errorf("FE time not steady: %v vs %v", two.FETime, four.FETime)
+	}
+}
+
+// TestVeryDeepCaseStudy reproduces Section V-E: baseline needs up to ~67 GB
+// for VGG-416 while vDNN-dyn trains it with a few GB of GPU memory, 81-92%
+// of allocations residing in host memory, at near-baseline performance.
+func TestVeryDeepCaseStudy(t *testing.T) {
+	base := run(t, vgg416Deep, cfg(Baseline, PerfOptimal))
+	if base.Trainable {
+		t.Fatal("VGG-416 baseline should not fit in 12 GB")
+	}
+	if gb := float64(base.TotalMaxUsage()) / (1 << 30); gb < 58 || gb > 72 {
+		t.Errorf("VGG-416 baseline demand = %.1f GiB, want ~67 GB", gb)
+	}
+	dyn := run(t, vgg416Deep, cfg(VDNNDyn, 0))
+	if !dyn.Trainable {
+		t.Fatalf("VGG-416 dyn failed: %s", dyn.FailReason)
+	}
+	if gb := float64(dyn.MaxUsage) / (1 << 30); gb > 7 {
+		t.Errorf("VGG-416 dyn GPU peak = %.1f GiB, want single-digit (paper: 4.2 GB)", gb)
+	}
+	cpuFrac := float64(dyn.HostPinnedPeak) / float64(dyn.HostPinnedPeak+dyn.MaxUsage)
+	if cpuFrac < 0.81 || cpuFrac > 0.95 {
+		t.Errorf("VGG-416 CPU-side fraction = %.0f%%, want 81-92%%", cpuFrac*100)
+	}
+	oracle := run(t, vgg416Deep, Config{Spec: titan(), Policy: Baseline, Algo: PerfOptimal, Oracle: true})
+	if n := float64(oracle.FETime) / float64(dyn.FETime); n < 0.85 {
+		t.Errorf("VGG-416 dyn normalized perf = %.2f, want near-baseline", n)
+	}
+}
+
+// TestPowerStudy reproduces Section V-D: vDNN-dyn's extra transfer traffic
+// raises maximum power by single-digit percent and barely moves the average.
+func TestPowerStudy(t *testing.T) {
+	for _, net := range []*dnn.Network{alexNet, overFeat, googLeNet, vgg64} {
+		base := run(t, net, cfg(Baseline, PerfOptimal))
+		dyn := run(t, net, cfg(VDNNDyn, 0))
+		maxOver := (dyn.Power.MaxW - base.Power.MaxW) / base.Power.MaxW
+		if maxOver < -0.02 || maxOver > 0.10 {
+			t.Errorf("%s: max power overhead = %.1f%%, want within [0, 10]%%", net.Name, maxOver*100)
+		}
+		avgOver := dyn.Power.AvgW/base.Power.AvgW - 1
+		if avgOver < -0.15 || avgOver > 0.15 {
+			t.Errorf("%s: avg power moved %.1f%%, want small", net.Name, avgOver*100)
+		}
+	}
+}
+
+// TestOffloadPlanCounts pins the offload sets derived from the
+// reference-count rule on VGG-16: under vDNN-all every feature-extraction X
+// (18 buffers: input + 13 conv outputs + 4 inner pool outputs); under
+// vDNN-conv only CONV inputs (13 buffers).
+func TestOffloadPlanCounts(t *testing.T) {
+	count := func(p *Plan) int {
+		n := 0
+		for _, bufs := range p.OffloadAt {
+			n += len(bufs)
+		}
+		return n
+	}
+	all, err := buildPlan(vgg64, titan(), VDNNAll, MemOptimal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := count(all); got != 18 {
+		t.Errorf("vDNN-all offload buffers = %d, want 18", got)
+	}
+	conv, err := buildPlan(vgg64, titan(), VDNNConv, MemOptimal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := count(conv); got != 13 {
+		t.Errorf("vDNN-conv offload buffers = %d, want 13", got)
+	}
+	base, err := buildPlan(vgg64, titan(), Baseline, MemOptimal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Offloads() {
+		t.Error("baseline plan must not offload")
+	}
+}
+
+// TestFindPrefetchLayerFig10 unit-tests the literal port of the paper's
+// Figure 10 pseudo-code on VGG's layer sequence.
+func TestFindPrefetchLayerFig10(t *testing.T) {
+	plan, err := buildPlan(vgg64, titan(), VDNNAll, MemOptimal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := &executor{
+		cfg:  Config{Prefetch: PrefetchFig10},
+		net:  vgg64,
+		plan: plan,
+		lay:  make([]*layerState, len(vgg64.Layers)),
+	}
+	for i := range e.lay {
+		e.lay[i] = &layerState{offloaded: len(plan.OffloadAt[i]) > 0}
+	}
+	// VGG layers: conv1_1(0) relu(1) conv1_2(2) relu(3) pool1(4) conv2_1(5)...
+	// From pool1's backward, the next offloaded-unprefetched layer below is
+	// conv1_2.
+	if got := e.findPrefetchLayer(4); got != 2 {
+		t.Fatalf("findPrefetchLayer(pool1) = %d, want conv1_2 (2)", got)
+	}
+	// Now conv1_2 is marked prefetched; the search from relu1_2 stops at the
+	// CONV layer and returns -1 (the paper's window bound).
+	if got := e.findPrefetchLayer(3); got != -1 {
+		t.Fatalf("findPrefetchLayer(relu1_2) = %d, want -1", got)
+	}
+	// From conv1_2's backward the search finds conv1_1 (offloaded input).
+	if got := e.findPrefetchLayer(2); got != 0 {
+		t.Fatalf("findPrefetchLayer(conv1_2) = %d, want conv1_1 (0)", got)
+	}
+	// Nothing left below conv1_1.
+	if got := e.findPrefetchLayer(0); got != -1 {
+		t.Fatalf("findPrefetchLayer(conv1_1) = %d, want -1", got)
+	}
+}
+
+// TestGoogLeNetRefcountSafety: with fork/join topologies no buffer may be
+// fetched on demand or double-freed under any vDNN policy (exercises the
+// Figure 3 reference-count machinery end to end; executor self-checks panic
+// or error on double frees and leaks).
+func TestGoogLeNetRefcountSafety(t *testing.T) {
+	for _, pc := range []struct {
+		p Policy
+		a AlgoMode
+	}{{VDNNAll, MemOptimal}, {VDNNAll, PerfOptimal}, {VDNNConv, MemOptimal}, {VDNNConv, PerfOptimal}} {
+		r := run(t, googLeNet, cfg(pc.p, pc.a))
+		if r.OnDemandFetches != 0 {
+			t.Errorf("GoogLeNet %v%v: %d on-demand fetches, want 0", pc.p, pc.a, r.OnDemandFetches)
+		}
+		if !r.Trainable {
+			t.Errorf("GoogLeNet %v%v: untrainable: %s", pc.p, pc.a, r.FailReason)
+		}
+	}
+}
+
+// TestLayerStatsConsistency: per-layer stats must be internally consistent.
+func TestLayerStatsConsistency(t *testing.T) {
+	r := run(t, vgg64, cfg(VDNNAll, PerfOptimal))
+	var offSum int64
+	for _, ls := range r.Layers {
+		if ls.FwdTime < 0 || ls.BwdTime < 0 {
+			t.Fatalf("%s: negative times", ls.Name)
+		}
+		if ls.FwdEnd < ls.FwdStart {
+			t.Fatalf("%s: fwd end before start", ls.Name)
+		}
+		if ls.Kind == dnn.Conv && ls.FwdBW <= 0 {
+			t.Fatalf("%s: no bandwidth recorded", ls.Name)
+		}
+		if ls.FwdBW > titan().DRAMBps || ls.BwdBW > titan().DRAMBps {
+			t.Fatalf("%s: achieved bandwidth exceeds peak", ls.Name)
+		}
+		offSum += ls.OffloadBytes
+	}
+	if offSum != r.OffloadBytes {
+		t.Fatalf("per-layer offload sum %d != total %d", offSum, r.OffloadBytes)
+	}
+}
+
+// TestHostMemoryExhaustion: a host too small for the offload traffic makes
+// the configuration untrainable rather than crashing.
+func TestHostMemoryExhaustion(t *testing.T) {
+	_, err := Run(vgg416Deep, Config{Spec: titan(), Policy: VDNNAll, Algo: MemOptimal, HostBytes: 4 << 30})
+	if err == nil {
+		t.Fatal("expected an error when host memory cannot hold the offloads")
+	}
+}
+
+// TestRunValidation: invalid configurations are rejected cleanly.
+func TestRunValidation(t *testing.T) {
+	bad := titan()
+	bad.PeakFlops = 0
+	if _, err := Run(alexNet, Config{Spec: bad, Policy: Baseline}); err == nil {
+		t.Fatal("invalid spec accepted")
+	}
+}
+
+// TestEnumStrings covers the display names used throughout reports.
+func TestEnumStrings(t *testing.T) {
+	if Baseline.String() != "base" || VDNNAll.String() != "vDNN-all" ||
+		VDNNConv.String() != "vDNN-conv" || VDNNDyn.String() != "vDNN-dyn" {
+		t.Error("policy names wrong")
+	}
+	if MemOptimal.String() != "(m)" || PerfOptimal.String() != "(p)" || GreedyAlgo.String() != "(greedy)" {
+		t.Error("algo mode names wrong")
+	}
+	if PrefetchJIT.String() != "jit" || PrefetchFig10.String() != "fig10-window" ||
+		PrefetchNone.String() != "none" || PrefetchEager.String() != "eager" {
+		t.Error("prefetch mode names wrong")
+	}
+}
+
+// TestAllocFailureError covers the typed OOM error.
+func TestAllocFailureError(t *testing.T) {
+	af := &AllocFailure{Label: "fm1", Err: errors.New("boom"), FreeSpans: [][2]int64{{0, 10}}}
+	if !strings.Contains(af.Error(), "fm1") || af.Unwrap() == nil {
+		t.Fatal("AllocFailure misbehaves")
+	}
+}
+
+// TestResultHelpers covers the small accessors.
+func TestResultHelpers(t *testing.T) {
+	r := &Result{MaxUsage: 2 << 20, AvgUsage: 1 << 20, FrameworkBytes: 1 << 20}
+	max, avg := r.UsageMiB()
+	if max != 2 || avg != 1 {
+		t.Fatalf("UsageMiB = %v,%v", max, avg)
+	}
+	if r.TotalMaxUsage() != 3<<20 {
+		t.Fatalf("TotalMaxUsage = %d", r.TotalMaxUsage())
+	}
+}

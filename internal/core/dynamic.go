@@ -1,0 +1,108 @@
+package core
+
+import (
+	"vdnn/internal/dnn"
+
+	"fmt"
+)
+
+// runDynamic implements the paper's dynamic vDNN policy (Section III-C): a
+// sequence of profiling passes over the same network, each a full simulated
+// training iteration, that settles on the offload policy and convolution
+// algorithms balancing trainability and performance:
+//
+//  1. vDNN-all with memory-optimal algorithms. If even this most
+//     memory-frugal configuration cannot train the network, nothing can.
+//  2. The baseline with performance-optimal algorithms and no offloading —
+//     the fastest possible configuration; adopted if it fits. Otherwise
+//     vDNN-conv(p), then vDNN-all(p).
+//  3. A greedy pass that locally downgrades each layer's algorithm whenever
+//     the fastest one would overflow the memory budget: vDNN-conv(greedy),
+//     then vDNN-all(greedy).
+//  4. Fall back to the known-good vDNN-all(m).
+//
+// The profiling cost itself (tens of seconds against days-to-weeks of
+// training, per the paper) is not charged to the reported iteration time.
+func runDynamic(net *dnn.Network, cfg Config) (*Result, error) {
+	type candidate struct {
+		policy Policy
+		algo   AlgoMode
+		label  string
+	}
+	try := func(c candidate) (*Result, error) {
+		sub := cfg
+		sub.Policy = c.policy
+		sub.Algo = c.algo
+		plan, err := buildPlan(net, sub.Spec, sub.Policy, sub.Algo)
+		if err != nil {
+			return nil, err
+		}
+		res, runErr := execute(net, sub, plan)
+		if runErr != nil {
+			return nil, nil // untrainable under this candidate: move on
+		}
+		res.Policy = VDNNDyn
+		res.Chosen = c.label
+		return res, nil
+	}
+
+	// Phase 1: trainability floor.
+	floor, err := try(candidate{VDNNAll, MemOptimal, "vDNN-all (m)"})
+	if err != nil {
+		return nil, err
+	}
+	if floor == nil {
+		// Untrainable outright: report the hypothetical demand of the floor
+		// configuration on an oracular device.
+		sub := cfg
+		sub.Policy = VDNNAll
+		sub.Algo = MemOptimal
+		sub.Oracle = true
+		plan, err := buildPlan(net, sub.Spec, sub.Policy, sub.Algo)
+		if err != nil {
+			return nil, err
+		}
+		res, runErr := execute(net, sub, plan)
+		if runErr != nil {
+			return nil, fmt.Errorf("core: dynamic oracle fallback failed: %w", runErr)
+		}
+		res.Policy = VDNNDyn
+		res.Oracle = cfg.Oracle
+		res.Trainable = false
+		res.FailReason = "even vDNN-all with memory-optimal algorithms oversubscribes memory"
+		return res, nil
+	}
+
+	// Phase 2: fastest configurations, no algorithm downgrades.
+	for _, c := range []candidate{
+		{Baseline, PerfOptimal, "baseline (p), no offload"},
+		{VDNNConv, PerfOptimal, "vDNN-conv (p)"},
+		{VDNNAll, PerfOptimal, "vDNN-all (p)"},
+	} {
+		res, err := try(c)
+		if err != nil {
+			return nil, err
+		}
+		if res != nil {
+			return res, nil
+		}
+	}
+
+	// Phase 3: greedy per-layer algorithm downgrades.
+	for _, c := range []candidate{
+		{VDNNConv, GreedyAlgo, "vDNN-conv (greedy)"},
+		{VDNNAll, GreedyAlgo, "vDNN-all (greedy)"},
+	} {
+		res, err := try(c)
+		if err != nil {
+			return nil, err
+		}
+		if res != nil {
+			return res, nil
+		}
+	}
+
+	// Phase 4: the floor configuration always works (proven in phase 1).
+	floor.Chosen = "vDNN-all (m), fallback"
+	return floor, nil
+}

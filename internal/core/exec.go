@@ -1,0 +1,611 @@
+package core
+
+import (
+	"fmt"
+
+	"vdnn/internal/cudnnsim"
+	"vdnn/internal/dnn"
+	"vdnn/internal/gpu"
+	"vdnn/internal/hostmem"
+	"vdnn/internal/memalloc"
+	"vdnn/internal/sim"
+	"vdnn/internal/tensor"
+)
+
+// oraclePool is the pool size of the hypothetical GPU with enough memory to
+// hold any studied DNN (the paper's oracular baseline).
+const oraclePool = int64(1) << 40
+
+// bufState tracks one feature-map buffer through an iteration.
+type bufState struct {
+	block     *memalloc.Block // device residence (nil when released/offloaded)
+	pinned    *hostmem.Region // pinned host staging area, reused across iterations
+	lastWrite *sim.Op         // op producing the current contents
+	offloaded bool            // device copy released; host copy valid
+	persist   bool            // allocated network-wide (baseline / classifier)
+
+	gradBlock   *memalloc.Block // gradient buffer (aliasing roots only)
+	gradPersist bool            // baseline shared slot: never freed
+	gradWritten bool            // some consumer's backward already wrote it
+}
+
+// layerState carries the per-layer flags of the paper's Figure 10.
+type layerState struct {
+	offloaded  bool // set when the layer offloads its input feature map(s)
+	prefetched bool // set when some later backward pass prefetched them
+}
+
+type executor struct {
+	cfg  Config
+	net  *dnn.Network
+	plan *Plan
+
+	dev  *gpu.Device
+	pool *memalloc.Pool // the vDNN/cnmem pool: feature-extraction memory
+	fw   *memalloc.Pool // framework-side (classifier) memory, outside vDNN
+	host *hostmem.Host
+
+	gradInfos map[*dnn.Tensor]*dnn.GradInfo
+	freeAtBwd [][]*dnn.Tensor // buffers released after each layer's backward
+
+	buf map[*dnn.Tensor]*bufState
+	lay []*layerState
+
+	// Weight-offloading extension (Config.OffloadWeights): per-layer weight
+	// buffer state and the JIT prefetch schedule for weights.
+	wState      map[*dnn.Layer]*bufState
+	wPrefetchAt [][]*dnn.Layer
+
+	sharedWS *memalloc.Block // baseline: single reused workspace
+
+	iter      int // current iteration (0-based)
+	stats     []LayerStats
+	fwdStarts []sim.Time // first fwd kernel start per layer
+	onDemand  int
+	chosenAlg []LayerAlgos // algorithms actually used (greedy fills these)
+}
+
+// execute simulates cfg.Iterations training iterations and returns metrics
+// for the last one. An allocation failure anywhere aborts with an error
+// (the configuration is untrainable).
+//
+// Memory accounting follows the paper's prototype (Section IV-A): the
+// classification layers "remain unchanged and use the same cuBLAS routines
+// used in Torch", so their weights, activations, gradients and dropout masks
+// live in framework-side memory outside the vDNN pool. The vDNN pool is
+// sized to the GPU's remaining capacity and holds everything the memory
+// manager controls: feature-extraction maps, gradient maps, FE weights, and
+// convolution workspaces. Figure 11's usage numbers are pool numbers.
+func execute(net *dnn.Network, cfg Config, plan *Plan) (*Result, error) {
+	e := &executor{
+		cfg:       cfg,
+		net:       net,
+		plan:      plan,
+		dev:       gpu.NewDevice(cfg.Spec),
+		fw:        memalloc.New(oraclePool),
+		host:      hostmem.New(cfg.HostBytes),
+		gradInfos: dnn.GradientInfos(net),
+		freeAtBwd: make([][]*dnn.Tensor, len(net.Layers)),
+		buf:       make(map[*dnn.Tensor]*bufState, len(net.Tensors)),
+		lay:       make([]*layerState, len(net.Layers)),
+		chosenAlg: make([]LayerAlgos, len(net.Layers)),
+	}
+	e.dev.UsePageMigration = cfg.PageMigration
+	for _, t := range net.Tensors {
+		e.buf[t] = &bufState{}
+	}
+	for i := range e.lay {
+		e.lay[i] = &layerState{}
+	}
+	copy(e.chosenAlg, plan.Algos)
+	for t, l := range dnn.LastBwdReaders(net) {
+		e.freeAtBwd[l.ID] = append(e.freeAtBwd[l.ID], t)
+	}
+	e.wState = map[*dnn.Layer]*bufState{}
+	e.wPrefetchAt = make([][]*dnn.Layer, len(net.Layers))
+	if e.offloadsWeights() {
+		for _, l := range net.FeatureLayers() {
+			if l.WeightBytes(net.DType) == 0 {
+				continue
+			}
+			// JIT: the weights' only backward reader is the layer itself, so
+			// the prefetch overlaps the backward pass one step above it.
+			at := l.ID + 1
+			if at >= len(net.Layers) {
+				at = len(net.Layers) - 1
+			}
+			e.wPrefetchAt[at] = append(e.wPrefetchAt[at], l)
+		}
+	}
+
+	if err := e.setupFramework(); err != nil {
+		return nil, err
+	}
+	capacity := cfg.Spec.PoolBytes() - e.fw.Used()
+	if cfg.Oracle {
+		capacity = oraclePool
+	}
+	if capacity <= 0 {
+		return nil, fmt.Errorf("core: classifier memory %d alone exceeds device capacity", e.fw.Used())
+	}
+	e.pool = memalloc.New(capacity)
+	if err := e.setup(); err != nil {
+		return nil, err
+	}
+
+	var winStart sim.Time
+	for e.iter = 0; e.iter < cfg.Iterations; e.iter++ {
+		e.resetIteration()
+		winStart = e.now()
+		if err := e.runIteration(); err != nil {
+			return nil, fmt.Errorf("iteration %d: %w", e.iter, err)
+		}
+	}
+	winEnd := e.now()
+	if err := e.dev.TL.Validate(); err != nil {
+		return nil, fmt.Errorf("core: schedule invariant broken: %w", err)
+	}
+	return e.assemble(winStart, winEnd), nil
+}
+
+func (e *executor) now() sim.Time { return e.dev.TL.Now() }
+
+// alloc wraps pool allocation with layer context in errors.
+func (e *executor) alloc(size int64, kind memalloc.Kind, label string) (*memalloc.Block, error) {
+	b, err := e.pool.Alloc(e.now(), size, kind, label)
+	if err != nil {
+		return nil, &AllocFailure{Label: label, Err: err, FreeSpans: e.pool.FreeSpans()}
+	}
+	return b, nil
+}
+
+// isClassifierRoot reports whether a buffer belongs to the unmanaged
+// classifier stage.
+func isClassifierRoot(t *dnn.Tensor) bool {
+	return t.Producer != nil && t.Producer.Stage == dnn.Classifier
+}
+
+// setupFramework allocates the classifier-side memory that lives outside
+// the vDNN pool in both managers: FC weights and their gradients, dropout
+// masks, classifier activations, and classifier gradient maps.
+func (e *executor) setupFramework() error {
+	d := e.net.DType
+	allocFW := func(size int64, kind memalloc.Kind, label string) (*memalloc.Block, error) {
+		b, err := e.fw.Alloc(0, size, kind, label)
+		if err != nil {
+			return nil, fmt.Errorf("framework memory: allocating %s: %w", label, err)
+		}
+		return b, nil
+	}
+	for _, l := range e.net.ClassifierLayers() {
+		if w := l.WeightBytes(d); w > 0 {
+			if _, err := allocFW(w, memalloc.KindWeights, l.Name+".W"); err != nil {
+				return err
+			}
+			if _, err := allocFW(w, memalloc.KindWeightGrad, l.Name+".dW"); err != nil {
+				return err
+			}
+		}
+		if m := l.MaskBytes(d); m > 0 {
+			if _, err := allocFW(m, memalloc.KindOther, l.Name+".mask"); err != nil {
+				return err
+			}
+		}
+	}
+	for _, t := range e.net.Tensors {
+		if !isClassifierRoot(t) {
+			continue
+		}
+		b, err := allocFW(t.Bytes(d), memalloc.KindFeatureMap, fmt.Sprintf("fm%d", t.ID))
+		if err != nil {
+			return err
+		}
+		st := e.buf[t]
+		st.block = b
+		st.persist = true
+	}
+	for root, gi := range e.gradInfos {
+		if !isClassifierRoot(root) {
+			continue
+		}
+		b, err := allocFW(gi.Bytes, memalloc.KindGradMap, fmt.Sprintf("grad%d", root.ID))
+		if err != nil {
+			return err
+		}
+		e.buf[root].gradBlock = b
+		e.buf[root].gradPersist = true
+	}
+	return nil
+}
+
+// offloadsWeights reports whether the weight-offloading extension is active.
+func (e *executor) offloadsWeights() bool {
+	return e.cfg.OffloadWeights && e.cfg.Policy != Baseline
+}
+
+// setup performs the pool-side persistent allocations: feature-extraction
+// weights and weight gradients for both managers, plus — for the baseline —
+// every feature map, the shared gradient slots, and the single maximum
+// workspace (Section IV-A).
+func (e *executor) setup() error {
+	d := e.net.DType
+	for _, l := range e.net.FeatureLayers() {
+		if w := l.WeightBytes(d); w > 0 {
+			wb, err := e.alloc(w, memalloc.KindWeights, l.Name+".W")
+			if err != nil {
+				return err
+			}
+			e.wState[l] = &bufState{block: wb, persist: !e.offloadsWeights()}
+			if _, err := e.alloc(w, memalloc.KindWeightGrad, l.Name+".dW"); err != nil {
+				return err
+			}
+		}
+	}
+
+	if e.cfg.Policy != Baseline {
+		return nil
+	}
+
+	// Baseline: all feature maps are resident network-wide.
+	for _, t := range e.net.Tensors {
+		if isClassifierRoot(t) {
+			continue // already in framework memory
+		}
+		b, err := e.alloc(t.Bytes(d), memalloc.KindFeatureMap, fmt.Sprintf("fm%d", t.ID))
+		if err != nil {
+			return err
+		}
+		st := e.buf[t]
+		st.block = b
+		st.persist = true
+	}
+
+	// Shared gradient slots over the feature-extraction stage.
+	gplan := dnn.PlanGradientSlotsWhere(e.net, func(gi *dnn.GradInfo) bool {
+		return !isClassifierRoot(gi.Root)
+	})
+	if err := dnn.VerifyGradPlan(gplan); err != nil {
+		return fmt.Errorf("core: gradient plan: %w", err)
+	}
+	slots := make([]*memalloc.Block, len(gplan.SlotBytes))
+	for i, sz := range gplan.SlotBytes {
+		b, err := e.alloc(sz, memalloc.KindGradMap, fmt.Sprintf("grad-slot%d", i))
+		if err != nil {
+			return err
+		}
+		slots[i] = b
+	}
+	for root, s := range gplan.SlotOf {
+		e.buf[root].gradBlock = slots[s]
+		e.buf[root].gradPersist = true
+	}
+
+	// Single workspace sized to the maximum need across the network.
+	var maxWS int64
+	for _, l := range e.net.ConvLayers() {
+		g := l.ConvGeom(d)
+		a := e.plan.Algos[l.ID]
+		for _, wd := range []struct {
+			algo cudnnsim.ConvAlgo
+			dir  cudnnsim.Direction
+		}{{a.Fwd, cudnnsim.Fwd}, {a.BwdData, cudnnsim.BwdData}, {a.BwdFilter, cudnnsim.BwdFilter}} {
+			if ws := wd.algo.Workspace(g, wd.dir); ws > maxWS {
+				maxWS = ws
+			}
+		}
+	}
+	if maxWS > 0 {
+		b, err := e.alloc(maxWS, memalloc.KindWorkspace, "shared-ws")
+		if err != nil {
+			return err
+		}
+		e.sharedWS = b
+	}
+	return nil
+}
+
+func (e *executor) resetIteration() {
+	e.stats = make([]LayerStats, len(e.net.Layers))
+	e.fwdStarts = make([]sim.Time, len(e.net.Layers))
+	for i, l := range e.net.Layers {
+		st := &e.stats[i]
+		st.Name = l.Name
+		st.Kind = l.Kind
+		st.Stage = l.Stage
+		st.WeightBytes = l.WeightBytes(e.net.DType)
+		st.XBytes = sumInputBytes(l, e.net.DType)
+		st.YBytes = l.Output.Bytes(e.net.DType)
+		e.lay[i].offloaded = false
+		e.lay[i].prefetched = false
+	}
+	for _, st := range e.buf {
+		st.gradWritten = false
+		st.offloaded = false
+	}
+	e.onDemand = 0
+}
+
+func sumInputBytes(l *dnn.Layer, d tensor.DType) int64 {
+	var b int64
+	for _, in := range l.Inputs {
+		b += in.Bytes(d)
+	}
+	return b
+}
+
+// runIteration performs one forward + backward (+ weight update) pass.
+func (e *executor) runIteration() error {
+	// The input batch arrives from the data loader. The baseline holds it
+	// network-wide; vDNN allocates it per iteration.
+	in := e.buf[e.net.Input]
+	if in.block == nil {
+		b, err := e.alloc(e.net.Input.Bytes(e.net.DType), memalloc.KindFeatureMap, "input")
+		if err != nil {
+			return err
+		}
+		in.block = b
+	}
+	in.offloaded = false
+	in.lastWrite = nil
+
+	for _, l := range e.net.Layers {
+		if err := e.forwardLayer(l); err != nil {
+			return fmt.Errorf("fwd %s: %w", l.Name, err)
+		}
+	}
+	for i := len(e.net.Layers) - 1; i >= 0; i-- {
+		if err := e.backwardLayer(e.net.Layers[i]); err != nil {
+			return fmt.Errorf("bwd %s: %w", e.net.Layers[i].Name, err)
+		}
+	}
+	if !e.cfg.SkipWeightUpdate {
+		for _, l := range e.net.Layers {
+			if w := l.WeightBytes(e.net.DType); w > 0 {
+				c := cudnnsim.ElementwiseCost(e.cfg.Spec, w, 3)
+				var dep *sim.Op
+				if ws := e.wState[l]; ws != nil {
+					if ws.block == nil {
+						return fmt.Errorf("core: weights of %s not resident at update", l.Name)
+					}
+					dep = ws.lastWrite
+				}
+				op := e.dev.Kernel("sgd:"+l.Name, c.Dur, c.Flops, c.DRAMBytes, dep)
+				if ws := e.wState[l]; ws != nil {
+					ws.lastWrite = op
+				}
+			}
+		}
+	}
+	e.dev.TL.WaitStream(e.dev.StreamCompute)
+	e.dev.TL.WaitStream(e.dev.StreamMemory)
+	e.pool.Flush(e.now())
+	return e.checkIterationEnd()
+}
+
+// checkIterationEnd asserts the vDNN release discipline: every dynamically
+// managed buffer and gradient must be back in the pool.
+func (e *executor) checkIterationEnd() error {
+	for t, st := range e.buf {
+		if !st.persist && st.block != nil && t != e.net.Input {
+			return fmt.Errorf("core: buffer fm%d leaked past iteration end", t.ID)
+		}
+		if st.gradBlock != nil && !st.gradPersist {
+			return fmt.Errorf("core: gradient of fm%d leaked past iteration end", t.ID)
+		}
+	}
+	for l, ws := range e.wState {
+		if ws.block == nil {
+			return fmt.Errorf("core: weights of %s not resident at iteration end", l.Name)
+		}
+	}
+	return nil
+}
+
+// vdnnManaged reports whether the policy manages buffers dynamically.
+func (e *executor) vdnnManaged() bool { return e.cfg.Policy != Baseline }
+
+// pickAlgos resolves the algorithms for a CONV layer, honoring the greedy
+// online mode: the fastest algorithm whose workspace fits in the largest
+// free pool range right now (Section III-C, profiling phase 3).
+func (e *executor) pickAlgos(l *dnn.Layer) LayerAlgos {
+	if !e.plan.Greedy {
+		return e.plan.Algos[l.ID]
+	}
+	g := l.ConvGeom(e.net.DType)
+	limit := e.pool.LargestFree(e.now())
+	a := LayerAlgos{
+		Fwd:       cudnnsim.FastestAlgo(e.cfg.Spec, g, cudnnsim.Fwd, limit).Algo,
+		BwdData:   cudnnsim.FastestAlgo(e.cfg.Spec, g, cudnnsim.BwdData, limit).Algo,
+		BwdFilter: cudnnsim.FastestAlgo(e.cfg.Spec, g, cudnnsim.BwdFilter, limit).Algo,
+	}
+	e.chosenAlg[l.ID] = a
+	return a
+}
+
+// ensurePinned lazily creates the pinned host staging buffer for an
+// offloaded feature map. cudaMallocHost is expensive, so the cost is charged
+// once (first iteration) and the region reused for the rest of training.
+func (e *executor) ensurePinned(t *dnn.Tensor) error {
+	st := e.buf[t]
+	if st.pinned != nil {
+		return nil
+	}
+	r, cost, err := e.host.AllocPinned(t.Bytes(e.net.DType), fmt.Sprintf("pin-fm%d", t.ID))
+	if err != nil {
+		return err
+	}
+	e.dev.TL.AdvanceHost(cost)
+	st.pinned = r
+	return nil
+}
+
+// forwardLayer issues one layer's forward pass, including vDNN's offload and
+// end-of-layer synchronization/release (Figures 7 and 9).
+func (e *executor) forwardLayer(l *dnn.Layer) error {
+	st := &e.stats[l.ID]
+	d := e.net.DType
+
+	// 1. Launch offloads for buffers whose last consumer is this layer,
+	// plus — under the weight-offloading extension — this layer's weights.
+	var offOps []*sim.Op
+	var offBufs []*dnn.Tensor
+	var offW *bufState
+	if e.vdnnManaged() {
+		for _, t := range e.plan.OffloadAt[l.ID] {
+			if err := e.ensurePinned(t); err != nil {
+				return err
+			}
+			bs := e.buf[t]
+			op := e.dev.Offload(fmt.Sprintf("OFF:%s(fm%d)", l.Name, t.ID), t.Bytes(d), bs.lastWrite)
+			offOps = append(offOps, op)
+			offBufs = append(offBufs, t)
+			e.lay[l.ID].offloaded = true
+			st.Offloaded = true
+			st.OffloadBytes += t.Bytes(d)
+		}
+		if ws := e.wState[l]; ws != nil && e.offloadsWeights() && !ws.offloaded {
+			if ws.pinned == nil {
+				r, cost, err := e.host.AllocPinned(l.WeightBytes(d), l.Name+".W.pin")
+				if err != nil {
+					return err
+				}
+				e.dev.TL.AdvanceHost(cost)
+				ws.pinned = r
+			}
+			// The weights were last written by the previous iteration's SGD
+			// update; the transfer must order after it.
+			op := e.dev.Offload("OFF:"+l.Name+".W", l.WeightBytes(d), ws.lastWrite)
+			offOps = append(offOps, op)
+			offW = ws
+			st.Offloaded = true
+			st.OffloadBytes += l.WeightBytes(d)
+		}
+	}
+
+	// 2. Allocate the output buffer (dynamic policies only; the baseline and
+	// classifier buffers are network-wide).
+	out := e.buf[l.Output]
+	if !l.InPlace && out.block == nil {
+		b, err := e.alloc(l.Output.Bytes(d), memalloc.KindFeatureMap, fmt.Sprintf("fm%d", l.Output.ID))
+		if err != nil {
+			return err
+		}
+		out.block = b
+	}
+
+	// 3. Workspace and kernel.
+	var algos LayerAlgos
+	var wsBytes int64
+	var wsBlock *memalloc.Block
+	if l.Kind == dnn.Conv {
+		algos = e.pickAlgos(l)
+		st.AlgoFwd = algos.Fwd
+		g := l.ConvGeom(d)
+		wsBytes = algos.Fwd.Workspace(g, cudnnsim.Fwd)
+		if wsBytes > 0 && e.vdnnManaged() {
+			b, err := e.alloc(wsBytes, memalloc.KindWorkspace, l.Name+".ws")
+			if err != nil {
+				return err
+			}
+			wsBlock = b
+		}
+		if e.sharedWS != nil && wsBytes > e.sharedWS.Size {
+			return fmt.Errorf("core: workspace %d exceeds shared buffer %d", wsBytes, e.sharedWS.Size)
+		}
+	}
+	st.FwdWSBytes = wsBytes
+
+	cost := e.fwdCost(l, algos)
+	deps := make([]*sim.Op, 0, len(l.Inputs))
+	for _, t := range l.Inputs {
+		if e.buf[t].block == nil {
+			return fmt.Errorf("core: fwd input fm%d not resident", t.ID)
+		}
+		deps = append(deps, e.buf[t].lastWrite)
+	}
+	op := e.dev.Kernel("FWD:"+l.Name, cost.Dur, cost.Flops, cost.DRAMBytes, deps...)
+	e.buf[l.Output].lastWrite = op
+	e.recordFwd(l, st, cost, op, wsBytes)
+
+	if wsBlock != nil {
+		// Stream-ordered free: later allocations may reuse the workspace
+		// because they serve kernels behind this one on stream_compute.
+		e.pool.Free(wsBlock, e.now())
+	}
+
+	// 4. End-of-layer synchronization when an offload is in flight, then
+	// release the offloaded device copies (Section III-B).
+	if len(offOps) > 0 {
+		e.dev.TL.Wait(op)
+		for _, o := range offOps {
+			e.dev.TL.Wait(o)
+		}
+		for _, t := range offBufs {
+			bs := e.buf[t]
+			e.pool.Free(bs.block, e.now())
+			bs.block = nil
+			bs.offloaded = true
+		}
+		if offW != nil {
+			e.pool.Free(offW.block, e.now())
+			offW.block = nil
+			offW.offloaded = true
+		}
+	}
+	return nil
+}
+
+// recordFwd updates the per-layer stats from a forward kernel.
+func (e *executor) recordFwd(l *dnn.Layer, st *LayerStats, c cudnnsim.Cost, op *sim.Op, wsBytes int64) {
+	st.FwdTime += c.Dur
+	if st.FwdEnd < op.End {
+		st.FwdEnd = op.End
+	}
+	if e.fwdStarts[l.ID] == 0 || op.Start < e.fwdStarts[l.ID] {
+		e.fwdStarts[l.ID] = op.Start
+	}
+	if c.Dur > 0 {
+		if bw := float64(c.DRAMBytes) / c.Dur.Seconds(); bw > st.FwdBW {
+			st.FwdBW = bw
+		}
+	}
+	ws := st.XBytes + st.WeightBytes + wsBytes + l.MaskBytes(e.net.DType)
+	if !l.InPlace {
+		ws += st.YBytes
+	}
+	if ws > st.FwdWorkingSet {
+		st.FwdWorkingSet = ws
+	}
+}
+
+// fwdCost computes the forward kernel cost of a layer.
+func (e *executor) fwdCost(l *dnn.Layer, algos LayerAlgos) cudnnsim.Cost {
+	spec := e.cfg.Spec
+	d := e.net.DType
+	switch l.Kind {
+	case dnn.Conv:
+		return cudnnsim.ConvCost(spec, l.ConvGeom(d), algos.Fwd, cudnnsim.Fwd)
+	case dnn.ReLU:
+		return cudnnsim.ActivationFwdCost(spec, l.In().Bytes(d))
+	case dnn.Pool:
+		return cudnnsim.PoolFwdCost(spec, l.In().Bytes(d), l.Output.Bytes(d))
+	case dnn.LRN:
+		return cudnnsim.LRNFwdCost(spec, l.In().Bytes(d))
+	case dnn.Concat:
+		return cudnnsim.ConcatCost(spec, l.Output.Bytes(d))
+	case dnn.Add:
+		// Read every branch, write the sum.
+		return cudnnsim.ElementwiseCost(spec, l.Output.Bytes(d), len(l.Inputs)+1)
+	case dnn.BatchNorm:
+		// Two passes for the statistics, one normalize-and-write pass.
+		return cudnnsim.ElementwiseCost(spec, l.In().Bytes(d), 3)
+	case dnn.FC:
+		in := l.In().Shape
+		return cudnnsim.GEMMCost(spec, int64(l.FC.OutFeatures), in.PerSample(), int64(in.N), d.Size())
+	case dnn.Dropout:
+		return cudnnsim.DropoutFwdCost(spec, l.In().Bytes(d), l.MaskBytes(d))
+	case dnn.SoftmaxLoss:
+		return cudnnsim.SoftmaxCost(spec, l.In().Bytes(d))
+	}
+	panic("core: unknown layer kind")
+}

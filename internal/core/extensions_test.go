@@ -1,0 +1,409 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"vdnn/internal/cudnnsim"
+	"vdnn/internal/dnn"
+	"vdnn/internal/gpu"
+	"vdnn/internal/networks"
+	"vdnn/internal/tensor"
+)
+
+// TestWeightOffloadExtension verifies the paper's sketched extension: the
+// weights can be offloaded too, with correct execution (no leaks, weights
+// resident at update) but — as the paper predicts — much smaller savings
+// than feature-map offloading.
+func TestWeightOffloadExtension(t *testing.T) {
+	base := Config{Spec: titan(), Policy: VDNNAll, Algo: MemOptimal, Oracle: true}
+	ext := base
+	ext.OffloadWeights = true
+	for _, net := range []*dnn.Network{alexNet, overFeat, googLeNet, vgg64} {
+		rb := run(t, net, base)
+		re, err := Run(net, ext)
+		if err != nil {
+			t.Fatalf("%s: %v", net.Name, err)
+		}
+		if !re.Trainable {
+			t.Fatalf("%s: weight offloading broke trainability: %s", net.Name, re.FailReason)
+		}
+		if re.OffloadBytes <= rb.OffloadBytes {
+			t.Errorf("%s: weight offloading added no traffic", net.Name)
+		}
+		if re.AvgUsage >= rb.AvgUsage {
+			t.Errorf("%s: weight offloading saved no memory (%d vs %d)", net.Name, re.AvgUsage, rb.AvgUsage)
+		}
+		// "Less of a memory saving benefit": the extra savings are a small
+		// fraction of what feature-map offloading already achieved.
+		extra := float64(rb.AvgUsage-re.AvgUsage) / float64(rb.AvgUsage)
+		if extra > 0.35 {
+			t.Errorf("%s: weight savings %.0f%% implausibly large", net.Name, extra*100)
+		}
+		if re.OnDemandFetches != 0 {
+			t.Errorf("%s: weight prefetching missed %d times", net.Name, re.OnDemandFetches)
+		}
+	}
+}
+
+// TestWeightOffloadIgnoredByBaseline: the baseline never offloads.
+func TestWeightOffloadIgnoredByBaseline(t *testing.T) {
+	r, err := Run(alexNet, Config{Spec: titan(), Policy: Baseline, Algo: MemOptimal, OffloadWeights: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.OffloadBytes != 0 {
+		t.Fatal("baseline offloaded despite OffloadWeights")
+	}
+}
+
+// TestScheduleCaptureAndChromeTrace verifies the Figure 9 timeline export:
+// offloads genuinely overlap forward kernels, the JSON parses, and every
+// engine appears.
+func TestScheduleCaptureAndChromeTrace(t *testing.T) {
+	r, err := Run(vgg64, Config{Spec: titan(), Policy: VDNNAll, Algo: MemOptimal, CaptureSchedule: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Schedule) == 0 {
+		t.Fatal("no schedule captured")
+	}
+	var kernels, offs []ScheduleOp
+	for _, op := range r.Schedule {
+		switch op.Kind {
+		case "kernel":
+			kernels = append(kernels, op)
+		case "copyD2H":
+			offs = append(offs, op)
+		}
+	}
+	if len(kernels) == 0 || len(offs) == 0 {
+		t.Fatalf("schedule incomplete: %d kernels, %d offloads", len(kernels), len(offs))
+	}
+	// Figure 9: at least one offload overlaps a kernel.
+	overlap := false
+	for _, o := range offs {
+		for _, k := range kernels {
+			if o.Start < k.End && k.Start < o.End {
+				overlap = true
+			}
+		}
+	}
+	if !overlap {
+		t.Fatal("no offload/compute overlap in the schedule")
+	}
+	var buf bytes.Buffer
+	if err := r.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Dur  float64 `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid chrome trace JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != len(r.Schedule) {
+		t.Fatalf("trace events %d != schedule ops %d", len(doc.TraceEvents), len(r.Schedule))
+	}
+}
+
+func TestChromeTraceWithoutCapture(t *testing.T) {
+	r := &Result{}
+	if err := r.WriteChromeTrace(&bytes.Buffer{}); err == nil {
+		t.Fatal("expected error without captured schedule")
+	}
+}
+
+// TestFP16HalvesMemory: WithDType(fp16) halves the baseline demand and
+// preserves trainability logic.
+func TestFP16HalvesMemory(t *testing.T) {
+	f32 := run(t, vgg128, cfg(Baseline, PerfOptimal))
+	h := vgg128.WithDType(tensor.Float16)
+	f16, err := Run(h, cfg(Baseline, PerfOptimal))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(f16.TotalMaxUsage()) / float64(f32.TotalMaxUsage())
+	if ratio < 0.45 || ratio > 0.55 {
+		t.Fatalf("fp16/fp32 demand ratio = %.2f, want ~0.5", ratio)
+	}
+	if !f16.Trainable {
+		t.Fatal("VGG-16 (128) fp16 should fit the 12 GB card")
+	}
+	if !strings.Contains(h.Name, "float16") {
+		t.Fatalf("WithDType should rename: %q", h.Name)
+	}
+}
+
+// TestNewDeviceSpecs sanity-checks the added GPU generations.
+func TestNewDeviceSpecs(t *testing.T) {
+	for _, s := range []gpu.Spec{gpu.GTX980(), gpu.TeslaK40(), gpu.PascalP100()} {
+		if err := s.Validate(); err != nil {
+			t.Errorf("%s: %v", s.Name, err)
+		}
+	}
+	if gpu.GTX980().MemBytes >= gpu.TitanX().MemBytes {
+		t.Error("GTX 980 should have less memory than Titan X")
+	}
+	if gpu.PascalP100().PeakFlops <= gpu.TitanX().PeakFlops {
+		t.Error("P100 should out-compute Titan X")
+	}
+	// vDNN enables VGG-16 (64) on the 4 GB GTX 980 where the baseline fails.
+	big := networks.VGG16(64)
+	base, err := Run(big, Config{Spec: gpu.GTX980(), Policy: Baseline, Algo: PerfOptimal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dyn, err := Run(big, Config{Spec: gpu.GTX980(), Policy: VDNNDyn})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Trainable {
+		t.Error("VGG-16 (64) should not fit the 4 GB card under the baseline")
+	}
+	if !dyn.Trainable {
+		t.Errorf("vDNN-dyn should train VGG-16 (64) on the GTX 980: %s", dyn.FailReason)
+	}
+}
+
+// randomNet generates a random but valid feed-forward network: conv/pool
+// stacks with occasional two-branch fork/concat blocks — the property-test
+// workload for the executor.
+func randomNet(rng *rand.Rand) *dnn.Network {
+	b := dnn.NewBuilder("random", 1<<uint(rng.Intn(4)+2), tensor.Float32)
+	x := b.Input(3, 32+rng.Intn(64), 32+rng.Intn(64))
+	layers := 2 + rng.Intn(6)
+	ch := 8 * (1 + rng.Intn(4))
+	for i := 0; i < layers; i++ {
+		switch rng.Intn(4) {
+		case 0, 1: // conv(+relu)
+			x = b.Conv(x, name("conv", i), ch, 3, 1, 1)
+			if rng.Intn(2) == 0 {
+				x = b.ReLU(x, name("relu", i))
+			}
+		case 2: // pool if large enough
+			if x.Shape.H >= 4 {
+				x = b.MaxPool(x, name("pool", i), 2, 2, 0)
+			} else {
+				x = b.Conv(x, name("conv", i), ch, 1, 1, 0)
+			}
+		case 3: // fork/join block
+			l := b.Conv(x, name("bl", i), ch, 3, 1, 1)
+			r := b.Conv(x, name("br", i), ch, 1, 1, 0)
+			x = b.Concat(name("join", i), l, r)
+		}
+	}
+	x = b.FC(x, "fc", 10)
+	b.SoftmaxLoss(x, "loss")
+	return b.MustFinalize()
+}
+
+func name(prefix string, i int) string { return prefix + string(rune('a'+i)) }
+
+// TestRandomNetworksAllPolicies is the executor's property test: any valid
+// feed-forward topology must run under every policy with the paper's
+// invariants intact — no on-demand fetches under the window schedules, no
+// leaks (the executor self-checks), memory ordering between policies, and
+// prefetch traffic never exceeding offload traffic.
+func TestRandomNetworksAllPolicies(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		net := randomNet(rng)
+		spec := titan()
+		var avgAll, avgConv, avgBase int64 // peak usage per policy, (m) mode
+		for _, pc := range []struct {
+			p Policy
+			a AlgoMode
+		}{
+			{Baseline, MemOptimal}, {Baseline, PerfOptimal},
+			{VDNNAll, MemOptimal}, {VDNNAll, PerfOptimal},
+			{VDNNConv, MemOptimal}, {VDNNConv, PerfOptimal},
+			{VDNNDyn, 0},
+		} {
+			r, err := Run(net, Config{Spec: spec, Policy: pc.p, Algo: pc.a, Oracle: true})
+			if err != nil {
+				t.Logf("seed %d %v%v: %v", seed, pc.p, pc.a, err)
+				return false
+			}
+			if r.OnDemandFetches != 0 {
+				t.Logf("seed %d %v%v: %d on-demand fetches", seed, pc.p, pc.a, r.OnDemandFetches)
+				return false
+			}
+			if r.PrefetchBytes > r.OffloadBytes {
+				t.Logf("seed %d %v%v: prefetch %d > offload %d", seed, pc.p, pc.a, r.PrefetchBytes, r.OffloadBytes)
+				return false
+			}
+			if pc.a == MemOptimal {
+				switch pc.p {
+				case VDNNAll:
+					avgAll = r.MaxUsage
+				case VDNNConv:
+					avgConv = r.MaxUsage
+				case Baseline:
+					avgBase = r.MaxUsage
+				}
+			}
+		}
+		// Peak usage ordering is the robust invariant: vDNN-all's live set
+		// is a subset of vDNN-conv's at every instant, which is a subset of
+		// the baseline's. (The time-weighted AVERAGE can invert on
+		// transfer-dominated tiny networks, where vDNN-all stretches the
+		// iteration with offload stalls; the average ordering on the paper's
+		// networks is asserted in TestMemoryOrderingAcrossPolicies.)
+		if !(avgAll <= avgConv && avgConv <= avgBase) {
+			t.Logf("seed %d: max usage ordering broken: all=%d conv=%d base=%d", seed, avgAll, avgConv, avgBase)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMLPNoFeatureStage: a pure-FC network has an empty feature-extraction
+// stage — vDNN has nothing to manage and must degrade gracefully to
+// baseline behavior under every policy.
+func TestMLPNoFeatureStage(t *testing.T) {
+	b := dnn.NewBuilder("mlp", 256, tensor.Float32)
+	x := b.Input(1, 28, 28)
+	x = b.FC(x, "fc1", 1024)
+	x = b.ReLU(x, "r1")
+	x = b.FC(x, "fc2", 1024)
+	x = b.ReLU(x, "r2")
+	x = b.FC(x, "fc3", 10)
+	b.SoftmaxLoss(x, "loss")
+	net, err := b.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []Policy{Baseline, VDNNAll, VDNNConv, VDNNDyn} {
+		r, err := Run(net, Config{Spec: titan(), Policy: p, Algo: PerfOptimal})
+		if err != nil {
+			t.Fatalf("%v: %v", p, err)
+		}
+		if !r.Trainable {
+			t.Fatalf("%v: MLP should train", p)
+		}
+		if p != VDNNDyn && r.OffloadBytes != 0 {
+			t.Fatalf("%v: offloaded %d bytes with no managed layers", p, r.OffloadBytes)
+		}
+		if r.FETime == 0 || r.IterTime == 0 {
+			t.Fatalf("%v: zero timing", p)
+		}
+	}
+}
+
+// TestGreedyAlgoDirect: the greedy algorithm mode is usable directly (not
+// only through the dynamic policy) and picks large-workspace algorithms only
+// when they fit.
+func TestGreedyAlgoDirect(t *testing.T) {
+	r, err := Run(vgg256, Config{Spec: titan(), Policy: VDNNAll, Algo: GreedyAlgo})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Trainable {
+		t.Fatalf("greedy vDNN-all should train VGG-16 (256): %s", r.FailReason)
+	}
+	// Greedy must beat the memory-optimal static config on speed while
+	// staying trainable.
+	m := run(t, vgg256, cfg(VDNNAll, MemOptimal))
+	if r.FETime >= m.FETime {
+		t.Fatalf("greedy (%v) not faster than memory-optimal (%v)", r.FETime, m.FETime)
+	}
+	// At least one CONV layer must have been downgraded below the
+	// unconstrained fastest algorithm (FFT's workspace cannot fit).
+	sawNonFFT := false
+	for _, ls := range r.Layers {
+		if ls.Kind == dnn.Conv && ls.AlgoFwd != cudnnsim.FFT {
+			sawNonFFT = true
+		}
+	}
+	if !sawNonFFT {
+		t.Fatal("greedy never downgraded despite the memory squeeze")
+	}
+}
+
+// TestVDNNWithoutOffloadsMatchesBaselineTiming: when the plan offloads
+// nothing (vDNN-conv on a conv-free feature stage), vDNN's timing equals the
+// baseline's — the manager adds no overhead beyond its transfers.
+func TestVDNNWithoutOffloadsMatchesBaselineTiming(t *testing.T) {
+	b := dnn.NewBuilder("pool-only", 64, tensor.Float32)
+	x := b.Input(8, 64, 64)
+	x = b.MaxPool(x, "p1", 2, 2, 0)
+	x = b.MaxPool(x, "p2", 2, 2, 0)
+	x = b.FC(x, "fc", 10)
+	b.SoftmaxLoss(x, "loss")
+	net, err := b.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := Run(net, Config{Spec: titan(), Policy: Baseline, Algo: MemOptimal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conv, err := Run(net, Config{Spec: titan(), Policy: VDNNConv, Algo: MemOptimal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conv.OffloadBytes != 0 {
+		t.Fatalf("pool-only net offloaded %d bytes under vDNN-conv", conv.OffloadBytes)
+	}
+	diff := float64(conv.FETime) - float64(base.FETime)
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > 0.02*float64(base.FETime) {
+		t.Fatalf("no-offload vDNN timing %v deviates from baseline %v", conv.FETime, base.FETime)
+	}
+}
+
+// TestResNetUnderVDNN runs the residual networks (the paper's anticipated
+// >100-layer ImageNet winner) through every policy: the elementwise-add
+// gradient sharing and BN layers must execute cleanly, and vDNN must extend
+// the trainable batch size beyond the baseline's.
+func TestResNetUnderVDNN(t *testing.T) {
+	r152 := networks.ResNet152(64)
+	for _, pc := range []struct {
+		p Policy
+		a AlgoMode
+	}{
+		{Baseline, PerfOptimal}, {VDNNAll, MemOptimal}, {VDNNConv, PerfOptimal}, {VDNNDyn, 0},
+	} {
+		r, err := Run(r152, Config{Spec: titan(), Policy: pc.p, Algo: pc.a, Oracle: true})
+		if err != nil {
+			t.Fatalf("%v%v: %v", pc.p, pc.a, err)
+		}
+		if r.OnDemandFetches != 0 {
+			t.Fatalf("%v%v: %d on-demand fetches", pc.p, pc.a, r.OnDemandFetches)
+		}
+	}
+	// On the real 12 GB card: baseline fails at batch 64, vDNN-dyn trains it.
+	base, err := Run(r152, cfg(Baseline, PerfOptimal))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dyn, err := Run(r152, cfg(VDNNDyn, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Trainable {
+		t.Log("note: ResNet-152 (64) fits the baseline; batch-scaling margin smaller than expected")
+	}
+	if !dyn.Trainable {
+		t.Fatalf("vDNN-dyn should train ResNet-152 (64): %s", dyn.FailReason)
+	}
+	all := run(t, r152, Config{Spec: titan(), Policy: VDNNAll, Algo: MemOptimal, Oracle: true})
+	baseO := run(t, r152, Config{Spec: titan(), Policy: Baseline, Algo: MemOptimal, Oracle: true})
+	if all.AvgUsage >= baseO.AvgUsage/2 {
+		t.Fatalf("vDNN-all should cut ResNet average memory sharply: %d vs %d", all.AvgUsage, baseO.AvgUsage)
+	}
+}

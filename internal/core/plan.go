@@ -1,0 +1,145 @@
+package core
+
+import (
+	"fmt"
+
+	"vdnn/internal/cudnnsim"
+	"vdnn/internal/dnn"
+	"vdnn/internal/gpu"
+)
+
+// LayerAlgos is the per-CONV-layer algorithm selection for the three
+// convolution kernels of a training step.
+type LayerAlgos struct {
+	Fwd, BwdData, BwdFilter cudnnsim.ConvAlgo
+}
+
+// Plan is the execution plan the executor follows: which algorithm each CONV
+// layer uses (unless chosen greedily online) and which feature-map buffers
+// are offloaded, keyed by the layer that triggers the offload (the buffer's
+// last consumer, per the reference-count rule of Figure 3/7).
+type Plan struct {
+	Algos  []LayerAlgos // indexed by layer ID; meaningful for CONV layers
+	Greedy bool         // pick algorithms online from free pool memory
+
+	// OffloadAt lists, per trigger layer ID, the buffers that layer offloads
+	// when its forward pass runs.
+	OffloadAt [][]*dnn.Tensor
+	// PrefetchAt lists, per layer ID, the offloaded buffers whose prefetch
+	// is launched during that layer's backward pass under the just-in-time
+	// schedule (Figure 9): one backward step before the buffer's first
+	// backward reader.
+	PrefetchAt [][]*dnn.Tensor
+	// offloadTotal is the per-iteration offload traffic implied by the plan.
+	offloadTotal int64
+}
+
+// Offloads reports whether the plan offloads anything at all.
+func (p *Plan) Offloads() bool { return p.offloadTotal > 0 }
+
+// buildPlan derives the static plan for a policy/algorithm-mode pair.
+func buildPlan(net *dnn.Network, spec gpu.Spec, policy Policy, mode AlgoMode) (*Plan, error) {
+	p := &Plan{
+		Algos:     make([]LayerAlgos, len(net.Layers)),
+		OffloadAt: make([][]*dnn.Tensor, len(net.Layers)),
+	}
+	switch mode {
+	case MemOptimal:
+		for _, l := range net.Layers {
+			if l.Kind == dnn.Conv {
+				p.Algos[l.ID] = LayerAlgos{cudnnsim.ImplicitGEMM, cudnnsim.ImplicitGEMM, cudnnsim.ImplicitGEMM}
+			}
+		}
+	case PerfOptimal:
+		for _, l := range net.Layers {
+			if l.Kind == dnn.Conv {
+				g := l.ConvGeom(net.DType)
+				p.Algos[l.ID] = LayerAlgos{
+					Fwd:       cudnnsim.FastestAlgo(spec, g, cudnnsim.Fwd, -1).Algo,
+					BwdData:   cudnnsim.FastestAlgo(spec, g, cudnnsim.BwdData, -1).Algo,
+					BwdFilter: cudnnsim.FastestAlgo(spec, g, cudnnsim.BwdFilter, -1).Algo,
+				}
+			}
+		}
+	case GreedyAlgo:
+		p.Greedy = true
+	default:
+		return nil, fmt.Errorf("core: unknown algo mode %v", mode)
+	}
+
+	p.PrefetchAt = make([][]*dnn.Tensor, len(net.Layers))
+	firstReader := firstBwdReaders(net)
+	for _, t := range net.Tensors {
+		trigger := offloadTrigger(t, policy)
+		if trigger == nil {
+			continue
+		}
+		p.OffloadAt[trigger.ID] = append(p.OffloadAt[trigger.ID], t)
+		p.offloadTotal += t.Bytes(net.DType)
+		// JIT prefetch: during the backward pass of the layer processed
+		// immediately before the buffer's first backward reader. A buffer no
+		// backward kernel reads is never fetched back — its device copy is
+		// simply never recreated. (In the benchmark networks every offloaded
+		// buffer has a reader: even concat branch outputs are read by their
+		// in-place ReLU's backward.)
+		if f := firstReader[t]; f != nil {
+			at := f.ID + 1
+			if at >= len(net.Layers) {
+				at = len(net.Layers) - 1 // fetched at the very first backward step
+			}
+			p.PrefetchAt[at] = append(p.PrefetchAt[at], t)
+		}
+	}
+	return p, nil
+}
+
+// firstBwdReaders maps each buffer to the layer whose backward kernels read
+// it first in backward execution order (the highest-ID reader).
+func firstBwdReaders(net *dnn.Network) map[*dnn.Tensor]*dnn.Layer {
+	m := make(map[*dnn.Tensor]*dnn.Layer, len(net.Tensors))
+	for _, l := range net.Layers {
+		for _, t := range l.BwdReads() {
+			if cur, ok := m[t]; !ok || l.ID > cur.ID {
+				m[t] = l
+			}
+		}
+	}
+	return m
+}
+
+// offloadTrigger decides whether buffer t is offloaded under the policy and,
+// if so, which layer initiates the transfer. A buffer qualifies when it
+// serves as the input feature map (X) of a managed feature-extraction layer:
+// any non-in-place FE layer under vDNN-all (ACTV layers are in place and
+// need no offload, Section III-B), or a CONV layer under vDNN-conv. The
+// transfer is triggered by the buffer's LAST consumer so that shared
+// (forked) feature maps are never released while a pending consumer remains
+// (the paper's Refcnt rule).
+func offloadTrigger(t *dnn.Tensor, policy Policy) *dnn.Layer {
+	if policy != VDNNAll && policy != VDNNConv {
+		return nil
+	}
+	if t.Producer != nil && t.Producer.Stage == dnn.Classifier {
+		return nil // classifier buffers are unmanaged
+	}
+	qualifies := false
+	for _, c := range t.Consumer {
+		if c.Stage != dnn.FeatureExtraction {
+			continue
+		}
+		switch policy {
+		case VDNNAll:
+			if !c.InPlace {
+				qualifies = true
+			}
+		case VDNNConv:
+			if c.Kind == dnn.Conv {
+				qualifies = true
+			}
+		}
+	}
+	if !qualifies {
+		return nil
+	}
+	return t.LastConsumer()
+}

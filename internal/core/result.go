@@ -1,0 +1,119 @@
+package core
+
+import (
+	"sort"
+
+	"vdnn/internal/dnn"
+	"vdnn/internal/memalloc"
+	"vdnn/internal/sim"
+)
+
+// assemble builds the Result from the measured iteration window.
+func (e *executor) assemble(winStart, winEnd sim.Time) *Result {
+	r := &Result{
+		Network:   e.net.Name,
+		Batch:     e.net.Batch,
+		Policy:    e.cfg.Policy,
+		Algo:      e.cfg.Algo,
+		Oracle:    e.cfg.Oracle,
+		Trainable: true,
+		IterTime:  winEnd - winStart,
+	}
+
+	ms := e.pool.Measure(winStart, winEnd)
+	r.MaxUsage = ms.Peak
+	r.AvgUsage = ms.Avg
+	if e.cfg.Debug {
+		r.DebugPeakTime = ms.PeakTime
+		r.DebugPeakLive = e.pool.SnapshotAt(ms.PeakTime)
+	}
+	if e.cfg.CaptureSchedule {
+		for _, eng := range e.dev.TL.Engines() {
+			for _, o := range eng.Ops() {
+				if o.End <= winStart || o.Start >= winEnd || o.DurationT == 0 {
+					continue
+				}
+				r.Schedule = append(r.Schedule, ScheduleOp{
+					Engine: eng.Name, Label: o.Label, Kind: o.Kind.String(),
+					Start: o.Start, End: o.End,
+				})
+			}
+		}
+		sort.Slice(r.Schedule, func(i, j int) bool { return r.Schedule[i].Start < r.Schedule[j].Start })
+	}
+	r.FrameworkBytes = e.fw.Used()
+	r.PeakByKind = map[memalloc.Kind]int64{}
+	for k, v := range ms.PeakByKind {
+		r.PeakByKind[k] = v
+	}
+	for _, k := range memalloc.Kinds() {
+		if v := e.fw.UsedByKind(k); v > 0 {
+			r.PeakByKind[k] += v
+		}
+	}
+
+	for _, o := range e.dev.TL.Ops() {
+		if o.Start < winStart || o.Start >= winEnd {
+			continue
+		}
+		switch o.Kind {
+		case sim.OpCopyD2H:
+			r.OffloadBytes += o.BusBytes
+		case sim.OpCopyH2D:
+			r.PrefetchBytes += o.BusBytes
+		}
+	}
+	r.OnDemandFetches = e.onDemand
+	r.HostPinnedPeak = e.host.Peak()
+	r.Power = e.dev.MeasurePower(winStart, winEnd)
+
+	// Per-layer stats: finish reuse distances and algorithm records, then
+	// derive the feature-extraction window and the maximum layer-wise
+	// working set.
+	var fwdFEStart, fwdFEEnd, bwdFEStart, bwdFEEnd sim.Time
+	first := true
+	for i := range e.stats {
+		st := &e.stats[i]
+		st.FwdStart = e.fwdStarts[i]
+		if st.BwdStart > st.FwdEnd && st.FwdEnd > 0 {
+			st.ReuseDistance = st.BwdStart - st.FwdEnd
+		}
+		if e.net.Layers[i].Kind == dnn.Conv {
+			st.AlgoFwd = e.chosenAlg[i].Fwd
+			st.AlgoBwdData = e.chosenAlg[i].BwdData
+			st.AlgoBwdFilter = e.chosenAlg[i].BwdFilter
+		}
+		if ws := st.FwdWorkingSet; ws > r.MaxWorkingSet {
+			r.MaxWorkingSet = ws
+		}
+		if ws := st.BwdWorkingSet; ws > r.MaxWorkingSet {
+			r.MaxWorkingSet = ws
+		}
+		if st.Stage == dnn.FeatureExtraction {
+			if first || st.FwdStart < fwdFEStart {
+				fwdFEStart = st.FwdStart
+			}
+			if st.FwdEnd > fwdFEEnd {
+				fwdFEEnd = st.FwdEnd
+			}
+			if st.BwdStart > 0 && (bwdFEStart == 0 || st.BwdStart < bwdFEStart) {
+				bwdFEStart = st.BwdStart
+			}
+			if st.BwdEnd > bwdFEEnd {
+				bwdFEEnd = st.BwdEnd
+			}
+			first = false
+		}
+	}
+	if fwdFEEnd > fwdFEStart {
+		r.FETime = fwdFEEnd - fwdFEStart
+	}
+	if bwdFEEnd > bwdFEStart {
+		r.FETime += bwdFEEnd - bwdFEStart
+	}
+	if r.FETime == 0 {
+		r.FETime = r.IterTime
+	}
+	r.Layers = e.stats
+	return r
+}

@@ -1,0 +1,49 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// WriteChromeTrace emits the captured schedule (Config.CaptureSchedule) in
+// the Chrome trace-event JSON format, loadable in chrome://tracing or
+// https://ui.perfetto.dev. Each engine becomes a track; the offload and
+// prefetch transfers visibly overlap the compute kernels — the paper's
+// Figure 9 as an interactive timeline.
+func (r *Result) WriteChromeTrace(w io.Writer) error {
+	if len(r.Schedule) == 0 {
+		return fmt.Errorf("core: no schedule captured; set Config.CaptureSchedule")
+	}
+	type event struct {
+		Name string  `json:"name"`
+		Cat  string  `json:"cat"`
+		Ph   string  `json:"ph"`
+		TS   float64 `json:"ts"`  // microseconds
+		Dur  float64 `json:"dur"` // microseconds
+		PID  int     `json:"pid"`
+		TID  int     `json:"tid"`
+	}
+	tids := map[string]int{"compute": 0, "copyD2H": 1, "copyH2D": 2}
+	events := make([]event, 0, len(r.Schedule))
+	for _, op := range r.Schedule {
+		tid, ok := tids[op.Engine]
+		if !ok {
+			tid = len(tids)
+			tids[op.Engine] = tid
+		}
+		events = append(events, event{
+			Name: op.Label,
+			Cat:  op.Kind,
+			Ph:   "X",
+			TS:   float64(op.Start) / 1e3,
+			Dur:  float64(op.End-op.Start) / 1e3,
+			TID:  tid,
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(map[string]interface{}{
+		"traceEvents":     events,
+		"displayTimeUnit": "ms",
+	})
+}

@@ -1,0 +1,56 @@
+package cudnnsim
+
+import "vdnn/internal/sim"
+
+// Calibration constants for the kernel cost model. All absolute performance
+// in the simulator traces back to these values plus the gpu.Spec hardware
+// numbers. They are set to reproduce cuDNN-4-era measurements on Maxwell
+// (convnet-benchmarks) and the calibration targets quoted in the paper:
+//
+//   - memory-optimal implicit GEMM is roughly 2-2.5x slower than the
+//     performance-optimal FFT path on 3x3 convolutions, which is what makes
+//     static vDNN(m) lose ~55-60% performance (paper Fig 14);
+//   - ACTV/POOL layers are bandwidth-bound and far cheaper than CONV,
+//     so >70-80% of time is spent in CONV layers (Section III-C);
+//   - AlexNet layer-1 reuse distance > 60 ms, VGG-16 (64) > 1200 ms
+//     (Section III-A, with memory-optimal algorithms).
+const (
+	// Effective fraction of peak FLOP/s on direct-conv FLOPs, per algorithm.
+	effImplicitGEMM = 0.40
+	effPrecompGEMM  = 0.62
+	effGEMM         = 0.55
+	effDirect       = 0.45 // unused: cuDNN 4 has no direct kernel
+
+	// FFT effective rate: base * sqrt(R*S), capped. 3x3 -> ~0.99 of peak,
+	// 5x5 and larger saturate the cap (FFT's advantage grows with filter
+	// area because its arithmetic does not).
+	fftEffBase = 0.33
+	fftEffCap  = 1.45
+	// FFT-tiling pays overlap-add overhead relative to monolithic FFT.
+	fftTilingScale = 0.88
+
+	// FFT geometry constraints (cuDNN 4).
+	maxFFTFilter = 32
+	fftTileSize  = 32
+	fftTileBatch = 32
+
+	// GEMM cache-blocking model: panels are re-read once per 128-wide block
+	// of the opposing dimension unless they fit in L2.
+	gemmBlock = 128
+
+	// Efficiency of cuBLAS SGEMM for classifier layers.
+	effCublasGEMM = 0.70
+
+	// Bandwidth-bound kernels (activation, pooling, ...) achieve the
+	// device's effective DRAM bandwidth; their FLOPs are never the
+	// bottleneck.
+
+	// sizeDerate: kernels with fewer output elements than this underutilize
+	// the SM array; throughput scales as sqrt below the knee.
+	derateKneeElems = 131072 // 128k output elements saturate Maxwell
+	derateFloor     = 0.10
+
+	// minKernelTime is the floor duration of any launched kernel (ramp-up,
+	// tail effects).
+	minKernelTime = 8 * sim.Microsecond
+)

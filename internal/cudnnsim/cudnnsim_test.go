@@ -1,0 +1,383 @@
+package cudnnsim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"vdnn/internal/gpu"
+	"vdnn/internal/sim"
+	"vdnn/internal/tensor"
+)
+
+// vggConv12 is VGG-16's conv1_2 (the most memory-hungry layer): 64->64
+// channels at 224x224, 3x3/s1/p1.
+func vggConv12(batch int) ConvGeom {
+	return ConvGeom{N: batch, C: 64, H: 224, W: 224, K: 64, R: 3, S: 3,
+		StrideH: 1, StrideW: 1, PadH: 1, PadW: 1, DType: tensor.Float32}
+}
+
+// alexConv1 is AlexNet's first layer: stride 4, so the FFT family is out.
+func alexConv1(batch int) ConvGeom {
+	return ConvGeom{N: batch, C: 3, H: 224, W: 224, K: 64, R: 11, S: 11,
+		StrideH: 4, StrideW: 4, PadH: 2, PadW: 2, DType: tensor.Float32}
+}
+
+func TestGeometry(t *testing.T) {
+	g := vggConv12(64)
+	if g.OutH() != 224 || g.OutW() != 224 {
+		t.Fatalf("VGG 3x3/s1/p1 must preserve 224: %dx%d", g.OutH(), g.OutW())
+	}
+	if g.WeightBytes() != 64*64*9*4 {
+		t.Fatalf("weights = %d", g.WeightBytes())
+	}
+	a := alexConv1(128)
+	if a.OutH() != 55 {
+		t.Fatalf("AlexNet conv1 out = %d, want 55", a.OutH())
+	}
+	// 2*N*K*Oh*Ow*C*R*S
+	want := int64(2) * 64 * 64 * 224 * 224 * 64 * 9
+	if g.Flops(Fwd) != want || g.Flops(BwdData) != want || g.Flops(BwdFilter) != want {
+		t.Fatalf("flops = %d, want %d", g.Flops(Fwd), want)
+	}
+}
+
+func TestAlgoSupport(t *testing.T) {
+	g := vggConv12(64)
+	if !FFT.Supported(g, Fwd) || !FFTTiling.Supported(g, Fwd) {
+		t.Fatal("FFT family must support unit-stride 3x3")
+	}
+	if Direct.Supported(g, Fwd) {
+		t.Fatal("direct has no cuDNN 4 kernel")
+	}
+	a := alexConv1(128)
+	if FFT.Supported(a, Fwd) || FFTTiling.Supported(a, Fwd) {
+		t.Fatal("FFT family must reject stride 4")
+	}
+	for _, algo := range []ConvAlgo{ImplicitGEMM, ImplicitPrecompGEMM, GEMM} {
+		if !algo.Supported(a, Fwd) {
+			t.Fatalf("%v must support any geometry", algo)
+		}
+	}
+}
+
+func TestWorkspaceSizes(t *testing.T) {
+	g := vggConv12(64)
+	if ws := ImplicitGEMM.Workspace(g, Fwd); ws != 0 {
+		t.Fatalf("implicit GEMM workspace = %d, want 0", ws)
+	}
+	// Precomp: small (< 16 MB).
+	if ws := ImplicitPrecompGEMM.Workspace(g, Fwd); ws <= 0 || ws > 16<<20 {
+		t.Fatalf("precomp workspace = %d, want small positive", ws)
+	}
+	// GEMM im2col for conv1_2(64): 576*64*50176*4 = 6.9 GiB. Huge.
+	if ws := GEMM.Workspace(g, Fwd); ws < 6<<30 {
+		t.Fatalf("gemm im2col workspace = %d, want > 6 GiB", ws)
+	}
+	// FFT for conv1_2(64): (64*64*3 maps)*226*114*8 = ~2.3 GiB.
+	ws := FFT.Workspace(g, Fwd)
+	if ws < 2<<30 || ws > 3<<30 {
+		t.Fatalf("fft workspace = %s, want ~2.3 GiB", tensor.FormatBytes(ws))
+	}
+	// FFT workspace grows with batch (the paper's VGG-16 (256) needs ~28 GB
+	// under performance-optimal algorithms largely because of this).
+	if FFT.Workspace(vggConv12(256), Fwd) <= 2*ws {
+		t.Fatal("fft workspace must grow ~linearly with batch")
+	}
+	// Tiling is dramatically smaller than monolithic FFT.
+	if tws := FFTTiling.Workspace(g, Fwd); tws <= 0 || tws > ws/10 {
+		t.Fatalf("fft-tiling workspace = %s vs fft %s, want >10x smaller",
+			tensor.FormatBytes(tws), tensor.FormatBytes(ws))
+	}
+}
+
+func TestAlgoSpeedOrdering(t *testing.T) {
+	spec := gpu.TitanX()
+	g := vggConv12(64)
+	tFFT := ConvCost(spec, g, FFT, Fwd).Dur
+	tTile := ConvCost(spec, g, FFTTiling, Fwd).Dur
+	tPre := ConvCost(spec, g, ImplicitPrecompGEMM, Fwd).Dur
+	tGemm := ConvCost(spec, g, GEMM, Fwd).Dur
+	tImp := ConvCost(spec, g, ImplicitGEMM, Fwd).Dur
+	if !(tFFT < tTile && tTile < tPre && tPre < tGemm && tGemm < tImp) {
+		t.Fatalf("3x3 speed order wrong: fft=%v tile=%v pre=%v gemm=%v imp=%v",
+			tFFT, tTile, tPre, tGemm, tImp)
+	}
+	// The performance-optimal/memory-optimal gap drives the paper's static
+	// vDNN(m) slowdowns: must be roughly 2-3x for 3x3 convolutions.
+	ratio := float64(tImp) / float64(tFFT)
+	if ratio < 1.8 || ratio > 3.2 {
+		t.Fatalf("implicit/FFT ratio = %.2f, want ~2-3x", ratio)
+	}
+}
+
+func TestConvCostMagnitudes(t *testing.T) {
+	// conv1_2 with batch 64 on Titan X: 237 GFLOP. FFT should land in the
+	// tens of ms; implicit GEMM near 85 ms (2.8 TFLOPS effective).
+	spec := gpu.TitanX()
+	g := vggConv12(64)
+	imp := ConvCost(spec, g, ImplicitGEMM, Fwd)
+	if ms := imp.Dur.Msec(); ms < 60 || ms > 120 {
+		t.Fatalf("implicit GEMM conv1_2(64) = %.1f ms, want ~85 ms", ms)
+	}
+	fft := ConvCost(spec, g, FFT, Fwd)
+	if ms := fft.Dur.Msec(); ms < 20 || ms > 50 {
+		t.Fatalf("fft conv1_2(64) = %.1f ms, want ~34 ms", ms)
+	}
+}
+
+func TestDRAMTrafficBand(t *testing.T) {
+	// Fig 13: VGG layers under the baseline should achieve tens to ~200 GB/s
+	// of DRAM bandwidth — well under the 336 GB/s peak, leaving headroom for
+	// PCIe traffic. Check the band for representative early/late layers.
+	spec := gpu.TitanX()
+	early := vggConv12(128)
+	late := ConvGeom{N: 128, C: 512, H: 14, W: 14, K: 512, R: 3, S: 3,
+		StrideH: 1, StrideW: 1, PadH: 1, PadW: 1, DType: tensor.Float32}
+	for _, tc := range []struct {
+		name string
+		g    ConvGeom
+	}{{"conv1_2", early}, {"conv5_x", late}} {
+		c := ConvCost(spec, tc.g, ImplicitGEMM, Fwd)
+		bw := float64(c.DRAMBytes) / c.Dur.Seconds() / 1e9
+		if bw < 20 || bw > 250 {
+			t.Errorf("%s: achieved %0.f GB/s, want within [20,250]", tc.name, bw)
+		}
+		if bw > spec.DRAMBps/1e9 {
+			t.Errorf("%s: achieved %0.f GB/s exceeds peak", tc.name, bw)
+		}
+	}
+}
+
+func TestBwdCostsComparableToFwd(t *testing.T) {
+	spec := gpu.TitanX()
+	g := vggConv12(64)
+	f := ConvCost(spec, g, ImplicitGEMM, Fwd).Dur
+	bd := ConvCost(spec, g, ImplicitGEMM, BwdData).Dur
+	bf := ConvCost(spec, g, ImplicitGEMM, BwdFilter).Dur
+	// Each backward kernel is within 3x of forward; total backward is
+	// heavier than forward (the well-known ~2x).
+	for _, d := range []sim.Time{bd, bf} {
+		if d < f/3 || d > 3*f {
+			t.Fatalf("bwd kernel %v out of range vs fwd %v", d, f)
+		}
+	}
+	if bd+bf <= f {
+		t.Fatalf("bwd total %v should exceed fwd %v", bd+bf, f)
+	}
+}
+
+func TestUnsupportedConvCostPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ConvCost on unsupported algo did not panic")
+		}
+	}()
+	ConvCost(gpu.TitanX(), alexConv1(128), FFT, Fwd)
+}
+
+func TestFindConvAlgorithms(t *testing.T) {
+	spec := gpu.TitanX()
+	g := vggConv12(64)
+	perfs := FindConvAlgorithms(spec, g, Fwd, -1)
+	if len(perfs) != 5 { // all but Direct
+		t.Fatalf("got %d algorithms, want 5", len(perfs))
+	}
+	if perfs[0].Algo != FFT {
+		t.Fatalf("fastest = %v, want fft", perfs[0].Algo)
+	}
+	for i := 1; i < len(perfs); i++ {
+		if perfs[i].Time < perfs[i-1].Time {
+			t.Fatal("results not sorted by time")
+		}
+	}
+	// With a tiny workspace limit, the large-workspace algorithms drop out.
+	small := FindConvAlgorithms(spec, g, Fwd, 1<<20)
+	for _, p := range small {
+		if p.Workspace > 1<<20 {
+			t.Fatalf("algo %v exceeds workspace limit", p.Algo)
+		}
+	}
+	if len(small) == 0 || small[len(small)-1].Algo != ImplicitGEMM && small[0].Algo != ImplicitGEMM {
+		// implicit GEMM (ws=0) must always survive
+		found := false
+		for _, p := range small {
+			if p.Algo == ImplicitGEMM {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatal("implicit GEMM missing under workspace limit")
+		}
+	}
+}
+
+func TestFastestAlgoRespectsLimit(t *testing.T) {
+	spec := gpu.TitanX()
+	g := vggConv12(64)
+	unlimited := FastestAlgo(spec, g, Fwd, -1)
+	if unlimited.Algo != FFT {
+		t.Fatalf("unlimited fastest = %v, want fft", unlimited.Algo)
+	}
+	constrained := FastestAlgo(spec, g, Fwd, 64<<20)
+	if constrained.Algo == FFT || constrained.Algo == GEMM {
+		t.Fatalf("constrained fastest = %v, exceeds 64 MB workspace", constrained.Algo)
+	}
+	zero := FastestAlgo(spec, g, Fwd, 0)
+	if zero.Algo != ImplicitGEMM {
+		t.Fatalf("zero-workspace fastest = %v, want implicit-gemm", zero.Algo)
+	}
+}
+
+func TestGEMMCost(t *testing.T) {
+	spec := gpu.TitanX()
+	// VGG fc6 with batch 128: (4096 x 25088) * (25088 x 128).
+	c := GEMMCost(spec, 4096, 25088, 128, 4)
+	wantFlops := int64(2) * 4096 * 25088 * 128
+	if c.Flops != wantFlops {
+		t.Fatalf("flops = %d, want %d", c.Flops, wantFlops)
+	}
+	if ms := c.Dur.Msec(); ms < 2 || ms > 20 {
+		t.Fatalf("fc6 fwd = %.2f ms, want single-digit ms", ms)
+	}
+}
+
+func TestBandwidthBoundKernels(t *testing.T) {
+	spec := gpu.TitanX()
+	// ReLU over VGG conv1 output, batch 64: 822 MB in-place -> ~5.8 ms.
+	bytes := int64(64) * 64 * 224 * 224 * 4
+	c := ActivationFwdCost(spec, bytes)
+	if ms := c.Dur.Msec(); ms < 4 || ms > 9 {
+		t.Fatalf("ReLU 822MB = %.2f ms, want ~5.8 ms", ms)
+	}
+	// ACTV/POOL must be far cheaper than the adjacent CONV (this is why
+	// vDNNconv hides offload latency but vDNNall may not, Section III-C).
+	conv := ConvCost(spec, vggConv12(64), FFT, Fwd)
+	if c.Dur*3 > conv.Dur {
+		t.Fatalf("activation %v not << conv %v", c.Dur, conv.Dur)
+	}
+	if b := ActivationBwdCost(spec, bytes); b.Dur <= c.Dur {
+		t.Fatal("activation bwd should cost more than fwd (3 passes vs 2)")
+	}
+	p := PoolFwdCost(spec, bytes, bytes/4)
+	if p.Dur <= 0 || p.DRAMBytes != bytes+bytes/4 {
+		t.Fatalf("pool cost wrong: %+v", p)
+	}
+	pb := PoolBwdCost(spec, bytes, bytes/4)
+	if pb.DRAMBytes != 2*bytes+bytes/2 {
+		t.Fatalf("pool bwd traffic = %d", pb.DRAMBytes)
+	}
+	if LRNBwdCost(spec, bytes).Dur <= LRNFwdCost(spec, bytes).Dur {
+		t.Fatal("LRN bwd should exceed fwd")
+	}
+	d := DropoutFwdCost(spec, bytes, bytes/4)
+	if d.DRAMBytes != 2*bytes+bytes/4 {
+		t.Fatalf("dropout traffic = %d", d.DRAMBytes)
+	}
+	if ConcatCost(spec, bytes).DRAMBytes != 2*bytes {
+		t.Fatal("concat traffic wrong")
+	}
+	if SoftmaxCost(spec, 1000*128*4).Dur < minKernelTime {
+		t.Fatal("softmax below kernel floor")
+	}
+	if ElementwiseCost(spec, bytes, 3).DRAMBytes != 3*bytes {
+		t.Fatal("elementwise traffic wrong")
+	}
+}
+
+func TestMinKernelFloor(t *testing.T) {
+	spec := gpu.TitanX()
+	c := ActivationFwdCost(spec, 16)
+	if c.Dur != minKernelTime {
+		t.Fatalf("tiny kernel = %v, want floor %v", c.Dur, minKernelTime)
+	}
+}
+
+func TestSizeDerate(t *testing.T) {
+	if sizeDerate(derateKneeElems) != 1 || sizeDerate(derateKneeElems*10) != 1 {
+		t.Fatal("derate above knee must be 1")
+	}
+	if d := sizeDerate(derateKneeElems / 4); d < 0.49 || d > 0.51 {
+		t.Fatalf("derate at quarter knee = %v, want 0.5", d)
+	}
+	if sizeDerate(1) != derateFloor {
+		t.Fatal("derate floor not applied")
+	}
+}
+
+func TestAlgoStringNames(t *testing.T) {
+	if ImplicitGEMM.String() != "implicit-gemm" || FFTTiling.String() != "fft-tiling" {
+		t.Fatal("algo names wrong")
+	}
+	if Fwd.String() != "fwd" || BwdData.String() != "bwd-data" || BwdFilter.String() != "bwd-filter" {
+		t.Fatal("direction names wrong")
+	}
+	if len(Algos()) != 6 {
+		t.Fatal("cuDNN 4 provides six algorithms")
+	}
+}
+
+// Property: costs scale monotonically with batch size for every algorithm
+// and direction.
+func TestCostMonotoneInBatch(t *testing.T) {
+	spec := gpu.TitanX()
+	f := func(seed uint8) bool {
+		b1 := int(seed%4+1) * 16
+		b2 := b1 * 2
+		for _, a := range []ConvAlgo{ImplicitGEMM, ImplicitPrecompGEMM, GEMM, FFT, FFTTiling} {
+			for _, dir := range []Direction{Fwd, BwdData, BwdFilter} {
+				c1 := ConvCost(spec, vggConv12(b1), a, dir)
+				c2 := ConvCost(spec, vggConv12(b2), a, dir)
+				if c2.Dur < c1.Dur || c2.Flops != 2*c1.Flops {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 4}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: workspace is non-negative and deterministic for random sane
+// geometries; implicit GEMM is always zero.
+func TestWorkspaceProperties(t *testing.T) {
+	f := func(n, c, k, hw, rs uint8) bool {
+		g := ConvGeom{
+			N: int(n%64) + 1, C: int(c) + 1, K: int(k) + 1,
+			H: int(hw%128) + 8, W: int(hw%128) + 8,
+			R: int(rs%5) + 1, S: int(rs%5) + 1,
+			StrideH: 1, StrideW: 1, PadH: 0, PadW: 0, DType: tensor.Float32,
+		}
+		if ImplicitGEMM.Workspace(g, Fwd) != 0 {
+			return false
+		}
+		for _, a := range Algos() {
+			for _, dir := range []Direction{Fwd, BwdData, BwdFilter} {
+				if a.Workspace(g, dir) < 0 {
+					return false
+				}
+			}
+		}
+		return maxAlgoWorkspace(g, Fwd) >= GEMM.Workspace(g, Fwd)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFFTAdvantageGrowsWithFilter(t *testing.T) {
+	spec := gpu.TitanX()
+	mk := func(r int) ConvGeom {
+		return ConvGeom{N: 64, C: 64, H: 56, W: 56, K: 64, R: r, S: r,
+			StrideH: 1, StrideW: 1, PadH: r / 2, PadW: r / 2, DType: tensor.Float32}
+	}
+	speedup := func(r int) float64 {
+		g := mk(r)
+		return float64(ConvCost(spec, g, ImplicitGEMM, Fwd).Dur) /
+			float64(ConvCost(spec, g, FFT, Fwd).Dur)
+	}
+	if s3, s5 := speedup(3), speedup(5); s5 <= s3 {
+		t.Fatalf("FFT advantage should grow with filter size: 3x3=%.2f 5x5=%.2f", s3, s5)
+	}
+}

@@ -1,0 +1,55 @@
+package cudnnsim
+
+import (
+	"sort"
+
+	"vdnn/internal/gpu"
+	"vdnn/internal/sim"
+)
+
+// AlgoPerf is one entry of the profiling result, mirroring cudnnAlgoPerf_t:
+// the algorithm, its measured execution time, and its workspace requirement.
+type AlgoPerf struct {
+	Algo      ConvAlgo
+	Time      sim.Time
+	Workspace int64
+}
+
+// FindConvAlgorithms mirrors cudnnFindConvolution*AlgorithmEx: it evaluates
+// every algorithm supported for the geometry and direction and returns them
+// sorted fastest-first, excluding algorithms whose workspace exceeds
+// wsLimit (pass wsLimit < 0 for no limit). Frameworks call this during
+// their startup profiling stage; the dynamic vDNN policy calls it with the
+// pool's available memory as the limit (Section III-C).
+func FindConvAlgorithms(spec gpu.Spec, g ConvGeom, dir Direction, wsLimit int64) []AlgoPerf {
+	var out []AlgoPerf
+	for _, a := range Algos() {
+		if !a.Supported(g, dir) {
+			continue
+		}
+		ws := a.Workspace(g, dir)
+		if wsLimit >= 0 && ws > wsLimit {
+			continue
+		}
+		out = append(out, AlgoPerf{Algo: a, Time: ConvCost(spec, g, a, dir).Dur, Workspace: ws})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Time != out[j].Time {
+			return out[i].Time < out[j].Time
+		}
+		return out[i].Workspace < out[j].Workspace // break ties toward less memory
+	})
+	return out
+}
+
+// FastestAlgo returns the performance-optimal algorithm under a workspace
+// limit. The memory-optimal choice is always ImplicitGEMM (zero workspace),
+// so the result list is never empty for a valid geometry.
+func FastestAlgo(spec gpu.Spec, g ConvGeom, dir Direction, wsLimit int64) AlgoPerf {
+	perfs := FindConvAlgorithms(spec, g, dir, wsLimit)
+	if len(perfs) == 0 {
+		// Even a zero workspace limit admits implicit GEMM.
+		return AlgoPerf{Algo: ImplicitGEMM, Time: ConvCost(spec, g, ImplicitGEMM, dir).Dur}
+	}
+	return perfs[0]
+}

@@ -1,0 +1,117 @@
+package figures
+
+import (
+	"fmt"
+
+	"vdnn/internal/core"
+	"vdnn/internal/dnn"
+	"vdnn/internal/gpu"
+	"vdnn/internal/networks"
+	"vdnn/internal/report"
+	"vdnn/internal/tensor"
+)
+
+// CaseStudyMultiGPU quantifies the alternative the paper's introduction
+// names: instead of virtualizing memory, "parallelize the DNN across
+// multiple GPUs" — Simonyan & Zisserman trained VGG-16 (256) as 4x
+// VGG-16 (64), one per GPU. This table compares that data-parallel setup
+// (per-iteration gradient all-reduce over PCIe included) against a single
+// vDNN GPU running the full batch.
+func (s *Suite) CaseStudyMultiGPU() *report.Table {
+	n64 := s.net(func() *dnn.Network { return networks.VGG16(64) }, "vgg16-64")
+	n256 := s.net(func() *dnn.Network { return networks.VGG16(256) }, "vgg16-256")
+
+	// 4-GPU data parallel: each GPU runs batch 64 under the baseline, then a
+	// ring all-reduce exchanges the weight gradients: 2*(N-1)/N of the model
+	// per GPU over the 12.8 GB/s link.
+	const gpus = 4
+	per := s.Run(n64, s.cfg(core.Baseline, core.PerfOptimal))
+	gradBytes := float64(n64.TotalWeightBytes())
+	allreduce := 2 * float64(gpus-1) / float64(gpus) * gradBytes / float64(s.Spec.Link.EffBps) * 1e9 // ns
+	dpIter := float64(per.IterTime) + allreduce
+
+	// 1 GPU with vDNN-dyn on the full batch.
+	dyn := s.Run(n256, s.cfg(core.VDNNDyn, 0))
+
+	imgsPerSec := func(batch int, iterNs float64) float64 { return float64(batch) / (iterNs / 1e9) }
+	dpThroughput := imgsPerSec(256, dpIter)
+	vdnnThroughput := imgsPerSec(256, float64(dyn.IterTime))
+
+	t := report.NewTable("Case study — 4-GPU data parallelism vs one vDNN GPU (VGG-16, effective batch 256)",
+		"setup", "GPUs", "iteration (ms)", "images/s", "images/s/GPU", "GPU memory each")
+	t.AddRow("4x baseline (batch 64 each) + all-reduce", fmt.Sprintf("%d", gpus),
+		report.FmtMs(int64(dpIter)), fmt.Sprintf("%.0f", dpThroughput),
+		fmt.Sprintf("%.0f", dpThroughput/gpus), report.FmtMiB(per.MaxUsage)+" MB")
+	t.AddRow("1x vDNN-dyn (batch 256)", "1",
+		report.FmtMs(int64(dyn.IterTime)), fmt.Sprintf("%.0f", vdnnThroughput),
+		fmt.Sprintf("%.0f", vdnnThroughput), report.FmtMiB(dyn.MaxUsage)+" MB")
+	t.AddNote("4 GPUs are %.1fx faster in aggregate; per GPU, vDNN delivers %.1fx their throughput on one card",
+		dpThroughput/vdnnThroughput, vdnnThroughput/(dpThroughput/gpus))
+	return t
+}
+
+// CaseStudyPrecision is a reduced-precision what-if (the paper's related
+// work, Section VI, positions precision as an orthogonal memory lever):
+// the same networks with FP16 tensors, halving every feature map, weight
+// and workspace.
+func (s *Suite) CaseStudyPrecision() *report.Table {
+	t := report.NewTable("Case study — FP32 vs FP16 storage (baseline(p) demand and trainability on 12 GB)",
+		"network", "fp32 demand (MB)", "fp32 trains", "fp16 demand (MB)", "fp16 trains", "fp16 + vDNN-dyn")
+	for _, key := range []string{"vgg16-128", "vgg16-256", "vgg416"} {
+		var n *dnn.Network
+		switch key {
+		case "vgg16-128":
+			n = s.net(func() *dnn.Network { return networks.VGG16(128) }, key)
+		case "vgg16-256":
+			n = s.net(func() *dnn.Network { return networks.VGG16(256) }, key)
+		default:
+			n = s.net(func() *dnn.Network { return networks.VGGDeep(416, 32) }, key)
+		}
+		h := s.net(func() *dnn.Network { return n.WithDType(tensor.Float16) }, key+"-fp16")
+		f32 := s.Run(n, s.cfg(core.Baseline, core.PerfOptimal))
+		f16 := s.Run(h, s.cfg(core.Baseline, core.PerfOptimal))
+		dyn16 := s.Run(h, s.cfg(core.VDNNDyn, 0))
+		t.AddRow(n.Name,
+			report.FmtMiB(f32.TotalMaxUsage()), yesNo(f32.Trainable),
+			report.FmtMiB(f16.TotalMaxUsage()), yesNo(f16.Trainable),
+			yesNo(dyn16.Trainable))
+	}
+	t.AddNote("halving precision alone does not fit the very deep networks; vDNN composes with it")
+	return t
+}
+
+// CaseStudyResNet applies vDNN to the ">100 convolutional layers" ImageNet
+// winner the paper's introduction anticipates (ResNet, He et al. [15]):
+// batch-size scaling of ResNet-152 on the 12 GB Titan X.
+func (s *Suite) CaseStudyResNet() *report.Table {
+	t := report.NewTable("Case study — ResNet-152 on 12 GB (the paper's anticipated >100-layer winner)",
+		"batch", "base(p) demand (MB)", "base(p)", "vDNN-dyn", "dyn max (MB)", "dyn vs oracle")
+	for _, batch := range []int{16, 32, 64, 128} {
+		n := s.net(func() *dnn.Network { return networks.ResNet152(batch) }, fmt.Sprintf("resnet152-%d", batch))
+		base := s.Run(n, s.cfg(core.Baseline, core.PerfOptimal))
+		dyn := s.Run(n, s.cfg(core.VDNNDyn, 0))
+		oracle := s.oracleBaseline(n)
+		t.AddRow(fmt.Sprintf("%d", batch),
+			report.FmtMiB(base.TotalMaxUsage()), yesNo(base.Trainable), yesNo(dyn.Trainable),
+			report.FmtMiB(dyn.MaxUsage),
+			fmt.Sprintf("%.2f", float64(oracle.FETime)/float64(dyn.FETime)))
+	}
+	t.AddNote("residual joins share gradients through the add (dnn.Tensor.GradShare); BN layers are vDNN-managed like any non-in-place layer")
+	return t
+}
+
+// CaseStudyDevices runs the headline workload across GPU generations,
+// showing where vDNN's trainability benefit lands on each.
+func (s *Suite) CaseStudyDevices() *report.Table {
+	n := s.net(func() *dnn.Network { return networks.VGG16(256) }, "vgg16-256")
+	t := report.NewTable("Case study — VGG-16 (256) across devices",
+		"device", "memory", "base(p)", "vDNN-dyn", "dyn iteration (ms)")
+	for _, spec := range []gpu.Spec{gpu.TeslaK40(), gpu.GTX980(), gpu.TitanX(), gpu.TitanXNVLink(), gpu.PascalP100()} {
+		base := s.Run(n, core.Config{Spec: spec, Policy: core.Baseline, Algo: core.PerfOptimal})
+		dyn := s.Run(n, core.Config{Spec: spec, Policy: core.VDNNDyn})
+		t.AddRow(spec.Name, fmt.Sprintf("%d GB", spec.MemBytes>>30),
+			yesNo(base.Trainable), yesNo(dyn.Trainable), report.FmtMs(int64(dyn.IterTime)))
+	}
+	t.AddNote("vDNN's profiling adapts the offload set and algorithms to each device's capacity and link")
+	return t
+}

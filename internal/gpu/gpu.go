@@ -1,0 +1,234 @@
+// Package gpu models the GPU device vDNN runs on: a serial compute engine
+// (the SM array, which DNN kernels saturate one at a time due to layer-wise
+// dependencies), two DMA copy engines (Maxwell GM200 has independent D2H and
+// H2D engines, which is what lets offload and prefetch overlap with
+// compute), device DRAM capacity and bandwidth, and a power model.
+package gpu
+
+import (
+	"fmt"
+
+	"vdnn/internal/pcie"
+	"vdnn/internal/sim"
+)
+
+// Spec is a GPU hardware description. All cost models are parameterized on
+// it so "what-if" devices (more memory, NVLINK, ...) are one literal away.
+type Spec struct {
+	Name string
+
+	PeakFlops float64 // single-precision FLOP/s
+	DRAMBps   float64 // peak DRAM bandwidth, bytes/s
+	// EffDRAMFrac is the fraction of peak DRAM bandwidth streaming kernels
+	// achieve in practice (copy/transform kernels never hit theoretical peak).
+	EffDRAMFrac float64
+
+	MemBytes      int64 // physical device memory
+	ReservedBytes int64 // CUDA context + cuDNN handle + driver reservation
+	L2Bytes       int64 // last-level cache, used by the DRAM-traffic model
+
+	Link pcie.Link // host interconnect
+
+	LaunchOverhead sim.Time // host cost of one async launch
+	SyncOverhead   sim.Time // host cost of one blocking synchronization
+
+	Power PowerParams
+}
+
+// PowerParams is a linear power model: idle floor, a compute-engine term, a
+// DRAM term proportional to achieved bandwidth, and a per-active-copy-engine
+// term. Calibrated so a fully busy Titan X sits near its 250 W TDP.
+type PowerParams struct {
+	IdleW    float64 // board power with an active CUDA context, no work
+	ComputeW float64 // added when the compute engine is busy
+	DRAMW    float64 // added at 100% of peak DRAM bandwidth, scaled linearly
+	CopyW    float64 // added per busy copy engine
+}
+
+// TitanX returns the paper's evaluation platform: NVIDIA GeForce GTX Titan X
+// (Maxwell GM200): 7 TFLOPS single precision, 336 GB/s, 12 GB, PCIe gen3.
+func TitanX() Spec {
+	return Spec{
+		Name:          "NVIDIA Titan X (Maxwell)",
+		PeakFlops:     7e12,
+		DRAMBps:       336e9,
+		EffDRAMFrac:   0.85,
+		MemBytes:      12 << 30,
+		ReservedBytes: 0, // the paper sizes the cnmem pool to the full physical capacity
+
+		L2Bytes:        3 << 20,
+		Link:           pcie.Gen3x16(),
+		LaunchOverhead: 5 * sim.Microsecond,
+		SyncOverhead:   10 * sim.Microsecond,
+		Power: PowerParams{
+			IdleW:    80,
+			ComputeW: 140,
+			DRAMW:    45,
+			CopyW:    8,
+		},
+	}
+}
+
+// TitanXNVLink is a what-if Titan X with an NVLINK-class interconnect
+// (the paper points at NVLINK as the successor link, Section III-A).
+func TitanXNVLink() Spec {
+	s := TitanX()
+	s.Name = "Titan X + NVLINK 1.0"
+	s.Link = pcie.NVLink1()
+	return s
+}
+
+// GTX980 is the previous-generation Maxwell card (GM204): less compute,
+// less bandwidth, and only 4 GB — a device where vDNN matters even for the
+// smaller benchmark networks.
+func GTX980() Spec {
+	s := TitanX()
+	s.Name = "NVIDIA GTX 980"
+	s.PeakFlops = 4.6e12
+	s.DRAMBps = 224e9
+	s.MemBytes = 4 << 30
+	s.L2Bytes = 2 << 20
+	s.Power = PowerParams{IdleW: 60, ComputeW: 100, DRAMW: 35, CopyW: 8}
+	return s
+}
+
+// TeslaK40 is the Kepler-generation compute card the field trained on
+// before Maxwell: 12 GB but far less compute throughput.
+func TeslaK40() Spec {
+	s := TitanX()
+	s.Name = "NVIDIA Tesla K40"
+	s.PeakFlops = 4.29e12
+	s.DRAMBps = 288e9
+	s.MemBytes = 12 << 30
+	s.Power = PowerParams{IdleW: 66, ComputeW: 120, DRAMW: 40, CopyW: 8}
+	return s
+}
+
+// PascalP100 is a forward-looking device for what-if sweeps: more compute,
+// HBM2 bandwidth, 16 GB, and an NVLINK host interconnect.
+func PascalP100() Spec {
+	s := TitanX()
+	s.Name = "NVIDIA P100 (NVLINK)"
+	s.PeakFlops = 10.6e12
+	s.DRAMBps = 732e9
+	s.MemBytes = 16 << 30
+	s.L2Bytes = 4 << 20
+	s.Link = pcie.NVLink1()
+	s.Power = PowerParams{IdleW: 90, ComputeW: 160, DRAMW: 40, CopyW: 8}
+	return s
+}
+
+// WithMemory returns the spec with a different physical memory size; used by
+// the capacity-sweep ablation.
+func (s Spec) WithMemory(bytes int64) Spec {
+	s.MemBytes = bytes
+	return s
+}
+
+// PoolBytes is the device memory available to the framework's memory pool:
+// physical capacity minus the driver/runtime reservation. vDNN sizes its
+// cnmem pool to this value at startup (Section III-B).
+func (s Spec) PoolBytes() int64 { return s.MemBytes - s.ReservedBytes }
+
+// EffDRAMBps is the achievable DRAM bandwidth for streaming kernels.
+func (s Spec) EffDRAMBps() float64 { return s.DRAMBps * s.EffDRAMFrac }
+
+// Validate checks that the spec is physically sensible.
+func (s Spec) Validate() error {
+	if s.PeakFlops <= 0 || s.DRAMBps <= 0 {
+		return fmt.Errorf("gpu: non-positive throughput in %q", s.Name)
+	}
+	if s.EffDRAMFrac <= 0 || s.EffDRAMFrac > 1 {
+		return fmt.Errorf("gpu: EffDRAMFrac %v out of (0,1] in %q", s.EffDRAMFrac, s.Name)
+	}
+	if s.PoolBytes() <= 0 || s.ReservedBytes < 0 {
+		return fmt.Errorf("gpu: reservation exceeds memory in %q", s.Name)
+	}
+	if s.L2Bytes <= 0 {
+		return fmt.Errorf("gpu: non-positive L2 in %q", s.Name)
+	}
+	return s.Link.Validate()
+}
+
+// Device binds a Spec to a simulation timeline with the standard engine and
+// stream layout used by both the baseline and vDNN executors.
+type Device struct {
+	Spec Spec
+	TL   *sim.Timeline
+
+	Compute *sim.Engine // SM array
+	DMADown *sim.Engine // device-to-host copy engine (offload)
+	DMAUp   *sim.Engine // host-to-device copy engine (prefetch)
+
+	StreamCompute *sim.Stream // paper's stream_compute
+	StreamMemory  *sim.Stream // paper's stream_memory
+
+	// UsePageMigration switches host<->device transfers from pinned-memory
+	// DMA to demand paging, reproducing the paper's Section II-C argument
+	// against page-migration-based virtualization.
+	UsePageMigration bool
+}
+
+// TransferTime returns the host<->device transfer latency for n bytes under
+// the device's configured transfer mode.
+func (d *Device) TransferTime(n int64) sim.Time {
+	if d.UsePageMigration {
+		return d.Spec.Link.PageMigrationTime(n)
+	}
+	return d.Spec.Link.DMATime(n)
+}
+
+// NewDevice creates a device and its timeline.
+func NewDevice(spec Spec) *Device {
+	if err := spec.Validate(); err != nil {
+		panic(err)
+	}
+	tl := sim.New(spec.LaunchOverhead, spec.SyncOverhead)
+	return &Device{
+		Spec:          spec,
+		TL:            tl,
+		Compute:       tl.NewEngine("compute"),
+		DMADown:       tl.NewEngine("copyD2H"),
+		DMAUp:         tl.NewEngine("copyH2D"),
+		StreamCompute: tl.NewStream("stream_compute"),
+		StreamMemory:  tl.NewStream("stream_memory"),
+	}
+}
+
+// Kernel issues a compute kernel on stream_compute.
+func (d *Device) Kernel(label string, dur sim.Time, flops, dramBytes int64, deps ...*sim.Op) *sim.Op {
+	return d.TL.Issue(&sim.Op{
+		Label: label, Kind: sim.OpKernel,
+		DurationT: dur, Flops: flops, DRAMBytes: dramBytes,
+	}, d.StreamCompute, d.Compute, deps...)
+}
+
+// Offload issues a D2H transfer of n bytes on stream_memory.
+func (d *Device) Offload(label string, n int64, deps ...*sim.Op) *sim.Op {
+	return d.TL.Issue(&sim.Op{
+		Label: label, Kind: sim.OpCopyD2H,
+		DurationT: d.TransferTime(n), BusBytes: n, DRAMBytes: n,
+	}, d.StreamMemory, d.DMADown, deps...)
+}
+
+// Prefetch issues an H2D transfer of n bytes on stream_memory.
+func (d *Device) Prefetch(label string, n int64, deps ...*sim.Op) *sim.Op {
+	return d.TL.Issue(&sim.Op{
+		Label: label, Kind: sim.OpCopyH2D,
+		DurationT: d.TransferTime(n), BusBytes: n, DRAMBytes: n,
+	}, d.StreamMemory, d.DMAUp, deps...)
+}
+
+// BusTraffic returns total bytes moved over the interconnect, split by
+// direction (offload, prefetch).
+func (d *Device) BusTraffic() (down, up int64) {
+	for _, o := range d.TL.Ops() {
+		switch o.Kind {
+		case sim.OpCopyD2H:
+			down += o.BusBytes
+		case sim.OpCopyH2D:
+			up += o.BusBytes
+		}
+	}
+	return down, up
+}

@@ -1,0 +1,113 @@
+package gpu
+
+import (
+	"sort"
+
+	"vdnn/internal/sim"
+)
+
+// PowerStats summarizes simulated board power over a time window, mirroring
+// what the paper collects with nvprof (Section V-D): the time-weighted
+// average and the instantaneous maximum.
+type PowerStats struct {
+	AvgW float64
+	MaxW float64
+}
+
+// MeasurePower evaluates the device's linear power model over [start, end).
+// The instantaneous power in any interval is determined by which engines are
+// busy and by the achieved DRAM bandwidth of the ops running there, so the
+// measurement sweeps the op boundaries.
+func (d *Device) MeasurePower(start, end sim.Time) PowerStats {
+	if end <= start {
+		return PowerStats{AvgW: d.Spec.Power.IdleW, MaxW: d.Spec.Power.IdleW}
+	}
+	type edge struct {
+		t     sim.Time
+		delta int // +1 op starts, -1 op ends
+		op    *sim.Op
+	}
+	var edges []edge
+	for _, o := range d.TL.Ops() {
+		if o.DurationT == 0 || o.End <= start || o.Start >= end {
+			continue
+		}
+		s, e := o.Start, o.End
+		if s < start {
+			s = start
+		}
+		if e > end {
+			e = end
+		}
+		edges = append(edges, edge{s, +1, o}, edge{e, -1, o})
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].t != edges[j].t {
+			return edges[i].t < edges[j].t
+		}
+		return edges[i].delta < edges[j].delta // process ends before starts at ties
+	})
+
+	p := d.Spec.Power
+	active := map[*sim.Op]bool{}
+	power := func() float64 {
+		w := p.IdleW
+		computeBusy := false
+		var dramBps float64
+		copies := 0
+		for o := range active {
+			switch o.Kind {
+			case sim.OpKernel:
+				computeBusy = true
+			case sim.OpCopyD2H, sim.OpCopyH2D:
+				copies++
+			}
+			if o.DurationT > 0 {
+				dramBps += float64(o.DRAMBytes) / o.DurationT.Seconds()
+			}
+		}
+		if computeBusy {
+			w += p.ComputeW
+		}
+		frac := dramBps / d.Spec.DRAMBps
+		if frac > 1 {
+			frac = 1
+		}
+		w += p.DRAMW * frac
+		w += p.CopyW * float64(copies)
+		return w
+	}
+
+	stats := PowerStats{MaxW: p.IdleW}
+	var energy float64 // watt-seconds
+	cursor := start
+	i := 0
+	for i < len(edges) {
+		t := edges[i].t
+		if t > cursor {
+			w := power()
+			energy += w * (t - cursor).Seconds()
+			if w > stats.MaxW {
+				stats.MaxW = w
+			}
+			cursor = t
+		}
+		for i < len(edges) && edges[i].t == t {
+			if edges[i].delta > 0 {
+				active[edges[i].op] = true
+			} else {
+				delete(active, edges[i].op)
+			}
+			i++
+		}
+	}
+	if cursor < end {
+		w := power()
+		energy += w * (end - cursor).Seconds()
+		if w > stats.MaxW {
+			stats.MaxW = w
+		}
+	}
+	stats.AvgW = energy / (end - start).Seconds()
+	return stats
+}

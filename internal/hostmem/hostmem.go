@@ -1,0 +1,108 @@
+// Package hostmem models host (CPU) memory for vDNN's offload targets.
+// Offload destinations must be page-locked ("pinned") regions allocated with
+// cudaMallocHost so the DMA engines can access them directly (Section
+// III-B); pinning is expensive, so vDNN allocates pinned buffers once, on
+// first use, and reuses them across the millions of training iterations.
+package hostmem
+
+import (
+	"fmt"
+
+	"vdnn/internal/sim"
+)
+
+// Host models the host DRAM of the evaluation node (64 GB DDR4 on the
+// paper's i7-5930K testbed).
+type Host struct {
+	capacity int64
+	pinned   int64
+	pageable int64
+	peak     int64
+
+	// PinCostPerGB is the one-time cost of cudaMallocHost per byte, modeling
+	// page-locking overhead. Charged by the executor on first allocation only.
+	PinCostPerGB sim.Time
+}
+
+// Region is one host allocation.
+type Region struct {
+	Size   int64
+	Pinned bool
+	Label  string
+	freed  bool
+}
+
+// New creates a host with the given DRAM capacity.
+func New(capacity int64) *Host {
+	if capacity <= 0 {
+		panic("hostmem: non-positive capacity")
+	}
+	return &Host{capacity: capacity, PinCostPerGB: 200 * sim.Millisecond}
+}
+
+// Standard64GB returns the paper's host: 64 GB of DDR4.
+func Standard64GB() *Host { return New(64 << 30) }
+
+// Capacity returns total host DRAM.
+func (h *Host) Capacity() int64 { return h.capacity }
+
+// PinnedBytes returns currently pinned bytes.
+func (h *Host) PinnedBytes() int64 { return h.pinned }
+
+// PageableBytes returns current pageable allocations.
+func (h *Host) PageableBytes() int64 { return h.pageable }
+
+// TotalBytes returns all current host allocations.
+func (h *Host) TotalBytes() int64 { return h.pinned + h.pageable }
+
+// Peak returns the maximum concurrent host allocation seen.
+func (h *Host) Peak() int64 { return h.peak }
+
+// AllocPinned reserves a pinned region (cudaMallocHost) and returns it with
+// the simulated cost of the pinning operation.
+func (h *Host) AllocPinned(size int64, label string) (*Region, sim.Time, error) {
+	if size <= 0 {
+		return nil, 0, fmt.Errorf("hostmem: non-positive pinned allocation %d for %q", size, label)
+	}
+	if h.TotalBytes()+size > h.capacity {
+		return nil, 0, fmt.Errorf("hostmem: out of host memory allocating %d for %q (used %d of %d)",
+			size, label, h.TotalBytes(), h.capacity)
+	}
+	h.pinned += size
+	if h.TotalBytes() > h.peak {
+		h.peak = h.TotalBytes()
+	}
+	cost := sim.Time(float64(h.PinCostPerGB) * float64(size) / float64(1<<30))
+	return &Region{Size: size, Pinned: true, Label: label}, cost, nil
+}
+
+// AllocPageable reserves ordinary host memory (malloc).
+func (h *Host) AllocPageable(size int64, label string) (*Region, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("hostmem: non-positive allocation %d for %q", size, label)
+	}
+	if h.TotalBytes()+size > h.capacity {
+		return nil, fmt.Errorf("hostmem: out of host memory allocating %d for %q", size, label)
+	}
+	h.pageable += size
+	if h.TotalBytes() > h.peak {
+		h.peak = h.TotalBytes()
+	}
+	return &Region{Size: size, Pinned: false, Label: label}, nil
+}
+
+// Free releases a region. Double frees panic.
+func (h *Host) Free(r *Region) {
+	if r == nil {
+		return
+	}
+	if r.freed {
+		panic(fmt.Sprintf("hostmem: double free of %q", r.Label))
+	}
+	r.freed = true
+	if r.Pinned {
+		h.pinned -= r.Size
+	} else {
+		h.pageable -= r.Size
+	}
+}

@@ -1,0 +1,122 @@
+package hostmem
+
+import (
+	"testing"
+
+	"vdnn/internal/sim"
+)
+
+func TestAllocPinned(t *testing.T) {
+	h := Standard64GB()
+	if h.Capacity() != 64<<30 {
+		t.Fatalf("capacity = %d", h.Capacity())
+	}
+	r, cost, err := h.AllocPinned(1<<30, "offload-x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Pinned || r.Size != 1<<30 {
+		t.Fatalf("bad region %+v", r)
+	}
+	if h.PinnedBytes() != 1<<30 || h.TotalBytes() != 1<<30 {
+		t.Fatalf("accounting wrong: pinned=%d total=%d", h.PinnedBytes(), h.TotalBytes())
+	}
+	// Pinning 1 GB should cost on the order of the configured per-GB cost.
+	if cost != 200*sim.Millisecond {
+		t.Fatalf("pin cost = %v, want 200ms", cost)
+	}
+	h.Free(r)
+	if h.TotalBytes() != 0 {
+		t.Fatal("free did not release")
+	}
+	if h.Peak() != 1<<30 {
+		t.Fatalf("peak = %d, want 1 GiB", h.Peak())
+	}
+}
+
+func TestAllocPageable(t *testing.T) {
+	h := New(1 << 30)
+	r, err := h.AllocPageable(100<<20, "scratch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Pinned {
+		t.Fatal("pageable region marked pinned")
+	}
+	if h.PageableBytes() != 100<<20 {
+		t.Fatalf("pageable = %d", h.PageableBytes())
+	}
+	h.Free(r)
+	if h.PageableBytes() != 0 {
+		t.Fatal("free did not release")
+	}
+}
+
+func TestHostOOM(t *testing.T) {
+	h := New(1 << 20)
+	if _, _, err := h.AllocPinned(2<<20, "big"); err == nil {
+		t.Fatal("expected host OOM")
+	}
+	if _, err := h.AllocPageable(2<<20, "big"); err == nil {
+		t.Fatal("expected host OOM")
+	}
+	// Mixed usage counts toward the same capacity.
+	if _, _, err := h.AllocPinned(1<<19, "a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.AllocPageable(1<<19, "b"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.AllocPageable(1, "c"); err == nil {
+		t.Fatal("expected OOM when full")
+	}
+}
+
+func TestBadSizes(t *testing.T) {
+	h := New(1 << 20)
+	if _, _, err := h.AllocPinned(0, "zero"); err == nil {
+		t.Fatal("zero pinned alloc should fail")
+	}
+	if _, err := h.AllocPageable(-5, "neg"); err == nil {
+		t.Fatal("negative pageable alloc should fail")
+	}
+}
+
+func TestDoubleFreePanics(t *testing.T) {
+	h := New(1 << 20)
+	r, _, _ := h.AllocPinned(512, "x")
+	h.Free(r)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double free did not panic")
+		}
+	}()
+	h.Free(r)
+}
+
+func TestFreeNil(t *testing.T) {
+	h := New(1 << 20)
+	h.Free(nil) // must not panic
+}
+
+func TestPeakTracksMixed(t *testing.T) {
+	h := New(1 << 30)
+	a, _, _ := h.AllocPinned(400<<20, "a")
+	b, _ := h.AllocPageable(200<<20, "b")
+	h.Free(a)
+	c, _, _ := h.AllocPinned(100<<20, "c")
+	_ = b
+	_ = c
+	if h.Peak() != 600<<20 {
+		t.Fatalf("peak = %d, want 600 MiB", h.Peak())
+	}
+}
+
+func TestNonPositiveCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(-1) did not panic")
+		}
+	}()
+	New(-1)
+}

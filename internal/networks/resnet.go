@@ -1,0 +1,79 @@
+package networks
+
+import (
+	"fmt"
+
+	"vdnn/internal/dnn"
+	"vdnn/internal/tensor"
+)
+
+// Residual networks — the "more than a hundred convolutional layers"
+// ImageNet winner the paper's introduction anticipates (He et al. [15]).
+// ResNets exercise the graph machinery differently from GoogLeNet: skip
+// connections join by elementwise addition, whose backward pass distributes
+// the output gradient to both branches as views (dnn.Tensor.GradShare), and
+// every convolution is followed by batch normalization.
+
+// bottleneck appends one ResNet bottleneck block: 1x1 reduce, 3x3, 1x1
+// expand (each with BN), a projection shortcut when the shape changes, and
+// the residual addition.
+func bottleneck(b *dnn.Builder, name string, x *dnn.Tensor, mid, out, stride int) *dnn.Tensor {
+	identity := x
+	if stride != 1 || x.Shape.C != out {
+		identity = b.Conv(x, name+"/ds_conv", out, 1, stride, 0)
+		identity = b.BatchNormLayer(identity, name+"/ds_bn")
+	}
+	y := b.Conv(x, name+"/conv1", mid, 1, stride, 0)
+	y = b.BatchNormLayer(y, name+"/bn1")
+	y = b.ReLU(y, name+"/relu1")
+	y = b.Conv(y, name+"/conv2", mid, 3, 1, 1)
+	y = b.BatchNormLayer(y, name+"/bn2")
+	y = b.ReLU(y, name+"/relu2")
+	y = b.Conv(y, name+"/conv3", out, 1, 1, 0)
+	y = b.BatchNormLayer(y, name+"/bn3")
+	y = b.AddJoin(name+"/add", identity, y)
+	y = b.ReLU(y, name+"/relu_out")
+	return y
+}
+
+// resnet builds a bottleneck ResNet with the given per-stage block counts.
+func resnet(name string, batch int, blocks [4]int) *dnn.Network {
+	b := dnn.NewBuilder(name, batch, tensor.Float32)
+	x := b.Input(3, 224, 224)
+	x = b.Conv(x, "conv1", 64, 7, 2, 3)
+	x = b.BatchNormLayer(x, "bn1")
+	x = b.ReLU(x, "relu1")
+	x = b.MaxPool(x, "pool1", 3, 2, 1)
+
+	mids := [4]int{64, 128, 256, 512}
+	outs := [4]int{256, 512, 1024, 2048}
+	for stage := 0; stage < 4; stage++ {
+		for i := 0; i < blocks[stage]; i++ {
+			stride := 1
+			if i == 0 && stage > 0 {
+				stride = 2
+			}
+			x = bottleneck(b, fmt.Sprintf("c%d_%d", stage+2, i+1), x, mids[stage], outs[stage], stride)
+		}
+	}
+	x = b.AvgPool(x, "avgpool", 7, 1, 0)
+	x = b.FC(x, "fc", 1000)
+	b.SoftmaxLoss(x, "loss")
+	return b.MustFinalize()
+}
+
+// ResNet50 builds ResNet-50 (3+4+6+3 bottleneck blocks).
+func ResNet50(batch int) *dnn.Network {
+	return resnet(fmt.Sprintf("ResNet-50 (%d)", batch), batch, [4]int{3, 4, 6, 3})
+}
+
+// ResNet101 builds ResNet-101 (3+4+23+3 bottleneck blocks).
+func ResNet101(batch int) *dnn.Network {
+	return resnet(fmt.Sprintf("ResNet-101 (%d)", batch), batch, [4]int{3, 4, 23, 3})
+}
+
+// ResNet152 builds ResNet-152 (3+8+36+3 bottleneck blocks) — the
+// 151-convolution ImageNet winner contemporary with the paper.
+func ResNet152(batch int) *dnn.Network {
+	return resnet(fmt.Sprintf("ResNet-152 (%d)", batch), batch, [4]int{3, 8, 36, 3})
+}

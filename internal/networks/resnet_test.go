@@ -1,0 +1,83 @@
+package networks
+
+import (
+	"testing"
+
+	"vdnn/internal/dnn"
+)
+
+func TestResNet50Shapes(t *testing.T) {
+	n := ResNet50(64)
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s := n.Summary()
+	// 1 stem + 16 blocks x 3 + 4 projection shortcuts = 53 convolutions.
+	if s.ConvLayers != 53 {
+		t.Fatalf("ResNet-50 conv layers = %d, want 53", s.ConvLayers)
+	}
+	// ~25.6M params plus BN running statistics.
+	params := n.TotalWeightBytes() / 4
+	if params < 24e6 || params > 28e6 {
+		t.Fatalf("ResNet-50 params = %d, want ~25.6M", params)
+	}
+	// Stage output shapes: 56 -> 28 -> 14 -> 7 with 256..2048 channels.
+	want := map[string][2]int{
+		"c2_3/relu_out": {256, 56}, "c3_4/relu_out": {512, 28},
+		"c4_6/relu_out": {1024, 14}, "c5_3/relu_out": {2048, 7},
+	}
+	for _, l := range n.Layers {
+		if w, ok := want[l.Name]; ok {
+			if l.Output.Shape.C != w[0] || l.Output.Shape.H != w[1] {
+				t.Errorf("%s: %v, want %dx%d", l.Name, l.Output.Shape, w[0], w[1])
+			}
+		}
+	}
+}
+
+func TestResNetDepths(t *testing.T) {
+	if got := ResNet101(16).Summary().ConvLayers; got != 104 {
+		t.Fatalf("ResNet-101 convs = %d, want 104", got)
+	}
+	// ResNet-152: 1 + 50*3 + 4 = 155 convolutions.
+	if got := ResNet152(16).Summary().ConvLayers; got != 155 {
+		t.Fatalf("ResNet-152 convs = %d, want 155", got)
+	}
+}
+
+func TestResNetGradSharing(t *testing.T) {
+	n := ResNet50(16)
+	// Every Add input shares its gradient with the add output.
+	adds := 0
+	for _, l := range n.Layers {
+		if l.Kind != dnn.Add {
+			continue
+		}
+		adds++
+		for _, in := range l.Inputs {
+			if dnn.GradRoot(in) == in {
+				t.Fatalf("%s: input fm%d not gradient-shared", l.Name, in.ID)
+			}
+		}
+	}
+	if adds != 16 {
+		t.Fatalf("ResNet-50 add joins = %d, want 16", adds)
+	}
+	// The gradient plan must remain consistent despite the shared chains.
+	plan := dnn.PlanGradientSlots(n)
+	if err := dnn.VerifyGradPlan(plan); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResNetByName(t *testing.T) {
+	for _, name := range []string{"resnet50", "resnet101", "resnet152"} {
+		n, err := ByName(name, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := n.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}

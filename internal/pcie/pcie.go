@@ -1,0 +1,102 @@
+// Package pcie models the system interconnect between CPU and GPU memory.
+// vDNN's offload and prefetch costs are dominated by this link, and the
+// paper's argument against page-migration-based virtualization (Section
+// II-C) is a bandwidth argument, so both transfer modes are modeled:
+//
+//   - DMA: cudaMemcpyAsync on pinned memory. The paper measures an average
+//     12.8 GB/s out of the 16 GB/s PCIe gen3 x16 peak.
+//   - Page migration: demand paging at 4 KB granularity, 20-50 us per page
+//     (interrupts, page-table and TLB updates), i.e. 80-200 MB/s.
+package pcie
+
+import (
+	"fmt"
+
+	"vdnn/internal/sim"
+)
+
+// Link describes one direction-agnostic interconnect between host and device.
+type Link struct {
+	Name        string
+	PeakBps     int64    // advertised peak, bytes/sec
+	EffBps      int64    // achieved DMA bandwidth, bytes/sec
+	DMASetup    sim.Time // per-transfer setup latency (driver + DMA engine)
+	PageLatency sim.Time // per-page cost in page-migration mode
+	PageSize    int64    // migration granularity, bytes
+}
+
+// Gen3x16 is the paper's interconnect: PCIe gen3 x16 between a Titan X and
+// an i7-5930K host. Effective DMA bandwidth is the measured 12.8 GB/s.
+func Gen3x16() Link {
+	return Link{
+		Name:        "PCIe gen3 x16",
+		PeakBps:     16e9,
+		EffBps:      12.8e9,
+		DMASetup:    25 * sim.Microsecond,
+		PageLatency: 35 * sim.Microsecond, // middle of the paper's 20-50 us
+		PageSize:    4 << 10,
+	}
+}
+
+// Gen2x16 halves gen3 bandwidth; used in interconnect sweeps.
+func Gen2x16() Link {
+	l := Gen3x16()
+	l.Name = "PCIe gen2 x16"
+	l.PeakBps = 8e9
+	l.EffBps = 6.4e9
+	return l
+}
+
+// NVLink1 models a first-generation NVLINK link (the paper names NVLINK as
+// the natural successor interconnect, Section III-A).
+func NVLink1() Link {
+	return Link{
+		Name:        "NVLINK 1.0",
+		PeakBps:     40e9,
+		EffBps:      35e9,
+		DMASetup:    10 * sim.Microsecond,
+		PageLatency: 20 * sim.Microsecond,
+		PageSize:    4 << 10,
+	}
+}
+
+// Validate reports whether the link parameters are self-consistent.
+func (l Link) Validate() error {
+	if l.EffBps <= 0 || l.PeakBps <= 0 {
+		return fmt.Errorf("pcie: non-positive bandwidth on %q", l.Name)
+	}
+	if l.EffBps > l.PeakBps {
+		return fmt.Errorf("pcie: effective bandwidth %d exceeds peak %d on %q", l.EffBps, l.PeakBps, l.Name)
+	}
+	if l.PageSize <= 0 {
+		return fmt.Errorf("pcie: non-positive page size on %q", l.Name)
+	}
+	return nil
+}
+
+// DMATime returns the latency of a DMA transfer of n bytes (either
+// direction; PCIe is full duplex so directions do not contend).
+func (l Link) DMATime(n int64) sim.Time {
+	if n < 0 {
+		panic("pcie: negative transfer size")
+	}
+	if n == 0 {
+		return 0
+	}
+	return l.DMASetup + sim.Time(float64(n)/float64(l.EffBps)*1e9)
+}
+
+// PageMigrationTime returns the latency of moving n bytes by demand paging.
+func (l Link) PageMigrationTime(n int64) sim.Time {
+	if n < 0 {
+		panic("pcie: negative transfer size")
+	}
+	pages := (n + l.PageSize - 1) / l.PageSize
+	return sim.Time(pages) * l.PageLatency
+}
+
+// PageMigrationBps returns the effective bandwidth of page migration, used
+// to reproduce the paper's 80-200 MB/s observation.
+func (l Link) PageMigrationBps() float64 {
+	return float64(l.PageSize) / l.PageLatency.Seconds()
+}

@@ -1,0 +1,121 @@
+package pcie
+
+import (
+	"testing"
+	"testing/quick"
+
+	"vdnn/internal/sim"
+)
+
+func TestLinksValidate(t *testing.T) {
+	for _, l := range []Link{Gen3x16(), Gen2x16(), NVLink1()} {
+		if err := l.Validate(); err != nil {
+			t.Errorf("%s: %v", l.Name, err)
+		}
+	}
+}
+
+func TestValidateCatchesBadLinks(t *testing.T) {
+	bad := []Link{
+		{Name: "zero bw", PeakBps: 1, EffBps: 0, PageSize: 4096},
+		{Name: "eff>peak", PeakBps: 1e9, EffBps: 2e9, PageSize: 4096},
+		{Name: "no page", PeakBps: 1e9, EffBps: 1e9, PageSize: 0},
+	}
+	for _, l := range bad {
+		if err := l.Validate(); err == nil {
+			t.Errorf("%s: Validate passed, want error", l.Name)
+		}
+	}
+}
+
+func TestDMATimeMatchesPaperNumbers(t *testing.T) {
+	l := Gen3x16()
+	// 1 GB at 12.8 GB/s is ~78 ms; the setup latency is negligible at this size.
+	got := l.DMATime(1 << 30).Msec()
+	if got < 78 || got > 90 {
+		t.Fatalf("1 GiB DMA = %.2f ms, want ~84 ms", got)
+	}
+	// Zero-size transfers are free.
+	if l.DMATime(0) != 0 {
+		t.Fatal("zero transfer should be free")
+	}
+	// Small transfers are latency-dominated.
+	if small := l.DMATime(4 << 10); small < l.DMASetup {
+		t.Fatalf("small transfer %v below setup latency %v", small, l.DMASetup)
+	}
+}
+
+func TestPageMigrationBandwidthBand(t *testing.T) {
+	// The paper (citing Zheng et al.) reports 80-200 MB/s for page migration.
+	bps := Gen3x16().PageMigrationBps()
+	if bps < 80e6 || bps > 200e6 {
+		t.Fatalf("page migration bw = %.0f MB/s, want within [80,200] MB/s", bps/1e6)
+	}
+	// DMA must dominate page migration by roughly two orders of magnitude.
+	ratio := float64(Gen3x16().EffBps) / bps
+	if ratio < 50 || ratio > 200 {
+		t.Fatalf("DMA/page-migration ratio = %.0f, want ~100x", ratio)
+	}
+}
+
+func TestPageMigrationRoundsUpToPages(t *testing.T) {
+	l := Gen3x16()
+	if l.PageMigrationTime(1) != l.PageLatency {
+		t.Fatal("sub-page transfer should cost one page")
+	}
+	if l.PageMigrationTime(l.PageSize+1) != 2*l.PageLatency {
+		t.Fatal("page+1 bytes should cost two pages")
+	}
+	if l.PageMigrationTime(0) != 0 {
+		t.Fatal("zero bytes should cost nothing")
+	}
+}
+
+func TestNVLinkFasterThanPCIe(t *testing.T) {
+	n := int64(1 << 30)
+	if NVLink1().DMATime(n) >= Gen3x16().DMATime(n) {
+		t.Fatal("NVLink should beat PCIe gen3")
+	}
+	if Gen3x16().DMATime(n) >= Gen2x16().DMATime(n) {
+		t.Fatal("gen3 should beat gen2")
+	}
+}
+
+func TestNegativeSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on negative size")
+		}
+	}()
+	Gen3x16().DMATime(-1)
+}
+
+// Properties: DMA time is monotone and superadditive-resistant (splitting a
+// transfer only adds setup latency).
+func TestDMATimeProperties(t *testing.T) {
+	l := Gen3x16()
+	f := func(a, b uint32) bool {
+		x, y := int64(a), int64(b)
+		mono := l.DMATime(x+y) >= l.DMATime(x)
+		split := l.DMATime(x)+l.DMATime(y) >= l.DMATime(x+y)
+		pm := l.PageMigrationTime(x) >= l.DMATime(x)/4 // page migration never wildly faster
+		return mono && split && pm
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDMATimePrecision(t *testing.T) {
+	l := Gen3x16()
+	// 128 MB at 12.8GB/s = 10ms + 25us setup.
+	want := 10*sim.Millisecond + 25*sim.Microsecond
+	got := l.DMATime(128e6)
+	diff := got - want
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > sim.Microsecond {
+		t.Fatalf("128 MB DMA = %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,178 @@
+// Package report renders experiment results as aligned text tables, ASCII
+// bar charts and CSV — the output formats of the repro harness. Everything
+// the paper plots as a figure is emitted as a table (exact numbers) plus a
+// bar rendering (shape at a glance).
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Align selects column alignment.
+type Align int
+
+const (
+	Left Align = iota
+	Right
+)
+
+// Table is a simple aligned text table.
+type Table struct {
+	Title   string
+	Headers []string
+	Aligns  []Align
+	Rows    [][]string
+	Notes   []string
+}
+
+// NewTable creates a table; aligns defaults to Left for text and can be set
+// per column with SetAligns.
+func NewTable(title string, headers ...string) *Table {
+	t := &Table{Title: title, Headers: headers, Aligns: make([]Align, len(headers))}
+	for i := 1; i < len(headers); i++ {
+		t.Aligns[i] = Right // conventional: first column labels, rest numbers
+	}
+	return t
+}
+
+// SetAligns overrides column alignment.
+func (t *Table) SetAligns(a ...Align) *Table {
+	copy(t.Aligns, a)
+	return t
+}
+
+// AddRow appends a row; short rows are padded.
+func (t *Table) AddRow(cells ...string) *Table {
+	for len(cells) < len(t.Headers) {
+		cells = append(cells, "")
+	}
+	t.Rows = append(t.Rows, cells)
+	return t
+}
+
+// AddNote appends a footnote line.
+func (t *Table) AddNote(format string, args ...interface{}) *Table {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+	return t
+}
+
+// Render writes the table.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "%s\n", t.Title)
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i < len(t.Aligns) && t.Aligns[i] == Right {
+				parts[i] = fmt.Sprintf("%*s", widths[i], c)
+			} else {
+				parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+			}
+		}
+		fmt.Fprintf(w, "  %s\n", strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+}
+
+// String renders to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	t.Render(&b)
+	return b.String()
+}
+
+// CSV writes the table as comma-separated values (quotes cells containing
+// commas).
+func (t *Table) CSV(w io.Writer) {
+	writeRow := func(cells []string) {
+		out := make([]string, len(cells))
+		for i, c := range cells {
+			if strings.ContainsAny(c, ",\"\n") {
+				c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+			}
+			out[i] = c
+		}
+		fmt.Fprintln(w, strings.Join(out, ","))
+	}
+	writeRow(t.Headers)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+}
+
+// Bar is one bar of an ASCII chart.
+type Bar struct {
+	Label   string
+	Value   float64
+	Starred bool // configurations that cannot train (the paper's asterisks)
+}
+
+// Bars renders a horizontal ASCII bar chart scaled to the maximum value.
+func Bars(w io.Writer, title, unit string, width int, bars []Bar) {
+	if width <= 0 {
+		width = 50
+	}
+	var max float64
+	for _, b := range bars {
+		if b.Value > max {
+			max = b.Value
+		}
+	}
+	if title != "" {
+		fmt.Fprintf(w, "%s\n", title)
+	}
+	labw := 0
+	for _, b := range bars {
+		if len(b.Label) > labw {
+			labw = len(b.Label)
+		}
+	}
+	for _, b := range bars {
+		n := 0
+		if max > 0 {
+			n = int(b.Value / max * float64(width))
+		}
+		star := " "
+		if b.Starred {
+			star = "*"
+		}
+		fmt.Fprintf(w, "  %-*s %s|%-*s %10.1f %s\n", labw, b.Label, star, width, strings.Repeat("#", n), b.Value, unit)
+	}
+}
+
+// FmtMiB formats bytes as whole MiB, the unit of the paper's memory axes.
+func FmtMiB(b int64) string { return fmt.Sprintf("%.0f", float64(b)/(1<<20)) }
+
+// FmtGiB formats bytes with GiB precision.
+func FmtGiB(b int64) string { return fmt.Sprintf("%.2f", float64(b)/(1<<30)) }
+
+// FmtMs formats nanoseconds as milliseconds.
+func FmtMs(ns int64) string { return fmt.Sprintf("%.1f", float64(ns)/1e6) }
+
+// FmtPct formats a ratio as a percentage.
+func FmtPct(x float64) string { return fmt.Sprintf("%.0f%%", x*100) }

@@ -1,0 +1,100 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("Demo", "name", "value")
+	tb.AddRow("alpha", "1")
+	tb.AddRow("a-much-longer-name", "23456")
+	tb.AddNote("calibrated")
+	out := tb.String()
+	if !strings.Contains(out, "Demo") || !strings.Contains(out, "a-much-longer-name") {
+		t.Fatalf("missing content:\n%s", out)
+	}
+	if !strings.Contains(out, "note: calibrated") {
+		t.Fatal("missing note")
+	}
+	// Right-aligned numeric column: "1" should be padded to width of 23456.
+	lines := strings.Split(out, "\n")
+	var alphaLine string
+	for _, l := range lines {
+		if strings.Contains(l, "alpha") {
+			alphaLine = l
+		}
+	}
+	if !strings.HasSuffix(alphaLine, "    1") {
+		t.Fatalf("value column not right-aligned: %q", alphaLine)
+	}
+}
+
+func TestTablePadsShortRows(t *testing.T) {
+	tb := NewTable("", "a", "b", "c")
+	tb.AddRow("only-one")
+	if got := len(tb.Rows[0]); got != 3 {
+		t.Fatalf("row padded to %d cells, want 3", got)
+	}
+}
+
+func TestSetAligns(t *testing.T) {
+	tb := NewTable("", "a", "b").SetAligns(Right, Left)
+	if tb.Aligns[0] != Right || tb.Aligns[1] != Left {
+		t.Fatal("SetAligns did not apply")
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tb := NewTable("", "name", "note")
+	tb.AddRow("x", `has,comma and "quote"`)
+	var b strings.Builder
+	tb.CSV(&b)
+	want := "name,note\nx,\"has,comma and \"\"quote\"\"\"\n"
+	if b.String() != want {
+		t.Fatalf("csv = %q, want %q", b.String(), want)
+	}
+}
+
+func TestBars(t *testing.T) {
+	var b strings.Builder
+	Bars(&b, "Memory", "MB", 20, []Bar{
+		{Label: "base", Value: 100},
+		{Label: "vdnn", Value: 25, Starred: false},
+		{Label: "fail", Value: 150, Starred: true},
+	})
+	out := b.String()
+	if !strings.Contains(out, "Memory") {
+		t.Fatal("missing title")
+	}
+	if !strings.Contains(out, "*|") {
+		t.Fatal("missing star marker")
+	}
+	// The largest bar should reach the full width.
+	if !strings.Contains(out, strings.Repeat("#", 20)) {
+		t.Fatal("max bar not full width")
+	}
+}
+
+func TestBarsZeroAndDefaultWidth(t *testing.T) {
+	var b strings.Builder
+	Bars(&b, "", "", 0, []Bar{{Label: "zero", Value: 0}})
+	if !strings.Contains(b.String(), "zero") {
+		t.Fatal("zero-value bar missing")
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if FmtMiB(3<<20) != "3" {
+		t.Fatalf("FmtMiB = %s", FmtMiB(3<<20))
+	}
+	if FmtGiB(1<<30) != "1.00" {
+		t.Fatalf("FmtGiB = %s", FmtGiB(1<<30))
+	}
+	if FmtMs(1500000) != "1.5" {
+		t.Fatalf("FmtMs = %s", FmtMs(1500000))
+	}
+	if FmtPct(0.821) != "82%" {
+		t.Fatalf("FmtPct = %s", FmtPct(0.821))
+	}
+}

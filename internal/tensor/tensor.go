@@ -1,0 +1,134 @@
+// Package tensor provides shape and size descriptors for the NCHW tensors
+// that flow through a neural network. The vDNN simulator never materializes
+// tensor values: memory behaviour depends only on shapes, element types and
+// the byte sizes derived from them, which is exactly what this package
+// models.
+package tensor
+
+import "fmt"
+
+// DType identifies the element type of a tensor. The paper's evaluation uses
+// single-precision floats throughout (cuDNN 4 training path); FP16 is
+// included for capacity what-if experiments.
+type DType int
+
+const (
+	Float32 DType = iota
+	Float16
+	Int8
+)
+
+// Size returns the size of one element in bytes.
+func (d DType) Size() int64 {
+	switch d {
+	case Float32:
+		return 4
+	case Float16:
+		return 2
+	case Int8:
+		return 1
+	}
+	panic(fmt.Sprintf("tensor: unknown dtype %d", int(d)))
+}
+
+func (d DType) String() string {
+	switch d {
+	case Float32:
+		return "float32"
+	case Float16:
+		return "float16"
+	case Int8:
+		return "int8"
+	}
+	return fmt.Sprintf("DType(%d)", int(d))
+}
+
+// Shape is an NCHW tensor shape: batch, channels, height, width.
+// Fully-connected activations use H = W = 1.
+type Shape struct {
+	N, C, H, W int
+}
+
+// NCHW builds a Shape, validating that all dimensions are positive.
+func NCHW(n, c, h, w int) Shape {
+	s := Shape{n, c, h, w}
+	if !s.Valid() {
+		panic(fmt.Sprintf("tensor: invalid shape %v", s))
+	}
+	return s
+}
+
+// Vec builds the shape of a per-sample vector (FC activations).
+func Vec(n, c int) Shape { return NCHW(n, c, 1, 1) }
+
+// Valid reports whether every dimension is at least 1.
+func (s Shape) Valid() bool { return s.N >= 1 && s.C >= 1 && s.H >= 1 && s.W >= 1 }
+
+// Elems returns the number of elements in the tensor.
+func (s Shape) Elems() int64 {
+	return int64(s.N) * int64(s.C) * int64(s.H) * int64(s.W)
+}
+
+// PerSample returns the number of elements in one batch sample (C*H*W).
+func (s Shape) PerSample() int64 {
+	return int64(s.C) * int64(s.H) * int64(s.W)
+}
+
+// Bytes returns the tensor footprint for the given element type.
+func (s Shape) Bytes(d DType) int64 { return s.Elems() * d.Size() }
+
+// WithBatch returns the same shape with a different batch dimension.
+func (s Shape) WithBatch(n int) Shape { return NCHW(n, s.C, s.H, s.W) }
+
+func (s Shape) String() string {
+	return fmt.Sprintf("%dx%dx%dx%d", s.N, s.C, s.H, s.W)
+}
+
+// ConvOut computes the spatial output size of a convolution or pooling
+// window: floor or ceil of (in + 2*pad - window)/stride + 1. Torch/cuDNN use
+// floor mode by default; Caffe-style GoogLeNet pooling uses ceil mode.
+func ConvOut(in, window, stride, pad int, ceilMode bool) int {
+	if window <= 0 || stride <= 0 || pad < 0 {
+		panic(fmt.Sprintf("tensor: invalid conv geometry window=%d stride=%d pad=%d", window, stride, pad))
+	}
+	num := in + 2*pad - window
+	if num < 0 {
+		panic(fmt.Sprintf("tensor: window %d larger than padded input %d", window, in+2*pad))
+	}
+	out := num / stride
+	if ceilMode && num%stride != 0 {
+		out++
+	}
+	out++
+	if ceilMode {
+		// Caffe clamps so the last window starts inside the (padded) input.
+		if (out-1)*stride >= in+pad {
+			out--
+		}
+	}
+	return out
+}
+
+// Bytes pretty-prints a byte count using binary units, matching the MB/GB
+// figures quoted in the paper (which are MiB-scale).
+func FormatBytes(b int64) string {
+	const (
+		kib = 1 << 10
+		mib = 1 << 20
+		gib = 1 << 30
+	)
+	switch {
+	case b >= gib:
+		return fmt.Sprintf("%.2f GB", float64(b)/float64(gib))
+	case b >= mib:
+		return fmt.Sprintf("%.1f MB", float64(b)/float64(mib))
+	case b >= kib:
+		return fmt.Sprintf("%.1f KB", float64(b)/float64(kib))
+	default:
+		return fmt.Sprintf("%d B", b)
+	}
+}
+
+// MiB converts bytes to binary megabytes as a float, the unit used on the
+// paper's figure axes.
+func MiB(b int64) float64 { return float64(b) / (1 << 20) }

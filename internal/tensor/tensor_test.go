@@ -1,0 +1,179 @@
+package tensor
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDTypeSize(t *testing.T) {
+	cases := []struct {
+		d    DType
+		want int64
+	}{
+		{Float32, 4},
+		{Float16, 2},
+		{Int8, 1},
+	}
+	for _, c := range cases {
+		if got := c.d.Size(); got != c.want {
+			t.Errorf("%v.Size() = %d, want %d", c.d, got, c.want)
+		}
+	}
+}
+
+func TestDTypeString(t *testing.T) {
+	if Float32.String() != "float32" || Float16.String() != "float16" || Int8.String() != "int8" {
+		t.Errorf("unexpected dtype names: %v %v %v", Float32, Float16, Int8)
+	}
+}
+
+func TestShapeElemsAndBytes(t *testing.T) {
+	s := NCHW(256, 64, 224, 224)
+	wantElems := int64(256) * 64 * 224 * 224
+	if s.Elems() != wantElems {
+		t.Fatalf("Elems = %d, want %d", s.Elems(), wantElems)
+	}
+	if s.Bytes(Float32) != wantElems*4 {
+		t.Fatalf("Bytes = %d, want %d", s.Bytes(Float32), wantElems*4)
+	}
+	// VGG-16 conv1 output with batch 256 is the paper's canonical 3136 MiB
+	// feature map (Section IV / Fig 5 ballpark).
+	if mib := MiB(s.Bytes(Float32)); mib < 3135 || mib > 3137 {
+		t.Fatalf("VGG conv1 fm = %.1f MiB, want ~3136 MiB", mib)
+	}
+}
+
+func TestVec(t *testing.T) {
+	s := Vec(128, 4096)
+	if s.H != 1 || s.W != 1 || s.Elems() != 128*4096 {
+		t.Fatalf("Vec shape wrong: %v", s)
+	}
+}
+
+func TestWithBatch(t *testing.T) {
+	s := NCHW(64, 3, 224, 224)
+	s2 := s.WithBatch(256)
+	if s2.N != 256 || s2.C != 3 || s2.H != 224 || s2.W != 224 {
+		t.Fatalf("WithBatch wrong: %v", s2)
+	}
+	if s.N != 64 {
+		t.Fatalf("WithBatch mutated receiver: %v", s)
+	}
+}
+
+func TestInvalidShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NCHW(0,...) did not panic")
+		}
+	}()
+	NCHW(0, 3, 224, 224)
+}
+
+func TestConvOutFloor(t *testing.T) {
+	cases := []struct {
+		in, window, stride, pad int
+		want                    int
+	}{
+		{224, 3, 1, 1, 224}, // VGG 3x3/s1/p1 preserves size
+		{224, 2, 2, 0, 112}, // VGG 2x2/s2 pool halves
+		{224, 11, 4, 2, 55}, // AlexNet conv1
+		{55, 3, 2, 0, 27},   // AlexNet pool1
+		{27, 5, 1, 2, 27},   // AlexNet conv2
+		{27, 3, 2, 0, 13},   // AlexNet pool2
+		{13, 3, 2, 0, 6},    // AlexNet pool5
+		{231, 11, 4, 0, 56}, // OverFeat conv1
+		{224, 7, 2, 3, 112}, // GoogLeNet conv1
+	}
+	for _, c := range cases {
+		if got := ConvOut(c.in, c.window, c.stride, c.pad, false); got != c.want {
+			t.Errorf("ConvOut(%d,%d,%d,%d,floor) = %d, want %d", c.in, c.window, c.stride, c.pad, got, c.want)
+		}
+	}
+}
+
+func TestConvOutCeil(t *testing.T) {
+	// GoogLeNet max-pool 3x3/s2 in ceil mode: 112 -> 56 -> 28 -> 14 -> 7.
+	for _, c := range []struct{ in, want int }{{112, 56}, {56, 28}, {28, 14}, {14, 7}} {
+		if got := ConvOut(c.in, 3, 2, 0, true); got != c.want {
+			t.Errorf("ceil pool: ConvOut(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+	// Floor mode gives one less on even inputs.
+	if got := ConvOut(56, 3, 2, 0, false); got != 27 {
+		t.Errorf("floor pool: got %d, want 27", got)
+	}
+}
+
+func TestConvOutCeilClamp(t *testing.T) {
+	// When the extra ceil window would start entirely in the padding it must
+	// be clamped (Caffe rule). in=4, window=2, stride=3, pad=1:
+	// num=4, ceil(4/3)+1=3, but window start (2*3=6) >= in+pad=5 -> clamp to 2.
+	if got := ConvOut(4, 2, 3, 1, true); got != 2 {
+		t.Errorf("ceil clamp: got %d, want 2", got)
+	}
+}
+
+func TestConvOutPanicsOnBadGeometry(t *testing.T) {
+	for _, f := range []func(){
+		func() { ConvOut(224, 0, 1, 0, false) },
+		func() { ConvOut(224, 3, 0, 0, false) },
+		func() { ConvOut(2, 5, 1, 0, false) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("ConvOut with bad geometry did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestFormatBytes(t *testing.T) {
+	cases := []struct {
+		b    int64
+		want string
+	}{
+		{512, "512 B"},
+		{2 << 10, "2.0 KB"},
+		{3 << 20, "3.0 MB"},
+		{28 << 30, "28.00 GB"},
+	}
+	for _, c := range cases {
+		if got := FormatBytes(c.b); got != c.want {
+			t.Errorf("FormatBytes(%d) = %q, want %q", c.b, got, c.want)
+		}
+	}
+}
+
+// Property: Elems is multiplicative and positive for all valid shapes.
+func TestShapeElemsProperty(t *testing.T) {
+	f := func(n, c, h, w uint8) bool {
+		s := Shape{int(n%32) + 1, int(c%64) + 1, int(h%128) + 1, int(w%128) + 1}
+		e := s.Elems()
+		return e == int64(s.N)*int64(s.C)*int64(s.H)*int64(s.W) && e > 0 &&
+			s.Bytes(Float32) == 4*e && s.PerSample()*int64(s.N) == e
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: ceil-mode output is >= floor-mode output, and both shrink (or
+// preserve) when stride >= window covers the input.
+func TestConvOutMonotoneProperty(t *testing.T) {
+	f := func(in, window, stride, pad uint8) bool {
+		i := int(in) + 8
+		w := int(window%7) + 1
+		s := int(stride%4) + 1
+		p := int(pad % uint8(w)) // pad < window keeps geometry sane
+		fl := ConvOut(i, w, s, p, false)
+		ce := ConvOut(i, w, s, p, true)
+		return ce >= fl && fl >= 1 && ce <= fl+1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
