@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"strings"
 	"testing"
+	"time"
 
 	"vdnn/internal/core"
 	"vdnn/internal/cudnnsim"
@@ -19,10 +20,53 @@ import (
 	"vdnn/internal/networks"
 	"vdnn/internal/report"
 	"vdnn/internal/sim"
+	"vdnn/internal/sweep"
 	"vdnn/internal/tensor"
 )
 
 func freshSuite() *figures.Suite { return figures.NewSuite(gpu.TitanX()) }
+
+// reproAll regenerates the complete evaluation — every figure, ablation and
+// case study — on a fresh suite running at the given parallelism: the
+// vdnn-repro code path end to end.
+func reproAll(b *testing.B, workers int) {
+	b.Helper()
+	s := figures.NewSuiteEngine(gpu.TitanX(), sweep.NewEngine(workers))
+	var batch []sweep.Job
+	exps := s.Experiments()
+	for _, e := range exps {
+		batch = append(batch, e.Jobs()...)
+	}
+	s.Prime(batch)
+	for _, e := range exps {
+		if e.Gen() == nil {
+			b.Fatalf("%s: nil table", e.Name)
+		}
+	}
+}
+
+// BenchmarkReproAll is the repo's headline perf baseline: the full paper
+// reproduction, sequential (-j 1) versus parallel (-j 4). The /par run also
+// reports the measured wall-clock speedup over a sequential pass as the
+// "speedup-x" metric (bounded by the machine's core count; 1 on one core).
+func BenchmarkReproAll(b *testing.B) {
+	b.Run("seq", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			reproAll(b, 1)
+		}
+	})
+	b.Run("par", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			reproAll(b, 4)
+		}
+		parPerOp := b.Elapsed() / time.Duration(b.N)
+		b.StopTimer()
+		start := time.Now()
+		reproAll(b, 1)
+		seq := time.Since(start)
+		b.ReportMetric(float64(seq)/float64(parPerOp), "speedup-x")
+	})
+}
 
 // rowCount sanity-checks the regenerated table and returns it.
 func mustRows(b *testing.B, t *report.Table, want int) {
@@ -238,7 +282,10 @@ func BenchmarkAllocatorChurn(b *testing.B) {
 	}
 }
 
-// BenchmarkConvCostModel measures the cuDNN cost-model evaluation itself.
+// BenchmarkConvCostModel measures the cuDNN cost model as simulations see
+// it: the first iteration evaluates the roofline, the rest hit the
+// (spec, geometry, algo, direction) memo — so this tracks the memoized hot
+// path, not the uncached evaluation.
 func BenchmarkConvCostModel(b *testing.B) {
 	spec := gpu.TitanX()
 	g := cudnnsim.ConvGeom{N: 128, C: 64, H: 224, W: 224, K: 64, R: 3, S: 3,

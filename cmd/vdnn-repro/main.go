@@ -4,6 +4,16 @@
 //
 //	vdnn-repro fig1 fig11 fig14
 //	vdnn-repro -csv fig12 > fig12.csv
+//	vdnn-repro -j 8            # 8 simulations in flight
+//
+// The selected experiments' configurations are enqueued as one batch on a
+// concurrent sweep engine (internal/sweep) that runs -j simulations in
+// parallel with one deduplicated result cache shared across all experiments;
+// tables are then formatted from the cached results. Every simulation is
+// deterministic, so the output is byte-identical for any -j value; -j 1
+// schedules the sweep's simulations one at a time (the vDNN-dyn profiler
+// still evaluates its per-phase candidates concurrently inside a
+// simulation). -j defaults to all cores.
 //
 // Experiments: fig1, fig4, fig5, fig6, fig11, fig12, fig13, fig14, fig15,
 // power, ablation-prefetch, ablation-pagemig, ablation-link,
@@ -18,39 +28,17 @@ import (
 
 	"vdnn/internal/figures"
 	"vdnn/internal/gpu"
-	"vdnn/internal/report"
+	"vdnn/internal/sweep"
 )
 
 func main() {
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	jobs := flag.Int("j", 0, "max simulations in flight (0 = all cores, 1 = sequential)")
 	flag.Parse()
 
-	suite := figures.NewSuite(gpu.TitanX())
-	all := []struct {
-		name string
-		gen  func() *report.Table
-	}{
-		{"fig1", suite.Fig1},
-		{"fig4", suite.Fig4},
-		{"fig5", suite.Fig5},
-		{"fig6", suite.Fig6},
-		{"fig11", suite.Fig11},
-		{"fig12", suite.Fig12},
-		{"fig13", suite.Fig13},
-		{"fig14", suite.Fig14},
-		{"fig15", suite.Fig15},
-		{"power", suite.Power},
-		{"ablation-prefetch", suite.AblationPrefetch},
-		{"ablation-pagemig", suite.AblationPageMigration},
-		{"ablation-link", suite.AblationInterconnect},
-		{"ablation-capacity", suite.AblationCapacity},
-		{"ablation-weights", suite.AblationWeightOffload},
-		{"ablation-batch", suite.AblationBatchScaling},
-		{"case-multigpu", suite.CaseStudyMultiGPU},
-		{"case-precision", suite.CaseStudyPrecision},
-		{"case-devices", suite.CaseStudyDevices},
-		{"case-resnet", suite.CaseStudyResNet},
-	}
+	eng := sweep.NewEngine(*jobs)
+	suite := figures.NewSuiteEngine(gpu.TitanX(), eng)
+	all := suite.Experiments()
 
 	want := flag.Args()
 	selected := map[string]bool{}
@@ -59,7 +47,7 @@ func main() {
 	}
 	known := map[string]bool{}
 	for _, e := range all {
-		known[e.name] = true
+		known[e.Name] = true
 	}
 	for _, w := range want {
 		if !known[w] {
@@ -68,11 +56,23 @@ func main() {
 		}
 	}
 
+	// Enqueue every selected experiment's simulations as one batch so the
+	// engine can overlap work across experiments, then format the tables —
+	// all cache hits — in order.
+	var batch []sweep.Job
 	for _, e := range all {
-		if len(selected) > 0 && !selected[e.name] {
+		if len(selected) > 0 && !selected[e.Name] {
 			continue
 		}
-		t := e.gen()
+		batch = append(batch, e.Jobs()...)
+	}
+	suite.Prime(batch)
+
+	for _, e := range all {
+		if len(selected) > 0 && !selected[e.Name] {
+			continue
+		}
+		t := e.Gen()
 		if *csv {
 			t.CSV(os.Stdout)
 		} else {

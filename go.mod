@@ -1,0 +1,3 @@
+module vdnn
+
+go 1.24

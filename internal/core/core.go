@@ -155,7 +155,11 @@ type Config struct {
 	CaptureSchedule bool
 }
 
-func (c Config) withDefaults() Config {
+// WithDefaults returns the configuration with unset fields resolved to their
+// defaults. Two configurations that normalize to the same value simulate
+// identically, which is what lets result caches (internal/sweep) key on the
+// normalized Config directly.
+func (c Config) WithDefaults() Config {
 	if c.Iterations == 0 {
 		c.Iterations = 2
 	}
@@ -283,7 +287,7 @@ func (r *Result) TotalMaxUsage() int64 { return r.MaxUsage + r.FrameworkBytes }
 // hypothetical memory demand can still be reported (the starred bars of
 // Figure 11); Trainable is false in that case.
 func Run(net *dnn.Network, cfg Config) (*Result, error) {
-	cfg = cfg.withDefaults()
+	cfg = cfg.WithDefaults()
 	if err := cfg.Spec.Validate(); err != nil {
 		return nil, err
 	}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sync"
+
 	"vdnn/internal/dnn"
 
 	"fmt"
@@ -20,6 +22,15 @@ import (
 //     the fastest one would overflow the memory budget: vDNN-conv(greedy),
 //     then vDNN-all(greedy).
 //  4. Fall back to the known-good vDNN-all(m).
+//
+// Each phase's candidates are independent simulations, so they are profiled
+// concurrently; the paper's preference order is preserved by selecting the
+// first trainable candidate in phase order, which keeps the outcome
+// byte-identical to a sequential cascade. The concurrency is speculative:
+// when an early candidate trains, the later candidates of the same phase
+// were simulated anyway (bounded waste — at most two extra passes per
+// phase), trading profiling work for latency. It is internal to the
+// profiler and independent of any sweep-level worker budget.
 //
 // The profiling cost itself (tens of seconds against days-to-weeks of
 // training, per the paper) is not charged to the reported iteration time.
@@ -44,6 +55,30 @@ func runDynamic(net *dnn.Network, cfg Config) (*Result, error) {
 		res.Policy = VDNNDyn
 		res.Chosen = c.label
 		return res, nil
+	}
+	// tryAll profiles one phase's candidates concurrently and returns the
+	// first trainable result in preference order (nil if none trains).
+	tryAll := func(cands []candidate) (*Result, error) {
+		results := make([]*Result, len(cands))
+		errs := make([]error, len(cands))
+		var wg sync.WaitGroup
+		wg.Add(len(cands))
+		for i, c := range cands {
+			go func(i int, c candidate) {
+				defer wg.Done()
+				results[i], errs[i] = try(c)
+			}(i, c)
+		}
+		wg.Wait()
+		for i := range cands {
+			if errs[i] != nil {
+				return nil, errs[i]
+			}
+			if results[i] != nil {
+				return results[i], nil
+			}
+		}
+		return nil, nil
 	}
 
 	// Phase 1: trainability floor.
@@ -74,32 +109,28 @@ func runDynamic(net *dnn.Network, cfg Config) (*Result, error) {
 	}
 
 	// Phase 2: fastest configurations, no algorithm downgrades.
-	for _, c := range []candidate{
+	res, err := tryAll([]candidate{
 		{Baseline, PerfOptimal, "baseline (p), no offload"},
 		{VDNNConv, PerfOptimal, "vDNN-conv (p)"},
 		{VDNNAll, PerfOptimal, "vDNN-all (p)"},
-	} {
-		res, err := try(c)
-		if err != nil {
-			return nil, err
-		}
-		if res != nil {
-			return res, nil
-		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	if res != nil {
+		return res, nil
 	}
 
 	// Phase 3: greedy per-layer algorithm downgrades.
-	for _, c := range []candidate{
+	res, err = tryAll([]candidate{
 		{VDNNConv, GreedyAlgo, "vDNN-conv (greedy)"},
 		{VDNNAll, GreedyAlgo, "vDNN-all (greedy)"},
-	} {
-		res, err := try(c)
-		if err != nil {
-			return nil, err
-		}
-		if res != nil {
-			return res, nil
-		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	if res != nil {
+		return res, nil
 	}
 
 	// Phase 4: the floor configuration always works (proven in phase 1).

@@ -21,24 +21,38 @@ type AlgoPerf struct {
 // wsLimit (pass wsLimit < 0 for no limit). Frameworks call this during
 // their startup profiling stage; the dynamic vDNN policy calls it with the
 // pool's available memory as the limit (Section III-C).
+//
+// The unfiltered sorted list is memoized per (spec, geometry, direction) —
+// the greedy algorithm mode re-profiles every CONV layer at every pass with
+// a different workspace limit, and only the cheap filter depends on the
+// limit. Safe for concurrent use; callers receive a private slice.
 func FindConvAlgorithms(spec gpu.Spec, g ConvGeom, dir Direction, wsLimit int64) []AlgoPerf {
-	var out []AlgoPerf
-	for _, a := range Algos() {
-		if !a.Supported(g, dir) {
-			continue
+	k := findKey{newSpecKey(spec), g, dir}
+	var all []AlgoPerf
+	if v, ok := findMemo.Load(k); ok {
+		all = v.([]AlgoPerf)
+	} else {
+		for _, a := range Algos() {
+			if !a.Supported(g, dir) {
+				continue
+			}
+			all = append(all, AlgoPerf{Algo: a, Time: ConvCost(spec, g, a, dir).Dur, Workspace: a.Workspace(g, dir)})
 		}
-		ws := a.Workspace(g, dir)
-		if wsLimit >= 0 && ws > wsLimit {
-			continue
-		}
-		out = append(out, AlgoPerf{Algo: a, Time: ConvCost(spec, g, a, dir).Dur, Workspace: ws})
+		sort.Slice(all, func(i, j int) bool {
+			if all[i].Time != all[j].Time {
+				return all[i].Time < all[j].Time
+			}
+			return all[i].Workspace < all[j].Workspace // break ties toward less memory
+		})
+		findMemo.Store(k, all)
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Time != out[j].Time {
-			return out[i].Time < out[j].Time
+	out := make([]AlgoPerf, 0, len(all))
+	for _, p := range all {
+		if wsLimit >= 0 && p.Workspace > wsLimit {
+			continue
 		}
-		return out[i].Workspace < out[j].Workspace // break ties toward less memory
-	})
+		out = append(out, p)
+	}
 	return out
 }
 

@@ -1,0 +1,52 @@
+package cudnnsim
+
+import (
+	"sync"
+
+	"vdnn/internal/gpu"
+)
+
+// Cost-model memoization. A network repeats the same convolution geometries
+// across layers and iterations, and a sweep repeats the same networks across
+// dozens of configurations, so the cost model recomputes identical
+// (spec, geometry, algorithm, direction) evaluations millions of times.
+// Both caches key on comparable value types — gpu.Spec and ConvGeom are
+// plain value structs — and are safe for the concurrent access the sweep
+// engine's workers generate. The model is pure, so memoization cannot change
+// any simulated result. The working set is bounded by the distinct layer
+// geometries of the studied networks (hundreds), not by simulation count.
+
+// specKey is the subset of gpu.Spec the convolution cost model reads —
+// roofline compute rate, effective DRAM bandwidth, and the L2 size feeding
+// the GEMM traffic model. Keying on it (instead of the whole Spec, whose
+// name strings dominate hashing cost) keeps lookups cheap and lets specs
+// that differ only in cost-irrelevant fields (memory capacity, link,
+// power model) share entries — the capacity and interconnect sweeps reuse
+// one cache.
+type specKey struct {
+	peakFlops float64
+	effBps    float64
+	l2        int64
+}
+
+func newSpecKey(spec gpu.Spec) specKey {
+	return specKey{spec.PeakFlops, spec.EffDRAMBps(), spec.L2Bytes}
+}
+
+type costKey struct {
+	spec specKey
+	g    ConvGeom
+	a    ConvAlgo
+	dir  Direction
+}
+
+type findKey struct {
+	spec specKey
+	g    ConvGeom
+	dir  Direction
+}
+
+var (
+	costMemo sync.Map // costKey -> Cost
+	findMemo sync.Map // findKey -> []AlgoPerf, sorted, unfiltered
+)

@@ -8,6 +8,7 @@ import (
 	"vdnn/internal/networks"
 	"vdnn/internal/pcie"
 	"vdnn/internal/report"
+	"vdnn/internal/sweep"
 )
 
 // Ablations for the design decisions the paper argues qualitatively. All use
@@ -17,7 +18,17 @@ import (
 // vDNN-all(m): the paper's just-in-time schedule (Figure 9), the literal
 // Figure 10 search-window code, eager prefetching (the pitfall Section III-B
 // warns about), and no prefetching (the naive serialized case).
+func (s *Suite) ablationPrefetchJobs() []sweep.Job {
+	n := s.net(func() *dnn.Network { return networks.VGG16(64) }, "vgg16-64")
+	var js []sweep.Job
+	for _, m := range []core.PrefetchMode{core.PrefetchJIT, core.PrefetchFig10, core.PrefetchEager, core.PrefetchNone} {
+		js = append(js, job(n, core.Config{Spec: s.Spec, Policy: core.VDNNAll, Algo: core.MemOptimal, Oracle: true, Prefetch: m}))
+	}
+	return js
+}
+
 func (s *Suite) AblationPrefetch() *report.Table {
+	s.Prime(s.ablationPrefetchJobs())
 	n := s.net(func() *dnn.Network { return networks.VGG16(64) }, "vgg16-64")
 	t := report.NewTable("Ablation — prefetch scheduling (VGG-16 (64), vDNN-all(m))",
 		"schedule", "max usage (MB)", "avg usage (MB)", "FE time (ms)", "on-demand fetches")
@@ -33,7 +44,16 @@ func (s *Suite) AblationPrefetch() *report.Table {
 // AblationPageMigration reproduces the Section II-C argument quantitatively:
 // page-migration-based virtualization (80-200 MB/s) versus pinned DMA
 // (12.8 GB/s) for vDNN's transfers.
+func (s *Suite) ablationPageMigrationJobs() []sweep.Job {
+	n := s.net(func() *dnn.Network { return networks.VGG16(64) }, "vgg16-64")
+	return []sweep.Job{
+		job(n, core.Config{Spec: s.Spec, Policy: core.VDNNAll, Algo: core.MemOptimal, Oracle: true}),
+		job(n, core.Config{Spec: s.Spec, Policy: core.VDNNAll, Algo: core.MemOptimal, Oracle: true, PageMigration: true}),
+	}
+}
+
 func (s *Suite) AblationPageMigration() *report.Table {
+	s.Prime(s.ablationPageMigrationJobs())
 	link := s.Spec.Link
 	t := report.NewTable("Ablation — DMA vs page-migration transfers (Section II-C)",
 		"transfer mode", "effective bandwidth", "VGG-16 (64) FE time (ms)", "slowdown")
@@ -51,7 +71,20 @@ func (s *Suite) AblationPageMigration() *report.Table {
 // AblationInterconnect sweeps the host link: PCIe gen2/gen3 and NVLINK (the
 // successor interconnect the paper names in Section III-A), showing how
 // static vDNN's offload stalls shrink as the link speeds up.
+func (s *Suite) ablationInterconnectJobs() []sweep.Job {
+	n := s.net(func() *dnn.Network { return networks.VGG16(128) }, "vgg16-128")
+	js := []sweep.Job{job(n, core.Config{Spec: s.Spec, Policy: core.Baseline, Algo: core.PerfOptimal, Oracle: true})}
+	for _, link := range []pcie.Link{pcie.Gen2x16(), pcie.Gen3x16(), pcie.NVLink1()} {
+		spec := s.Spec
+		spec.Link = link
+		spec.Name = s.Spec.Name + "+" + link.Name
+		js = append(js, job(n, core.Config{Spec: spec, Policy: core.VDNNAll, Algo: core.MemOptimal, Oracle: true}))
+	}
+	return js
+}
+
 func (s *Suite) AblationInterconnect() *report.Table {
+	s.Prime(s.ablationInterconnectJobs())
 	n := s.net(func() *dnn.Network { return networks.VGG16(128) }, "vgg16-128")
 	t := report.NewTable("Ablation — interconnect bandwidth (VGG-16 (128), vDNN-all(m))",
 		"link", "effective GB/s", "FE time (ms)", "vs oracle baseline")
@@ -71,7 +104,27 @@ func (s *Suite) AblationInterconnect() *report.Table {
 
 // AblationCapacity sweeps the GPU memory size for VGG-16 (256): where the
 // baseline, static vDNN and dynamic vDNN become trainable.
+func (s *Suite) ablationCapacityJobs() []sweep.Job {
+	n := s.net(func() *dnn.Network { return networks.VGG16(256) }, "vgg16-256")
+	var js []sweep.Job
+	for _, gb := range []int64{6, 8, 12, 16, 24, 32} {
+		spec := s.Spec.WithMemory(gb << 30)
+		spec.Name = fmt.Sprintf("%s-%dGB", s.Spec.Name, gb)
+		for _, pa := range []struct {
+			p core.Policy
+			a core.AlgoMode
+		}{
+			{core.Baseline, core.PerfOptimal}, {core.VDNNConv, core.PerfOptimal},
+			{core.VDNNAll, core.MemOptimal}, {core.VDNNDyn, 0},
+		} {
+			js = append(js, job(n, core.Config{Spec: spec, Policy: pa.p, Algo: pa.a}))
+		}
+	}
+	return js
+}
+
 func (s *Suite) AblationCapacity() *report.Table {
+	s.Prime(s.ablationCapacityJobs())
 	n := s.net(func() *dnn.Network { return networks.VGG16(256) }, "vgg16-256")
 	t := report.NewTable("Ablation — GPU memory capacity sweep (VGG-16 (256))",
 		"capacity", "base(p)", "vDNN-conv(p)", "vDNN-all(m)", "vDNN-dyn")
@@ -97,7 +150,20 @@ func (s *Suite) AblationCapacity() *report.Table {
 // weights as well. As the paper predicts, the extra savings are small —
 // weights are a sliver of feature-extraction memory (Figure 4) — while the
 // transfer traffic grows.
+func (s *Suite) ablationWeightOffloadJobs() []sweep.Job {
+	var js []sweep.Job
+	for _, n := range []*dnn.Network{
+		s.net(func() *dnn.Network { return networks.OverFeat(128) }, "overfeat128"),
+		s.net(func() *dnn.Network { return networks.VGG16(64) }, "vgg16-64"),
+	} {
+		js = append(js, job(n, core.Config{Spec: s.Spec, Policy: core.VDNNAll, Algo: core.MemOptimal, Oracle: true}),
+			job(n, core.Config{Spec: s.Spec, Policy: core.VDNNAll, Algo: core.MemOptimal, Oracle: true, OffloadWeights: true}))
+	}
+	return js
+}
+
 func (s *Suite) AblationWeightOffload() *report.Table {
+	s.Prime(s.ablationWeightOffloadJobs())
 	t := report.NewTable("Ablation — offloading weights too (vDNN-all(m))",
 		"network", "avg MB", "avg MB (+W)", "extra savings", "offload MB", "offload MB (+W)", "FE ms", "FE ms (+W)")
 	for _, name := range []string{"overfeat", "vgg16"} {
@@ -121,7 +187,26 @@ func (s *Suite) AblationWeightOffload() *report.Table {
 
 // AblationBatchScaling shows the largest trainable VGG-16 batch per policy
 // on the 12 GB device — the practitioner's view of vDNN's benefit.
+func (s *Suite) ablationBatchScalingJobs() []sweep.Job {
+	var js []sweep.Job
+	for _, batch := range []int{32, 64, 128, 192, 256, 384} {
+		n := s.net(func() *dnn.Network { return networks.VGG16(batch) }, fmt.Sprintf("vgg16-%d", batch))
+		for _, pa := range []struct {
+			p core.Policy
+			a core.AlgoMode
+		}{
+			{core.Baseline, core.PerfOptimal}, {core.Baseline, core.MemOptimal},
+			{core.VDNNConv, core.PerfOptimal}, {core.VDNNAll, core.MemOptimal},
+			{core.VDNNDyn, 0},
+		} {
+			js = append(js, job(n, s.cfg(pa.p, pa.a)))
+		}
+	}
+	return js
+}
+
 func (s *Suite) AblationBatchScaling() *report.Table {
+	s.Prime(s.ablationBatchScalingJobs())
 	t := report.NewTable("Ablation — largest trainable VGG-16 batch size on 12 GB",
 		"batch", "base(p)", "base(m)", "vDNN-conv(p)", "vDNN-all(m)", "vDNN-dyn")
 	for _, batch := range []int{32, 64, 128, 192, 256, 384} {

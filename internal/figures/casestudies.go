@@ -8,6 +8,7 @@ import (
 	"vdnn/internal/gpu"
 	"vdnn/internal/networks"
 	"vdnn/internal/report"
+	"vdnn/internal/sweep"
 	"vdnn/internal/tensor"
 )
 
@@ -17,7 +18,17 @@ import (
 // VGG-16 (64), one per GPU. This table compares that data-parallel setup
 // (per-iteration gradient all-reduce over PCIe included) against a single
 // vDNN GPU running the full batch.
+func (s *Suite) caseStudyMultiGPUJobs() []sweep.Job {
+	return []sweep.Job{
+		job(s.net(func() *dnn.Network { return networks.VGG16(64) }, "vgg16-64"),
+			s.cfg(core.Baseline, core.PerfOptimal)),
+		job(s.net(func() *dnn.Network { return networks.VGG16(256) }, "vgg16-256"),
+			s.cfg(core.VDNNDyn, 0)),
+	}
+}
+
 func (s *Suite) CaseStudyMultiGPU() *report.Table {
+	s.Prime(s.caseStudyMultiGPUJobs())
 	n64 := s.net(func() *dnn.Network { return networks.VGG16(64) }, "vgg16-64")
 	n256 := s.net(func() *dnn.Network { return networks.VGG16(256) }, "vgg16-256")
 
@@ -54,9 +65,10 @@ func (s *Suite) CaseStudyMultiGPU() *report.Table {
 // work, Section VI, positions precision as an orthogonal memory lever):
 // the same networks with FP16 tensors, halving every feature map, weight
 // and workspace.
-func (s *Suite) CaseStudyPrecision() *report.Table {
-	t := report.NewTable("Case study — FP32 vs FP16 storage (baseline(p) demand and trainability on 12 GB)",
-		"network", "fp32 demand (MB)", "fp32 trains", "fp16 demand (MB)", "fp16 trains", "fp16 + vDNN-dyn")
+// precisionNets returns the case study's [fp32, fp16] network pairs in row
+// order.
+func (s *Suite) precisionNets() [][2]*dnn.Network {
+	var out [][2]*dnn.Network
 	for _, key := range []string{"vgg16-128", "vgg16-256", "vgg416"} {
 		var n *dnn.Network
 		switch key {
@@ -68,6 +80,27 @@ func (s *Suite) CaseStudyPrecision() *report.Table {
 			n = s.net(func() *dnn.Network { return networks.VGGDeep(416, 32) }, key)
 		}
 		h := s.net(func() *dnn.Network { return n.WithDType(tensor.Float16) }, key+"-fp16")
+		out = append(out, [2]*dnn.Network{n, h})
+	}
+	return out
+}
+
+func (s *Suite) caseStudyPrecisionJobs() []sweep.Job {
+	var js []sweep.Job
+	for _, pair := range s.precisionNets() {
+		js = append(js, job(pair[0], s.cfg(core.Baseline, core.PerfOptimal)),
+			job(pair[1], s.cfg(core.Baseline, core.PerfOptimal)),
+			job(pair[1], s.cfg(core.VDNNDyn, 0)))
+	}
+	return js
+}
+
+func (s *Suite) CaseStudyPrecision() *report.Table {
+	s.Prime(s.caseStudyPrecisionJobs())
+	t := report.NewTable("Case study — FP32 vs FP16 storage (baseline(p) demand and trainability on 12 GB)",
+		"network", "fp32 demand (MB)", "fp32 trains", "fp16 demand (MB)", "fp16 trains", "fp16 + vDNN-dyn")
+	for _, pair := range s.precisionNets() {
+		n, h := pair[0], pair[1]
 		f32 := s.Run(n, s.cfg(core.Baseline, core.PerfOptimal))
 		f16 := s.Run(h, s.cfg(core.Baseline, core.PerfOptimal))
 		dyn16 := s.Run(h, s.cfg(core.VDNNDyn, 0))
@@ -83,7 +116,19 @@ func (s *Suite) CaseStudyPrecision() *report.Table {
 // CaseStudyResNet applies vDNN to the ">100 convolutional layers" ImageNet
 // winner the paper's introduction anticipates (ResNet, He et al. [15]):
 // batch-size scaling of ResNet-152 on the 12 GB Titan X.
+func (s *Suite) caseStudyResNetJobs() []sweep.Job {
+	var js []sweep.Job
+	for _, batch := range []int{16, 32, 64, 128} {
+		n := s.net(func() *dnn.Network { return networks.ResNet152(batch) }, fmt.Sprintf("resnet152-%d", batch))
+		js = append(js, job(n, s.cfg(core.Baseline, core.PerfOptimal)),
+			job(n, s.cfg(core.VDNNDyn, 0)),
+			job(n, core.Config{Spec: s.Spec, Policy: core.Baseline, Algo: core.PerfOptimal, Oracle: true}))
+	}
+	return js
+}
+
 func (s *Suite) CaseStudyResNet() *report.Table {
+	s.Prime(s.caseStudyResNetJobs())
 	t := report.NewTable("Case study — ResNet-152 on 12 GB (the paper's anticipated >100-layer winner)",
 		"batch", "base(p) demand (MB)", "base(p)", "vDNN-dyn", "dyn max (MB)", "dyn vs oracle")
 	for _, batch := range []int{16, 32, 64, 128} {
@@ -102,7 +147,18 @@ func (s *Suite) CaseStudyResNet() *report.Table {
 
 // CaseStudyDevices runs the headline workload across GPU generations,
 // showing where vDNN's trainability benefit lands on each.
+func (s *Suite) caseStudyDevicesJobs() []sweep.Job {
+	n := s.net(func() *dnn.Network { return networks.VGG16(256) }, "vgg16-256")
+	var js []sweep.Job
+	for _, spec := range []gpu.Spec{gpu.TeslaK40(), gpu.GTX980(), gpu.TitanX(), gpu.TitanXNVLink(), gpu.PascalP100()} {
+		js = append(js, job(n, core.Config{Spec: spec, Policy: core.Baseline, Algo: core.PerfOptimal}),
+			job(n, core.Config{Spec: spec, Policy: core.VDNNDyn}))
+	}
+	return js
+}
+
 func (s *Suite) CaseStudyDevices() *report.Table {
+	s.Prime(s.caseStudyDevicesJobs())
 	n := s.net(func() *dnn.Network { return networks.VGG16(256) }, "vgg16-256")
 	t := report.NewTable("Case study — VGG-16 (256) across devices",
 		"device", "memory", "base(p)", "vDNN-dyn", "dyn iteration (ms)")

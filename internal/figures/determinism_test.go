@@ -1,0 +1,80 @@
+package figures
+
+import (
+	"bytes"
+	"testing"
+
+	"vdnn/internal/gpu"
+	"vdnn/internal/sweep"
+)
+
+// TestParallelSuiteByteIdentical is the engine's acceptance criterion at the
+// table level: every experiment rendered from a parallel suite must be
+// byte-identical to the sequential reference.
+func TestParallelSuiteByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full evaluation suite; skipped in -short mode")
+	}
+	seq := NewSuiteEngine(gpu.TitanX(), sweep.NewEngine(1))
+	par := NewSuiteEngine(gpu.TitanX(), sweep.NewEngine(8))
+
+	parExps := par.Experiments()
+	for i, e := range seq.Experiments() {
+		var want, got bytes.Buffer
+		e.Gen().Render(&want)
+		parExps[i].Gen().Render(&got)
+		if want.String() != got.String() {
+			t.Errorf("%s: parallel table differs from sequential:\n--- seq ---\n%s\n--- par ---\n%s",
+				e.Name, want.String(), got.String())
+		}
+	}
+}
+
+// TestJobsCoverGen guards the job registry against drift: after priming an
+// experiment's Jobs(), its Gen() must be all cache hits. A Gen that
+// simulates a configuration its jobs function missed would silently fall
+// back to inline sequential simulation, erasing the batch parallelism
+// without failing any output check — this test turns that into a failure.
+func TestJobsCoverGen(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full evaluation suite; skipped in -short mode")
+	}
+	s := NewSuiteEngine(gpu.TitanX(), sweep.NewEngine(4))
+	for _, e := range s.Experiments() {
+		s.Prime(e.Jobs())
+		before := s.Engine().Stats().Simulations
+		e.Gen()
+		if after := s.Engine().Stats().Simulations; after != before {
+			t.Errorf("%s: Gen ran %d simulations its Jobs() did not enqueue", e.Name, after-before)
+		}
+	}
+}
+
+// TestExperimentsShareCache checks the suite-wide cache: regenerating every
+// experiment on one suite must not re-simulate configurations that earlier
+// experiments already ran (e.g. Figure 4 reuses Figure 1's simulations, the
+// power study reuses Figure 11's).
+func TestExperimentsShareCache(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full evaluation suite; skipped in -short mode")
+	}
+	s := NewSuiteEngine(gpu.TitanX(), sweep.NewEngine(4))
+	var enqueued int
+	for _, e := range s.Experiments() {
+		enqueued += len(e.Jobs())
+		e.Gen()
+	}
+	st := s.Engine().Stats()
+	if st.Simulations >= int64(enqueued) {
+		t.Errorf("simulations = %d of %d enqueued jobs: experiments are not sharing the cache",
+			st.Simulations, enqueued)
+	}
+	// Regenerating everything must be free.
+	before := st.Simulations
+	for _, e := range s.Experiments() {
+		e.Gen()
+	}
+	if after := s.Engine().Stats().Simulations; after != before {
+		t.Errorf("regeneration ran %d extra simulations, want 0", after-before)
+	}
+}

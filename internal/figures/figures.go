@@ -18,22 +18,89 @@ import (
 	"vdnn/internal/memalloc"
 	"vdnn/internal/networks"
 	"vdnn/internal/report"
+	"vdnn/internal/sweep"
 )
 
-// Suite memoizes simulation results: the same (network, config) pair is
-// reused across figures, and simulations are deterministic.
+// Suite runs the evaluation on a sweep.Engine: one result cache shared by
+// every figure, ablation and case study — the same (network, config) pair is
+// simulated exactly once across the whole evaluation — with simulations
+// scheduled over the engine's worker pool. Each experiment first enqueues
+// its full configuration set as one batch (its jobs function), then formats
+// rows from the cached results, so independent simulations of one table run
+// concurrently. Simulations are deterministic, which makes every table
+// byte-identical regardless of the engine's parallelism.
 type Suite struct {
 	Spec gpu.Spec
 
-	mu    sync.Mutex
-	nets  map[string]*dnn.Network
-	cache map[string]*core.Result
+	eng *sweep.Engine
+
+	mu   sync.Mutex
+	nets map[string]*dnn.Network
 }
 
 // NewSuite creates a Suite for the given device (use gpu.TitanX() for the
-// paper's platform).
+// paper's platform) running on all available cores.
 func NewSuite(spec gpu.Spec) *Suite {
-	return &Suite{Spec: spec, nets: map[string]*dnn.Network{}, cache: map[string]*core.Result{}}
+	return NewSuiteEngine(spec, sweep.NewEngine(0))
+}
+
+// NewSuiteEngine creates a Suite running on an existing engine
+// (sweep.NewEngine(1) yields the sequential reference). Sharing one engine
+// across suites bounds their combined parallelism; it does not share cached
+// results between them, because the engine keys results by network identity
+// and each suite memoizes its own network instances — reuse one Suite for
+// warm-cache regeneration.
+func NewSuiteEngine(spec gpu.Spec, eng *sweep.Engine) *Suite {
+	return &Suite{Spec: spec, eng: eng, nets: map[string]*dnn.Network{}}
+}
+
+// Engine exposes the suite's sweep engine (for cache statistics).
+func (s *Suite) Engine() *sweep.Engine { return s.eng }
+
+// Experiment is one table of the evaluation: its vdnn-repro name, the full
+// simulation set it reads (enqueued as one concurrent batch), and the
+// formatter that renders it. Jobs is a scheduling hint, not a correctness
+// requirement — Gen simulates any configuration its jobs function missed —
+// so tables are identical whether or not (and how parallel) they were
+// primed.
+type Experiment struct {
+	Name string
+	Jobs func() []sweep.Job
+	Gen  func() *report.Table
+}
+
+// Experiments lists every experiment in the order vdnn-repro prints them.
+func (s *Suite) Experiments() []Experiment {
+	return []Experiment{
+		{"fig1", s.fig1Jobs, s.Fig1},
+		{"fig4", s.fig1Jobs, s.Fig4}, // same simulation set as Figure 1
+		{"fig5", s.fig5Jobs, s.Fig5},
+		{"fig6", s.fig6Jobs, s.Fig6},
+		{"fig11", s.fig11Jobs, s.Fig11},
+		{"fig12", s.fig12Jobs, s.Fig12},
+		{"fig13", s.fig13Jobs, s.Fig13},
+		{"fig14", s.fig14Jobs, s.Fig14},
+		{"fig15", s.fig15Jobs, s.Fig15},
+		{"power", s.powerJobs, s.Power},
+		{"ablation-prefetch", s.ablationPrefetchJobs, s.AblationPrefetch},
+		{"ablation-pagemig", s.ablationPageMigrationJobs, s.AblationPageMigration},
+		{"ablation-link", s.ablationInterconnectJobs, s.AblationInterconnect},
+		{"ablation-capacity", s.ablationCapacityJobs, s.AblationCapacity},
+		{"ablation-weights", s.ablationWeightOffloadJobs, s.AblationWeightOffload},
+		{"ablation-batch", s.ablationBatchScalingJobs, s.AblationBatchScaling},
+		{"case-multigpu", s.caseStudyMultiGPUJobs, s.CaseStudyMultiGPU},
+		{"case-precision", s.caseStudyPrecisionJobs, s.CaseStudyPrecision},
+		{"case-devices", s.caseStudyDevicesJobs, s.CaseStudyDevices},
+		{"case-resnet", s.caseStudyResNetJobs, s.CaseStudyResNet},
+	}
+}
+
+// Prime schedules a batch of simulations across the engine's workers so the
+// subsequent formatting pass is all cache hits.
+func (s *Suite) Prime(jobs []sweep.Job) {
+	if _, err := s.eng.RunAll(jobs); err != nil {
+		panic(fmt.Sprintf("figures: %v", err))
+	}
 }
 
 // net returns a memoized network instance.
@@ -70,23 +137,12 @@ func (s *Suite) veryDeep() []*dnn.Network {
 
 func (s *Suite) all() []*dnn.Network { return append(s.conventional(), s.veryDeep()...) }
 
-// Run simulates one configuration with memoization.
+// Run simulates one configuration through the shared engine cache.
 func (s *Suite) Run(net *dnn.Network, cfg core.Config) *core.Result {
-	key := fmt.Sprintf("%s|%v|%v|%v|%v|%v|%d|%d|%v|%v", net.Name, cfg.Policy, cfg.Algo, cfg.Oracle,
-		cfg.Prefetch, cfg.PageMigration, cfg.Iterations, cfg.HostBytes, cfg.Spec.Name, cfg.OffloadWeights)
-	s.mu.Lock()
-	r, ok := s.cache[key]
-	s.mu.Unlock()
-	if ok {
-		return r
-	}
-	r, err := core.Run(net, cfg)
+	r, err := s.eng.Run(net, cfg)
 	if err != nil {
 		panic(fmt.Sprintf("figures: %s %v: %v", net.Name, cfg.Policy, err))
 	}
-	s.mu.Lock()
-	s.cache[key] = r
-	s.mu.Unlock()
 	return r
 }
 
@@ -94,16 +150,30 @@ func (s *Suite) cfg(p core.Policy, a core.AlgoMode) core.Config {
 	return core.Config{Spec: s.Spec, Policy: p, Algo: a}
 }
 
+// job pairs a network with a configuration for batch scheduling.
+func job(n *dnn.Network, cfg core.Config) sweep.Job { return sweep.Job{Net: n, Cfg: cfg} }
+
 // oracleBaseline is the paper's normalization target: the baseline with
 // performance-optimal algorithms on a hypothetical GPU with enough memory.
 func (s *Suite) oracleBaseline(net *dnn.Network) *core.Result {
 	return s.Run(net, core.Config{Spec: s.Spec, Policy: core.Baseline, Algo: core.PerfOptimal, Oracle: true})
 }
 
+// fig1Jobs is the simulation set of Figures 1 and 4: the baseline on every
+// studied network.
+func (s *Suite) fig1Jobs() []sweep.Job {
+	var js []sweep.Job
+	for _, n := range s.all() {
+		js = append(js, job(n, s.cfg(core.Baseline, core.PerfOptimal)))
+	}
+	return js
+}
+
 // Fig1 reproduces Figure 1: the baseline's network-wide memory allocation
 // for all ten studied DNNs and the maximum fraction of it any single layer's
 // computation actually uses.
 func (s *Suite) Fig1() *report.Table {
+	s.Prime(s.fig1Jobs())
 	t := report.NewTable("Figure 1 — baseline memory allocation and maximum layer-wise usage",
 		"network", "allocation (MB)", "max layer-wise usage", "trainable on 12GB")
 	for _, n := range s.all() {
@@ -118,6 +188,7 @@ func (s *Suite) Fig1() *report.Table {
 // Fig4 reproduces Figure 4: baseline memory usage broken down by function,
 // and the share held by feature maps.
 func (s *Suite) Fig4() *report.Table {
+	s.Prime(s.fig1Jobs())
 	t := report.NewTable("Figure 4 — baseline memory breakdown by functionality (MB)",
 		"network", "weights", "w-grads", "feature maps", "gradient maps", "workspace", "other", "feature maps %")
 	for _, n := range s.all() {
@@ -140,7 +211,13 @@ func (s *Suite) Fig4() *report.Table {
 // Fig5 reproduces Figure 5: per-layer memory usage of VGG-16 (256) during
 // forward propagation — feature maps + workspace on the left axis, weights
 // on the right.
+func (s *Suite) fig5Jobs() []sweep.Job {
+	n := s.net(func() *dnn.Network { return networks.VGG16(256) }, "vgg16-256")
+	return []sweep.Job{job(n, core.Config{Spec: s.Spec, Policy: core.Baseline, Algo: core.PerfOptimal, Oracle: true})}
+}
+
 func (s *Suite) Fig5() *report.Table {
+	s.Prime(s.fig5Jobs())
 	n := s.net(func() *dnn.Network { return networks.VGG16(256) }, "vgg16-256")
 	r := s.Run(n, core.Config{Spec: s.Spec, Policy: core.Baseline, Algo: core.PerfOptimal, Oracle: true})
 	t := report.NewTable("Figure 5 — VGG-16 (256) per-layer forward memory usage",
@@ -160,7 +237,13 @@ func (s *Suite) Fig5() *report.Table {
 // the reuse distance of each layer's input feature maps (batch 64,
 // memory-optimal algorithms, matching the >1200 ms first-layer reuse
 // distance quoted in Section III-A).
+func (s *Suite) fig6Jobs() []sweep.Job {
+	n := s.net(func() *dnn.Network { return networks.VGG16(64) }, "vgg16-64")
+	return []sweep.Job{job(n, s.cfg(core.Baseline, core.MemOptimal))}
+}
+
 func (s *Suite) Fig6() *report.Table {
+	s.Prime(s.fig6Jobs())
 	n := s.net(func() *dnn.Network { return networks.VGG16(64) }, "vgg16-64")
 	r := s.Run(n, s.cfg(core.Baseline, core.MemOptimal))
 	t := report.NewTable("Figure 6 — VGG-16 (64) per-layer latency and reuse distance",
@@ -189,7 +272,28 @@ func policyCell(r *core.Result) string {
 // Fig11 reproduces Figure 11: maximum/average GPU memory usage of the vDNN
 // policies and the baseline, (m) and (p) algorithm modes, across the six
 // conventional networks. Asterisks mark configurations that cannot train.
+// fig11Jobs is the full policy/mode cross product over the conventional
+// networks (also the simulation set of the power study).
+func (s *Suite) fig11Jobs() []sweep.Job {
+	var js []sweep.Job
+	for _, n := range s.conventional() {
+		for _, pa := range []struct {
+			p core.Policy
+			a core.AlgoMode
+		}{
+			{core.VDNNAll, core.MemOptimal}, {core.VDNNAll, core.PerfOptimal},
+			{core.VDNNConv, core.MemOptimal}, {core.VDNNConv, core.PerfOptimal},
+			{core.VDNNDyn, 0},
+			{core.Baseline, core.MemOptimal}, {core.Baseline, core.PerfOptimal},
+		} {
+			js = append(js, job(n, s.cfg(pa.p, pa.a)))
+		}
+	}
+	return js
+}
+
 func (s *Suite) Fig11() *report.Table {
+	s.Prime(s.fig11Jobs())
 	t := report.NewTable("Figure 11 — GPU memory usage, max/avg MB (* = cannot train)",
 		"network", "all(m)", "all(p)", "conv(m)", "conv(p)", "dyn", "base(m)", "base(p)", "savings(avg)")
 	for _, n := range s.conventional() {
@@ -214,7 +318,17 @@ func (s *Suite) Fig11() *report.Table {
 
 // Fig12 reproduces Figure 12: the per-iteration offload traffic (equals the
 // pinned host allocation) under vDNN-all and vDNN-conv.
+func (s *Suite) fig12Jobs() []sweep.Job {
+	var js []sweep.Job
+	for _, n := range s.conventional() {
+		js = append(js, job(n, s.cfg(core.VDNNAll, core.MemOptimal)),
+			job(n, s.cfg(core.VDNNConv, core.MemOptimal)))
+	}
+	return js
+}
+
 func (s *Suite) Fig12() *report.Table {
+	s.Prime(s.fig12Jobs())
 	t := report.NewTable("Figure 12 — offloaded memory per iteration (MB)",
 		"network", "vDNN-all", "vDNN-conv")
 	for _, n := range s.conventional() {
@@ -228,7 +342,13 @@ func (s *Suite) Fig12() *report.Table {
 
 // Fig13 reproduces Figure 13: the maximum DRAM bandwidth utilization of each
 // VGG-16 CONV layer's forward and backward kernels under the baseline.
+func (s *Suite) fig13Jobs() []sweep.Job {
+	n := s.net(func() *dnn.Network { return networks.VGG16(128) }, "vgg16-128")
+	return []sweep.Job{job(n, s.cfg(core.Baseline, core.MemOptimal))}
+}
+
 func (s *Suite) Fig13() *report.Table {
+	s.Prime(s.fig13Jobs())
 	n := s.net(func() *dnn.Network { return networks.VGG16(128) }, "vgg16-128")
 	r := s.Run(n, s.cfg(core.Baseline, core.MemOptimal))
 	t := report.NewTable("Figure 13 — VGG-16 (128) max DRAM bandwidth utilization (GB/s)",
@@ -256,7 +376,30 @@ func (s *Suite) Fig13() *report.Table {
 
 // Fig14 reproduces Figure 14: performance normalized to the (oracular)
 // baseline for every policy and algorithm mode.
+// fig14Jobs lists, per conventional network, the oracle and real run of
+// every policy/mode pair; the baseline(p) oracle doubles as the
+// normalization target.
+func (s *Suite) fig14Jobs() []sweep.Job {
+	var js []sweep.Job
+	for _, n := range s.conventional() {
+		for _, pa := range []struct {
+			p core.Policy
+			a core.AlgoMode
+		}{
+			{core.VDNNAll, core.MemOptimal}, {core.VDNNAll, core.PerfOptimal},
+			{core.VDNNConv, core.MemOptimal}, {core.VDNNConv, core.PerfOptimal},
+			{core.Baseline, core.MemOptimal}, {core.Baseline, core.PerfOptimal},
+		} {
+			js = append(js, job(n, core.Config{Spec: s.Spec, Policy: pa.p, Algo: pa.a, Oracle: true}),
+				job(n, s.cfg(pa.p, pa.a)))
+		}
+		js = append(js, job(n, s.cfg(core.VDNNDyn, 0)))
+	}
+	return js
+}
+
 func (s *Suite) Fig14() *report.Table {
+	s.Prime(s.fig14Jobs())
 	t := report.NewTable("Figure 14 — performance normalized to baseline (feature extraction)",
 		"network", "all(m)", "all(p)", "conv(m)", "conv(p)", "dyn", "base(m)", "base(p)")
 	for _, n := range s.conventional() {
@@ -284,7 +427,18 @@ func (s *Suite) Fig14() *report.Table {
 
 // Fig15 reproduces Figure 15: GPU- and CPU-side memory of vDNN-dyn against
 // the baseline's (infeasible) requirement for the very deep networks.
+func (s *Suite) fig15Jobs() []sweep.Job {
+	var js []sweep.Job
+	for _, n := range s.veryDeep() {
+		js = append(js, job(n, s.cfg(core.VDNNDyn, 0)),
+			job(n, s.cfg(core.Baseline, core.PerfOptimal)),
+			job(n, core.Config{Spec: s.Spec, Policy: core.Baseline, Algo: core.PerfOptimal, Oracle: true}))
+	}
+	return js
+}
+
 func (s *Suite) Fig15() *report.Table {
+	s.Prime(s.fig15Jobs())
 	t := report.NewTable("Figure 15 — very deep networks (batch 32): memory placement (MB)",
 		"network", "dyn GPU-side", "dyn CPU-side", "CPU share", "base requirement", "dyn perf vs oracle")
 	for _, n := range s.veryDeep() {
@@ -304,7 +458,18 @@ func (s *Suite) Fig15() *report.Table {
 // Power reproduces the Section V-D study: average and maximum board power of
 // vDNN-dyn against the baseline. VGG-16 (256) is excluded as in the paper
 // (the baseline cannot run it at all).
+func (s *Suite) powerJobs() []sweep.Job {
+	var js []sweep.Job
+	for _, n := range s.conventional() {
+		js = append(js, job(n, s.cfg(core.Baseline, core.PerfOptimal)),
+			job(n, s.cfg(core.Baseline, core.MemOptimal)),
+			job(n, s.cfg(core.VDNNDyn, 0)))
+	}
+	return js
+}
+
 func (s *Suite) Power() *report.Table {
+	s.Prime(s.powerJobs())
 	t := report.NewTable("Section V-D — GPU power, vDNN-dyn vs baseline (W)",
 		"network", "base avg", "dyn avg", "base max", "dyn max", "max overhead")
 	for _, n := range s.conventional() {

@@ -1,0 +1,250 @@
+package memalloc
+
+// freeTree indexes the pool's free ranges for O(log n) fit queries. It is a
+// treap keyed by address and augmented with the maximum span size per
+// subtree, which answers the two placement questions the allocator asks —
+// "lowest-addressed range with size >= n" (small allocations, classic first
+// fit) and "highest-addressed range with size >= n" (big feature maps) —
+// without the linear freelist scan they would otherwise cost. The placement
+// answers are exactly those of an address-ordered list scan, so swapping the
+// structure in changes allocator performance, never allocator behavior.
+//
+// Treap priorities come from a per-tree xorshift generator with a fixed
+// seed: the tree shape is a deterministic function of the operation
+// sequence, keeping simulations reproducible.
+type freeTree struct {
+	root *ftNode
+	rng  uint64
+}
+
+type ftNode struct {
+	addr, size  int64
+	prio        uint64
+	left, right *ftNode
+
+	maxSize int64 // max span size in this subtree
+	count   int   // spans in this subtree
+	total   int64 // sum of span sizes in this subtree
+}
+
+func newFreeTree() *freeTree {
+	return &freeTree{rng: 0x9E3779B97F4A7C15}
+}
+
+// next is xorshift64*: fast, deterministic treap priorities.
+func (t *freeTree) next() uint64 {
+	x := t.rng
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	t.rng = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+func (n *ftNode) update() {
+	n.maxSize = n.size
+	n.count = 1
+	n.total = n.size
+	if n.left != nil {
+		if n.left.maxSize > n.maxSize {
+			n.maxSize = n.left.maxSize
+		}
+		n.count += n.left.count
+		n.total += n.left.total
+	}
+	if n.right != nil {
+		if n.right.maxSize > n.maxSize {
+			n.maxSize = n.right.maxSize
+		}
+		n.count += n.right.count
+		n.total += n.right.total
+	}
+}
+
+func rotRight(n *ftNode) *ftNode {
+	l := n.left
+	n.left = l.right
+	l.right = n
+	n.update()
+	l.update()
+	return l
+}
+
+func rotLeft(n *ftNode) *ftNode {
+	r := n.right
+	n.right = r.left
+	r.left = n
+	n.update()
+	r.update()
+	return r
+}
+
+// Count returns the number of free spans.
+func (t *freeTree) Count() int {
+	if t.root == nil {
+		return 0
+	}
+	return t.root.count
+}
+
+// Total returns the total free bytes.
+func (t *freeTree) Total() int64 {
+	if t.root == nil {
+		return 0
+	}
+	return t.root.total
+}
+
+// MaxSize returns the largest free span size.
+func (t *freeTree) MaxSize() int64 {
+	if t.root == nil {
+		return 0
+	}
+	return t.root.maxSize
+}
+
+// Insert adds a span. Spans are disjoint; inserting an existing address is an
+// allocator bug.
+func (t *freeTree) Insert(addr, size int64) {
+	x := &ftNode{addr: addr, size: size, prio: t.next()}
+	t.root = insertNode(t.root, x)
+}
+
+func insertNode(n, x *ftNode) *ftNode {
+	if n == nil {
+		x.update()
+		return x
+	}
+	if x.addr < n.addr {
+		n.left = insertNode(n.left, x)
+		if n.left.prio > n.prio {
+			n = rotRight(n)
+			n.update()
+			return n
+		}
+	} else {
+		n.right = insertNode(n.right, x)
+		if n.right.prio > n.prio {
+			n = rotLeft(n)
+			n.update()
+			return n
+		}
+	}
+	n.update()
+	return n
+}
+
+// Remove deletes the span at addr. The address must exist.
+func (t *freeTree) Remove(addr int64) {
+	t.root = removeNode(t.root, addr)
+}
+
+func removeNode(n *ftNode, addr int64) *ftNode {
+	if n == nil {
+		panic("memalloc: removing unknown free span")
+	}
+	switch {
+	case addr < n.addr:
+		n.left = removeNode(n.left, addr)
+	case addr > n.addr:
+		n.right = removeNode(n.right, addr)
+	default:
+		return mergeNodes(n.left, n.right)
+	}
+	n.update()
+	return n
+}
+
+// mergeNodes joins two subtrees where every key in a precedes every key in b.
+func mergeNodes(a, b *ftNode) *ftNode {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	if a.prio > b.prio {
+		a.right = mergeNodes(a.right, b)
+		a.update()
+		return a
+	}
+	b.left = mergeNodes(a, b.left)
+	b.update()
+	return b
+}
+
+// FirstFit returns the lowest-addressed span with size >= n.
+func (t *freeTree) FirstFit(n int64) (addr, size int64, ok bool) {
+	cur := t.root
+	if cur == nil || cur.maxSize < n {
+		return 0, 0, false
+	}
+	for {
+		if cur.left != nil && cur.left.maxSize >= n {
+			cur = cur.left
+			continue
+		}
+		if cur.size >= n {
+			return cur.addr, cur.size, true
+		}
+		cur = cur.right // guaranteed by the subtree maxSize invariant
+	}
+}
+
+// LastFit returns the highest-addressed span with size >= n.
+func (t *freeTree) LastFit(n int64) (addr, size int64, ok bool) {
+	cur := t.root
+	if cur == nil || cur.maxSize < n {
+		return 0, 0, false
+	}
+	for {
+		if cur.right != nil && cur.right.maxSize >= n {
+			cur = cur.right
+			continue
+		}
+		if cur.size >= n {
+			return cur.addr, cur.size, true
+		}
+		cur = cur.left
+	}
+}
+
+// Pred returns the span with the greatest address < addr.
+func (t *freeTree) Pred(addr int64) (paddr, psize int64, ok bool) {
+	for cur := t.root; cur != nil; {
+		if cur.addr < addr {
+			paddr, psize, ok = cur.addr, cur.size, true
+			cur = cur.right
+		} else {
+			cur = cur.left
+		}
+	}
+	return paddr, psize, ok
+}
+
+// Succ returns the span with the least address > addr.
+func (t *freeTree) Succ(addr int64) (saddr, ssize int64, ok bool) {
+	for cur := t.root; cur != nil; {
+		if cur.addr > addr {
+			saddr, ssize, ok = cur.addr, cur.size, true
+			cur = cur.left
+		} else {
+			cur = cur.right
+		}
+	}
+	return saddr, ssize, ok
+}
+
+// Walk visits every span in address order.
+func (t *freeTree) Walk(fn func(addr, size int64)) {
+	var rec func(n *ftNode)
+	rec = func(n *ftNode) {
+		if n == nil {
+			return
+		}
+		rec(n.left)
+		fn(n.addr, n.size)
+		rec(n.right)
+	}
+	rec(t.root)
+}

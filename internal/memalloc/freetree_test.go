@@ -1,0 +1,190 @@
+package memalloc
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// refList is the straight-line reference the tree must match: an
+// address-ordered span slice with linear first-fit / last-fit scans — the
+// structure the allocator used before the tree.
+type refList struct{ spans []span }
+
+func (r *refList) insert(addr, size int64) {
+	i := 0
+	for i < len(r.spans) && r.spans[i].addr < addr {
+		i++
+	}
+	r.spans = append(r.spans, span{})
+	copy(r.spans[i+1:], r.spans[i:])
+	r.spans[i] = span{addr, size}
+}
+
+func (r *refList) remove(addr int64) {
+	for i, s := range r.spans {
+		if s.addr == addr {
+			r.spans = append(r.spans[:i], r.spans[i+1:]...)
+			return
+		}
+	}
+	panic("refList: removing unknown span")
+}
+
+func (r *refList) firstFit(n int64) (int64, int64, bool) {
+	for _, s := range r.spans {
+		if s.size >= n {
+			return s.addr, s.size, true
+		}
+	}
+	return 0, 0, false
+}
+
+func (r *refList) lastFit(n int64) (int64, int64, bool) {
+	for i := len(r.spans) - 1; i >= 0; i-- {
+		if s := r.spans[i]; s.size >= n {
+			return s.addr, s.size, true
+		}
+	}
+	return 0, 0, false
+}
+
+func (r *refList) maxSize() int64 {
+	var m int64
+	for _, s := range r.spans {
+		if s.size > m {
+			m = s.size
+		}
+	}
+	return m
+}
+
+func (r *refList) total() int64 {
+	var t int64
+	for _, s := range r.spans {
+		t += s.size
+	}
+	return t
+}
+
+// TestFreeTreeMatchesReference drives the tree and the linear reference with
+// an identical randomized operation sequence — carving spans first-fit and
+// last-fit, freeing them back — and checks every query and the final span
+// set agree at each step.
+func TestFreeTreeMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	const capacity = 1 << 20
+
+	tree := newFreeTree()
+	ref := &refList{}
+	tree.Insert(0, capacity)
+	ref.insert(0, capacity)
+
+	type alloc struct{ addr, size int64 }
+	var live []alloc
+
+	check := func(step int) {
+		t.Helper()
+		if got, want := tree.MaxSize(), ref.maxSize(); got != want {
+			t.Fatalf("step %d: MaxSize = %d, want %d", step, got, want)
+		}
+		if got, want := tree.Total(), ref.total(); got != want {
+			t.Fatalf("step %d: Total = %d, want %d", step, got, want)
+		}
+		if got, want := tree.Count(), len(ref.spans); got != want {
+			t.Fatalf("step %d: Count = %d, want %d", step, got, want)
+		}
+		var spans []span
+		tree.Walk(func(a, s int64) { spans = append(spans, span{a, s}) })
+		for i, s := range spans {
+			if s != ref.spans[i] {
+				t.Fatalf("step %d: span %d = %+v, want %+v", step, i, s, ref.spans[i])
+			}
+		}
+	}
+
+	carve := func(n int64, last bool) {
+		var ta, ts int64
+		var tok bool
+		var ra, rs int64
+		var rok bool
+		if last {
+			ta, ts, tok = tree.LastFit(n)
+			ra, rs, rok = ref.lastFit(n)
+		} else {
+			ta, ts, tok = tree.FirstFit(n)
+			ra, rs, rok = ref.firstFit(n)
+		}
+		if tok != rok || ta != ra || ts != rs {
+			t.Fatalf("fit(%d, last=%v): tree (%d,%d,%v) != ref (%d,%d,%v)",
+				n, last, ta, ts, tok, ra, rs, rok)
+		}
+		if !tok {
+			return
+		}
+		tree.Remove(ta)
+		ref.remove(ra)
+		var a alloc
+		if last { // carve from the top, as big feature maps do
+			a = alloc{ta + ts - n, n}
+			if ts > n {
+				tree.Insert(ta, ts-n)
+				ref.insert(ra, rs-n)
+			}
+		} else { // carve from the bottom
+			a = alloc{ta, n}
+			if ts > n {
+				tree.Insert(ta+n, ts-n)
+				ref.insert(ra+n, rs-n)
+			}
+		}
+		live = append(live, a)
+	}
+
+	release := func(i int) {
+		a := live[i]
+		live = append(live[:i], live[i+1:]...)
+		// Coalescing insert, both sides (mirrors Pool.insertFree).
+		sp := span{a.addr, a.size}
+		if pa, ps, ok := tree.Pred(sp.addr); ok && pa+ps == sp.addr {
+			tree.Remove(pa)
+			sp.addr, sp.size = pa, sp.size+ps
+		}
+		if sa, ss, ok := tree.Succ(sp.addr); ok && sp.addr+sp.size == sa {
+			tree.Remove(sa)
+			sp.size += ss
+		}
+		tree.Insert(sp.addr, sp.size)
+
+		rp := span{a.addr, a.size}
+		for _, s := range append([]span(nil), ref.spans...) {
+			if s.addr+s.size == rp.addr {
+				ref.remove(s.addr)
+				rp.addr, rp.size = s.addr, rp.size+s.size
+			}
+			if rp.addr+rp.size == s.addr {
+				ref.remove(s.addr)
+				rp.size += s.size
+			}
+		}
+		ref.insert(rp.addr, rp.size)
+	}
+
+	for step := 0; step < 5000; step++ {
+		switch {
+		case len(live) > 0 && rng.Intn(3) == 0:
+			release(rng.Intn(len(live)))
+		default:
+			n := int64(1+rng.Intn(64)) * 512
+			carve(n, rng.Intn(2) == 1)
+		}
+		check(step)
+	}
+	for len(live) > 0 {
+		release(len(live) - 1)
+	}
+	check(-1)
+	if tree.Count() != 1 || tree.Total() != capacity {
+		t.Fatalf("after releasing everything: %d spans, %d bytes free; want 1 span of %d",
+			tree.Count(), tree.Total(), capacity)
+	}
+}

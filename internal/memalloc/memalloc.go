@@ -4,9 +4,12 @@
 // the pool is sized once at startup to the GPU's usable capacity, and all
 // (de)allocations are served from it asynchronously.
 //
-// The allocator is a classic address-ordered best-fit suballocator with
-// block splitting and free-range coalescing, so fragmentation behaves like
-// the real thing. Allocations and frees carry simulated timestamps; a free
+// The allocator is a classic address-ordered suballocator with block
+// splitting and free-range coalescing, so fragmentation behaves like the
+// real thing. Free ranges live in a size-augmented address tree (freetree.go)
+// that answers first-fit and last-fit queries in O(log n) instead of the
+// linear freelist scan — the allocator is on the hot path of every simulated
+// kernel launch. Allocations and frees carry simulated timestamps; a free
 // may be scheduled for a future point (the completion time of the op that
 // last reads the buffer), and is applied before any later allocation. The
 // pool records a complete usage timeline from which peak usage,
@@ -128,7 +131,7 @@ const bigBlockThreshold = 64 << 20
 type Pool struct {
 	capacity int64
 	align    int64
-	free     []span // address-ordered free ranges
+	free     *freeTree // free ranges indexed by address, augmented by size
 	used     int64
 	byKind   [numKinds]int64
 	events   []usageEvent
@@ -153,12 +156,14 @@ func New(capacity int64) *Pool {
 	if capacity <= 0 {
 		panic("memalloc: non-positive capacity")
 	}
-	return &Pool{
+	p := &Pool{
 		capacity: capacity,
 		align:    512,
-		free:     []span{{0, capacity}},
+		free:     newFreeTree(),
 		bins:     map[int64][]span{},
 	}
+	p.free.Insert(0, capacity)
+	return p
 }
 
 // Capacity returns the pool size in bytes.
@@ -201,7 +206,8 @@ func (p *Pool) Alloc(t sim.Time, size int64, kind Kind, label string) (*Block, e
 	// span and carve from its top; everything else takes the
 	// lowest-addressed fitting span (first fit) and carves from its bottom.
 	// The populations stay segregated at opposite ends of the address space.
-	// Big feature maps first try the size bin for exact hole reuse.
+	// Big feature maps first try the size bin for exact hole reuse. Both fit
+	// queries are O(log n) against the size-augmented free tree.
 	big := kind == KindFeatureMap && n >= bigBlockThreshold
 	var b *Block
 	if big {
@@ -212,43 +218,34 @@ func (p *Pool) Alloc(t sim.Time, size int64, kind Kind, label string) (*Block, e
 		}
 	}
 	for b == nil {
-		best := -1
-		for i, s := range p.free {
-			if s.size < n {
-				continue
-			}
-			best = i
-			if !big {
-				break // first fit; big keeps scanning for the highest span
-			}
+		var addr, size int64
+		var ok bool
+		if big {
+			addr, size, ok = p.free.LastFit(n)
+		} else {
+			addr, size, ok = p.free.FirstFit(n)
 		}
-		if best < 0 {
+		if !ok {
 			if p.flushBins() {
 				continue // coalesced cached holes; retry once more
 			}
-			var largest, total int64
-			for _, s := range p.free {
-				total += s.size
-				if s.size > largest {
-					largest = s.size
-				}
-			}
+			total := p.free.Total()
 			return nil, &OOMError{
 				Label: label, Need: n, Used: p.used, Capacity: p.capacity,
-				LargestFree: largest, Fragmentation: total >= n,
+				LargestFree: p.free.MaxSize(), Fragmentation: total >= n,
 			}
 		}
-		s := &p.free[best]
+		p.free.Remove(addr)
 		if big {
-			b = &Block{Addr: s.addr + s.size - n, Kind: kind, Label: label, Size: n}
-			s.size -= n
+			b = &Block{Addr: addr + size - n, Kind: kind, Label: label, Size: n}
+			if size > n {
+				p.free.Insert(addr, size-n)
+			}
 		} else {
-			b = &Block{Addr: s.addr, Size: n, Kind: kind, Label: label}
-			s.addr += n
-			s.size -= n
-		}
-		if s.size == 0 {
-			p.free = append(p.free[:best], p.free[best+1:]...)
+			b = &Block{Addr: addr, Size: n, Kind: kind, Label: label}
+			if size > n {
+				p.free.Insert(addr+n, size-n)
+			}
 		}
 	}
 	p.used += n
@@ -309,22 +306,19 @@ func (p *Pool) release(b *Block, t sim.Time) {
 	p.insertFree(span{b.Addr, b.Size})
 }
 
-// insertFree merges one span into the address-ordered freelist.
+// insertFree merges one span into the free tree, coalescing with the
+// adjacent spans when they abut.
 func (p *Pool) insertFree(sp span) {
-	b := &Block{Addr: sp.addr, Size: sp.size}
-	i := sort.Search(len(p.free), func(i int) bool { return p.free[i].addr > b.Addr })
-	p.free = append(p.free, span{})
-	copy(p.free[i+1:], p.free[i:])
-	p.free[i] = span{b.Addr, b.Size}
-	// Coalesce with successor, then predecessor.
-	if i+1 < len(p.free) && p.free[i].addr+p.free[i].size == p.free[i+1].addr {
-		p.free[i].size += p.free[i+1].size
-		p.free = append(p.free[:i+1], p.free[i+2:]...)
+	if paddr, psize, ok := p.free.Pred(sp.addr); ok && paddr+psize == sp.addr {
+		p.free.Remove(paddr)
+		sp.addr = paddr
+		sp.size += psize
 	}
-	if i > 0 && p.free[i-1].addr+p.free[i-1].size == p.free[i].addr {
-		p.free[i-1].size += p.free[i].size
-		p.free = append(p.free[:i], p.free[i+1:]...)
+	if saddr, ssize, ok := p.free.Succ(sp.addr); ok && sp.addr+sp.size == saddr {
+		p.free.Remove(saddr)
+		sp.size += ssize
 	}
+	p.free.Insert(sp.addr, sp.size)
 }
 
 // Flush applies every scheduled free with time <= t.
@@ -337,7 +331,7 @@ func (p *Pool) Flush(t sim.Time) {
 
 func (p *Pool) FreeRanges() int {
 	p.flushBins()
-	return len(p.free)
+	return p.free.Count()
 }
 
 // LargestFree applies pending frees up to time t and returns the largest
@@ -350,12 +344,7 @@ func (p *Pool) LargestFree(t sim.Time) int64 {
 		p.lastTime = t
 	}
 	p.applyPending(t)
-	var largest int64
-	for _, s := range p.free {
-		if s.size > largest {
-			largest = s.size
-		}
-	}
+	largest := p.free.MaxSize()
 	for size := range p.bins {
 		if size > largest && len(p.bins[size]) > 0 {
 			largest = size
@@ -425,10 +414,10 @@ func (p *Pool) Measure(start, end sim.Time) Stats {
 
 // FreeSpans returns a copy of the current free ranges (debugging aid).
 func (p *Pool) FreeSpans() [][2]int64 {
-	out := make([][2]int64, 0, len(p.free))
-	for _, s := range p.free {
-		out = append(out, [2]int64{s.addr, s.size})
-	}
+	out := make([][2]int64, 0, p.free.Count())
+	p.free.Walk(func(addr, size int64) {
+		out = append(out, [2]int64{addr, size})
+	})
 	return out
 }
 

@@ -1,0 +1,192 @@
+// Package sweep is the concurrent experiment scheduler the evaluation runs
+// on. The paper's figures, ablations and case studies are a design-space
+// sweep of hundreds of independent simulated training iterations; each
+// core.Run is a self-contained deterministic simulation, so the sweep
+// parallelizes perfectly. The engine provides:
+//
+//   - a bounded worker pool that saturates the configured parallelism,
+//   - a result cache shared by every experiment, keyed by
+//     (network, normalized configuration), so the same configuration is
+//     simulated exactly once no matter how many figures reference it, and
+//   - singleflight deduplication: concurrent requests for one key coalesce
+//     onto the in-flight simulation instead of repeating it.
+//
+// Determinism guarantee: RunAll returns results in job order and each
+// simulation is a pure function of its (network, configuration) inputs, so
+// the result set — and any report formatted from it — is byte-identical
+// whether the engine runs with 1 worker or N.
+package sweep
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"vdnn/internal/core"
+	"vdnn/internal/dnn"
+)
+
+// Job is one simulation request: a network and the configuration to train it
+// under.
+type Job struct {
+	Net *dnn.Network
+	Cfg core.Config
+}
+
+// key identifies a simulation. The network is keyed by identity (callers
+// memoize network construction; building the same architecture twice yields
+// distinct graphs that are free to diverge), the configuration by its
+// normalized value — core.Config is a comparable value type.
+type key struct {
+	net *dnn.Network
+	cfg core.Config
+}
+
+// entry is one cache slot. done is closed when res/err are final, which is
+// what lets concurrent requests for the same key wait on the first without
+// holding the engine lock.
+type entry struct {
+	done chan struct{}
+	res  *core.Result
+	err  error
+}
+
+// Stats counts the engine's cache behavior (test and reporting aid).
+type Stats struct {
+	// Simulations is the number of core.Run invocations actually performed.
+	Simulations int64
+	// Hits is the number of requests served from a completed cache entry.
+	Hits int64
+	// Coalesced is the number of requests folded onto another request of the
+	// same key instead of starting their own simulation: duplicates within a
+	// RunAll batch, plus Run calls that waited on an in-flight simulation.
+	Coalesced int64
+}
+
+// Engine schedules simulations over a bounded worker pool with a shared,
+// deduplicated result cache. The zero value is not usable; use NewEngine.
+type Engine struct {
+	workers int
+
+	mu    sync.Mutex
+	cache map[key]*entry
+	stats Stats
+}
+
+// NewEngine creates an engine running at most workers simulations
+// concurrently. workers <= 0 selects GOMAXPROCS. workers == 1 yields a
+// strictly sequential engine (useful as the determinism reference).
+func NewEngine(workers int) *Engine {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Engine{workers: workers, cache: map[key]*entry{}}
+}
+
+// Workers returns the configured parallelism.
+func (e *Engine) Workers() int { return e.workers }
+
+// Stats returns a snapshot of the cache counters.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
+
+// Run simulates one job, serving it from the cache when an identical job has
+// already run (or is running). Safe for concurrent use.
+func (e *Engine) Run(net *dnn.Network, cfg core.Config) (*core.Result, error) {
+	k := key{net: net, cfg: cfg.WithDefaults()}
+	e.mu.Lock()
+	if ent, ok := e.cache[k]; ok {
+		select {
+		case <-ent.done:
+			e.stats.Hits++
+		default:
+			e.stats.Coalesced++
+		}
+		e.mu.Unlock()
+		<-ent.done
+		return ent.res, ent.err
+	}
+	ent := &entry{done: make(chan struct{})}
+	e.cache[k] = ent
+	e.stats.Simulations++
+	e.mu.Unlock()
+
+	ent.res, ent.err = core.Run(net, k.cfg)
+	close(ent.done)
+	return ent.res, ent.err
+}
+
+// RunAll simulates a batch of jobs across the worker pool and returns the
+// results in job order. Duplicate jobs (within the batch or against earlier
+// calls) are simulated once and share one *core.Result; within-batch
+// duplicates are folded before dispatch so they never occupy a worker slot
+// waiting on their twin. The first error in job order is returned, wrapped
+// with the failing job's network and policy; results of failed jobs are nil.
+func (e *Engine) RunAll(jobs []Job) ([]*core.Result, error) {
+	results := make([]*core.Result, len(jobs))
+	errs := make([]error, len(jobs))
+
+	// Fold within-batch duplicates: canon[i] is the index of the first job
+	// with the same key; only first occurrences are dispatched.
+	canon := make([]int, len(jobs))
+	firstOf := make(map[key]int, len(jobs))
+	var unique []int
+	for i, j := range jobs {
+		k := key{net: j.Net, cfg: j.Cfg.WithDefaults()}
+		if f, ok := firstOf[k]; ok {
+			canon[i] = f
+		} else {
+			firstOf[k] = i
+			canon[i] = i
+			unique = append(unique, i)
+		}
+	}
+	if dups := len(jobs) - len(unique); dups > 0 {
+		e.mu.Lock()
+		e.stats.Coalesced += int64(dups)
+		e.mu.Unlock()
+	}
+
+	workers := e.workers
+	if workers > len(unique) {
+		workers = len(unique)
+	}
+	if workers <= 1 {
+		for _, i := range unique {
+			results[i], errs[i] = e.Run(jobs[i].Net, jobs[i].Cfg)
+		}
+	} else {
+		next := make(chan int)
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					results[i], errs[i] = e.Run(jobs[i].Net, jobs[i].Cfg)
+				}
+			}()
+		}
+		for _, i := range unique {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
+	}
+
+	for i, c := range canon {
+		if c != i {
+			results[i], errs[i] = results[c], errs[c]
+		}
+	}
+	for i, err := range errs {
+		if err != nil {
+			return results, fmt.Errorf("sweep: job %d (%s, %v %v): %w",
+				i, jobs[i].Net.Name, jobs[i].Cfg.Policy, jobs[i].Cfg.Algo, err)
+		}
+	}
+	return results, nil
+}

@@ -1,0 +1,143 @@
+package sweep
+
+import (
+	"reflect"
+	"testing"
+
+	"vdnn/internal/core"
+	"vdnn/internal/gpu"
+	"vdnn/internal/networks"
+)
+
+// testJobs is a small cross-policy sweep: one network under every policy and
+// algorithm mode the figures exercise, including the multi-pass dynamic
+// policy.
+func testJobs(t testing.TB) []Job {
+	t.Helper()
+	spec := gpu.TitanX()
+	net := networks.AlexNet(128)
+	var jobs []Job
+	for _, pa := range []struct {
+		p core.Policy
+		a core.AlgoMode
+	}{
+		{core.Baseline, core.MemOptimal},
+		{core.Baseline, core.PerfOptimal},
+		{core.VDNNAll, core.MemOptimal},
+		{core.VDNNAll, core.PerfOptimal},
+		{core.VDNNConv, core.MemOptimal},
+		{core.VDNNConv, core.PerfOptimal},
+		{core.VDNNDyn, 0},
+	} {
+		jobs = append(jobs, Job{Net: net, Cfg: core.Config{Spec: spec, Policy: pa.p, Algo: pa.a}})
+		jobs = append(jobs, Job{Net: net, Cfg: core.Config{Spec: spec, Policy: pa.p, Algo: pa.a, Oracle: true}})
+	}
+	return jobs
+}
+
+// TestRunAllDeterminism checks the engine's core guarantee: a parallel RunAll
+// returns results deep-equal to a plain sequential loop over core.Run.
+func TestRunAllDeterminism(t *testing.T) {
+	jobs := testJobs(t)
+
+	want := make([]*core.Result, len(jobs))
+	for i, j := range jobs {
+		r, err := core.Run(j.Net, j.Cfg)
+		if err != nil {
+			t.Fatalf("sequential job %d: %v", i, err)
+		}
+		want[i] = r
+	}
+
+	eng := NewEngine(8)
+	got, err := eng.RunAll(jobs)
+	if err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	for i := range jobs {
+		if !reflect.DeepEqual(got[i], want[i]) {
+			t.Errorf("job %d (%v %v): parallel result differs from sequential",
+				i, jobs[i].Cfg.Policy, jobs[i].Cfg.Algo)
+		}
+	}
+}
+
+// TestRunAllDedup checks singleflight deduplication: N identical jobs cost
+// exactly one simulation and share one result value.
+func TestRunAllDedup(t *testing.T) {
+	net := networks.AlexNet(128)
+	cfg := core.Config{Spec: gpu.TitanX(), Policy: core.VDNNAll, Algo: core.MemOptimal}
+	jobs := make([]Job, 32)
+	for i := range jobs {
+		jobs[i] = Job{Net: net, Cfg: cfg}
+	}
+
+	eng := NewEngine(8)
+	res, err := eng.RunAll(jobs)
+	if err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	st := eng.Stats()
+	if st.Simulations != 1 {
+		t.Errorf("simulations = %d, want 1 (stats: %+v)", st.Simulations, st)
+	}
+	if st.Hits+st.Coalesced != int64(len(jobs)-1) {
+		t.Errorf("hits+coalesced = %d, want %d", st.Hits+st.Coalesced, len(jobs)-1)
+	}
+	for i, r := range res {
+		if r != res[0] {
+			t.Fatalf("job %d returned a distinct result pointer", i)
+		}
+	}
+
+	// A repeat batch is served entirely from cache.
+	if _, err := eng.RunAll(jobs[:4]); err != nil {
+		t.Fatalf("RunAll (cached): %v", err)
+	}
+	if st := eng.Stats(); st.Simulations != 1 {
+		t.Errorf("simulations after cached batch = %d, want 1", st.Simulations)
+	}
+}
+
+// TestConfigNormalization checks that a zero-valued and an explicit-default
+// configuration share one cache entry.
+func TestConfigNormalization(t *testing.T) {
+	net := networks.AlexNet(128)
+	eng := NewEngine(1)
+	a := core.Config{Spec: gpu.TitanX(), Policy: core.VDNNConv}
+	b := a
+	b.Iterations = 2
+	b.HostBytes = 64 << 30
+	ra, err := eng.Run(net, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := eng.Run(net, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra != rb {
+		t.Error("normalized configurations did not share a cache entry")
+	}
+	if st := eng.Stats(); st.Simulations != 1 {
+		t.Errorf("simulations = %d, want 1", st.Simulations)
+	}
+}
+
+// TestRunAllError checks that an invalid job surfaces its error while valid
+// jobs still complete.
+func TestRunAllError(t *testing.T) {
+	net := networks.AlexNet(128)
+	good := Job{Net: net, Cfg: core.Config{Spec: gpu.TitanX(), Policy: core.Baseline, Algo: core.PerfOptimal}}
+	bad := Job{Net: net, Cfg: core.Config{}} // zero Spec fails validation
+	res, err := NewEngine(4).RunAll([]Job{good, bad, good})
+	if err == nil {
+		t.Fatal("RunAll accepted an invalid spec")
+	}
+	if res[0] == nil || res[2] == nil {
+		t.Error("valid jobs did not complete alongside the failed one")
+	}
+	if res[1] != nil {
+		t.Error("failed job returned a non-nil result")
+	}
+}
