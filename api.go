@@ -51,6 +51,26 @@ const (
 	PrefetchEager = core.PrefetchEager
 )
 
+// OffloadPolicy is the extension point of the memory manager: a user
+// implementation decides per layer what is offloaded, which convolution
+// algorithm mode runs, and which prefetch schedule to follow. Set it on
+// Config.Custom; the four paper policies are built-in implementations
+// (BuiltinPolicy). See core.OffloadPolicy for the full contract.
+type OffloadPolicy = core.OffloadPolicy
+
+// Profiler is an optional OffloadPolicy extension: a policy that settles its
+// final configuration by running candidate simulations at startup, the way
+// the paper's dynamic policy does.
+type Profiler = core.Profiler
+
+// Simulate runs one candidate configuration on behalf of a Profiler.
+type Simulate = core.Simulate
+
+// BuiltinPolicy returns the built-in OffloadPolicy implementation of a
+// Policy enum value, so custom policies can delegate to a paper policy and
+// refine it.
+func BuiltinPolicy(p Policy) (OffloadPolicy, error) { return core.BuiltinPolicy(p) }
+
 // Config selects what to simulate; see the field documentation on
 // core.Config.
 type Config = core.Config
@@ -76,6 +96,38 @@ type Builder = dnn.Builder
 // Tensor is a feature-map buffer inside a network under construction.
 type Tensor = dnn.Tensor
 
+// Layer is one step of a network's statically ordered computation sequence;
+// OffloadPolicy implementations inspect it (Kind, InPlace, shapes) when
+// deciding what to offload.
+type Layer = dnn.Layer
+
+// LayerKind enumerates the layer types of the benchmark networks.
+type LayerKind = dnn.LayerKind
+
+// Layer kinds.
+const (
+	Conv        = dnn.Conv
+	ReLU        = dnn.ReLU
+	Pool        = dnn.Pool
+	LRN         = dnn.LRN
+	Concat      = dnn.Concat
+	Add         = dnn.Add
+	BatchNorm   = dnn.BatchNorm
+	FC          = dnn.FC
+	Dropout     = dnn.Dropout
+	SoftmaxLoss = dnn.SoftmaxLoss
+)
+
+// Stage splits a network between vDNN-managed feature extraction and the
+// unmanaged classifier tail.
+type Stage = dnn.Stage
+
+// Stages.
+const (
+	FeatureExtraction = dnn.FeatureExtraction
+	Classifier        = dnn.Classifier
+)
+
 // DType is a tensor element type.
 type DType = tensor.DType
 
@@ -84,6 +136,9 @@ const (
 	Float32 = tensor.Float32
 	Float16 = tensor.Float16
 )
+
+// FormatBytes renders a byte count with a binary-unit suffix ("1.5 GB").
+func FormatBytes(n int64) string { return tensor.FormatBytes(n) }
 
 // TitanX returns the paper's evaluation GPU: NVIDIA Titan X (Maxwell),
 // 7 TFLOPS, 336 GB/s, 12 GB, PCIe gen3 x16.
@@ -107,7 +162,10 @@ func PCIeGen3() Link { return pcie.Gen3x16() }
 // NVLink returns a first-generation NVLINK link model.
 func NVLink() Link { return pcie.NVLink1() }
 
-// Run simulates training one network under one configuration. When the
+// Run simulates training one network under one configuration — the one-shot
+// convenience for scripts. Long-lived callers, batch sweeps and anything
+// serving repeated requests should use a Simulator, which adds caching,
+// deduplication, bounded concurrency and context cancellation. When the
 // configuration cannot train the network (out of memory), the Result has
 // Trainable == false and reports the hypothetical memory demand measured on
 // an oracular device; a non-nil error indicates an invalid configuration.

@@ -2,6 +2,9 @@ package vdnn_test
 
 import (
 	"fmt"
+	"slices"
+	"sort"
+	"strings"
 	"testing"
 
 	"vdnn"
@@ -36,6 +39,40 @@ func TestPublicAPINames(t *testing.T) {
 	}
 	if _, err := vdnn.BuildNetwork("nope", 8); err == nil {
 		t.Fatal("unknown name accepted")
+	}
+}
+
+// TestUnknownNetworkErrorListsNames pins the error contract: an unknown name
+// tells the caller every accepted name.
+func TestUnknownNetworkErrorListsNames(t *testing.T) {
+	_, err := vdnn.BuildNetwork("nope", 8)
+	if err == nil {
+		t.Fatal("unknown name accepted")
+	}
+	for _, n := range vdnn.NetworkNames() {
+		if !strings.Contains(err.Error(), n) {
+			t.Errorf("error %q does not mention accepted name %q", err, n)
+		}
+	}
+}
+
+// TestNetworkNamesSortedStable checks NetworkNames is sorted, identical
+// across calls, and insulated from caller mutation.
+func TestNetworkNamesSortedStable(t *testing.T) {
+	first := vdnn.NetworkNames()
+	if !sort.StringsAreSorted(first) {
+		t.Errorf("NetworkNames not sorted: %v", first)
+	}
+	second := vdnn.NetworkNames()
+	if !slices.Equal(first, second) {
+		t.Errorf("NetworkNames unstable: %v then %v", first, second)
+	}
+	// Mutating a returned slice must not poison later calls.
+	for i := range second {
+		second[i] = "mutated"
+	}
+	if third := vdnn.NetworkNames(); !slices.Equal(first, third) {
+		t.Errorf("NetworkNames affected by caller mutation: %v", third)
 	}
 }
 

@@ -12,6 +12,7 @@ import (
 	"testing"
 	"time"
 
+	"vdnn"
 	"vdnn/internal/core"
 	"vdnn/internal/cudnnsim"
 	"vdnn/internal/figures"
@@ -31,7 +32,7 @@ func freshSuite() *figures.Suite { return figures.NewSuite(gpu.TitanX()) }
 // vdnn-repro code path end to end.
 func reproAll(b *testing.B, workers int) {
 	b.Helper()
-	s := figures.NewSuiteEngine(gpu.TitanX(), sweep.NewEngine(workers))
+	s := figures.NewSuiteSim(gpu.TitanX(), vdnn.NewSimulator(vdnn.WithParallelism(workers)))
 	var batch []sweep.Job
 	exps := s.Experiments()
 	for _, e := range exps {

@@ -7,25 +7,28 @@
 //	vdnn-explore -network vgg16 -batch 128 batch
 //
 // Sweeps: capacity, link, batch, prefetch, pagemig.
+//
+// Each sweep is enqueued as one batch on a vdnn.Simulator, so its
+// simulations run concurrently and overlapping configurations across sweeps
+// of one invocation are simulated once.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
-	"vdnn/internal/core"
-	"vdnn/internal/gpu"
-	"vdnn/internal/networks"
-	"vdnn/internal/pcie"
+	"vdnn"
 	"vdnn/internal/report"
 )
 
 func main() {
 	var (
-		network = flag.String("network", "vgg16", "network: "+strings.Join(networks.Names(), ", "))
+		network = flag.String("network", "vgg16", "network: "+strings.Join(vdnn.NetworkNames(), ", "))
 		batch   = flag.Int("batch", 64, "batch size")
+		jobs    = flag.Int("j", 0, "max simulations in flight (0 = all cores)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -33,58 +36,97 @@ func main() {
 		os.Exit(1)
 	}
 
+	e := &explorer{
+		sim:  vdnn.NewSimulator(vdnn.WithParallelism(*jobs)),
+		name: *network,
+	}
+
 	switch flag.Arg(0) {
 	case "capacity":
-		capacitySweep(*network, *batch)
+		e.capacitySweep(*batch)
 	case "link":
-		linkSweep(*network, *batch)
+		e.linkSweep(*batch)
 	case "batch":
-		batchSweep(*network)
+		e.batchSweep()
 	case "prefetch":
-		prefetchSweep(*network, *batch)
+		e.prefetchSweep(*batch)
 	case "pagemig":
-		pagemigSweep(*network, *batch)
+		e.pagemigSweep(*batch)
 	default:
 		fmt.Fprintf(os.Stderr, "vdnn-explore: unknown sweep %q\n", flag.Arg(0))
 		os.Exit(1)
 	}
 }
 
-func runOne(net string, batch int, cfg core.Config) *core.Result {
-	n, err := networks.ByName(net, batch)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "vdnn-explore:", err)
-		os.Exit(1)
-	}
-	r, err := core.Run(n, cfg)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "vdnn-explore:", err)
-		os.Exit(1)
-	}
-	return r
+type explorer struct {
+	sim  *vdnn.Simulator
+	name string
 }
 
-func capacitySweep(net string, batch int) {
-	t := report.NewTable(fmt.Sprintf("GPU capacity sweep — %s (%d)", net, batch),
+// net resolves through the simulator's memoized network cache, so every
+// sweep of one invocation shares identity-stable instances (the result
+// cache keys on them).
+func (e *explorer) net(batch int) *vdnn.Network {
+	n, err := e.sim.Network(e.name, batch)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vdnn-explore:", err)
+		os.Exit(1)
+	}
+	return n
+}
+
+// runAll simulates one sweep's configurations as a concurrent batch.
+func (e *explorer) runAll(jobs []vdnn.BatchJob) []*vdnn.Result {
+	res, err := e.sim.RunBatch(context.Background(), jobs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vdnn-explore:", err)
+		os.Exit(1)
+	}
+	return res
+}
+
+func (e *explorer) capacitySweep(batch int) {
+	gbs := []int64{4, 6, 8, 12, 16, 24, 32, 48}
+	var jobs []vdnn.BatchJob
+	n := e.net(batch)
+	for _, gb := range gbs {
+		spec := vdnn.TitanX().WithMemory(gb << 30)
+		jobs = append(jobs,
+			vdnn.BatchJob{Net: n, Cfg: vdnn.Config{Spec: spec, Policy: vdnn.Baseline, Algo: vdnn.PerfOptimal}},
+			vdnn.BatchJob{Net: n, Cfg: vdnn.Config{Spec: spec, Policy: vdnn.VDNNDyn}})
+	}
+	res := e.runAll(jobs)
+
+	t := report.NewTable(fmt.Sprintf("GPU capacity sweep — %s (%d)", e.name, batch),
 		"capacity (GB)", "base(p)", "vDNN-dyn", "dyn max usage (MB)", "dyn FE (ms)")
-	for _, gb := range []int64{4, 6, 8, 12, 16, 24, 32, 48} {
-		spec := gpu.TitanX().WithMemory(gb << 30)
-		base := runOne(net, batch, core.Config{Spec: spec, Policy: core.Baseline, Algo: core.PerfOptimal})
-		dyn := runOne(net, batch, core.Config{Spec: spec, Policy: core.VDNNDyn})
+	for i, gb := range gbs {
+		base, dyn := res[2*i], res[2*i+1]
 		t.AddRow(fmt.Sprintf("%d", gb), yesNo(base.Trainable), yesNo(dyn.Trainable),
 			report.FmtMiB(dyn.MaxUsage), report.FmtMs(int64(dyn.FETime)))
 	}
 	t.Render(os.Stdout)
 }
 
-func linkSweep(net string, batch int) {
-	t := report.NewTable(fmt.Sprintf("interconnect sweep — %s (%d), vDNN-all(m)", net, batch),
+func (e *explorer) linkSweep(batch int) {
+	links := []string{"pcie2", "pcie3", "nvlink"}
+	n := e.net(batch)
+	jobs := []vdnn.BatchJob{
+		{Net: n, Cfg: vdnn.Config{Spec: vdnn.TitanX(), Policy: vdnn.VDNNConv, Algo: vdnn.MemOptimal, Oracle: true}},
+	}
+	for _, name := range links {
+		spec := vdnn.TitanX()
+		spec.Link = mustLink(name)
+		jobs = append(jobs, vdnn.BatchJob{Net: n,
+			Cfg: vdnn.Config{Spec: spec, Policy: vdnn.VDNNAll, Algo: vdnn.MemOptimal, Oracle: true}})
+	}
+	res := e.runAll(jobs)
+	oracle := res[0]
+
+	t := report.NewTable(fmt.Sprintf("interconnect sweep — %s (%d), vDNN-all(m)", e.name, batch),
 		"link", "eff GB/s", "FE (ms)", "offload stalls hidden?")
-	oracle := runOne(net, batch, core.Config{Spec: gpu.TitanX(), Policy: core.VDNNConv, Algo: core.MemOptimal, Oracle: true})
-	for _, link := range []pcie.Link{pcie.Gen2x16(), pcie.Gen3x16(), pcie.NVLink1()} {
-		spec := gpu.TitanX()
-		spec.Link = link
-		r := runOne(net, batch, core.Config{Spec: spec, Policy: core.VDNNAll, Algo: core.MemOptimal, Oracle: true})
+	for i, name := range links {
+		link := mustLink(name)
+		r := res[i+1]
 		hidden := "partly"
 		if float64(r.FETime) <= 1.02*float64(oracle.FETime) {
 			hidden = "yes"
@@ -95,39 +137,71 @@ func linkSweep(net string, batch int) {
 	t.Render(os.Stdout)
 }
 
-func batchSweep(net string) {
-	t := report.NewTable(fmt.Sprintf("batch-size sweep — %s on 12 GB", net),
+func (e *explorer) batchSweep() {
+	batches := []int{16, 32, 64, 128, 192, 256, 384, 512}
+	var jobs []vdnn.BatchJob
+	for _, b := range batches {
+		n := e.net(b)
+		jobs = append(jobs,
+			vdnn.BatchJob{Net: n, Cfg: vdnn.Config{Spec: vdnn.TitanX(), Policy: vdnn.Baseline, Algo: vdnn.PerfOptimal}},
+			vdnn.BatchJob{Net: n, Cfg: vdnn.Config{Spec: vdnn.TitanX(), Policy: vdnn.Baseline, Algo: vdnn.MemOptimal}},
+			vdnn.BatchJob{Net: n, Cfg: vdnn.Config{Spec: vdnn.TitanX(), Policy: vdnn.VDNNDyn}})
+	}
+	res := e.runAll(jobs)
+
+	t := report.NewTable(fmt.Sprintf("batch-size sweep — %s on 12 GB", e.name),
 		"batch", "base(p)", "base(m)", "vDNN-dyn", "dyn FE (ms)")
-	for _, b := range []int{16, 32, 64, 128, 192, 256, 384, 512} {
-		baseP := runOne(net, b, core.Config{Spec: gpu.TitanX(), Policy: core.Baseline, Algo: core.PerfOptimal})
-		baseM := runOne(net, b, core.Config{Spec: gpu.TitanX(), Policy: core.Baseline, Algo: core.MemOptimal})
-		dyn := runOne(net, b, core.Config{Spec: gpu.TitanX(), Policy: core.VDNNDyn})
+	for i, b := range batches {
+		baseP, baseM, dyn := res[3*i], res[3*i+1], res[3*i+2]
 		t.AddRow(fmt.Sprintf("%d", b), yesNo(baseP.Trainable), yesNo(baseM.Trainable),
 			yesNo(dyn.Trainable), report.FmtMs(int64(dyn.FETime)))
 	}
 	t.Render(os.Stdout)
 }
 
-func prefetchSweep(net string, batch int) {
-	t := report.NewTable(fmt.Sprintf("prefetch schedule sweep — %s (%d), vDNN-all(m)", net, batch),
+func (e *explorer) prefetchSweep(batch int) {
+	modes := []vdnn.PrefetchMode{vdnn.PrefetchJIT, vdnn.PrefetchFig10, vdnn.PrefetchEager, vdnn.PrefetchNone}
+	n := e.net(batch)
+	var jobs []vdnn.BatchJob
+	for _, m := range modes {
+		jobs = append(jobs, vdnn.BatchJob{Net: n,
+			Cfg: vdnn.Config{Spec: vdnn.TitanX(), Policy: vdnn.VDNNAll, Algo: vdnn.MemOptimal, Oracle: true, Prefetch: m}})
+	}
+	res := e.runAll(jobs)
+
+	t := report.NewTable(fmt.Sprintf("prefetch schedule sweep — %s (%d), vDNN-all(m)", e.name, batch),
 		"schedule", "max (MB)", "avg (MB)", "FE (ms)", "on-demand")
-	for _, m := range []core.PrefetchMode{core.PrefetchJIT, core.PrefetchFig10, core.PrefetchEager, core.PrefetchNone} {
-		r := runOne(net, batch, core.Config{Spec: gpu.TitanX(), Policy: core.VDNNAll, Algo: core.MemOptimal, Oracle: true, Prefetch: m})
+	for i, m := range modes {
+		r := res[i]
 		t.AddRow(m.String(), report.FmtMiB(r.MaxUsage), report.FmtMiB(r.AvgUsage),
 			report.FmtMs(int64(r.FETime)), fmt.Sprintf("%d", r.OnDemandFetches))
 	}
 	t.Render(os.Stdout)
 }
 
-func pagemigSweep(net string, batch int) {
-	t := report.NewTable(fmt.Sprintf("transfer-mode sweep — %s (%d), vDNN-all(m)", net, batch),
+func (e *explorer) pagemigSweep(batch int) {
+	n := e.net(batch)
+	res := e.runAll([]vdnn.BatchJob{
+		{Net: n, Cfg: vdnn.Config{Spec: vdnn.TitanX(), Policy: vdnn.VDNNAll, Algo: vdnn.MemOptimal, Oracle: true}},
+		{Net: n, Cfg: vdnn.Config{Spec: vdnn.TitanX(), Policy: vdnn.VDNNAll, Algo: vdnn.MemOptimal, Oracle: true, PageMigration: true}},
+	})
+	dma, pm := res[0], res[1]
+
+	t := report.NewTable(fmt.Sprintf("transfer-mode sweep — %s (%d), vDNN-all(m)", e.name, batch),
 		"mode", "FE (ms)", "slowdown")
-	dma := runOne(net, batch, core.Config{Spec: gpu.TitanX(), Policy: core.VDNNAll, Algo: core.MemOptimal, Oracle: true})
-	pm := runOne(net, batch, core.Config{Spec: gpu.TitanX(), Policy: core.VDNNAll, Algo: core.MemOptimal, Oracle: true, PageMigration: true})
 	t.AddRow("pinned DMA", report.FmtMs(int64(dma.FETime)), "1.0x")
 	t.AddRow("page migration", report.FmtMs(int64(pm.FETime)),
 		fmt.Sprintf("%.1fx", float64(pm.FETime)/float64(dma.FETime)))
 	t.Render(os.Stdout)
+}
+
+func mustLink(name string) vdnn.Link {
+	l, ok := vdnn.LinkByName(name)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "vdnn-explore: unknown link %q\n", name)
+		os.Exit(1)
+	}
+	return l
 }
 
 func yesNo(b bool) string {

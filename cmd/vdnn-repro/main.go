@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"os"
 
+	"vdnn"
 	"vdnn/internal/figures"
 	"vdnn/internal/gpu"
 	"vdnn/internal/sweep"
@@ -36,8 +37,8 @@ func main() {
 	jobs := flag.Int("j", 0, "max simulations in flight (0 = all cores, 1 = sequential)")
 	flag.Parse()
 
-	eng := sweep.NewEngine(*jobs)
-	suite := figures.NewSuiteEngine(gpu.TitanX(), eng)
+	sim := vdnn.NewSimulator(vdnn.WithParallelism(*jobs))
+	suite := figures.NewSuiteSim(gpu.TitanX(), sim)
 	all := suite.Experiments()
 
 	want := flag.Args()

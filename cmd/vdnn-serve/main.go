@@ -1,0 +1,67 @@
+// vdnn-serve is the HTTP daemon of the library: a JSON API serving vDNN
+// simulations from a shared, deduplicated result cache under concurrency.
+//
+//	vdnn-serve -addr :8080 -j 8 -cache 65536
+//
+//	curl localhost:8080/healthz
+//	curl localhost:8080/v1/networks
+//	curl -d '{"network":"vgg16","batch":256}' localhost:8080/v1/simulate
+//	curl -d '{"jobs":[{"network":"alexnet"},{"network":"vgg16","policy":"base","algo":"p"}]}' \
+//	     localhost:8080/v1/sweep
+//	curl localhost:8080/v1/stats
+//
+// Repeated and concurrent identical requests are simulated once; every
+// simulation is deterministic, so identical requests always produce
+// identical responses. See internal/serve for the wire formats.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"vdnn"
+	"vdnn/internal/serve"
+)
+
+func main() {
+	var (
+		addr  = flag.String("addr", ":8080", "listen address")
+		jobs  = flag.Int("j", 0, "max top-level simulations in flight (0 = all cores)")
+		cache = flag.Int("cache", 65536, "max cached results (0 = unbounded; keep a bound on long-lived daemons)")
+	)
+	flag.Parse()
+
+	sim := vdnn.NewSimulator(vdnn.WithParallelism(*jobs), vdnn.WithCacheBound(*cache))
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           serve.New(sim),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	done := make(chan os.Signal, 1)
+	signal.Notify(done, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-done
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("vdnn-serve: shutdown: %v", err)
+		}
+	}()
+
+	log.Printf("vdnn-serve: listening on %s (parallelism %d, cache bound %d)",
+		*addr, sim.Parallelism(), sim.CacheBound())
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("vdnn-serve: %v", err)
+	}
+	st := sim.Stats()
+	log.Printf("vdnn-serve: bye (simulations %d, hits %d, coalesced %d, evictions %d)",
+		st.Simulations, st.Hits, st.Coalesced, st.Evictions)
+}

@@ -3,97 +3,81 @@
 // traffic, performance and power. With -layers it also prints the per-layer
 // breakdown (Figures 5, 6 and 13), and with -trace a schedule excerpt that
 // shows the offload/prefetch overlap of Figure 9.
+//
+// Devices and interconnects come from the named registries (-gpu, -link; see
+// vdnn.GPUNames and vdnn.LinkNames), and the policy/algorithm/prefetch flags
+// parse the enums' text forms directly.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
-	"vdnn/internal/core"
-	"vdnn/internal/dnn"
-	"vdnn/internal/gpu"
-	"vdnn/internal/networks"
-	"vdnn/internal/pcie"
+	"vdnn"
 	"vdnn/internal/report"
-	"vdnn/internal/tensor"
 )
 
 func main() {
 	var (
-		network  = flag.String("network", "vgg16", "network: "+strings.Join(networks.Names(), ", "))
-		batch    = flag.Int("batch", 64, "batch size")
-		policy   = flag.String("policy", "dyn", "memory policy: base, all, conv, dyn")
-		algo     = flag.String("algo", "p", "convolution algorithms: m (memory-optimal), p (performance-optimal)")
-		memGB    = flag.Int("gpu-mem", 12, "GPU memory in GB")
-		link     = flag.String("link", "pcie3", "interconnect: pcie2, pcie3, nvlink")
-		prefetch = flag.String("prefetch", "jit", "prefetch schedule: jit, fig10, eager, none")
-		pagemig  = flag.Bool("page-migration", false, "use page-migration transfers instead of pinned DMA")
-		oracle   = flag.Bool("oracle", false, "simulate a GPU with unlimited memory")
-		layers   = flag.Bool("layers", false, "print the per-layer table")
-		trace    = flag.Bool("trace", false, "print a schedule excerpt (offload/prefetch overlap)")
-		chrome   = flag.String("chrome-trace", "", "write the schedule as Chrome trace JSON to this file")
+		network = flag.String("network", "vgg16", "network: "+strings.Join(vdnn.NetworkNames(), ", "))
+		batch   = flag.Int("batch", 64, "batch size")
+		gpuName = flag.String("gpu", "titanx", "device: "+strings.Join(vdnn.GPUNames(), ", "))
+		memGB   = flag.Int("gpu-mem", 0, "override GPU memory in GB (0 = device default)")
+		link    = flag.String("link", "", "override interconnect: "+strings.Join(vdnn.LinkNames(), ", "))
+		pagemig = flag.Bool("page-migration", false, "use page-migration transfers instead of pinned DMA")
+		oracle  = flag.Bool("oracle", false, "simulate a GPU with unlimited memory")
+		layers  = flag.Bool("layers", false, "print the per-layer table")
+		trace   = flag.Bool("trace", false, "print a schedule excerpt (offload/prefetch overlap)")
+		chrome  = flag.String("chrome-trace", "", "write the schedule as Chrome trace JSON to this file")
+
+		policy   = vdnn.VDNNDyn
+		algo     = vdnn.PerfOptimal
+		prefetch = vdnn.PrefetchJIT
 	)
+	flag.Var(&policy, "policy", "memory policy: base, vdnn-all, vdnn-conv, vdnn-dyn")
+	flag.Var(&algo, "algo", "convolution algorithms: m (memory-optimal), p (performance-optimal), greedy")
+	flag.Var(&prefetch, "prefetch", "prefetch schedule: jit, fig10, eager, none")
 	flag.Parse()
 
-	net, err := networks.ByName(*network, *batch)
+	net, err := vdnn.BuildNetwork(*network, *batch)
 	fail(err)
 
-	spec := gpu.TitanX()
-	spec.MemBytes = int64(*memGB) << 30
-	switch *link {
-	case "pcie2":
-		spec.Link = pcie.Gen2x16()
-	case "pcie3":
-		// default
-	case "nvlink":
-		spec.Link = pcie.NVLink1()
-	default:
-		fail(fmt.Errorf("unknown link %q", *link))
+	spec, ok := vdnn.GPUByName(*gpuName)
+	if !ok {
+		fail(fmt.Errorf("unknown gpu %q (have %s)", *gpuName, strings.Join(vdnn.GPUNames(), ", ")))
+	}
+	if *memGB > 0 {
+		spec.MemBytes = int64(*memGB) << 30
+	}
+	if *link != "" {
+		l, ok := vdnn.LinkByName(*link)
+		if !ok {
+			fail(fmt.Errorf("unknown link %q (have %s)", *link, strings.Join(vdnn.LinkNames(), ", ")))
+		}
+		spec.Link = l
 	}
 
-	cfg := core.Config{Spec: spec, Oracle: *oracle, PageMigration: *pagemig, CaptureSchedule: *chrome != ""}
-	switch *policy {
-	case "base":
-		cfg.Policy = core.Baseline
-	case "all":
-		cfg.Policy = core.VDNNAll
-	case "conv":
-		cfg.Policy = core.VDNNConv
-	case "dyn":
-		cfg.Policy = core.VDNNDyn
-	default:
-		fail(fmt.Errorf("unknown policy %q", *policy))
-	}
-	switch *algo {
-	case "m":
-		cfg.Algo = core.MemOptimal
-	case "p":
-		cfg.Algo = core.PerfOptimal
-	default:
-		fail(fmt.Errorf("unknown algo mode %q", *algo))
-	}
-	switch *prefetch {
-	case "jit":
-		cfg.Prefetch = core.PrefetchJIT
-	case "fig10":
-		cfg.Prefetch = core.PrefetchFig10
-	case "eager":
-		cfg.Prefetch = core.PrefetchEager
-	case "none":
-		cfg.Prefetch = core.PrefetchNone
-	default:
-		fail(fmt.Errorf("unknown prefetch mode %q", *prefetch))
+	cfg := vdnn.Config{
+		Spec:            spec,
+		Policy:          policy,
+		Algo:            algo,
+		Prefetch:        prefetch,
+		Oracle:          *oracle,
+		PageMigration:   *pagemig,
+		CaptureSchedule: *chrome != "",
 	}
 
-	res, err := core.Run(net, cfg)
+	sim := vdnn.NewSimulator()
+	res, err := sim.Run(context.Background(), net, cfg)
 	fail(err)
 
 	s := net.Summary()
-	fmt.Printf("%s on %s (%d GB, %s)\n", net.Name, spec.Name, *memGB, spec.Link.Name)
+	fmt.Printf("%s on %s (%d GB, %s)\n", net.Name, spec.Name, spec.MemBytes>>30, spec.Link.Name)
 	fmt.Printf("  layers: %d (%d CONV, %d FC), weights %s, feature maps %s\n",
-		s.Layers, s.ConvLayers, s.FCLayers, tensor.FormatBytes(s.WeightBytes), tensor.FormatBytes(s.FeatureMapBytes))
+		s.Layers, s.ConvLayers, s.FCLayers, vdnn.FormatBytes(s.WeightBytes), vdnn.FormatBytes(s.FeatureMapBytes))
 	fmt.Printf("  policy: %v %v, prefetch %v\n", res.Policy, res.Algo, cfg.Prefetch)
 	if res.Chosen != "" {
 		fmt.Printf("  dynamic profiling chose: %s\n", res.Chosen)
@@ -104,10 +88,10 @@ func main() {
 		fmt.Printf("  trainable: NO — %s\n", res.FailReason)
 	}
 	fmt.Printf("  memory: max %s, avg %s (pool) + %s classifier-side\n",
-		tensor.FormatBytes(res.MaxUsage), tensor.FormatBytes(res.AvgUsage), tensor.FormatBytes(res.FrameworkBytes))
+		vdnn.FormatBytes(res.MaxUsage), vdnn.FormatBytes(res.AvgUsage), vdnn.FormatBytes(res.FrameworkBytes))
 	fmt.Printf("  transfers: offload %s, prefetch %s, pinned host %s, on-demand fetches %d\n",
-		tensor.FormatBytes(res.OffloadBytes), tensor.FormatBytes(res.PrefetchBytes),
-		tensor.FormatBytes(res.HostPinnedPeak), res.OnDemandFetches)
+		vdnn.FormatBytes(res.OffloadBytes), vdnn.FormatBytes(res.PrefetchBytes),
+		vdnn.FormatBytes(res.HostPinnedPeak), res.OnDemandFetches)
 	fmt.Printf("  time: iteration %.1f ms (feature extraction %.1f ms)\n",
 		res.IterTime.Msec(), res.FETime.Msec())
 	fmt.Printf("  power: avg %.0f W, max %.0f W\n", res.Power.AvgW, res.Power.MaxW)
@@ -121,7 +105,7 @@ func main() {
 				off = "yes"
 			}
 			algo := ""
-			if ls.Kind == dnn.Conv {
+			if ls.Kind == vdnn.Conv {
 				algo = ls.AlgoFwd.String()
 			}
 			t.AddRow(ls.Name, ls.Kind.String(),
@@ -150,12 +134,12 @@ func main() {
 
 // printTrace shows the Figure 9 overlap: forward kernels on stream_compute
 // with the offloads that hide beneath them.
-func printTrace(res *core.Result) {
+func printTrace(res *vdnn.Result) {
 	t := report.NewTable("schedule excerpt (first feature-extraction layers)",
 		"layer", "fwd start (ms)", "fwd end (ms)", "offloaded (MB)", "bwd start (ms)", "bwd end (ms)")
 	count := 0
 	for _, ls := range res.Layers {
-		if ls.Stage != dnn.FeatureExtraction {
+		if ls.Stage != vdnn.FeatureExtraction {
 			continue
 		}
 		t.AddRow(ls.Name,

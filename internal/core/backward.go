@@ -22,7 +22,7 @@ func (e *executor) findPrefetchLayer(currLayerID int) int {
 			e.lay[id].prefetched = true
 			return id
 		}
-		if e.cfg.Prefetch == PrefetchFig10 && e.net.Layers[id].Kind == dnn.Conv {
+		if e.plan.Prefetch == PrefetchFig10 && e.net.Layers[id].Kind == dnn.Conv {
 			return -1
 		}
 	}
@@ -103,7 +103,7 @@ func (e *executor) backwardLayer(l *dnn.Layer) error {
 
 	// 1. Prefetch scheduling (vDNN only).
 	var preOps []*sim.Op
-	if e.vdnnManaged() && e.cfg.Prefetch != PrefetchNone {
+	if e.vdnnManaged() && e.plan.Prefetch != PrefetchNone {
 		// Weight-offloading extension: bring this step's scheduled weights
 		// back just in time (their only backward reader is their own layer).
 		for _, wl := range e.wPrefetchAt[l.ID] {
@@ -123,7 +123,7 @@ func (e *executor) backwardLayer(l *dnn.Layer) error {
 		}
 	}
 	if e.vdnnManaged() {
-		switch e.cfg.Prefetch {
+		switch e.plan.Prefetch {
 		case PrefetchJIT:
 			ops, err := e.prefetchBuffers(l.Name, e.plan.PrefetchAt[l.ID])
 			if err != nil {

@@ -118,6 +118,12 @@ type Config struct {
 	Policy Policy
 	Algo   AlgoMode
 
+	// Custom overrides Policy with a user-implemented memory-management
+	// policy (see OffloadPolicy). Result caches key custom policies by their
+	// Name, so a Name must uniquely identify the policy's decisions. Not
+	// serializable: batch/HTTP surfaces address policies by name only.
+	Custom OffloadPolicy `json:"-"`
+
 	// Oracle removes the device memory capacity limit: the paper's
 	// "hypothetical, oracular GPU with enough memory to hold the entire
 	// DNN" used to normalize performance when the baseline cannot train.
@@ -200,9 +206,14 @@ type LayerStats struct {
 type Result struct {
 	Network string
 	Batch   int
-	Policy  Policy
-	Algo    AlgoMode
-	Oracle  bool
+	// Policy is the Config's Policy enum; it is meaningful only when a
+	// built-in policy ran. PolicyName is authoritative either way.
+	Policy Policy
+	// PolicyName names the policy that produced the result: a built-in
+	// Policy.String() or a custom OffloadPolicy's Name().
+	PolicyName string
+	Algo       AlgoMode
+	Oracle     bool
 	// Chosen describes the configuration the dynamic policy settled on.
 	Chosen string
 
@@ -282,10 +293,13 @@ func (r *Result) UsageMiB() (max, avg float64) {
 // classifier memory (the accounting of Figures 1 and 4).
 func (r *Result) TotalMaxUsage() int64 { return r.MaxUsage + r.FrameworkBytes }
 
-// Run simulates one configuration of one network. A configuration that
-// cannot train (OOM) is re-simulated on an oracle-sized pool so its
-// hypothetical memory demand can still be reported (the starred bars of
-// Figure 11); Trainable is false in that case.
+// Run simulates one configuration of one network. The configured policy
+// (built-in Policy enum or a Custom OffloadPolicy) drives the plan; a policy
+// implementing Profiler — the dynamic policy, or a custom profiling policy —
+// is handed control of the whole run instead. A configuration that cannot
+// train (OOM) is re-simulated on an oracle-sized pool so its hypothetical
+// memory demand can still be reported (the starred bars of Figure 11);
+// Trainable is false in that case.
 func Run(net *dnn.Network, cfg Config) (*Result, error) {
 	cfg = cfg.WithDefaults()
 	if err := cfg.Spec.Validate(); err != nil {
@@ -294,10 +308,20 @@ func Run(net *dnn.Network, cfg Config) (*Result, error) {
 	if err := net.Validate(); err != nil {
 		return nil, err
 	}
-	if cfg.Policy == VDNNDyn {
-		return runDynamic(net, cfg)
+	pol, err := cfg.policyImpl()
+	if err != nil {
+		return nil, err
 	}
-	plan, err := buildPlan(net, cfg.Spec, cfg.Policy, cfg.Algo)
+	if prof, ok := pol.(Profiler); ok {
+		return prof.Profile(net, cfg, profileSimulate(net))
+	}
+	return runStatic(net, cfg, pol)
+}
+
+// runStatic simulates one non-profiling configuration, falling back to an
+// oracular rerun to report the hypothetical demand when it cannot train.
+func runStatic(net *dnn.Network, cfg Config, pol OffloadPolicy) (*Result, error) {
+	plan, err := buildPlan(net, cfg, pol)
 	if err != nil {
 		return nil, err
 	}
@@ -322,4 +346,35 @@ func Run(net *dnn.Network, cfg Config) (*Result, error) {
 		}
 	}
 	return res, nil
+}
+
+// profileSimulate builds the Simulate callback handed to a profiling policy:
+// one static candidate per call, (nil, nil) when the candidate cannot train.
+// An execution failure on an oracle-sized pool is never plain memory
+// oversubscription, so it propagates with its cause instead of reading as
+// "untrainable" — profilers lean on oracle runs for their fallback
+// diagnostics.
+func profileSimulate(net *dnn.Network) Simulate {
+	return func(sub Config) (*Result, error) {
+		sub = sub.WithDefaults()
+		pol, err := sub.policyImpl()
+		if err != nil {
+			return nil, err
+		}
+		if _, ok := pol.(Profiler); ok {
+			return nil, fmt.Errorf("core: profiling policy %q cannot simulate another profiling policy", pol.Name())
+		}
+		plan, err := buildPlan(net, sub, pol)
+		if err != nil {
+			return nil, err
+		}
+		res, runErr := execute(net, sub, plan)
+		if runErr != nil {
+			if sub.Oracle {
+				return nil, fmt.Errorf("core: oracle candidate failed: %w", runErr)
+			}
+			return nil, nil // untrainable under this candidate
+		}
+		return res, nil
+	}
 }

@@ -494,21 +494,21 @@ func TestOffloadPlanCounts(t *testing.T) {
 		}
 		return n
 	}
-	all, err := buildPlan(vgg64, titan(), VDNNAll, MemOptimal)
+	all, err := testPlan(vgg64, Config{Spec: titan(), Policy: VDNNAll, Algo: MemOptimal})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if got := count(all); got != 18 {
 		t.Errorf("vDNN-all offload buffers = %d, want 18", got)
 	}
-	conv, err := buildPlan(vgg64, titan(), VDNNConv, MemOptimal)
+	conv, err := testPlan(vgg64, Config{Spec: titan(), Policy: VDNNConv, Algo: MemOptimal})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if got := count(conv); got != 13 {
 		t.Errorf("vDNN-conv offload buffers = %d, want 13", got)
 	}
-	base, err := buildPlan(vgg64, titan(), Baseline, MemOptimal)
+	base, err := testPlan(vgg64, Config{Spec: titan(), Policy: Baseline, Algo: MemOptimal})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -517,10 +517,19 @@ func TestOffloadPlanCounts(t *testing.T) {
 	}
 }
 
+// testPlan builds the static plan a configuration's built-in policy derives.
+func testPlan(net *dnn.Network, cfg Config) (*Plan, error) {
+	pol, err := cfg.policyImpl()
+	if err != nil {
+		return nil, err
+	}
+	return buildPlan(net, cfg, pol)
+}
+
 // TestFindPrefetchLayerFig10 unit-tests the literal port of the paper's
 // Figure 10 pseudo-code on VGG's layer sequence.
 func TestFindPrefetchLayerFig10(t *testing.T) {
-	plan, err := buildPlan(vgg64, titan(), VDNNAll, MemOptimal)
+	plan, err := testPlan(vgg64, Config{Spec: titan(), Policy: VDNNAll, Algo: MemOptimal, Prefetch: PrefetchFig10})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,17 +1,16 @@
 package core
 
 import (
+	"fmt"
 	"sync"
 
 	"vdnn/internal/dnn"
-
-	"fmt"
 )
 
-// runDynamic implements the paper's dynamic vDNN policy (Section III-C): a
-// sequence of profiling passes over the same network, each a full simulated
-// training iteration, that settles on the offload policy and convolution
-// algorithms balancing trainability and performance:
+// dynamicPolicy implements the paper's dynamic vDNN policy (Section III-C) as
+// a Profiler: a sequence of profiling passes over the same network, each a
+// full simulated training iteration, that settles on the offload policy and
+// convolution algorithms balancing trainability and performance:
 //
 //  1. vDNN-all with memory-optimal algorithms. If even this most
 //     memory-frugal configuration cannot train the network, nothing can.
@@ -34,7 +33,26 @@ import (
 //
 // The profiling cost itself (tens of seconds against days-to-weeks of
 // training, per the paper) is not charged to the reported iteration time.
-func runDynamic(net *dnn.Network, cfg Config) (*Result, error) {
+type dynamicPolicy struct{}
+
+func (dynamicPolicy) Name() string { return VDNNDyn.String() }
+
+// The static hooks describe the policy's trainability floor — vDNN-all with
+// memory-optimal algorithms — which is what the policy degenerates to when
+// its Profile pass is bypassed. Profile overrides them by simulating
+// candidate configurations directly.
+func (dynamicPolicy) OffloadInput(net *dnn.Network, t *dnn.Tensor, c *dnn.Layer) bool {
+	return allPolicy{}.OffloadInput(net, t, c)
+}
+func (dynamicPolicy) Algorithms(_ *dnn.Network, _ *dnn.Layer, _ AlgoMode) AlgoMode {
+	return MemOptimal
+}
+func (dynamicPolicy) PrefetchSchedule(_ *dnn.Network, requested PrefetchMode) PrefetchMode {
+	return requested
+}
+
+// Profile runs the profiling cascade.
+func (dynamicPolicy) Profile(net *dnn.Network, cfg Config, simulate Simulate) (*Result, error) {
 	type candidate struct {
 		policy Policy
 		algo   AlgoMode
@@ -42,17 +60,15 @@ func runDynamic(net *dnn.Network, cfg Config) (*Result, error) {
 	}
 	try := func(c candidate) (*Result, error) {
 		sub := cfg
+		sub.Custom = nil
 		sub.Policy = c.policy
 		sub.Algo = c.algo
-		plan, err := buildPlan(net, sub.Spec, sub.Policy, sub.Algo)
-		if err != nil {
+		res, err := simulate(sub)
+		if err != nil || res == nil { // invalid, or untrainable under this candidate
 			return nil, err
 		}
-		res, runErr := execute(net, sub, plan)
-		if runErr != nil {
-			return nil, nil // untrainable under this candidate: move on
-		}
 		res.Policy = VDNNDyn
+		res.PolicyName = VDNNDyn.String()
 		res.Chosen = c.label
 		return res, nil
 	}
@@ -90,18 +106,19 @@ func runDynamic(net *dnn.Network, cfg Config) (*Result, error) {
 		// Untrainable outright: report the hypothetical demand of the floor
 		// configuration on an oracular device.
 		sub := cfg
+		sub.Custom = nil
 		sub.Policy = VDNNAll
 		sub.Algo = MemOptimal
 		sub.Oracle = true
-		plan, err := buildPlan(net, sub.Spec, sub.Policy, sub.Algo)
+		res, err := simulate(sub)
 		if err != nil {
 			return nil, err
 		}
-		res, runErr := execute(net, sub, plan)
-		if runErr != nil {
-			return nil, fmt.Errorf("core: dynamic oracle fallback failed: %w", runErr)
+		if res == nil {
+			return nil, fmt.Errorf("core: dynamic oracle fallback failed")
 		}
 		res.Policy = VDNNDyn
+		res.PolicyName = VDNNDyn.String()
 		res.Oracle = cfg.Oracle
 		res.Trainable = false
 		res.FailReason = "even vDNN-all with memory-optimal algorithms oversubscribes memory"

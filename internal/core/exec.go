@@ -220,7 +220,7 @@ func (e *executor) setupFramework() error {
 
 // offloadsWeights reports whether the weight-offloading extension is active.
 func (e *executor) offloadsWeights() bool {
-	return e.cfg.OffloadWeights && e.cfg.Policy != Baseline
+	return e.cfg.OffloadWeights && !e.plan.Baseline
 }
 
 // setup performs the pool-side persistent allocations: feature-extraction
@@ -242,7 +242,7 @@ func (e *executor) setup() error {
 		}
 	}
 
-	if e.cfg.Policy != Baseline {
+	if !e.plan.Baseline {
 		return nil
 	}
 
@@ -402,13 +402,13 @@ func (e *executor) checkIterationEnd() error {
 }
 
 // vdnnManaged reports whether the policy manages buffers dynamically.
-func (e *executor) vdnnManaged() bool { return e.cfg.Policy != Baseline }
+func (e *executor) vdnnManaged() bool { return !e.plan.Baseline }
 
 // pickAlgos resolves the algorithms for a CONV layer, honoring the greedy
 // online mode: the fastest algorithm whose workspace fits in the largest
 // free pool range right now (Section III-C, profiling phase 3).
 func (e *executor) pickAlgos(l *dnn.Layer) LayerAlgos {
-	if !e.plan.Greedy {
+	if !e.plan.GreedyAt[l.ID] {
 		return e.plan.Algos[l.ID]
 	}
 	g := l.ConvGeom(e.net.DType)

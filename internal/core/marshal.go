@@ -1,0 +1,120 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Text round-tripping for the configuration enums. MarshalText emits a
+// canonical lower-case token (stable across releases, safe in JSON, flags and
+// config files); UnmarshalText additionally accepts the String() display
+// forms and the common aliases the CLI tools historically used, case
+// insensitively. Each enum also implements flag.Value (Set), so the cmd/
+// tools bind them directly with flag.Var / flag.TextVar.
+
+// MarshalText encodes the policy as its canonical token: "base", "vdnn-all",
+// "vdnn-conv" or "vdnn-dyn".
+func (p Policy) MarshalText() ([]byte, error) {
+	switch p {
+	case Baseline:
+		return []byte("base"), nil
+	case VDNNAll:
+		return []byte("vdnn-all"), nil
+	case VDNNConv:
+		return []byte("vdnn-conv"), nil
+	case VDNNDyn:
+		return []byte("vdnn-dyn"), nil
+	}
+	return nil, fmt.Errorf("core: cannot marshal unknown policy %d", int(p))
+}
+
+// UnmarshalText decodes a policy token. Accepted (case-insensitive): the
+// canonical forms, the display forms ("vDNN-all"), and the short aliases
+// "baseline", "all", "conv", "dyn".
+func (p *Policy) UnmarshalText(text []byte) error {
+	switch strings.ToLower(strings.TrimSpace(string(text))) {
+	case "base", "baseline":
+		*p = Baseline
+	case "vdnn-all", "all":
+		*p = VDNNAll
+	case "vdnn-conv", "conv":
+		*p = VDNNConv
+	case "vdnn-dyn", "dyn":
+		*p = VDNNDyn
+	default:
+		return fmt.Errorf("core: unknown policy %q (want base, vdnn-all, vdnn-conv or vdnn-dyn)", text)
+	}
+	return nil
+}
+
+// Set implements flag.Value.
+func (p *Policy) Set(s string) error { return p.UnmarshalText([]byte(s)) }
+
+// MarshalText encodes the algorithm mode as "m", "p" or "greedy".
+func (m AlgoMode) MarshalText() ([]byte, error) {
+	switch m {
+	case MemOptimal:
+		return []byte("m"), nil
+	case PerfOptimal:
+		return []byte("p"), nil
+	case GreedyAlgo:
+		return []byte("greedy"), nil
+	}
+	return nil, fmt.Errorf("core: cannot marshal unknown algo mode %d", int(m))
+}
+
+// UnmarshalText decodes an algorithm-mode token. Accepted
+// (case-insensitive): "m"/"(m)"/"mem"/"memory-optimal",
+// "p"/"(p)"/"perf"/"performance-optimal", "greedy"/"(greedy)".
+func (m *AlgoMode) UnmarshalText(text []byte) error {
+	switch strings.ToLower(strings.TrimSpace(string(text))) {
+	case "m", "(m)", "mem", "memory-optimal":
+		*m = MemOptimal
+	case "p", "(p)", "perf", "performance-optimal":
+		*m = PerfOptimal
+	case "greedy", "(greedy)":
+		*m = GreedyAlgo
+	default:
+		return fmt.Errorf("core: unknown algo mode %q (want m, p or greedy)", text)
+	}
+	return nil
+}
+
+// Set implements flag.Value.
+func (m *AlgoMode) Set(s string) error { return m.UnmarshalText([]byte(s)) }
+
+// MarshalText encodes the prefetch mode as "jit", "fig10", "none" or "eager".
+func (m PrefetchMode) MarshalText() ([]byte, error) {
+	switch m {
+	case PrefetchJIT:
+		return []byte("jit"), nil
+	case PrefetchFig10:
+		return []byte("fig10"), nil
+	case PrefetchNone:
+		return []byte("none"), nil
+	case PrefetchEager:
+		return []byte("eager"), nil
+	}
+	return nil, fmt.Errorf("core: cannot marshal unknown prefetch mode %d", int(m))
+}
+
+// UnmarshalText decodes a prefetch-mode token. Accepted (case-insensitive):
+// "jit", "fig10"/"fig10-window", "none", "eager".
+func (m *PrefetchMode) UnmarshalText(text []byte) error {
+	switch strings.ToLower(strings.TrimSpace(string(text))) {
+	case "jit":
+		*m = PrefetchJIT
+	case "fig10", "fig10-window":
+		*m = PrefetchFig10
+	case "none":
+		*m = PrefetchNone
+	case "eager":
+		*m = PrefetchEager
+	default:
+		return fmt.Errorf("core: unknown prefetch mode %q (want jit, fig10, none or eager)", text)
+	}
+	return nil
+}
+
+// Set implements flag.Value.
+func (m *PrefetchMode) Set(s string) error { return m.UnmarshalText([]byte(s)) }

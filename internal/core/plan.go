@@ -5,7 +5,6 @@ import (
 
 	"vdnn/internal/cudnnsim"
 	"vdnn/internal/dnn"
-	"vdnn/internal/gpu"
 )
 
 // LayerAlgos is the per-CONV-layer algorithm selection for the three
@@ -14,13 +13,26 @@ type LayerAlgos struct {
 	Fwd, BwdData, BwdFilter cudnnsim.ConvAlgo
 }
 
-// Plan is the execution plan the executor follows: which algorithm each CONV
-// layer uses (unless chosen greedily online) and which feature-map buffers
-// are offloaded, keyed by the layer that triggers the offload (the buffer's
-// last consumer, per the reference-count rule of Figure 3/7).
+// Plan is the execution plan the executor follows, derived once per run by
+// asking the OffloadPolicy about every layer and buffer: which algorithm each
+// CONV layer uses (unless chosen greedily online), which feature-map buffers
+// are offloaded — keyed by the layer that triggers the offload (the buffer's
+// last consumer, per the reference-count rule of Figure 3/7) — and which
+// prefetch schedule brings them back.
 type Plan struct {
-	Algos  []LayerAlgos // indexed by layer ID; meaningful for CONV layers
-	Greedy bool         // pick algorithms online from free pool memory
+	// PolicyName is the Name() of the policy that produced the plan.
+	PolicyName string
+	// Baseline marks the Torch-style network-wide allocation discipline; all
+	// other policies run under vDNN's dynamic allocate/release runtime.
+	Baseline bool
+
+	Algos []LayerAlgos // indexed by layer ID; meaningful for CONV layers
+	// GreedyAt marks CONV layers whose algorithms are picked online, at issue
+	// time, as the fastest whose workspace fits in free pool memory.
+	GreedyAt []bool
+
+	// Prefetch is the resolved prefetch schedule the backward pass follows.
+	Prefetch PrefetchMode
 
 	// OffloadAt lists, per trigger layer ID, the buffers that layer offloads
 	// when its forward pass runs.
@@ -37,40 +49,51 @@ type Plan struct {
 // Offloads reports whether the plan offloads anything at all.
 func (p *Plan) Offloads() bool { return p.offloadTotal > 0 }
 
-// buildPlan derives the static plan for a policy/algorithm-mode pair.
-func buildPlan(net *dnn.Network, spec gpu.Spec, policy Policy, mode AlgoMode) (*Plan, error) {
-	p := &Plan{
-		Algos:     make([]LayerAlgos, len(net.Layers)),
-		OffloadAt: make([][]*dnn.Tensor, len(net.Layers)),
-	}
-	switch mode {
-	case MemOptimal:
-		for _, l := range net.Layers {
-			if l.Kind == dnn.Conv {
-				p.Algos[l.ID] = LayerAlgos{cudnnsim.ImplicitGEMM, cudnnsim.ImplicitGEMM, cudnnsim.ImplicitGEMM}
-			}
-		}
-	case PerfOptimal:
-		for _, l := range net.Layers {
-			if l.Kind == dnn.Conv {
-				g := l.ConvGeom(net.DType)
-				p.Algos[l.ID] = LayerAlgos{
-					Fwd:       cudnnsim.FastestAlgo(spec, g, cudnnsim.Fwd, -1).Algo,
-					BwdData:   cudnnsim.FastestAlgo(spec, g, cudnnsim.BwdData, -1).Algo,
-					BwdFilter: cudnnsim.FastestAlgo(spec, g, cudnnsim.BwdFilter, -1).Algo,
-				}
-			}
-		}
-	case GreedyAlgo:
-		p.Greedy = true
+// buildPlan derives the static plan for one configuration by consulting the
+// policy about every CONV layer's algorithms, every feature-extraction
+// buffer's offload eligibility, and the prefetch schedule.
+func buildPlan(net *dnn.Network, cfg Config, pol OffloadPolicy) (*Plan, error) {
+	switch cfg.Algo {
+	case MemOptimal, PerfOptimal, GreedyAlgo:
 	default:
-		return nil, fmt.Errorf("core: unknown algo mode %v", mode)
+		return nil, fmt.Errorf("core: unknown algo mode %v", cfg.Algo)
+	}
+	_, isBase := pol.(baselineManager)
+	p := &Plan{
+		PolicyName: pol.Name(),
+		Baseline:   isBase,
+		Algos:      make([]LayerAlgos, len(net.Layers)),
+		GreedyAt:   make([]bool, len(net.Layers)),
+		Prefetch:   pol.PrefetchSchedule(net, cfg.Prefetch),
+		OffloadAt:  make([][]*dnn.Tensor, len(net.Layers)),
+	}
+	for _, l := range net.Layers {
+		if l.Kind != dnn.Conv {
+			continue
+		}
+		switch mode := pol.Algorithms(net, l, cfg.Algo); mode {
+		case MemOptimal:
+			// Implicit GEMM everywhere: zero workspace.
+			p.Algos[l.ID] = LayerAlgos{cudnnsim.ImplicitGEMM, cudnnsim.ImplicitGEMM, cudnnsim.ImplicitGEMM}
+		case PerfOptimal:
+			g := l.ConvGeom(net.DType)
+			p.Algos[l.ID] = LayerAlgos{
+				Fwd:       cudnnsim.FastestAlgo(cfg.Spec, g, cudnnsim.Fwd, -1).Algo,
+				BwdData:   cudnnsim.FastestAlgo(cfg.Spec, g, cudnnsim.BwdData, -1).Algo,
+				BwdFilter: cudnnsim.FastestAlgo(cfg.Spec, g, cudnnsim.BwdFilter, -1).Algo,
+			}
+		case GreedyAlgo:
+			p.GreedyAt[l.ID] = true
+		default:
+			return nil, fmt.Errorf("core: policy %q selected unknown algo mode %v for %s",
+				pol.Name(), mode, l.Name)
+		}
 	}
 
 	p.PrefetchAt = make([][]*dnn.Tensor, len(net.Layers))
 	firstReader := firstBwdReaders(net)
 	for _, t := range net.Tensors {
-		trigger := offloadTrigger(t, policy)
+		trigger := offloadTrigger(net, t, pol)
 		if trigger == nil {
 			continue
 		}
@@ -108,17 +131,13 @@ func firstBwdReaders(net *dnn.Network) map[*dnn.Tensor]*dnn.Layer {
 }
 
 // offloadTrigger decides whether buffer t is offloaded under the policy and,
-// if so, which layer initiates the transfer. A buffer qualifies when it
-// serves as the input feature map (X) of a managed feature-extraction layer:
-// any non-in-place FE layer under vDNN-all (ACTV layers are in place and
-// need no offload, Section III-B), or a CONV layer under vDNN-conv. The
-// transfer is triggered by the buffer's LAST consumer so that shared
-// (forked) feature maps are never released while a pending consumer remains
-// (the paper's Refcnt rule).
-func offloadTrigger(t *dnn.Tensor, policy Policy) *dnn.Layer {
-	if policy != VDNNAll && policy != VDNNConv {
-		return nil
-	}
+// if so, which layer initiates the transfer. The structural rules stay here,
+// out of the policy's hands: classifier-side buffers are unmanaged, only
+// feature-extraction consumers are offered to the policy, and the transfer is
+// triggered by the buffer's LAST consumer so that shared (forked) feature
+// maps are never released while a pending consumer remains (the paper's
+// Refcnt rule).
+func offloadTrigger(net *dnn.Network, t *dnn.Tensor, pol OffloadPolicy) *dnn.Layer {
 	if t.Producer != nil && t.Producer.Stage == dnn.Classifier {
 		return nil // classifier buffers are unmanaged
 	}
@@ -127,15 +146,8 @@ func offloadTrigger(t *dnn.Tensor, policy Policy) *dnn.Layer {
 		if c.Stage != dnn.FeatureExtraction {
 			continue
 		}
-		switch policy {
-		case VDNNAll:
-			if !c.InPlace {
-				qualifies = true
-			}
-		case VDNNConv:
-			if c.Kind == dnn.Conv {
-				qualifies = true
-			}
+		if pol.OffloadInput(net, t, c) {
+			qualifies = true
 		}
 	}
 	if !qualifies {

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"fmt"
+
+	"vdnn/internal/dnn"
+)
+
+// OffloadPolicy is the extension point of the vDNN memory manager: it decides
+// which feature maps are offloaded to pinned host memory, which convolution
+// algorithm mode each CONV layer runs, and which prefetch schedule brings
+// offloaded data back for the backward pass. The four policies of the paper
+// (Section III-C) are built-in implementations — BuiltinPolicy returns them —
+// and user code can supply its own through Config.Custom without touching the
+// executor.
+//
+// Implementations must be deterministic pure functions of their inputs: the
+// same (network, layer, tensor) arguments must always produce the same
+// decision, because result caches key simulations by configuration and policy
+// name only. Name must uniquely identify the policy's decision function; two
+// policies that share a name are assumed interchangeable by caches.
+//
+// The structural invariants of the runtime are not delegated: classifier-side
+// buffers are never offered for offload, a shared buffer is offloaded by its
+// LAST consumer (the reference-count rule of Figure 3/7), and the release and
+// prefetch bookkeeping stays inside the executor. A policy can therefore only
+// choose WHAT to offload and HOW to compute, never corrupt the schedule.
+type OffloadPolicy interface {
+	// Name identifies the policy in results, reports and cache keys.
+	Name() string
+
+	// OffloadInput reports whether buffer t should be offloaded to host
+	// memory during the forward pass, given that feature-extraction layer c
+	// reads it as an input feature map. The planner calls it once per
+	// (tensor, feature-extraction consumer) pair; answering true for any
+	// consumer offloads the buffer, triggered by its last consumer.
+	OffloadInput(net *dnn.Network, t *dnn.Tensor, c *dnn.Layer) bool
+
+	// Algorithms selects the convolution algorithm mode for CONV layer l.
+	// requested is the mode the Config asked for; returning it unchanged
+	// defers to the configuration, while per-layer overrides mix
+	// memory-optimal, performance-optimal and greedy layers freely.
+	Algorithms(net *dnn.Network, l *dnn.Layer, requested AlgoMode) AlgoMode
+
+	// PrefetchSchedule selects the prefetch scheduling strategy. requested is
+	// the Config's schedule; built-in policies return it unchanged.
+	PrefetchSchedule(net *dnn.Network, requested PrefetchMode) PrefetchMode
+}
+
+// Simulate runs one candidate configuration on behalf of a profiling policy.
+// It returns (nil, nil) when the candidate cannot train the network (out of
+// pool memory) — the signal the profiling cascade moves on from — and a
+// non-nil error only for invalid configurations. The candidate must resolve
+// to a non-profiling policy.
+type Simulate func(Config) (*Result, error)
+
+// Profiler is an optional interface for policies that settle their final
+// configuration by running profiling simulations, the way the paper's dynamic
+// policy cascades through candidate (policy, algorithm) pairs at startup.
+// When the configured policy implements Profiler, Run hands control to
+// Profile instead of building a static plan.
+type Profiler interface {
+	OffloadPolicy
+
+	// Profile simulates whatever candidates the policy needs and returns the
+	// final result. cfg is the full outer configuration; candidates are
+	// usually derived from it by overriding Policy/Algo/Custom.
+	Profile(net *dnn.Network, cfg Config, simulate Simulate) (*Result, error)
+}
+
+// baselineManager is the unexported marker of the Torch-style baseline: a
+// policy implementing it runs under network-wide persistent allocation
+// (every feature map resident, shared gradient slots, one reused workspace)
+// instead of vDNN's dynamic allocate/release discipline. The method is
+// unexported on purpose: custom policies always get the vDNN runtime.
+type baselineManager interface {
+	baselineManaged()
+}
+
+// BuiltinPolicy returns the built-in implementation of a Policy enum value.
+// Custom policies can delegate to these to refine a paper policy rather than
+// re-derive it.
+func BuiltinPolicy(p Policy) (OffloadPolicy, error) {
+	switch p {
+	case Baseline:
+		return basePolicy{}, nil
+	case VDNNAll:
+		return allPolicy{}, nil
+	case VDNNConv:
+		return convPolicy{}, nil
+	case VDNNDyn:
+		return dynamicPolicy{}, nil
+	}
+	return nil, fmt.Errorf("core: unknown policy %v", p)
+}
+
+// policyImpl resolves the policy implementation a configuration selects:
+// Custom when set, the built-in for Policy otherwise.
+func (c Config) policyImpl() (OffloadPolicy, error) {
+	if c.Custom != nil {
+		return c.Custom, nil
+	}
+	return BuiltinPolicy(c.Policy)
+}
+
+// basePolicy is the Torch-style baseline: nothing is offloaded and every
+// allocation is network-wide.
+type basePolicy struct{}
+
+func (basePolicy) Name() string                                            { return Baseline.String() }
+func (basePolicy) OffloadInput(*dnn.Network, *dnn.Tensor, *dnn.Layer) bool { return false }
+func (basePolicy) Algorithms(_ *dnn.Network, _ *dnn.Layer, requested AlgoMode) AlgoMode {
+	return requested
+}
+func (basePolicy) PrefetchSchedule(_ *dnn.Network, requested PrefetchMode) PrefetchMode {
+	return requested
+}
+func (basePolicy) baselineManaged() {}
+
+// allPolicy offloads every feature-extraction layer's input feature map.
+// In-place layers (ACTV) share their input buffer and need no offload of
+// their own (Section III-B).
+type allPolicy struct{}
+
+func (allPolicy) Name() string { return VDNNAll.String() }
+func (allPolicy) OffloadInput(_ *dnn.Network, _ *dnn.Tensor, c *dnn.Layer) bool {
+	return !c.InPlace
+}
+func (allPolicy) Algorithms(_ *dnn.Network, _ *dnn.Layer, requested AlgoMode) AlgoMode {
+	return requested
+}
+func (allPolicy) PrefetchSchedule(_ *dnn.Network, requested PrefetchMode) PrefetchMode {
+	return requested
+}
+
+// convPolicy offloads only the CONV layers' input feature maps — the
+// longest-reuse-distance buffers (Figure 6).
+type convPolicy struct{}
+
+func (convPolicy) Name() string { return VDNNConv.String() }
+func (convPolicy) OffloadInput(_ *dnn.Network, _ *dnn.Tensor, c *dnn.Layer) bool {
+	return c.Kind == dnn.Conv
+}
+func (convPolicy) Algorithms(_ *dnn.Network, _ *dnn.Layer, requested AlgoMode) AlgoMode {
+	return requested
+}
+func (convPolicy) PrefetchSchedule(_ *dnn.Network, requested PrefetchMode) PrefetchMode {
+	return requested
+}

@@ -1,0 +1,226 @@
+package core
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"vdnn/internal/dnn"
+)
+
+// mustRun simulates without the cross-test cache (whose key ignores Custom).
+func mustRun(t *testing.T, net *dnn.Network, cfg Config) *Result {
+	t.Helper()
+	r, err := Run(net, cfg)
+	if err != nil {
+		t.Fatalf("%s: %v", net.Name, err)
+	}
+	return r
+}
+
+// TestBuiltinPoliciesRouteThroughInterface pins the tentpole guarantee of the
+// policy extraction: running a built-in Policy enum and running its
+// OffloadPolicy implementation through Config.Custom are the same simulation,
+// field for field.
+func TestBuiltinPoliciesRouteThroughInterface(t *testing.T) {
+	net := alexNet
+	for _, p := range []Policy{Baseline, VDNNAll, VDNNConv, VDNNDyn} {
+		pol, err := BuiltinPolicy(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pol.Name() != p.String() {
+			t.Errorf("BuiltinPolicy(%v).Name() = %q, want %q", p, pol.Name(), p)
+		}
+		enum, err := Run(net, Config{Spec: titan(), Policy: p, Algo: MemOptimal})
+		if err != nil {
+			t.Fatalf("%v enum run: %v", p, err)
+		}
+		custom, err := Run(net, Config{Spec: titan(), Policy: p, Algo: MemOptimal, Custom: pol})
+		if err != nil {
+			t.Fatalf("%v custom run: %v", p, err)
+		}
+		if !reflect.DeepEqual(enum, custom) {
+			t.Errorf("%v: enum and interface-routed results differ", p)
+		}
+	}
+}
+
+// sizePolicy is a user-style custom policy: offload only CONV-layer inputs of
+// at least Threshold bytes (a size-aware refinement of vDNN-conv).
+type sizePolicy struct {
+	Threshold int64
+}
+
+func (p sizePolicy) Name() string { return "size-conv" }
+func (p sizePolicy) OffloadInput(net *dnn.Network, t *dnn.Tensor, c *dnn.Layer) bool {
+	return c.Kind == dnn.Conv && t.Bytes(net.DType) >= p.Threshold
+}
+func (p sizePolicy) Algorithms(_ *dnn.Network, _ *dnn.Layer, requested AlgoMode) AlgoMode {
+	return requested
+}
+func (p sizePolicy) PrefetchSchedule(_ *dnn.Network, requested PrefetchMode) PrefetchMode {
+	return requested
+}
+
+// TestCustomPolicy checks a user-defined policy runs end to end: a zero
+// threshold reproduces vDNN-conv's traffic exactly, a huge threshold offloads
+// nothing, and an intermediate threshold lands strictly between.
+func TestCustomPolicy(t *testing.T) {
+	net := alexNet
+	conv := mustRun(t, net, Config{Spec: titan(), Policy: VDNNConv, Algo: MemOptimal})
+
+	all := mustRun(t, net, Config{Spec: titan(), Custom: sizePolicy{Threshold: 0}, Algo: MemOptimal})
+	if all.OffloadBytes != conv.OffloadBytes {
+		t.Errorf("threshold 0 offloads %d bytes, want vDNN-conv's %d", all.OffloadBytes, conv.OffloadBytes)
+	}
+	if all.PolicyName != "size-conv" {
+		t.Errorf("PolicyName = %q, want size-conv", all.PolicyName)
+	}
+
+	none := mustRun(t, net, Config{Spec: titan(), Custom: sizePolicy{Threshold: 1 << 40}, Algo: MemOptimal})
+	if none.OffloadBytes != 0 {
+		t.Errorf("huge threshold still offloads %d bytes", none.OffloadBytes)
+	}
+	// Even with nothing offloaded a custom policy runs under the vDNN
+	// runtime: feature maps are allocated and released per-layer, so peak
+	// usage must stay below the baseline's network-wide residency.
+	base := mustRun(t, net, Config{Spec: titan(), Policy: Baseline, Algo: MemOptimal})
+	if none.MaxUsage >= base.MaxUsage {
+		t.Errorf("custom no-offload peak %d not below baseline %d", none.MaxUsage, base.MaxUsage)
+	}
+
+	mid := mustRun(t, net, Config{Spec: titan(), Custom: sizePolicy{Threshold: 40 << 20}, Algo: MemOptimal})
+	if mid.OffloadBytes <= 0 || mid.OffloadBytes >= conv.OffloadBytes {
+		t.Errorf("mid threshold offload %d, want in (0, %d)", mid.OffloadBytes, conv.OffloadBytes)
+	}
+}
+
+// mixedAlgoPolicy overrides the algorithm mode per layer: performance-optimal
+// for the first CONV layer, memory-optimal everywhere else.
+type mixedAlgoPolicy struct{}
+
+func (mixedAlgoPolicy) Name() string { return "mixed-algo" }
+func (mixedAlgoPolicy) OffloadInput(net *dnn.Network, t *dnn.Tensor, c *dnn.Layer) bool {
+	return c.Kind == dnn.Conv
+}
+func (mixedAlgoPolicy) Algorithms(net *dnn.Network, l *dnn.Layer, _ AlgoMode) AlgoMode {
+	if l == net.ConvLayers()[0] {
+		return PerfOptimal
+	}
+	return MemOptimal
+}
+func (mixedAlgoPolicy) PrefetchSchedule(_ *dnn.Network, requested PrefetchMode) PrefetchMode {
+	return requested
+}
+
+// TestCustomPolicyPerLayerAlgorithms checks the per-layer algorithm hook: a
+// mixed policy must run at least as fast as all-memory-optimal and use no
+// more memory than all-performance-optimal.
+func TestCustomPolicyPerLayerAlgorithms(t *testing.T) {
+	net := alexNet
+	mixed := mustRun(t, net, Config{Spec: titan(), Custom: mixedAlgoPolicy{}, Algo: MemOptimal})
+	m := mustRun(t, net, Config{Spec: titan(), Policy: VDNNConv, Algo: MemOptimal})
+	p := mustRun(t, net, Config{Spec: titan(), Policy: VDNNConv, Algo: PerfOptimal})
+	if mixed.IterTime > m.IterTime {
+		t.Errorf("mixed algo iter %v slower than all-(m) %v", mixed.IterTime, m.IterTime)
+	}
+	if mixed.MaxUsage > p.MaxUsage {
+		t.Errorf("mixed algo peak %d above all-(p) %d", mixed.MaxUsage, p.MaxUsage)
+	}
+	if mixed.IterTime == m.IterTime && mixed.MaxUsage == m.MaxUsage {
+		t.Error("mixed algo indistinguishable from all-(m); per-layer hook ignored?")
+	}
+}
+
+// cheapestTrainable is a custom Profiler: among a fixed candidate list it
+// returns the trainable configuration with the lowest iteration time.
+type cheapestTrainable struct{}
+
+func (cheapestTrainable) Name() string { return "cheapest-trainable" }
+func (cheapestTrainable) OffloadInput(net *dnn.Network, t *dnn.Tensor, c *dnn.Layer) bool {
+	return !c.InPlace
+}
+func (cheapestTrainable) Algorithms(_ *dnn.Network, _ *dnn.Layer, requested AlgoMode) AlgoMode {
+	return requested
+}
+func (cheapestTrainable) PrefetchSchedule(_ *dnn.Network, requested PrefetchMode) PrefetchMode {
+	return requested
+}
+func (cheapestTrainable) Profile(net *dnn.Network, cfg Config, simulate Simulate) (*Result, error) {
+	var best *Result
+	for _, c := range []struct {
+		p Policy
+		a AlgoMode
+	}{{Baseline, PerfOptimal}, {VDNNConv, PerfOptimal}, {VDNNAll, MemOptimal}} {
+		sub := cfg
+		sub.Custom = nil
+		sub.Policy = c.p
+		sub.Algo = c.a
+		res, err := simulate(sub)
+		if err != nil {
+			return nil, err
+		}
+		if res != nil && (best == nil || res.IterTime < best.IterTime) {
+			best = res
+		}
+	}
+	if best == nil {
+		return nil, nil
+	}
+	best.PolicyName = "cheapest-trainable"
+	return best, nil
+}
+
+// TestCustomProfiler checks a user-defined profiling policy drives candidate
+// simulations through the Simulate callback and owns the final result.
+func TestCustomProfiler(t *testing.T) {
+	net := alexNet
+	res, err := Run(net, Config{Spec: titan(), Custom: cheapestTrainable{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res == nil || !res.Trainable {
+		t.Fatal("profiler returned no trainable result")
+	}
+	if res.PolicyName != "cheapest-trainable" {
+		t.Errorf("PolicyName = %q", res.PolicyName)
+	}
+	// AlexNet(128) fits the baseline, which is also the fastest candidate.
+	base := mustRun(t, net, Config{Spec: titan(), Policy: Baseline, Algo: PerfOptimal})
+	if res.IterTime != base.IterTime {
+		t.Errorf("profiler picked iter %v, want baseline's %v", res.IterTime, base.IterTime)
+	}
+}
+
+// TestProfilerCannotRecurse asserts a profiling policy's candidates must be
+// static: asking Simulate for another profiling policy is an error, not a
+// stack overflow.
+func TestProfilerCannotRecurse(t *testing.T) {
+	var leaked Simulate
+	grab := recursingProfiler{sim: &leaked}
+	if _, err := Run(alexNet, Config{Spec: titan(), Custom: grab}); err != nil {
+		t.Fatalf("setup run: %v", err)
+	}
+	sub := Config{Spec: titan(), Policy: VDNNDyn}
+	if _, err := leaked(sub); err == nil || !strings.Contains(err.Error(), "profiling policy") {
+		t.Errorf("recursive simulate error = %v, want profiling-policy rejection", err)
+	}
+}
+
+type recursingProfiler struct{ sim *Simulate }
+
+func (recursingProfiler) Name() string                                            { return "recursing" }
+func (recursingProfiler) OffloadInput(*dnn.Network, *dnn.Tensor, *dnn.Layer) bool { return false }
+func (recursingProfiler) Algorithms(_ *dnn.Network, _ *dnn.Layer, r AlgoMode) AlgoMode {
+	return r
+}
+func (recursingProfiler) PrefetchSchedule(_ *dnn.Network, r PrefetchMode) PrefetchMode { return r }
+func (p recursingProfiler) Profile(net *dnn.Network, cfg Config, simulate Simulate) (*Result, error) {
+	*p.sim = simulate
+	sub := cfg
+	sub.Custom = nil
+	sub.Policy = Baseline
+	sub.Algo = MemOptimal
+	return simulate(sub)
+}

@@ -11,13 +11,14 @@ import (
 // assemble builds the Result from the measured iteration window.
 func (e *executor) assemble(winStart, winEnd sim.Time) *Result {
 	r := &Result{
-		Network:   e.net.Name,
-		Batch:     e.net.Batch,
-		Policy:    e.cfg.Policy,
-		Algo:      e.cfg.Algo,
-		Oracle:    e.cfg.Oracle,
-		Trainable: true,
-		IterTime:  winEnd - winStart,
+		Network:    e.net.Name,
+		Batch:      e.net.Batch,
+		Policy:     e.cfg.Policy,
+		PolicyName: e.plan.PolicyName,
+		Algo:       e.cfg.Algo,
+		Oracle:     e.cfg.Oracle,
+		Trainable:  true,
+		IterTime:   winEnd - winStart,
 	}
 
 	ms := e.pool.Measure(winStart, winEnd)

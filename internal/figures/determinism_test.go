@@ -4,8 +4,8 @@ import (
 	"bytes"
 	"testing"
 
+	"vdnn"
 	"vdnn/internal/gpu"
-	"vdnn/internal/sweep"
 )
 
 // TestParallelSuiteByteIdentical is the engine's acceptance criterion at the
@@ -15,8 +15,8 @@ func TestParallelSuiteByteIdentical(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full evaluation suite; skipped in -short mode")
 	}
-	seq := NewSuiteEngine(gpu.TitanX(), sweep.NewEngine(1))
-	par := NewSuiteEngine(gpu.TitanX(), sweep.NewEngine(8))
+	seq := NewSuiteSim(gpu.TitanX(), vdnn.NewSimulator(vdnn.WithParallelism(1)))
+	par := NewSuiteSim(gpu.TitanX(), vdnn.NewSimulator(vdnn.WithParallelism(8)))
 
 	parExps := par.Experiments()
 	for i, e := range seq.Experiments() {
@@ -39,12 +39,12 @@ func TestJobsCoverGen(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full evaluation suite; skipped in -short mode")
 	}
-	s := NewSuiteEngine(gpu.TitanX(), sweep.NewEngine(4))
+	s := NewSuiteSim(gpu.TitanX(), vdnn.NewSimulator(vdnn.WithParallelism(4)))
 	for _, e := range s.Experiments() {
 		s.Prime(e.Jobs())
-		before := s.Engine().Stats().Simulations
+		before := s.Simulator().Stats().Simulations
 		e.Gen()
-		if after := s.Engine().Stats().Simulations; after != before {
+		if after := s.Simulator().Stats().Simulations; after != before {
 			t.Errorf("%s: Gen ran %d simulations its Jobs() did not enqueue", e.Name, after-before)
 		}
 	}
@@ -58,13 +58,13 @@ func TestExperimentsShareCache(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full evaluation suite; skipped in -short mode")
 	}
-	s := NewSuiteEngine(gpu.TitanX(), sweep.NewEngine(4))
+	s := NewSuiteSim(gpu.TitanX(), vdnn.NewSimulator(vdnn.WithParallelism(4)))
 	var enqueued int
 	for _, e := range s.Experiments() {
 		enqueued += len(e.Jobs())
 		e.Gen()
 	}
-	st := s.Engine().Stats()
+	st := s.Simulator().Stats()
 	if st.Simulations >= int64(enqueued) {
 		t.Errorf("simulations = %d of %d enqueued jobs: experiments are not sharing the cache",
 			st.Simulations, enqueued)
@@ -74,7 +74,7 @@ func TestExperimentsShareCache(t *testing.T) {
 	for _, e := range s.Experiments() {
 		e.Gen()
 	}
-	if after := s.Engine().Stats().Simulations; after != before {
+	if after := s.Simulator().Stats().Simulations; after != before {
 		t.Errorf("regeneration ran %d extra simulations, want 0", after-before)
 	}
 }

@@ -9,9 +9,11 @@
 package figures
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
+	"vdnn"
 	"vdnn/internal/core"
 	"vdnn/internal/dnn"
 	"vdnn/internal/gpu"
@@ -21,18 +23,18 @@ import (
 	"vdnn/internal/sweep"
 )
 
-// Suite runs the evaluation on a sweep.Engine: one result cache shared by
-// every figure, ablation and case study — the same (network, config) pair is
-// simulated exactly once across the whole evaluation — with simulations
-// scheduled over the engine's worker pool. Each experiment first enqueues
-// its full configuration set as one batch (its jobs function), then formats
-// rows from the cached results, so independent simulations of one table run
-// concurrently. Simulations are deterministic, which makes every table
-// byte-identical regardless of the engine's parallelism.
+// Suite runs the evaluation on the public vdnn.Simulator: one result cache
+// shared by every figure, ablation and case study — the same (network,
+// config) pair is simulated exactly once across the whole evaluation — with
+// simulations scheduled over the simulator's worker pool. Each experiment
+// first enqueues its full configuration set as one batch (its jobs
+// function), then formats rows from the cached results, so independent
+// simulations of one table run concurrently. Simulations are deterministic,
+// which makes every table byte-identical regardless of parallelism.
 type Suite struct {
 	Spec gpu.Spec
 
-	eng *sweep.Engine
+	sim *vdnn.Simulator
 
 	mu   sync.Mutex
 	nets map[string]*dnn.Network
@@ -41,21 +43,21 @@ type Suite struct {
 // NewSuite creates a Suite for the given device (use gpu.TitanX() for the
 // paper's platform) running on all available cores.
 func NewSuite(spec gpu.Spec) *Suite {
-	return NewSuiteEngine(spec, sweep.NewEngine(0))
+	return NewSuiteSim(spec, vdnn.NewSimulator())
 }
 
-// NewSuiteEngine creates a Suite running on an existing engine
-// (sweep.NewEngine(1) yields the sequential reference). Sharing one engine
-// across suites bounds their combined parallelism; it does not share cached
-// results between them, because the engine keys results by network identity
-// and each suite memoizes its own network instances — reuse one Suite for
-// warm-cache regeneration.
-func NewSuiteEngine(spec gpu.Spec, eng *sweep.Engine) *Suite {
-	return &Suite{Spec: spec, eng: eng, nets: map[string]*dnn.Network{}}
+// NewSuiteSim creates a Suite running on an existing simulator
+// (vdnn.WithParallelism(1) yields the sequential reference). Sharing one
+// simulator across suites bounds their combined parallelism; it does not
+// share cached results between them, because the cache keys results by
+// network identity and each suite memoizes its own network instances —
+// reuse one Suite for warm-cache regeneration.
+func NewSuiteSim(spec gpu.Spec, sim *vdnn.Simulator) *Suite {
+	return &Suite{Spec: spec, sim: sim, nets: map[string]*dnn.Network{}}
 }
 
-// Engine exposes the suite's sweep engine (for cache statistics).
-func (s *Suite) Engine() *sweep.Engine { return s.eng }
+// Simulator exposes the suite's simulator (for cache statistics).
+func (s *Suite) Simulator() *vdnn.Simulator { return s.sim }
 
 // Experiment is one table of the evaluation: its vdnn-repro name, the full
 // simulation set it reads (enqueued as one concurrent batch), and the
@@ -95,10 +97,10 @@ func (s *Suite) Experiments() []Experiment {
 	}
 }
 
-// Prime schedules a batch of simulations across the engine's workers so the
-// subsequent formatting pass is all cache hits.
+// Prime schedules a batch of simulations across the simulator's workers so
+// the subsequent formatting pass is all cache hits.
 func (s *Suite) Prime(jobs []sweep.Job) {
-	if _, err := s.eng.RunAll(jobs); err != nil {
+	if _, err := s.sim.RunBatch(context.Background(), jobs); err != nil {
 		panic(fmt.Sprintf("figures: %v", err))
 	}
 }
@@ -137,9 +139,9 @@ func (s *Suite) veryDeep() []*dnn.Network {
 
 func (s *Suite) all() []*dnn.Network { return append(s.conventional(), s.veryDeep()...) }
 
-// Run simulates one configuration through the shared engine cache.
+// Run simulates one configuration through the shared simulator cache.
 func (s *Suite) Run(net *dnn.Network, cfg core.Config) *core.Result {
-	r, err := s.eng.Run(net, cfg)
+	r, err := s.sim.Run(context.Background(), net, cfg)
 	if err != nil {
 		panic(fmt.Sprintf("figures: %s %v: %v", net.Name, cfg.Policy, err))
 	}

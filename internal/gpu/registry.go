@@ -1,0 +1,58 @@
+package gpu
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// The named device registry backs every surface that addresses GPUs by a
+// short stable token instead of a Spec literal: CLI flags, the HTTP daemon's
+// JSON requests, and sweep configuration files. The built-in names cover the
+// paper's evaluation and what-if devices; Register adds process-wide custom
+// entries (per-simulator overlays live in the public package).
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Spec{
+		"titanx":        TitanX(),
+		"titanx-nvlink": TitanXNVLink(),
+		"gtx980":        GTX980(),
+		"teslak40":      TeslaK40(),
+		"p100":          PascalP100(),
+	}
+)
+
+// ByName returns the registered device spec for a name like "titanx".
+func ByName(name string) (Spec, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	s, ok := registry[name]
+	return s, ok
+}
+
+// Names lists the registered device names, sorted.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Register adds (or replaces) a named device spec. The spec must validate.
+func Register(name string, s Spec) error {
+	if name == "" {
+		return fmt.Errorf("gpu: empty registry name")
+	}
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	registry[name] = s
+	return nil
+}

@@ -18,6 +18,7 @@ package networks
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"vdnn/internal/dnn"
 	"vdnn/internal/tensor"
@@ -234,10 +235,12 @@ func ByName(name string, batch int) (*dnn.Network, error) {
 	case "resnet152":
 		return ResNet152(batch), nil
 	}
-	return nil, fmt.Errorf("networks: unknown network %q (have %v)", name, Names())
+	return nil, fmt.Errorf("networks: unknown network %q: valid names are %s",
+		name, strings.Join(Names(), ", "))
 }
 
-// Names lists the valid ByName identifiers.
+// Names lists the valid ByName identifiers, sorted. The returned slice is a
+// fresh copy on every call, so callers may mutate it freely.
 func Names() []string {
 	names := []string{"alexnet", "overfeat", "googlenet", "vgg16", "vgg116", "vgg216", "vgg316", "vgg416", "resnet50", "resnet101", "resnet152"}
 	sort.Strings(names)

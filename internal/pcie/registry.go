@@ -1,0 +1,53 @@
+package pcie
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Named link registry, mirroring the device registry in internal/gpu: CLI
+// flags and JSON requests address interconnects by these tokens.
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Link{
+		"pcie2":  Gen2x16(),
+		"pcie3":  Gen3x16(),
+		"nvlink": NVLink1(),
+	}
+)
+
+// ByName returns the registered link for a name like "pcie3".
+func ByName(name string) (Link, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	l, ok := registry[name]
+	return l, ok
+}
+
+// Names lists the registered link names, sorted.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Register adds (or replaces) a named link. The link must validate.
+func Register(name string, l Link) error {
+	if name == "" {
+		return fmt.Errorf("pcie: empty registry name")
+	}
+	if err := l.Validate(); err != nil {
+		return err
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	registry[name] = l
+	return nil
+}

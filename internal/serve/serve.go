@@ -1,0 +1,356 @@
+// Package serve implements the vdnn-serve HTTP daemon: a JSON API that
+// serves simulations from a shared vdnn.Simulator. Every request is answered
+// from the simulator's deduplicated result cache — repeated and concurrent
+// identical requests cost one simulation — and networks are memoized by
+// (name, batch) so cache keys stay stable across requests.
+//
+// Endpoints:
+//
+//	POST /v1/simulate   one configuration        -> SimResponse
+//	POST /v1/sweep      {"jobs": [...]} batch    -> SweepResponse
+//	GET  /v1/networks   model/device/link names  -> CatalogResponse
+//	GET  /v1/stats      cache counters           -> vdnn.EngineStats
+//	GET  /healthz       liveness                 -> "ok"
+//
+// Errors are JSON bodies {"error": "..."} with a 4xx/5xx status.
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"vdnn"
+)
+
+// SimRequest is the wire form of one simulation. GPUs and links are
+// addressed by registry name (see vdnn.GPUNames / vdnn.LinkNames plus any
+// simulator-scoped entries); enums use their text tokens ("vdnn-dyn", "p",
+// "jit"). Zero fields take the documented defaults.
+type SimRequest struct {
+	// Network is a benchmark network name (see GET /v1/networks). Required.
+	Network string `json:"network"`
+	// Batch is the minibatch size. Default 64.
+	Batch int `json:"batch,omitempty"`
+
+	// GPU names the simulated device. Default "titanx".
+	GPU string `json:"gpu,omitempty"`
+	// GPUMemGB overrides the device's physical memory, in GiB.
+	GPUMemGB float64 `json:"gpu_mem_gb,omitempty"`
+	// Link overrides the device's host interconnect by registry name.
+	Link string `json:"link,omitempty"`
+
+	// Policy selects the memory manager. Default "vdnn-dyn".
+	Policy vdnn.Policy `json:"policy,omitempty"`
+	// Algo selects the convolution algorithm mode. Default "p" unless the
+	// policy is the dynamic one (which profiles its own).
+	Algo vdnn.AlgoMode `json:"algo,omitempty"`
+	// Prefetch selects the prefetch schedule. Default "jit".
+	Prefetch vdnn.PrefetchMode `json:"prefetch,omitempty"`
+
+	Oracle         bool `json:"oracle,omitempty"`
+	PageMigration  bool `json:"page_migration,omitempty"`
+	OffloadWeights bool `json:"offload_weights,omitempty"`
+	// HostGB sizes host DRAM in GiB (default 64, the paper's testbed).
+	HostGB float64 `json:"host_gb,omitempty"`
+}
+
+// SimResponse is the wire form of a simulation result.
+type SimResponse struct {
+	Network  string            `json:"network"`
+	Batch    int               `json:"batch"`
+	GPU      string            `json:"gpu"`
+	Policy   vdnn.Policy       `json:"policy"`
+	Algo     vdnn.AlgoMode     `json:"algo"`
+	Prefetch vdnn.PrefetchMode `json:"prefetch"`
+	Chosen   string            `json:"chosen,omitempty"`
+
+	Trainable  bool   `json:"trainable"`
+	FailReason string `json:"fail_reason,omitempty"`
+
+	IterTimeMs float64 `json:"iter_time_ms"`
+	FETimeMs   float64 `json:"fe_time_ms"`
+
+	MaxUsageBytes      int64 `json:"max_usage_bytes"`
+	AvgUsageBytes      int64 `json:"avg_usage_bytes"`
+	FrameworkBytes     int64 `json:"framework_bytes"`
+	MaxWorkingSetBytes int64 `json:"max_working_set_bytes"`
+
+	OffloadBytes        int64 `json:"offload_bytes"`
+	PrefetchBytes       int64 `json:"prefetch_bytes"`
+	OnDemandFetches     int   `json:"on_demand_fetches"`
+	HostPinnedPeakBytes int64 `json:"host_pinned_peak_bytes"`
+
+	AvgPowerW float64 `json:"avg_power_w"`
+	MaxPowerW float64 `json:"max_power_w"`
+}
+
+// SweepRequest is a batch of simulations answered in order.
+type SweepRequest struct {
+	Jobs []SimRequest `json:"jobs"`
+}
+
+// SweepResponse carries one result per job, in job order.
+type SweepResponse struct {
+	Results []SimResponse `json:"results"`
+}
+
+// CatalogResponse lists everything a request can name.
+type CatalogResponse struct {
+	Networks []string `json:"networks"`
+	GPUs     []string `json:"gpus"`
+	Links    []string `json:"links"`
+}
+
+// Server is the HTTP handler. Create with New; it is an http.Handler safe
+// for concurrent use.
+type Server struct {
+	sim *vdnn.Simulator
+	mux *http.ServeMux
+}
+
+// Request guardrails. Every numeric knob below is client-controlled, so the
+// daemon bounds all of them: batch size (which also bounds the simulator's
+// memoized-network cache churn), memory sizes (an oversized float GB count
+// would overflow the int64 byte conversion), sweep fan-out and request body
+// size. The result cache itself is bounded by the Simulator's WithCacheBound
+// (cmd/vdnn-serve defaults it on).
+const (
+	maxBatch     = 4096
+	maxMemGB     = 1 << 20 // 1 PB; far beyond any simulated host/device
+	maxSweepJobs = 1024
+	maxBodyBytes = 8 << 20
+)
+
+// New creates a Server answering from the given simulator.
+func New(sim *vdnn.Simulator) *Server {
+	s := &Server{sim: sim, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
+	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	s.mux.HandleFunc("GET /v1/networks", s.handleNetworks)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Simulator returns the server's simulator (stats, registries).
+func (s *Server) Simulator() *vdnn.Simulator { return s.sim }
+
+// defaultRequest seeds the fields json.Unmarshal leaves untouched.
+func defaultRequest() SimRequest {
+	return SimRequest{
+		Batch:    64,
+		GPU:      "titanx",
+		Policy:   vdnn.VDNNDyn,
+		Algo:     vdnn.PerfOptimal,
+		Prefetch: vdnn.PrefetchJIT,
+	}
+}
+
+// network resolves (name, batch) through the simulator's memoized network
+// cache — the identity-stable instances the result cache keys on.
+func (s *Server) network(name string, batch int) (*vdnn.Network, error) {
+	if batch <= 0 || batch > maxBatch {
+		return nil, fmt.Errorf("batch must be in [1, %d], got %d", maxBatch, batch)
+	}
+	return s.sim.Network(name, batch)
+}
+
+// resolve turns a wire request into a simulation job.
+func (s *Server) resolve(req SimRequest) (*vdnn.Network, vdnn.Config, error) {
+	var cfg vdnn.Config
+	net, err := s.network(req.Network, req.Batch)
+	if err != nil {
+		return nil, cfg, err
+	}
+	spec, ok := s.sim.GPUByName(req.GPU)
+	if !ok {
+		return nil, cfg, fmt.Errorf("unknown gpu %q (have %s)", req.GPU, strings.Join(s.sim.GPUNames(), ", "))
+	}
+	if req.GPUMemGB < 0 || req.HostGB < 0 || req.GPUMemGB > maxMemGB || req.HostGB > maxMemGB {
+		return nil, cfg, fmt.Errorf("memory sizes must be in [0, %d] GB", int64(maxMemGB))
+	}
+	if req.GPUMemGB > 0 {
+		spec.MemBytes = int64(req.GPUMemGB * float64(1<<30))
+	}
+	if req.Link != "" {
+		link, ok := s.sim.LinkByName(req.Link)
+		if !ok {
+			return nil, cfg, fmt.Errorf("unknown link %q (have %s)", req.Link, strings.Join(s.sim.LinkNames(), ", "))
+		}
+		spec.Link = link
+	}
+	cfg = vdnn.Config{
+		Spec:           spec,
+		Policy:         req.Policy,
+		Algo:           req.Algo,
+		Prefetch:       req.Prefetch,
+		Oracle:         req.Oracle,
+		PageMigration:  req.PageMigration,
+		OffloadWeights: req.OffloadWeights,
+	}
+	if req.HostGB > 0 {
+		cfg.HostBytes = int64(req.HostGB * float64(1<<30))
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, cfg, err
+	}
+	return net, cfg, nil
+}
+
+// response formats a result for the wire.
+func response(req SimRequest, res *vdnn.Result) SimResponse {
+	return SimResponse{
+		Network:  res.Network,
+		Batch:    res.Batch,
+		GPU:      req.GPU,
+		Policy:   res.Policy,
+		Algo:     res.Algo,
+		Prefetch: req.Prefetch,
+		Chosen:   res.Chosen,
+
+		Trainable:  res.Trainable,
+		FailReason: res.FailReason,
+
+		IterTimeMs: res.IterTime.Msec(),
+		FETimeMs:   res.FETime.Msec(),
+
+		MaxUsageBytes:      res.MaxUsage,
+		AvgUsageBytes:      res.AvgUsage,
+		FrameworkBytes:     res.FrameworkBytes,
+		MaxWorkingSetBytes: res.MaxWorkingSet,
+
+		OffloadBytes:        res.OffloadBytes,
+		PrefetchBytes:       res.PrefetchBytes,
+		OnDemandFetches:     res.OnDemandFetches,
+		HostPinnedPeakBytes: res.HostPinnedPeak,
+
+		AvgPowerW: res.Power.AvgW,
+		MaxPowerW: res.Power.MaxW,
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	req := defaultRequest()
+	if err := decodeJSON(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	net, cfg, err := s.resolve(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	res, err := s.sim.Run(r.Context(), net, cfg)
+	if err != nil {
+		writeError(w, simStatus(err), err)
+		return
+	}
+	writeJSON(w, response(req, res))
+}
+
+// simStatus classifies a simulation error for HTTP: the Run contract says a
+// non-nil error means an invalid configuration (client-supplied here), so
+// those are 400s; only an internal panic is the server's fault.
+func simStatus(err error) int {
+	if strings.Contains(err.Error(), "simulation panic") {
+		return http.StatusInternalServerError
+	}
+	return http.StatusBadRequest
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var sr struct {
+		Jobs []json.RawMessage `json:"jobs"`
+	}
+	if err := decodeJSON(w, r, &sr); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(sr.Jobs) == 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("empty sweep: provide jobs"))
+		return
+	}
+	if len(sr.Jobs) > maxSweepJobs {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("sweep of %d jobs exceeds the limit of %d", len(sr.Jobs), maxSweepJobs))
+		return
+	}
+	reqs := make([]SimRequest, len(sr.Jobs))
+	jobs := make([]vdnn.BatchJob, len(sr.Jobs))
+	for i, raw := range sr.Jobs {
+		req := defaultRequest()
+		if err := strictDecode(bytes.NewReader(raw), &req); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("job %d: %w", i, err))
+			return
+		}
+		net, cfg, err := s.resolve(req)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("job %d: %w", i, err))
+			return
+		}
+		reqs[i] = req
+		jobs[i] = vdnn.BatchJob{Net: net, Cfg: cfg}
+	}
+	results, err := s.sim.RunBatch(r.Context(), jobs)
+	if err != nil {
+		writeError(w, simStatus(err), err)
+		return
+	}
+	out := SweepResponse{Results: make([]SimResponse, len(results))}
+	for i, res := range results {
+		out.Results[i] = response(reqs[i], res)
+	}
+	writeJSON(w, out)
+}
+
+func (s *Server) handleNetworks(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, CatalogResponse{
+		Networks: vdnn.NetworkNames(),
+		GPUs:     s.sim.GPUNames(),
+		Links:    s.sim.LinkNames(),
+	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, s.sim.Stats())
+}
+
+// decodeJSON reads a size-capped request body strictly: unknown fields are
+// errors, so typos ("polcy") fail loudly instead of silently simulating the
+// default.
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) error {
+	return strictDecode(http.MaxBytesReader(w, r.Body, maxBodyBytes), v)
+}
+
+func strictDecode(r io.Reader, v any) error {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("invalid request body: %w", err)
+	}
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}

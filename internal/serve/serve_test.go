@@ -1,0 +1,321 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"vdnn"
+)
+
+func newTestServer(t *testing.T, opts ...vdnn.SimulatorOption) (*Server, *httptest.Server) {
+	t.Helper()
+	srv := New(vdnn.NewSimulator(opts...))
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+func post(t *testing.T, url, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, b
+}
+
+func readAll(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+func TestHealthz(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if body := readAll(t, resp); !strings.Contains(body, "ok") {
+		t.Fatalf("body = %q", body)
+	}
+}
+
+func TestSimulateValid(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, body := post(t, ts.URL+"/v1/simulate",
+		`{"network":"alexnet","batch":64,"policy":"vdnn-all","algo":"m"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, body)
+	}
+	var sr SimResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, body)
+	}
+	if !sr.Trainable {
+		t.Errorf("alexnet(64) vdnn-all(m) should train: %s", sr.FailReason)
+	}
+	if sr.Policy != vdnn.VDNNAll || sr.OffloadBytes == 0 {
+		t.Errorf("response = %+v", sr)
+	}
+	if sr.IterTimeMs <= 0 || sr.MaxUsageBytes <= 0 {
+		t.Errorf("missing metrics in %+v", sr)
+	}
+}
+
+func TestSimulateDefaults(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, body := post(t, ts.URL+"/v1/simulate", `{"network":"vgg16"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, body)
+	}
+	var sr SimResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Batch != 64 || sr.Policy != vdnn.VDNNDyn || sr.GPU != "titanx" {
+		t.Errorf("defaults not applied: %+v", sr)
+	}
+	if sr.Chosen == "" {
+		t.Error("dynamic policy response missing chosen configuration")
+	}
+}
+
+func TestSimulateInvalid(t *testing.T) {
+	_, ts := newTestServer(t)
+	cases := []struct {
+		name, body string
+	}{
+		{"unknown network", `{"network":"nope"}`},
+		{"bad policy token", `{"network":"alexnet","policy":"sometimes"}`},
+		{"unknown gpu", `{"network":"alexnet","gpu":"tpu"}`},
+		{"unknown link", `{"network":"alexnet","link":"carrier-pigeon"}`},
+		{"negative batch", `{"network":"alexnet","batch":-4}`},
+		{"unknown field", `{"network":"alexnet","polcy":"base"}`},
+		{"not json", `who goes there`},
+		{"negative memory", `{"network":"alexnet","gpu_mem_gb":-2}`},
+		{"overflowing host memory", `{"network":"alexnet","host_gb":1e10}`},
+		{"overflowing gpu memory", `{"network":"alexnet","gpu_mem_gb":1e300}`},
+		{"batch above cap", `{"network":"alexnet","batch":5000}`},
+	}
+	for _, c := range cases {
+		resp, body := post(t, ts.URL+"/v1/simulate", c.body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400 (body %s)", c.name, resp.StatusCode, body)
+			continue
+		}
+		var e map[string]string
+		if err := json.Unmarshal(body, &e); err != nil || e["error"] == "" {
+			t.Errorf("%s: error body = %s", c.name, body)
+		}
+	}
+}
+
+func TestSimulateUntrainable(t *testing.T) {
+	_, ts := newTestServer(t)
+	// VGG-16 at batch 256 under the baseline with performance-optimal
+	// algorithms oversubscribes a 12 GB Titan X (the paper's headline case):
+	// the response must carry trainable=false plus the oracle-measured
+	// hypothetical demand, not an HTTP error.
+	resp, body := post(t, ts.URL+"/v1/simulate",
+		`{"network":"vgg16","batch":256,"policy":"base","algo":"p"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, body)
+	}
+	var sr SimResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Trainable {
+		t.Fatal("vgg16(256) base(p) should not train on 12 GB")
+	}
+	if sr.FailReason == "" {
+		t.Error("untrainable response missing fail_reason")
+	}
+	if sr.MaxUsageBytes <= 12<<30 {
+		t.Errorf("hypothetical demand %d should exceed 12 GB", sr.MaxUsageBytes)
+	}
+}
+
+func TestSimulateCacheHit(t *testing.T) {
+	srv, ts := newTestServer(t)
+	body := `{"network":"alexnet","batch":32,"policy":"vdnn-conv","algo":"m"}`
+	_, first := post(t, ts.URL+"/v1/simulate", body)
+	if sims := srv.Simulator().Stats().Simulations; sims != 1 {
+		t.Fatalf("simulations after first request = %d", sims)
+	}
+	_, second := post(t, ts.URL+"/v1/simulate", body)
+	st := srv.Simulator().Stats()
+	if st.Simulations != 1 {
+		t.Errorf("repeat request re-simulated (stats %+v)", st)
+	}
+	if st.Hits == 0 {
+		t.Errorf("repeat request not a cache hit (stats %+v)", st)
+	}
+	if string(first) != string(second) {
+		t.Error("identical requests produced different responses")
+	}
+}
+
+func TestSweep(t *testing.T) {
+	srv, ts := newTestServer(t)
+	resp, body := post(t, ts.URL+"/v1/sweep", `{"jobs":[
+		{"network":"alexnet","batch":32,"policy":"base","algo":"p"},
+		{"network":"alexnet","batch":32,"policy":"vdnn-all","algo":"m"},
+		{"network":"alexnet","batch":32,"policy":"base","algo":"p"}
+	]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, body)
+	}
+	var sw SweepResponse
+	if err := json.Unmarshal(body, &sw); err != nil {
+		t.Fatal(err)
+	}
+	if len(sw.Results) != 3 {
+		t.Fatalf("results = %d, want 3", len(sw.Results))
+	}
+	if sw.Results[0] != sw.Results[2] {
+		t.Error("duplicate sweep jobs returned different responses")
+	}
+	if sw.Results[0].Policy != vdnn.Baseline || sw.Results[1].Policy != vdnn.VDNNAll {
+		t.Errorf("sweep order not preserved: %+v", sw.Results)
+	}
+	if st := srv.Simulator().Stats(); st.Simulations != 2 {
+		t.Errorf("sweep with duplicate simulated %d times, want 2", st.Simulations)
+	}
+
+	// Invalid job index is reported.
+	resp, body = post(t, ts.URL+"/v1/sweep", `{"jobs":[{"network":"alexnet"},{"network":"nope"}]}`)
+	if resp.StatusCode != http.StatusBadRequest || !strings.Contains(string(body), "job 1") {
+		t.Errorf("invalid sweep job: status %d body %s", resp.StatusCode, body)
+	}
+	resp, body = post(t, ts.URL+"/v1/sweep", `{"jobs":[]}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty sweep: status %d body %s", resp.StatusCode, body)
+	}
+}
+
+func TestNetworksCatalog(t *testing.T) {
+	tiny := vdnn.TitanX()
+	tiny.Name = "tiny"
+	tiny.MemBytes = 1 << 30
+	_, ts := newTestServer(t, vdnn.WithGPU("tiny", tiny))
+	resp, err := http.Get(ts.URL + "/v1/networks")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var cat CatalogResponse
+	if err := json.NewDecoder(resp.Body).Decode(&cat); err != nil {
+		t.Fatal(err)
+	}
+	if len(cat.Networks) == 0 || len(cat.Links) == 0 {
+		t.Fatalf("catalog = %+v", cat)
+	}
+	found := map[string]bool{}
+	for _, g := range cat.GPUs {
+		found[g] = true
+	}
+	if !found["titanx"] || !found["tiny"] {
+		t.Errorf("gpus = %v", cat.GPUs)
+	}
+}
+
+// TestConcurrentIdenticalRequests is the serving-path race check: many
+// goroutines posting the same request must all receive byte-identical
+// responses, from (at most) one simulation. Run under -race.
+func TestConcurrentIdenticalRequests(t *testing.T) {
+	srv, ts := newTestServer(t, vdnn.WithParallelism(4))
+	const n = 24
+	body := `{"network":"googlenet","batch":64,"policy":"vdnn-conv","algo":"m"}`
+
+	responses := make([]string, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/v1/simulate", "application/json", strings.NewReader(body))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errs[i] = fmt.Errorf("status %d", resp.StatusCode)
+				return
+			}
+			b, err := io.ReadAll(resp.Body)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			responses[i] = string(b)
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("request %d: %v", i, errs[i])
+		}
+		if responses[i] != responses[0] {
+			t.Errorf("request %d response differs:\n%s\nvs\n%s", i, responses[i], responses[0])
+		}
+	}
+	if st := srv.Simulator().Stats(); st.Simulations != 1 {
+		t.Errorf("%d identical concurrent requests ran %d simulations, want 1 (stats %+v)",
+			n, st.Simulations, st)
+	}
+}
+
+// TestConcurrentMixedSweeps hammers the sweep endpoint with overlapping
+// batches; overlapping jobs must dedup across requests. Run under -race.
+func TestConcurrentMixedSweeps(t *testing.T) {
+	srv, ts := newTestServer(t, vdnn.WithParallelism(4))
+	bodies := []string{
+		`{"jobs":[{"network":"alexnet","batch":32,"policy":"base","algo":"p"},{"network":"alexnet","batch":32,"policy":"vdnn-all","algo":"m"}]}`,
+		`{"jobs":[{"network":"alexnet","batch":32,"policy":"vdnn-all","algo":"m"},{"network":"alexnet","batch":32,"policy":"vdnn-conv","algo":"m"}]}`,
+		`{"jobs":[{"network":"alexnet","batch":32,"policy":"vdnn-conv","algo":"m"},{"network":"alexnet","batch":32,"policy":"base","algo":"p"}]}`,
+	}
+	var wg sync.WaitGroup
+	for round := 0; round < 4; round++ {
+		for _, b := range bodies {
+			wg.Add(1)
+			go func(b string) {
+				defer wg.Done()
+				resp, err := http.Post(ts.URL+"/v1/sweep", "application/json", strings.NewReader(b))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				defer resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("status %d", resp.StatusCode)
+				}
+			}(b)
+		}
+	}
+	wg.Wait()
+	if st := srv.Simulator().Stats(); st.Simulations != 3 {
+		t.Errorf("3 distinct configurations simulated %d times (stats %+v)", st.Simulations, st)
+	}
+}

@@ -1,15 +1,18 @@
-// Package sweep is the concurrent experiment scheduler the evaluation runs
-// on. The paper's figures, ablations and case studies are a design-space
-// sweep of hundreds of independent simulated training iterations; each
-// core.Run is a self-contained deterministic simulation, so the sweep
-// parallelizes perfectly. The engine provides:
+// Package sweep is the concurrent experiment scheduler the evaluation and
+// the public batch API run on. The paper's figures, ablations and case
+// studies are a design-space sweep of hundreds of independent simulated
+// training iterations; each core.Run is a self-contained deterministic
+// simulation, so the sweep parallelizes perfectly. The engine provides:
 //
 //   - a bounded worker pool that saturates the configured parallelism,
 //   - a result cache shared by every experiment, keyed by
-//     (network, normalized configuration), so the same configuration is
-//     simulated exactly once no matter how many figures reference it, and
+//     (network, normalized configuration, policy name), so the same
+//     configuration is simulated exactly once no matter how many figures or
+//     requests reference it — optionally bounded, with FIFO eviction,
 //   - singleflight deduplication: concurrent requests for one key coalesce
-//     onto the in-flight simulation instead of repeating it.
+//     onto the in-flight simulation instead of repeating it, and
+//   - context-aware scheduling: callers abandon waits on cancellation, and a
+//     batch stops dispatching new simulations once its context is done.
 //
 // Determinism guarantee: RunAll returns results in job order and each
 // simulation is a pure function of its (network, configuration) inputs, so
@@ -18,6 +21,7 @@
 package sweep
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -36,10 +40,22 @@ type Job struct {
 // key identifies a simulation. The network is keyed by identity (callers
 // memoize network construction; building the same architecture twice yields
 // distinct graphs that are free to diverge), the configuration by its
-// normalized value — core.Config is a comparable value type.
+// normalized value. A custom policy is keyed by its Name — the OffloadPolicy
+// contract — which keeps the key comparable whatever the policy's dynamic
+// type is made of.
 type key struct {
-	net *dnn.Network
-	cfg core.Config
+	net    *dnn.Network
+	cfg    core.Config
+	policy string
+}
+
+func keyOf(net *dnn.Network, cfg core.Config) key {
+	k := key{net: net, cfg: cfg.WithDefaults()}
+	if cfg.Custom != nil {
+		k.policy = cfg.Custom.Name()
+		k.cfg.Custom = nil
+	}
+	return k
 }
 
 // entry is one cache slot. done is closed when res/err are final, which is
@@ -51,40 +67,67 @@ type entry struct {
 	err  error
 }
 
-// Stats counts the engine's cache behavior (test and reporting aid).
+// Stats counts the engine's cache behavior (test, reporting and /v1/stats
+// aid).
 type Stats struct {
 	// Simulations is the number of core.Run invocations actually performed.
-	Simulations int64
+	Simulations int64 `json:"simulations"`
 	// Hits is the number of requests served from a completed cache entry.
-	Hits int64
+	Hits int64 `json:"hits"`
 	// Coalesced is the number of requests folded onto another request of the
 	// same key instead of starting their own simulation: duplicates within a
 	// RunAll batch, plus Run calls that waited on an in-flight simulation.
-	Coalesced int64
+	Coalesced int64 `json:"coalesced"`
+	// Evictions is the number of completed entries dropped to honor the
+	// cache bound.
+	Evictions int64 `json:"evictions"`
 }
 
 // Engine schedules simulations over a bounded worker pool with a shared,
 // deduplicated result cache. The zero value is not usable; use NewEngine.
 type Engine struct {
-	workers int
+	workers    int
+	maxEntries int
+	sem        chan struct{} // worker slots; every simulation holds one
 
 	mu    sync.Mutex
 	cache map[key]*entry
+	order []key // eviction queue; order[head:] is live, oldest first
+	head  int
 	stats Stats
 }
 
 // NewEngine creates an engine running at most workers simulations
-// concurrently. workers <= 0 selects GOMAXPROCS. workers == 1 yields a
-// strictly sequential engine (useful as the determinism reference).
-func NewEngine(workers int) *Engine {
+// concurrently, with an unbounded result cache. workers <= 0 selects
+// GOMAXPROCS. workers == 1 yields a strictly sequential engine (useful as
+// the determinism reference).
+func NewEngine(workers int) *Engine { return NewEngineCache(workers, 0) }
+
+// NewEngineCache creates an engine whose result cache holds at most
+// maxEntries completed results (0 = unbounded). When full, the oldest
+// completed entries are evicted first; in-flight simulations are never
+// evicted. Bounding the cache trades repeat-hit latency for memory — a
+// long-lived serving process wants a bound, a one-shot evaluation does not.
+func NewEngineCache(workers, maxEntries int) *Engine {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	return &Engine{workers: workers, cache: map[key]*entry{}}
+	if maxEntries < 0 {
+		maxEntries = 0
+	}
+	return &Engine{
+		workers:    workers,
+		maxEntries: maxEntries,
+		sem:        make(chan struct{}, workers),
+		cache:      map[key]*entry{},
+	}
 }
 
 // Workers returns the configured parallelism.
 func (e *Engine) Workers() int { return e.workers }
+
+// CacheBound returns the configured cache capacity (0 = unbounded).
+func (e *Engine) CacheBound() int { return e.maxEntries }
 
 // Stats returns a snapshot of the cache counters.
 func (e *Engine) Stats() Stats {
@@ -93,30 +136,164 @@ func (e *Engine) Stats() Stats {
 	return e.stats
 }
 
-// Run simulates one job, serving it from the cache when an identical job has
-// already run (or is running). Safe for concurrent use.
-func (e *Engine) Run(net *dnn.Network, cfg core.Config) (*core.Result, error) {
-	k := key{net: net, cfg: cfg.WithDefaults()}
+// PurgeNetwork drops every cached result keyed by the given network
+// instance. Callers that evict a network from their own memoization use it
+// so results keyed by the dead identity — unreachable by any future request
+// — do not pin the graph forever in an unbounded cache. An in-flight entry
+// finishes normally for its waiters and is then deleted asynchronously.
+func (e *Engine) PurgeNetwork(net *dnn.Network) {
 	e.mu.Lock()
-	if ent, ok := e.cache[k]; ok {
+	defer e.mu.Unlock()
+	for k, ent := range e.cache {
+		if k.net != net {
+			continue
+		}
 		select {
 		case <-ent.done:
-			e.stats.Hits++
+			delete(e.cache, k)
+			e.stats.Evictions++
 		default:
-			e.stats.Coalesced++
+			// Still running: collect it once it completes, or the dead-keyed
+			// result would survive forever in an unbounded cache.
+			go func(k key, ent *entry) {
+				<-ent.done
+				e.mu.Lock()
+				if e.cache[k] == ent {
+					delete(e.cache, k)
+					e.stats.Evictions++
+				}
+				e.mu.Unlock()
+			}(k, ent)
+		}
+	}
+}
+
+// evictLocked drops oldest completed entries until the cache fits the bound
+// again (leaving room for one insertion). Called with e.mu held. The common
+// case — the oldest entry has completed — is an O(1) head advance; the
+// splice only runs when the head entry is still in flight (transient).
+func (e *Engine) evictLocked() {
+	if e.maxEntries <= 0 {
+		return
+	}
+	for len(e.cache) >= e.maxEntries {
+		evicted := false
+		for i := e.head; i < len(e.order); i++ {
+			k := e.order[i]
+			if ent, ok := e.cache[k]; ok {
+				select {
+				case <-ent.done:
+				default:
+					continue // in-flight: never evict
+				}
+				delete(e.cache, k)
+				e.stats.Evictions++
+			}
+			if i == e.head {
+				e.order[i] = key{} // release references
+				e.head++
+			} else {
+				copy(e.order[i:], e.order[i+1:])
+				e.order[len(e.order)-1] = key{}
+				e.order = e.order[:len(e.order)-1]
+			}
+			evicted = true
+			break
+		}
+		if !evicted {
+			return // everything resident is in flight; allow temporary overshoot
+		}
+	}
+	// Reclaim the consumed prefix once it dominates the backing array.
+	if e.head > 32 && e.head > len(e.order)/2 {
+		e.order = append(e.order[:0:0], e.order[e.head:]...)
+		e.head = 0
+	}
+}
+
+// Run simulates one job, serving it from the cache when an identical job has
+// already run (or is running). Safe for concurrent use. Every actual
+// simulation holds one of the engine's worker slots, so single-Run callers
+// (the HTTP daemon's simulate endpoint, many goroutines deep) are bounded by
+// the configured parallelism exactly like RunAll batches. (The bound counts
+// top-level simulations: the dynamic policy's profiler speculatively runs up
+// to three candidate passes inside its one slot — a deliberate, fixed-factor
+// overshoot documented in core/dynamic.go; candidates cannot take engine
+// slots of their own without risking nested-acquire deadlock.) A canceled
+// context abandons the wait (an in-flight simulation itself completes and
+// stays cached for the next caller).
+func (e *Engine) Run(ctx context.Context, net *dnn.Network, cfg core.Config) (*core.Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	k := keyOf(net, cfg)
+	for {
+		e.mu.Lock()
+		if ent, ok := e.cache[k]; ok {
+			select {
+			case <-ent.done:
+				e.stats.Hits++
+			default:
+				e.stats.Coalesced++
+			}
+			e.mu.Unlock()
+			select {
+			case <-ent.done:
+				return ent.res, ent.err
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
 		}
 		e.mu.Unlock()
-		<-ent.done
+
+		// Acquire a worker slot BEFORE claiming the key: a wait abandoned by
+		// cancellation then leaves no half-made entry behind for other
+		// callers to hang on.
+		select {
+		case e.sem <- struct{}{}:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+
+		e.mu.Lock()
+		if _, ok := e.cache[k]; ok {
+			// Another caller claimed the key while we waited for the slot;
+			// release it and coalesce onto theirs.
+			e.mu.Unlock()
+			<-e.sem
+			continue
+		}
+		e.evictLocked()
+		ent := &entry{done: make(chan struct{})}
+		e.cache[k] = ent
+		if e.maxEntries > 0 {
+			e.order = append(e.order, k) // eviction order; unused when unbounded
+		}
+		e.stats.Simulations++
+		e.mu.Unlock()
+
+		runCfg := k.cfg
+		runCfg.Custom = cfg.Custom
+		func() {
+			// done must close on every path: a panic that escaped past it
+			// would leave the entry permanently in flight, hanging every
+			// later request for the key. A panicking simulation (a bug, or a
+			// hostile custom policy) becomes an error shared by all waiters
+			// instead.
+			defer func() {
+				if r := recover(); r != nil {
+					ent.res, ent.err = nil, fmt.Errorf("sweep: simulation panic: %v", r)
+				}
+				close(ent.done)
+				<-e.sem
+			}()
+			ent.res, ent.err = core.Run(net, runCfg)
+		}()
 		return ent.res, ent.err
 	}
-	ent := &entry{done: make(chan struct{})}
-	e.cache[k] = ent
-	e.stats.Simulations++
-	e.mu.Unlock()
-
-	ent.res, ent.err = core.Run(net, k.cfg)
-	close(ent.done)
-	return ent.res, ent.err
 }
 
 // RunAll simulates a batch of jobs across the worker pool and returns the
@@ -125,7 +302,12 @@ func (e *Engine) Run(net *dnn.Network, cfg core.Config) (*core.Result, error) {
 // duplicates are folded before dispatch so they never occupy a worker slot
 // waiting on their twin. The first error in job order is returned, wrapped
 // with the failing job's network and policy; results of failed jobs are nil.
-func (e *Engine) RunAll(jobs []Job) ([]*core.Result, error) {
+// Once ctx is canceled, no further simulations are dispatched and the
+// remaining jobs fail with the context's error.
+func (e *Engine) RunAll(ctx context.Context, jobs []Job) ([]*core.Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	results := make([]*core.Result, len(jobs))
 	errs := make([]error, len(jobs))
 
@@ -135,7 +317,7 @@ func (e *Engine) RunAll(jobs []Job) ([]*core.Result, error) {
 	firstOf := make(map[key]int, len(jobs))
 	var unique []int
 	for i, j := range jobs {
-		k := key{net: j.Net, cfg: j.Cfg.WithDefaults()}
+		k := keyOf(j.Net, j.Cfg)
 		if f, ok := firstOf[k]; ok {
 			canon[i] = f
 		} else {
@@ -156,7 +338,7 @@ func (e *Engine) RunAll(jobs []Job) ([]*core.Result, error) {
 	}
 	if workers <= 1 {
 		for _, i := range unique {
-			results[i], errs[i] = e.Run(jobs[i].Net, jobs[i].Cfg)
+			results[i], errs[i] = e.Run(ctx, jobs[i].Net, jobs[i].Cfg)
 		}
 	} else {
 		next := make(chan int)
@@ -166,15 +348,28 @@ func (e *Engine) RunAll(jobs []Job) ([]*core.Result, error) {
 			go func() {
 				defer wg.Done()
 				for i := range next {
-					results[i], errs[i] = e.Run(jobs[i].Net, jobs[i].Cfg)
+					results[i], errs[i] = e.Run(ctx, jobs[i].Net, jobs[i].Cfg)
 				}
 			}()
 		}
+	dispatch:
 		for _, i := range unique {
-			next <- i
+			select {
+			case next <- i:
+			case <-ctx.Done():
+				errs[i] = ctx.Err()
+				break dispatch
+			}
 		}
 		close(next)
 		wg.Wait()
+		if err := ctx.Err(); err != nil {
+			for _, i := range unique {
+				if results[i] == nil && errs[i] == nil {
+					errs[i] = err
+				}
+			}
+		}
 	}
 
 	for i, c := range canon {
@@ -184,8 +379,12 @@ func (e *Engine) RunAll(jobs []Job) ([]*core.Result, error) {
 	}
 	for i, err := range errs {
 		if err != nil {
-			return results, fmt.Errorf("sweep: job %d (%s, %v %v): %w",
-				i, jobs[i].Net.Name, jobs[i].Cfg.Policy, jobs[i].Cfg.Algo, err)
+			policy := fmt.Sprint(jobs[i].Cfg.Policy)
+			if jobs[i].Cfg.Custom != nil {
+				policy = jobs[i].Cfg.Custom.Name()
+			}
+			return results, fmt.Errorf("sweep: job %d (%s, %s %v): %w",
+				i, jobs[i].Net.Name, policy, jobs[i].Cfg.Algo, err)
 		}
 	}
 	return results, nil

@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"context"
 	"reflect"
 	"testing"
 
@@ -50,7 +51,7 @@ func TestRunAllDeterminism(t *testing.T) {
 	}
 
 	eng := NewEngine(8)
-	got, err := eng.RunAll(jobs)
+	got, err := eng.RunAll(context.Background(), jobs)
 	if err != nil {
 		t.Fatalf("RunAll: %v", err)
 	}
@@ -73,7 +74,7 @@ func TestRunAllDedup(t *testing.T) {
 	}
 
 	eng := NewEngine(8)
-	res, err := eng.RunAll(jobs)
+	res, err := eng.RunAll(context.Background(), jobs)
 	if err != nil {
 		t.Fatalf("RunAll: %v", err)
 	}
@@ -91,7 +92,7 @@ func TestRunAllDedup(t *testing.T) {
 	}
 
 	// A repeat batch is served entirely from cache.
-	if _, err := eng.RunAll(jobs[:4]); err != nil {
+	if _, err := eng.RunAll(context.Background(), jobs[:4]); err != nil {
 		t.Fatalf("RunAll (cached): %v", err)
 	}
 	if st := eng.Stats(); st.Simulations != 1 {
@@ -108,11 +109,11 @@ func TestConfigNormalization(t *testing.T) {
 	b := a
 	b.Iterations = 2
 	b.HostBytes = 64 << 30
-	ra, err := eng.Run(net, a)
+	ra, err := eng.Run(context.Background(), net, a)
 	if err != nil {
 		t.Fatal(err)
 	}
-	rb, err := eng.Run(net, b)
+	rb, err := eng.Run(context.Background(), net, b)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,7 +131,7 @@ func TestRunAllError(t *testing.T) {
 	net := networks.AlexNet(128)
 	good := Job{Net: net, Cfg: core.Config{Spec: gpu.TitanX(), Policy: core.Baseline, Algo: core.PerfOptimal}}
 	bad := Job{Net: net, Cfg: core.Config{}} // zero Spec fails validation
-	res, err := NewEngine(4).RunAll([]Job{good, bad, good})
+	res, err := NewEngine(4).RunAll(context.Background(), []Job{good, bad, good})
 	if err == nil {
 		t.Fatal("RunAll accepted an invalid spec")
 	}

@@ -1,0 +1,145 @@
+package vdnn_test
+
+import (
+	"encoding/json"
+	"flag"
+	"io"
+	"testing"
+
+	"vdnn"
+)
+
+func TestEnumTextRoundTrip(t *testing.T) {
+	for _, p := range []vdnn.Policy{vdnn.Baseline, vdnn.VDNNAll, vdnn.VDNNConv, vdnn.VDNNDyn} {
+		b, err := p.MarshalText()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got vdnn.Policy
+		if err := got.UnmarshalText(b); err != nil {
+			t.Fatal(err)
+		}
+		if got != p {
+			t.Errorf("policy %v round-tripped to %v via %q", p, got, b)
+		}
+		// Display forms parse too.
+		if err := got.UnmarshalText([]byte(p.String())); err != nil || got != p {
+			t.Errorf("policy display form %q did not parse: %v", p.String(), err)
+		}
+	}
+	for _, m := range []vdnn.AlgoMode{vdnn.MemOptimal, vdnn.PerfOptimal, vdnn.GreedyAlgo} {
+		b, err := m.MarshalText()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got vdnn.AlgoMode
+		if err := got.UnmarshalText(b); err != nil || got != m {
+			t.Errorf("algo %v round trip via %q failed: %v", m, b, err)
+		}
+		if err := got.UnmarshalText([]byte(m.String())); err != nil || got != m {
+			t.Errorf("algo display form %q did not parse: %v", m.String(), err)
+		}
+	}
+	for _, m := range []vdnn.PrefetchMode{vdnn.PrefetchJIT, vdnn.PrefetchFig10, vdnn.PrefetchNone, vdnn.PrefetchEager} {
+		b, err := m.MarshalText()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got vdnn.PrefetchMode
+		if err := got.UnmarshalText(b); err != nil || got != m {
+			t.Errorf("prefetch %v round trip via %q failed: %v", m, b, err)
+		}
+		if err := got.UnmarshalText([]byte(m.String())); err != nil || got != m {
+			t.Errorf("prefetch display form %q did not parse: %v", m.String(), err)
+		}
+	}
+	var p vdnn.Policy
+	if err := p.UnmarshalText([]byte("bogus")); err == nil {
+		t.Error("bogus policy token accepted")
+	}
+}
+
+func TestEnumAliases(t *testing.T) {
+	cases := []struct {
+		in   string
+		want vdnn.Policy
+	}{
+		{"base", vdnn.Baseline}, {"baseline", vdnn.Baseline},
+		{"all", vdnn.VDNNAll}, {"vDNN-all", vdnn.VDNNAll}, {"VDNN-ALL", vdnn.VDNNAll},
+		{"conv", vdnn.VDNNConv}, {"dyn", vdnn.VDNNDyn}, {"vdnn-dyn", vdnn.VDNNDyn},
+	}
+	for _, c := range cases {
+		var p vdnn.Policy
+		if err := p.UnmarshalText([]byte(c.in)); err != nil || p != c.want {
+			t.Errorf("policy %q = %v (%v), want %v", c.in, p, err, c.want)
+		}
+	}
+	var a vdnn.AlgoMode
+	for _, in := range []string{"m", "(m)", "mem", "memory-optimal"} {
+		if err := a.UnmarshalText([]byte(in)); err != nil || a != vdnn.MemOptimal {
+			t.Errorf("algo %q = %v (%v)", in, a, err)
+		}
+	}
+	var f vdnn.PrefetchMode
+	for _, in := range []string{"fig10", "fig10-window"} {
+		if err := f.UnmarshalText([]byte(in)); err != nil || f != vdnn.PrefetchFig10 {
+			t.Errorf("prefetch %q = %v (%v)", in, f, err)
+		}
+	}
+}
+
+// TestEnumFlagValue checks the enums bind directly as CLI flags, the way
+// cmd/vdnn-sim and cmd/vdnn-explore use them.
+func TestEnumFlagValue(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	policy := vdnn.VDNNDyn
+	algo := vdnn.PerfOptimal
+	prefetch := vdnn.PrefetchJIT
+	fs.Var(&policy, "policy", "")
+	fs.Var(&algo, "algo", "")
+	fs.Var(&prefetch, "prefetch", "")
+	if err := fs.Parse([]string{"-policy", "conv", "-algo", "greedy", "-prefetch", "eager"}); err != nil {
+		t.Fatal(err)
+	}
+	if policy != vdnn.VDNNConv || algo != vdnn.GreedyAlgo || prefetch != vdnn.PrefetchEager {
+		t.Errorf("parsed (%v, %v, %v)", policy, algo, prefetch)
+	}
+	if err := fs.Parse([]string{"-policy", "nope"}); err == nil {
+		t.Error("invalid -policy accepted")
+	}
+}
+
+// TestConfigJSONRoundTrip checks a full Config — device spec, link and enums
+// included — survives encoding/json unchanged, which is what the sweep/serve
+// surfaces rely on.
+func TestConfigJSONRoundTrip(t *testing.T) {
+	cfg := vdnn.Config{
+		Spec:      vdnn.GTX980(),
+		Policy:    vdnn.VDNNConv,
+		Algo:      vdnn.GreedyAlgo,
+		Prefetch:  vdnn.PrefetchFig10,
+		Oracle:    true,
+		HostBytes: 32 << 30,
+	}
+	cfg.Spec.Link = vdnn.NVLink()
+	b, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got vdnn.Config
+	if err := json.Unmarshal(b, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got != cfg {
+		t.Errorf("round trip changed the config:\n got %+v\nwant %+v", got, cfg)
+	}
+	// The enums serialize as their text tokens, not bare ints.
+	var m map[string]any
+	if err := json.Unmarshal(b, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m["Policy"] != "vdnn-conv" || m["Algo"] != "greedy" || m["Prefetch"] != "fig10" {
+		t.Errorf("enum JSON forms = %v/%v/%v", m["Policy"], m["Algo"], m["Prefetch"])
+	}
+}

@@ -1,0 +1,34 @@
+package vdnn
+
+import (
+	"vdnn/internal/gpu"
+	"vdnn/internal/pcie"
+)
+
+// Process-wide named registries for devices and interconnects. Names are the
+// serializable identities of GPU and Link values: CLI flags, JSON requests
+// and sweep files address hardware by these tokens, and the Simulator
+// resolves them (optionally shadowed per-simulator via WithGPU/WithLink).
+//
+// Built-in device names: "titanx", "titanx-nvlink", "gtx980", "teslak40",
+// "p100". Built-in link names: "pcie2", "pcie3", "nvlink".
+
+// GPUByName returns the registered device spec for a name like "titanx".
+func GPUByName(name string) (GPU, bool) { return gpu.ByName(name) }
+
+// GPUNames lists the registered device names, sorted.
+func GPUNames() []string { return gpu.Names() }
+
+// RegisterGPU adds (or replaces) a process-wide named device spec. The spec
+// must validate. Prefer the scoped WithGPU option for per-Simulator devices.
+func RegisterGPU(name string, spec GPU) error { return gpu.Register(name, spec) }
+
+// LinkByName returns the registered interconnect for a name like "pcie3".
+func LinkByName(name string) (Link, bool) { return pcie.ByName(name) }
+
+// LinkNames lists the registered interconnect names, sorted.
+func LinkNames() []string { return pcie.Names() }
+
+// RegisterLink adds (or replaces) a process-wide named interconnect. The
+// link must validate.
+func RegisterLink(name string, link Link) error { return pcie.Register(name, link) }
