@@ -6,6 +6,7 @@ import (
 	"vdnn/internal/gpu"
 	"vdnn/internal/networks"
 	"vdnn/internal/pcie"
+	"vdnn/internal/sim"
 	"vdnn/internal/tensor"
 )
 
@@ -81,11 +82,26 @@ type Result = core.Result
 // LayerStats is the per-layer view of a Result.
 type LayerStats = core.LayerStats
 
+// Time is simulated time in nanoseconds (every duration in a Result —
+// IterTime, FETime, per-layer and per-device times — is one of these).
+type Time = sim.Time
+
+// DeviceResult is the per-replica view of a data-parallel Result
+// (Config.Devices > 1): step time, traffic, contention stalls and overlap
+// efficiency of one GPU.
+type DeviceResult = core.DeviceResult
+
 // GPU describes the simulated device.
 type GPU = gpu.Spec
 
 // Link describes a host interconnect.
 type Link = pcie.Link
+
+// Topology describes how data-parallel replicas attach to the host
+// interconnect: dedicated per-device links, or links sharing a root complex
+// with bounded aggregate bandwidth (set it on Config.Topology alongside
+// Config.Devices).
+type Topology = pcie.Topology
 
 // Network is a layer graph ready to simulate.
 type Network = dnn.Network
@@ -161,6 +177,21 @@ func PCIeGen3() Link { return pcie.Gen3x16() }
 
 // NVLink returns a first-generation NVLINK link model.
 func NVLink() Link { return pcie.NVLink1() }
+
+// DedicatedTopology gives every replica its full link: transfers never
+// contend (the single-GPU model, and the zero value of Topology).
+func DedicatedTopology() Topology { return pcie.Dedicated() }
+
+// SharedRootTopology builds a topology whose device links hang off a root
+// complex with the given per-direction aggregate bandwidth (bytes/sec).
+func SharedRootTopology(name string, aggregateBps int64) Topology {
+	return pcie.SharedRoot(name, aggregateBps)
+}
+
+// SharedGen3Root returns the worst-case multi-GPU topology: every replica
+// behind one gen3 x16 uplink (12.8 GB/s effective, shared). This is the
+// default topology of multi-device configurations.
+func SharedGen3Root() Topology { return pcie.SharedGen3Root() }
 
 // Run simulates training one network under one configuration — the one-shot
 // convenience for scripts. Long-lived callers, batch sweeps and anything

@@ -331,6 +331,20 @@ func BenchmarkCaseStudyMultiGPU(b *testing.B) {
 	}
 }
 
+func BenchmarkCaseStudyContention(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := freshSuite()
+		t := s.CaseStudyContention()
+		mustRows(b, t, 4)
+		// Headline: 8-replica mean contention stall (ms) under vDNN-all.
+		var ms float64
+		if _, err := sscanFloat(t.Rows[3][2], &ms); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(ms, "stall-8gpu-ms")
+	}
+}
+
 func BenchmarkCaseStudyPrecision(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		s := freshSuite()

@@ -5,8 +5,9 @@
 //	vdnn-explore -network vgg16 -batch 256 capacity
 //	vdnn-explore -network googlenet link
 //	vdnn-explore -network vgg16 -batch 128 batch
+//	vdnn-explore -network vgg16 -batch 64 devices
 //
-// Sweeps: capacity, link, batch, prefetch, pagemig.
+// Sweeps: capacity, link, batch, prefetch, pagemig, devices.
 //
 // Each sweep is enqueued as one batch on a vdnn.Simulator, so its
 // simulations run concurrently and overlapping configurations across sweeps
@@ -32,7 +33,7 @@ func main() {
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: vdnn-explore [-network N] [-batch B] capacity|link|batch|prefetch|pagemig")
+		fmt.Fprintln(os.Stderr, "usage: vdnn-explore [-network N] [-batch B] capacity|link|batch|prefetch|pagemig|devices")
 		os.Exit(1)
 	}
 
@@ -52,6 +53,8 @@ func main() {
 		e.prefetchSweep(*batch)
 	case "pagemig":
 		e.pagemigSweep(*batch)
+	case "devices":
+		e.devicesSweep(*batch)
 	default:
 		fmt.Fprintf(os.Stderr, "vdnn-explore: unknown sweep %q\n", flag.Arg(0))
 		os.Exit(1)
@@ -193,6 +196,52 @@ func (e *explorer) pagemigSweep(batch int) {
 	t.AddRow("page migration", report.FmtMs(int64(pm.FETime)),
 		fmt.Sprintf("%.1fx", float64(pm.FETime)/float64(dma.FETime)))
 	t.Render(os.Stdout)
+}
+
+// devicesSweep scales data-parallel replicas over a shared PCIe root
+// complex: does vDNN still hide its transfers when 2-8 replicas fight over
+// the interconnect?
+func (e *explorer) devicesSweep(batch int) {
+	counts := []int{1, 2, 4, 8}
+	topology, _ := vdnn.TopologyByName("shared-x16")
+	n := e.net(batch)
+	var jobs []vdnn.BatchJob
+	for _, c := range counts {
+		jobs = append(jobs,
+			vdnn.BatchJob{Net: n, Cfg: vdnn.Config{Spec: vdnn.TitanX(), Policy: vdnn.VDNNAll, Algo: vdnn.MemOptimal,
+				Devices: c, Topology: topology}},
+			vdnn.BatchJob{Net: n, Cfg: vdnn.Config{Spec: vdnn.TitanX(), Policy: vdnn.Baseline, Algo: vdnn.PerfOptimal,
+				Devices: c, Topology: topology}})
+	}
+	res := e.runAll(jobs)
+
+	t := report.NewTable(fmt.Sprintf("device sweep — %s (%d per replica), shared x16 root complex", e.name, batch),
+		"GPUs", "vDNN-all step/replica (ms)", "stall (ms)", "overlap", "base(p) step/replica (ms)", "aggregate img/s (vDNN)")
+	for i, c := range counts {
+		dyn, base := res[2*i], res[2*i+1]
+		step, stall, overlap := dyn.ReplicaMeans()
+		baseStep, _, _ := base.ReplicaMeans()
+		imgs := float64(batch*c) / dyn.IterTime.Seconds()
+		t.AddRow(fmt.Sprintf("%d", c),
+			report.FmtMs(int64(step)), report.FmtMs(int64(stall)), report.FmtPct(overlap),
+			report.FmtMs(int64(baseStep)), fmt.Sprintf("%.0f", imgs))
+	}
+	t.Render(os.Stdout)
+}
+
+// replicaMeans averages the per-replica metrics (falling back to the
+// aggregate for single-device results).
+func replicaMeans(r *vdnn.Result) (step, stall vdnn.Time, overlap float64) {
+	if len(r.Devices) == 0 {
+		return r.IterTime, 0, 1
+	}
+	for _, d := range r.Devices {
+		step += d.StepTime
+		stall += d.ContentionStall
+		overlap += d.OverlapEff
+	}
+	n := vdnn.Time(len(r.Devices))
+	return step / n, stall / n, overlap / float64(len(r.Devices))
 }
 
 func mustLink(name string) vdnn.Link {

@@ -7,6 +7,10 @@
 // Devices and interconnects come from the named registries (-gpu, -link; see
 // vdnn.GPUNames and vdnn.LinkNames), and the policy/algorithm/prefetch flags
 // parse the enums' text forms directly.
+//
+// With -devices N (and optionally -topology) it simulates N data-parallel
+// replicas contending for the interconnect, printing per-device step times,
+// contention stalls and overlap efficiency alongside the aggregate metrics.
 package main
 
 import (
@@ -27,6 +31,8 @@ func main() {
 		gpuName = flag.String("gpu", "titanx", "device: "+strings.Join(vdnn.GPUNames(), ", "))
 		memGB   = flag.Int("gpu-mem", 0, "override GPU memory in GB (0 = device default)")
 		link    = flag.String("link", "", "override interconnect: "+strings.Join(vdnn.LinkNames(), ", "))
+		devices = flag.Int("devices", 1, "data-parallel replicas sharing the interconnect")
+		topo    = flag.String("topology", "", "multi-GPU topology: "+strings.Join(vdnn.TopologyNames(), ", ")+" (default shared-x16 when -devices > 1)")
 		pagemig = flag.Bool("page-migration", false, "use page-migration transfers instead of pinned DMA")
 		oracle  = flag.Bool("oracle", false, "simulate a GPU with unlimited memory")
 		layers  = flag.Bool("layers", false, "print the per-layer table")
@@ -60,6 +66,11 @@ func main() {
 		spec.Link = l
 	}
 
+	topology, ok := vdnn.TopologyByName(*topo)
+	if !ok {
+		fail(fmt.Errorf("unknown topology %q (have %s)", *topo, strings.Join(vdnn.TopologyNames(), ", ")))
+	}
+
 	cfg := vdnn.Config{
 		Spec:            spec,
 		Policy:          policy,
@@ -67,8 +78,11 @@ func main() {
 		Prefetch:        prefetch,
 		Oracle:          *oracle,
 		PageMigration:   *pagemig,
+		Devices:         *devices,
+		Topology:        topology,
 		CaptureSchedule: *chrome != "",
 	}
+	cfg = cfg.WithDefaults() // resolve the multi-device topology for display
 
 	sim := vdnn.NewSimulator()
 	res, err := sim.Run(context.Background(), net, cfg)
@@ -95,6 +109,23 @@ func main() {
 	fmt.Printf("  time: iteration %.1f ms (feature extraction %.1f ms)\n",
 		res.IterTime.Msec(), res.FETime.Msec())
 	fmt.Printf("  power: avg %.0f W, max %.0f W\n", res.Power.AvgW, res.Power.MaxW)
+
+	if len(res.Devices) > 0 {
+		fmt.Printf("  multi-GPU: %d replicas over %v, all-reduce %s in %.1f ms\n",
+			len(res.Devices), cfg.Topology, vdnn.FormatBytes(res.AllReduceBytes), res.AllReduceTime.Msec())
+		t := report.NewTable("per-device stats",
+			"device", "step (ms)", "offload (MB)", "prefetch (MB)", "all-reduce (MB)", "stall (ms)", "overlap")
+		for _, d := range res.Devices {
+			t.AddRow(fmt.Sprintf("gpu%d", d.Device),
+				report.FmtMs(int64(d.StepTime)),
+				report.FmtMiB(d.OffloadBytes), report.FmtMiB(d.PrefetchBytes),
+				report.FmtMiB(d.AllReduceBytes),
+				report.FmtMs(int64(d.ContentionStall)),
+				report.FmtPct(d.OverlapEff))
+		}
+		fmt.Println()
+		t.Render(os.Stdout)
+	}
 
 	if *layers {
 		t := report.NewTable("per-layer stats",

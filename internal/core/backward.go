@@ -16,7 +16,7 @@ import (
 // at the first CONV layer that needs no prefetch, bounding how early data is
 // brought back (prefetching too early would let it camp in GPU memory
 // again). The eager ablation removes that bound.
-func (e *executor) findPrefetchLayer(currLayerID int) int {
+func (e *runtime) findPrefetchLayer(currLayerID int) int {
 	for id := currLayerID - 1; id >= 0; id-- {
 		if e.lay[id].offloaded && !e.lay[id].prefetched {
 			e.lay[id].prefetched = true
@@ -31,7 +31,7 @@ func (e *executor) findPrefetchLayer(currLayerID int) int {
 
 // prefetchBuffers re-allocates device space for the given buffers and
 // launches their H2D transfers on stream_memory.
-func (e *executor) prefetchBuffers(label string, bufs []*dnn.Tensor) ([]*sim.Op, error) {
+func (e *runtime) prefetchBuffers(label string, bufs []*dnn.Tensor) ([]*sim.Op, error) {
 	var ops []*sim.Op
 	for _, t := range bufs {
 		bs := e.buf[t]
@@ -55,7 +55,7 @@ func (e *executor) prefetchBuffers(label string, bufs []*dnn.Tensor) ([]*sim.Op,
 // "naive" path that vDNN's prefetching exists to avoid. It only runs under
 // PrefetchNone or if the window policy ever misses (counted and asserted in
 // tests).
-func (e *executor) fetchOnDemand(t *dnn.Tensor) error {
+func (e *runtime) fetchOnDemand(t *dnn.Tensor) error {
 	bs := e.buf[t]
 	b, err := e.alloc(t.Bytes(e.net.DType), memalloc.KindFeatureMap, fmt.Sprintf("fm%d", t.ID))
 	if err != nil {
@@ -76,7 +76,7 @@ func (e *executor) fetchOnDemand(t *dnn.Tensor) error {
 
 // ensureGrad returns the gradient buffer for an aliasing root, allocating it
 // on first write (vDNN) or returning the baseline's shared slot.
-func (e *executor) ensureGrad(root *dnn.Tensor) (*memalloc.Block, error) {
+func (e *runtime) ensureGrad(root *dnn.Tensor) (*memalloc.Block, error) {
 	bs := e.buf[root]
 	if bs.gradBlock != nil {
 		return bs.gradBlock, nil
@@ -93,16 +93,23 @@ func (e *executor) ensureGrad(root *dnn.Tensor) (*memalloc.Block, error) {
 	return b, nil
 }
 
-// backwardLayer issues one layer's backward pass: prefetch scheduling,
-// on-demand fetch fallback, gradient allocation, the backward kernels, the
-// release of Y/dY/workspace, and the end-of-layer synchronization when a
-// prefetch is in flight (Figures 8, 9, 10).
-func (e *executor) backwardLayer(l *dnn.Layer) error {
+// bwdPending is the in-flight state of one layer's backward pass between
+// its asynchronous issue and its end-of-layer synchronization.
+type bwdPending struct {
+	lastOp *sim.Op   // latest-ending backward kernel of the layer
+	preOps []*sim.Op // prefetch transfers launched during this layer
+}
+
+// issueBackward launches one layer's backward pass: prefetch scheduling,
+// on-demand fetch fallback, gradient allocation, the backward kernels and
+// the release of Y/dY/workspace (Figures 8, 9, 10). The end-of-layer
+// synchronization on in-flight prefetches happens in finishBackward.
+func (e *runtime) issueBackward(l *dnn.Layer) (bwdPending, error) {
+	var pend bwdPending
 	st := &e.stats[l.ID]
 	d := e.net.DType
 
 	// 1. Prefetch scheduling (vDNN only).
-	var preOps []*sim.Op
 	if e.vdnnManaged() && e.plan.Prefetch != PrefetchNone {
 		// Weight-offloading extension: bring this step's scheduled weights
 		// back just in time (their only backward reader is their own layer).
@@ -113,13 +120,13 @@ func (e *executor) backwardLayer(l *dnn.Layer) error {
 			}
 			b, err := e.alloc(wl.WeightBytes(d), memalloc.KindWeights, wl.Name+".W")
 			if err != nil {
-				return err
+				return pend, err
 			}
 			op := e.dev.Prefetch("PRE:"+wl.Name+".W", wl.WeightBytes(d))
 			ws.block = b
 			ws.offloaded = false
 			ws.lastWrite = op
-			preOps = append(preOps, op)
+			pend.preOps = append(pend.preOps, op)
 		}
 	}
 	if e.vdnnManaged() {
@@ -127,16 +134,16 @@ func (e *executor) backwardLayer(l *dnn.Layer) error {
 		case PrefetchJIT:
 			ops, err := e.prefetchBuffers(l.Name, e.plan.PrefetchAt[l.ID])
 			if err != nil {
-				return err
+				return pend, err
 			}
-			preOps = ops
+			pend.preOps = ops
 		case PrefetchFig10, PrefetchEager:
 			if pid := e.findPrefetchLayer(l.ID); pid >= 0 {
 				ops, err := e.prefetchBuffers(e.net.Layers[pid].Name, e.plan.OffloadAt[pid])
 				if err != nil {
-					return err
+					return pend, err
 				}
-				preOps = ops
+				pend.preOps = ops
 			}
 		case PrefetchNone:
 			// On-demand fetches only (step 2).
@@ -150,11 +157,11 @@ func (e *executor) backwardLayer(l *dnn.Layer) error {
 		readBytes += t.Bytes(d)
 		if e.buf[t].offloaded {
 			if err := e.fetchOnDemand(t); err != nil {
-				return err
+				return pend, err
 			}
 		}
 		if e.buf[t].block == nil {
-			return fmt.Errorf("core: bwd read fm%d not resident", t.ID)
+			return pend, fmt.Errorf("core: bwd read fm%d not resident", t.ID)
 		}
 	}
 	if ws := e.wState[l]; ws != nil && ws.offloaded {
@@ -162,7 +169,7 @@ func (e *executor) backwardLayer(l *dnn.Layer) error {
 		// on-demand transfer.
 		b, err := e.alloc(l.WeightBytes(d), memalloc.KindWeights, l.Name+".W")
 		if err != nil {
-			return err
+			return pend, err
 		}
 		op := e.dev.Prefetch("FETCH:"+l.Name+".W", l.WeightBytes(d), e.dev.StreamCompute.Last())
 		e.dev.TL.Wait(op)
@@ -178,7 +185,7 @@ func (e *executor) backwardLayer(l *dnn.Layer) error {
 	if l.Kind != dnn.SoftmaxLoss {
 		outRoot := dnn.GradRoot(l.Output)
 		if e.gradInfos[outRoot] != nil && e.buf[outRoot].gradBlock == nil {
-			return fmt.Errorf("core: dY for %s missing", l.Name)
+			return pend, fmt.Errorf("core: dY for %s missing", l.Name)
 		}
 	}
 	var gradInBytes int64
@@ -188,7 +195,7 @@ func (e *executor) backwardLayer(l *dnn.Layer) error {
 			continue // network input: gradient skipped
 		}
 		if _, err := e.ensureGrad(root); err != nil {
-			return err
+			return pend, err
 		}
 		if !e.buf[root].gradWritten {
 			e.buf[root].gradWritten = true
@@ -212,21 +219,20 @@ func (e *executor) backwardLayer(l *dnn.Layer) error {
 		if wsBytes > 0 && e.vdnnManaged() {
 			b, err := e.alloc(wsBytes, memalloc.KindWorkspace, l.Name+".bws")
 			if err != nil {
-				return err
+				return pend, err
 			}
 			wsBlock = b
 		}
 		if e.sharedWS != nil && wsBytes > e.sharedWS.Size {
-			return fmt.Errorf("core: bwd workspace %d exceeds shared buffer %d", wsBytes, e.sharedWS.Size)
+			return pend, fmt.Errorf("core: bwd workspace %d exceeds shared buffer %d", wsBytes, e.sharedWS.Size)
 		}
 	}
 
 	// 5. Kernels.
 	ops := e.bwdKernels(l, algos)
-	var lastOp *sim.Op
 	for _, ko := range ops {
-		if lastOp == nil || ko.op.End > lastOp.End {
-			lastOp = ko.op
+		if pend.lastOp == nil || ko.op.End > pend.lastOp.End {
+			pend.lastOp = ko.op
 		}
 		if ko.op.End > st.BwdEnd {
 			st.BwdEnd = ko.op.End
@@ -280,17 +286,22 @@ func (e *executor) backwardLayer(l *dnn.Layer) error {
 		}
 	}
 
-	// 7. End-of-layer synchronization when a prefetch is in flight, so the
-	// next layer's backward cannot start before the data lands.
-	if len(preOps) > 0 {
-		if lastOp != nil {
-			e.dev.TL.Wait(lastOp)
-		}
-		for _, p := range preOps {
-			e.dev.TL.Wait(p)
-		}
+	return pend, nil
+}
+
+// finishBackward performs the end-of-layer synchronization when a prefetch
+// is in flight, so the next layer's backward cannot start before the data
+// lands.
+func (e *runtime) finishBackward(p bwdPending) {
+	if len(p.preOps) == 0 {
+		return
 	}
-	return nil
+	if p.lastOp != nil {
+		e.dev.TL.Wait(p.lastOp)
+	}
+	for _, op := range p.preOps {
+		e.dev.TL.Wait(op)
+	}
 }
 
 type kernelOp struct {
@@ -299,7 +310,7 @@ type kernelOp struct {
 }
 
 // bwdKernels issues the backward kernels of one layer and returns them.
-func (e *executor) bwdKernels(l *dnn.Layer, algos LayerAlgos) []kernelOp {
+func (e *runtime) bwdKernels(l *dnn.Layer, algos LayerAlgos) []kernelOp {
 	spec := e.cfg.Spec
 	d := e.net.DType
 	var out []kernelOp

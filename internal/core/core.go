@@ -19,6 +19,7 @@ import (
 	"vdnn/internal/dnn"
 	"vdnn/internal/gpu"
 	"vdnn/internal/memalloc"
+	"vdnn/internal/pcie"
 	"vdnn/internal/sim"
 )
 
@@ -132,6 +133,22 @@ type Config struct {
 	Prefetch      PrefetchMode
 	PageMigration bool // ablation: page-migration transfers instead of DMA
 
+	// Devices is the number of data-parallel replicas (default 1). Each
+	// replica trains the full network on its own minibatch under the same
+	// policy and plan; the weight gradients are ring-all-reduced over the
+	// interconnect each step. Per-replica and aggregate metrics land in
+	// Result.Devices.
+	Devices int
+
+	// Topology describes how the replicas attach to the host interconnect:
+	// the zero value (or pcie.Dedicated()) gives every device its full link,
+	// while a shared topology (pcie.SharedGen3Root and friends) arbitrates
+	// all replicas' DMA traffic — offload, prefetch and all-reduce — over a
+	// root complex with bounded aggregate bandwidth. Multi-device
+	// configurations default to the single-uplink pcie.SharedGen3Root();
+	// irrelevant (and normalized away) when Devices == 1.
+	Topology pcie.Topology
+
 	// Iterations to simulate; the last one (steady state: pinned host
 	// buffers already allocated) is measured. Default 2.
 	Iterations int
@@ -140,7 +157,8 @@ type Config struct {
 	HostBytes int64
 
 	// SkipWeightUpdate drops the SGD update kernels at iteration end
-	// (convnet-benchmarks timing protocol).
+	// (convnet-benchmarks timing protocol). In data-parallel runs it also
+	// drops the gradient all-reduce, which exists only to feed the update.
 	SkipWeightUpdate bool
 
 	// OffloadWeights extends the vDNN policies to the layer weights, the
@@ -171,6 +189,17 @@ func (c Config) WithDefaults() Config {
 	}
 	if c.HostBytes == 0 {
 		c.HostBytes = 64 << 30
+	}
+	if c.Devices <= 0 {
+		c.Devices = 1
+	}
+	if c.Devices == 1 {
+		// A single device never contends with anything: the topology cannot
+		// affect the schedule, so normalize it away and let every
+		// single-device request share one cache entry.
+		c.Topology = pcie.Topology{}
+	} else if c.Topology == (pcie.Topology{}) {
+		c.Topology = pcie.SharedGen3Root()
 	}
 	return c
 }
@@ -253,8 +282,21 @@ type Result struct {
 	Layers []LayerStats
 
 	// Schedule is the op-level timeline of the measured iteration
-	// (Config.CaptureSchedule).
+	// (Config.CaptureSchedule). Multi-device runs carry every replica's ops,
+	// distinguished by ScheduleOp.Device.
 	Schedule []ScheduleOp
+
+	// Devices carries the per-replica metrics of a data-parallel run
+	// (Config.Devices > 1); nil for single-device simulations. The top-level
+	// pool/usage numbers describe one replica (replicas are symmetric),
+	// while OffloadBytes/PrefetchBytes/HostPinnedPeak aggregate across
+	// replicas.
+	Devices []DeviceResult
+	// AllReduceBytes is the total gradient-synchronization traffic of the
+	// measured iteration, across all replicas and both directions.
+	AllReduceBytes int64
+	// AllReduceTime is the wall-clock span of the gradient all-reduce phase.
+	AllReduceTime sim.Time
 
 	// Debug attribution of the pool usage peak (Config.Debug).
 	DebugPeakTime  sim.Time
@@ -264,11 +306,41 @@ type Result struct {
 
 // ScheduleOp is one scheduled operation of the measured iteration.
 type ScheduleOp struct {
+	Device int    // replica index (0 for single-device runs)
 	Engine string // compute, copyD2H, copyH2D
 	Label  string
 	Kind   string
 	Start  sim.Time
 	End    sim.Time
+}
+
+// DeviceResult is the per-replica view of a data-parallel run.
+type DeviceResult struct {
+	Device int
+
+	// StepTime is the replica-local span of the measured iteration: from its
+	// first op's start to its last op's end.
+	StepTime sim.Time
+
+	ComputeBusy sim.Time // compute-engine busy time in the window
+	CopyBusy    sim.Time // both DMA engines' busy time in the window
+
+	OffloadBytes   int64 // D2H feature-map traffic
+	PrefetchBytes  int64 // H2D feature-map traffic
+	AllReduceBytes int64 // gradient-sync traffic (both directions)
+
+	// ContentionStall is the extra transfer time the shared interconnect
+	// cost this replica versus dedicated links: the sum over its DMA ops of
+	// (actual duration − dedicated-link DMA time). Zero on a dedicated
+	// topology.
+	ContentionStall sim.Time
+
+	// OverlapEff is the fraction of the replica's DMA busy time hidden
+	// behind its own compute — the paper's Figure 9 overlap, measured. 1.0
+	// means every transfer cycle ran under a kernel; 0 means fully exposed.
+	OverlapEff float64
+
+	Power gpu.PowerStats
 }
 
 // AllocFailure is the error returned when a configuration runs out of pool
@@ -303,6 +375,12 @@ func (r *Result) TotalMaxUsage() int64 { return r.MaxUsage + r.FrameworkBytes }
 func Run(net *dnn.Network, cfg Config) (*Result, error) {
 	cfg = cfg.WithDefaults()
 	if err := cfg.Spec.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Devices > maxDevices {
+		return nil, fmt.Errorf("core: %d devices exceeds the limit of %d", cfg.Devices, maxDevices)
+	}
+	if err := cfg.Topology.Validate(); err != nil {
 		return nil, err
 	}
 	if err := net.Validate(); err != nil {

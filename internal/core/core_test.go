@@ -533,7 +533,7 @@ func TestFindPrefetchLayerFig10(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	e := &executor{
+	e := &runtime{
 		cfg:  Config{Prefetch: PrefetchFig10},
 		net:  vgg64,
 		plan: plan,

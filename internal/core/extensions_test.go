@@ -110,8 +110,20 @@ func TestScheduleCaptureAndChromeTrace(t *testing.T) {
 	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
 		t.Fatalf("invalid chrome trace JSON: %v", err)
 	}
-	if len(doc.TraceEvents) != len(r.Schedule) {
-		t.Fatalf("trace events %d != schedule ops %d", len(doc.TraceEvents), len(r.Schedule))
+	var spans, meta int
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "X":
+			spans++
+		case "M":
+			meta++
+		}
+	}
+	if spans != len(r.Schedule) {
+		t.Fatalf("trace span events %d != schedule ops %d", spans, len(r.Schedule))
+	}
+	if meta != 1 {
+		t.Fatalf("single-device trace has %d process_name events, want 1", meta)
 	}
 }
 

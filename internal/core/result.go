@@ -8,8 +8,10 @@ import (
 	"vdnn/internal/sim"
 )
 
-// assemble builds the Result from the measured iteration window.
-func (e *executor) assemble(winStart, winEnd sim.Time) *Result {
+// assemble builds the Result from the measured iteration window, reading
+// only this runtime's device (its engines are a subset of the timeline's
+// when replicas share one).
+func (e *runtime) assemble(winStart, winEnd sim.Time) *Result {
 	r := &Result{
 		Network:    e.net.Name,
 		Batch:      e.net.Batch,
@@ -29,18 +31,8 @@ func (e *executor) assemble(winStart, winEnd sim.Time) *Result {
 		r.DebugPeakLive = e.pool.SnapshotAt(ms.PeakTime)
 	}
 	if e.cfg.CaptureSchedule {
-		for _, eng := range e.dev.TL.Engines() {
-			for _, o := range eng.Ops() {
-				if o.End <= winStart || o.Start >= winEnd || o.DurationT == 0 {
-					continue
-				}
-				r.Schedule = append(r.Schedule, ScheduleOp{
-					Engine: eng.Name, Label: o.Label, Kind: o.Kind.String(),
-					Start: o.Start, End: o.End,
-				})
-			}
-		}
-		sort.Slice(r.Schedule, func(i, j int) bool { return r.Schedule[i].Start < r.Schedule[j].Start })
+		r.Schedule = e.captureSchedule(winStart, winEnd)
+		sortSchedule(r.Schedule)
 	}
 	r.FrameworkBytes = e.fw.Used()
 	r.PeakByKind = map[memalloc.Kind]int64{}
@@ -53,7 +45,7 @@ func (e *executor) assemble(winStart, winEnd sim.Time) *Result {
 		}
 	}
 
-	for _, o := range e.dev.TL.Ops() {
+	for _, o := range e.dev.Ops() {
 		if o.Start < winStart || o.Start >= winEnd {
 			continue
 		}
@@ -117,4 +109,198 @@ func (e *executor) assemble(winStart, winEnd sim.Time) *Result {
 	}
 	r.Layers = e.stats
 	return r
+}
+
+// captureSchedule records this device's ops inside the window.
+func (e *runtime) captureSchedule(winStart, winEnd sim.Time) []ScheduleOp {
+	var out []ScheduleOp
+	for _, eng := range e.dev.Engines() {
+		for _, o := range eng.Ops() {
+			if o.End <= winStart || o.Start >= winEnd || o.DurationT == 0 {
+				continue
+			}
+			out = append(out, ScheduleOp{
+				Device: e.dev.ID,
+				Engine: eng.Name, Label: o.Label, Kind: o.Kind.String(),
+				Start: o.Start, End: o.End,
+			})
+		}
+	}
+	return out
+}
+
+// sortSchedule imposes a total, deterministic order on captured ops so
+// exported traces are stable byte for byte (the golden-trace tests rely on
+// it): by start time, then device, then engine, then end, then label.
+func sortSchedule(s []ScheduleOp) {
+	sort.Slice(s, func(i, j int) bool {
+		a, b := s[i], s[j]
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		if a.Device != b.Device {
+			return a.Device < b.Device
+		}
+		if a.Engine != b.Engine {
+			return a.Engine < b.Engine
+		}
+		if a.End != b.End {
+			return a.End < b.End
+		}
+		return a.Label < b.Label
+	})
+}
+
+// assembleDP builds the Result of a data-parallel run: replica 0's view for
+// the symmetric per-replica fields (pool usage, layer stats, policy
+// metadata), aggregates for the traffic counters, and per-replica detail in
+// Devices.
+func assembleDP(reps []*runtime, cfg Config, winStart, winEnd sim.Time) *Result {
+	r := reps[0].assemble(winStart, winEnd)
+	r.OffloadBytes, r.PrefetchBytes, r.HostPinnedPeak = 0, 0, 0
+	if cfg.CaptureSchedule {
+		r.Schedule = nil
+		for _, rt := range reps {
+			r.Schedule = append(r.Schedule, rt.captureSchedule(winStart, winEnd)...)
+		}
+		sortSchedule(r.Schedule)
+	}
+
+	arStart, arEnd := sim.Time(-1), sim.Time(-1)
+	for _, rt := range reps {
+		d := rt.deviceResult(winStart, winEnd)
+		r.Devices = append(r.Devices, d)
+		r.OffloadBytes += d.OffloadBytes
+		r.PrefetchBytes += d.PrefetchBytes
+		r.AllReduceBytes += d.AllReduceBytes
+		r.HostPinnedPeak += rt.host.Peak()
+		for _, eng := range rt.dev.Engines() {
+			for _, o := range eng.Ops() {
+				if o.Kind != sim.OpCopyP2P || o.End <= winStart || o.Start >= winEnd {
+					continue
+				}
+				if arStart < 0 || o.Start < arStart {
+					arStart = o.Start
+				}
+				if o.End > arEnd {
+					arEnd = o.End
+				}
+			}
+		}
+	}
+	if arEnd > arStart && arStart >= 0 {
+		r.AllReduceTime = arEnd - arStart
+	}
+	return r
+}
+
+// deviceResult summarizes one replica's measured iteration.
+func (e *runtime) deviceResult(winStart, winEnd sim.Time) DeviceResult {
+	dr := DeviceResult{Device: e.dev.ID}
+	var minS, maxE sim.Time
+	first := true
+	var computeIv, copyIv []sim.Interval
+	for _, eng := range e.dev.Engines() {
+		for _, o := range eng.Ops() {
+			if o.End <= winStart || o.Start >= winEnd || o.DurationT == 0 {
+				continue
+			}
+			if first || o.Start < minS {
+				minS = o.Start
+			}
+			if o.End > maxE {
+				maxE = o.End
+			}
+			first = false
+			switch o.Kind {
+			case sim.OpKernel:
+				dr.ComputeBusy += o.DurationT
+				computeIv = append(computeIv, sim.Interval{Start: o.Start, End: o.End, Op: o})
+			case sim.OpCopyD2H, sim.OpCopyH2D, sim.OpCopyP2P:
+				dr.CopyBusy += o.DurationT
+				copyIv = append(copyIv, sim.Interval{Start: o.Start, End: o.End, Op: o})
+				switch o.Kind {
+				case sim.OpCopyD2H:
+					dr.OffloadBytes += o.BusBytes
+				case sim.OpCopyH2D:
+					dr.PrefetchBytes += o.BusBytes
+				case sim.OpCopyP2P:
+					dr.AllReduceBytes += o.BusBytes
+				}
+				if !e.cfg.PageMigration {
+					if stall := o.DurationT - e.cfg.Spec.Link.DMATime(o.BusBytes); stall > 0 {
+						dr.ContentionStall += stall
+					}
+				}
+			}
+		}
+	}
+	if !first {
+		dr.StepTime = maxE - minS
+	}
+	if dr.CopyBusy > 0 {
+		dr.OverlapEff = float64(overlapTime(copyIv, computeIv)) / float64(dr.CopyBusy)
+	}
+	dr.Power = e.dev.MeasurePower(winStart, winEnd)
+	return dr
+}
+
+// ReplicaMeans averages the per-replica metrics of a data-parallel result:
+// mean step time, mean contention stall and mean overlap efficiency. A
+// single-device result has no per-device detail — its transfers never
+// contend — so it reports (IterTime, 0, 1).
+func (r *Result) ReplicaMeans() (step, stall sim.Time, overlap float64) {
+	if len(r.Devices) == 0 {
+		return r.IterTime, 0, 1
+	}
+	for _, d := range r.Devices {
+		step += d.StepTime
+		stall += d.ContentionStall
+		overlap += d.OverlapEff
+	}
+	n := len(r.Devices)
+	return step / sim.Time(n), stall / sim.Time(n), overlap / float64(n)
+}
+
+// overlapTime returns the total time the intervals of a spend inside the
+// union of the intervals of b.
+func overlapTime(a, b []sim.Interval) sim.Time {
+	merged := mergeIntervals(b)
+	var total sim.Time
+	for _, iv := range a {
+		for _, m := range merged {
+			lo, hi := iv.Start, iv.End
+			if m.Start > lo {
+				lo = m.Start
+			}
+			if m.End < hi {
+				hi = m.End
+			}
+			if hi > lo {
+				total += hi - lo
+			}
+		}
+	}
+	return total
+}
+
+// mergeIntervals coalesces intervals into a sorted, disjoint set.
+func mergeIntervals(iv []sim.Interval) []sim.Interval {
+	if len(iv) == 0 {
+		return nil
+	}
+	s := append([]sim.Interval(nil), iv...)
+	sort.Slice(s, func(i, j int) bool { return s[i].Start < s[j].Start })
+	out := s[:1]
+	for _, x := range s[1:] {
+		last := &out[len(out)-1]
+		if x.Start <= last.End {
+			if x.End > last.End {
+				last.End = x.End
+			}
+			continue
+		}
+		out = append(out, x)
+	}
+	return out
 }

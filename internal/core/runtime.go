@@ -35,7 +35,23 @@ type layerState struct {
 	prefetched bool // set when some later backward pass prefetched them
 }
 
-type executor struct {
+// runtime is the per-device execution context of one training replica: the
+// device with its engines and streams, the vDNN memory pool, the
+// framework-side (classifier) memory, host staging, per-buffer and per-layer
+// state, and the statistics of the measured iteration. A single-device
+// simulation runs one runtime on its own timeline; the data-parallel trainer
+// (trainer.go) drives N runtimes in lockstep on one shared timeline, their
+// DMA traffic arbitrated over the topology's shared channels.
+//
+// The per-layer work is split into issue/finish pairs (issueForward /
+// finishForward, issueBackward / finishBackward): issue launches the layer's
+// transfers and kernels asynchronously, finish performs the end-of-layer
+// synchronization and releases. The single-device driver calls them
+// back-to-back — exactly the sequence the paper's Figure 9 host loop
+// executes — while the multi-device driver issues a layer on every replica
+// before synchronizing any of them, modeling a driver thread that launches
+// work across all GPUs and then waits.
+type runtime struct {
 	cfg  Config
 	net  *dnn.Network
 	plan *Plan
@@ -44,6 +60,11 @@ type executor struct {
 	pool *memalloc.Pool // the vDNN/cnmem pool: feature-extraction memory
 	fw   *memalloc.Pool // framework-side (classifier) memory, outside vDNN
 	host *hostmem.Host
+
+	// arSend/arRecv carry the gradient all-reduce of the data-parallel
+	// trainer; unused (and empty) in single-device runs.
+	arSend *sim.Stream
+	arRecv *sim.Stream
 
 	gradInfos map[*dnn.Tensor]*dnn.GradInfo
 	freeAtBwd [][]*dnn.Tensor // buffers released after each layer's backward
@@ -65,9 +86,9 @@ type executor struct {
 	chosenAlg []LayerAlgos // algorithms actually used (greedy fills these)
 }
 
-// execute simulates cfg.Iterations training iterations and returns metrics
-// for the last one. An allocation failure anywhere aborts with an error
-// (the configuration is untrainable).
+// newRuntime builds the execution context of one replica on the given
+// device, performing the persistent allocations (framework memory, pool
+// setup). An allocation failure means the configuration is untrainable.
 //
 // Memory accounting follows the paper's prototype (Section IV-A): the
 // classification layers "remain unchanged and use the same cuBLAS routines
@@ -76,21 +97,22 @@ type executor struct {
 // sized to the GPU's remaining capacity and holds everything the memory
 // manager controls: feature-extraction maps, gradient maps, FE weights, and
 // convolution workspaces. Figure 11's usage numbers are pool numbers.
-func execute(net *dnn.Network, cfg Config, plan *Plan) (*Result, error) {
-	e := &executor{
+func newRuntime(net *dnn.Network, cfg Config, plan *Plan, dev *gpu.Device) (*runtime, error) {
+	e := &runtime{
 		cfg:       cfg,
 		net:       net,
 		plan:      plan,
-		dev:       gpu.NewDevice(cfg.Spec),
+		dev:       dev,
 		fw:        memalloc.New(oraclePool),
 		host:      hostmem.New(cfg.HostBytes),
+		arSend:    dev.TL.NewStream("stream_ar_send"),
+		arRecv:    dev.TL.NewStream("stream_ar_recv"),
 		gradInfos: dnn.GradientInfos(net),
 		freeAtBwd: make([][]*dnn.Tensor, len(net.Layers)),
 		buf:       make(map[*dnn.Tensor]*bufState, len(net.Tensors)),
 		lay:       make([]*layerState, len(net.Layers)),
 		chosenAlg: make([]LayerAlgos, len(net.Layers)),
 	}
-	e.dev.UsePageMigration = cfg.PageMigration
 	for _, t := range net.Tensors {
 		e.buf[t] = &bufState{}
 	}
@@ -132,26 +154,13 @@ func execute(net *dnn.Network, cfg Config, plan *Plan) (*Result, error) {
 	if err := e.setup(); err != nil {
 		return nil, err
 	}
-
-	var winStart sim.Time
-	for e.iter = 0; e.iter < cfg.Iterations; e.iter++ {
-		e.resetIteration()
-		winStart = e.now()
-		if err := e.runIteration(); err != nil {
-			return nil, fmt.Errorf("iteration %d: %w", e.iter, err)
-		}
-	}
-	winEnd := e.now()
-	if err := e.dev.TL.Validate(); err != nil {
-		return nil, fmt.Errorf("core: schedule invariant broken: %w", err)
-	}
-	return e.assemble(winStart, winEnd), nil
+	return e, nil
 }
 
-func (e *executor) now() sim.Time { return e.dev.TL.Now() }
+func (e *runtime) now() sim.Time { return e.dev.TL.Now() }
 
 // alloc wraps pool allocation with layer context in errors.
-func (e *executor) alloc(size int64, kind memalloc.Kind, label string) (*memalloc.Block, error) {
+func (e *runtime) alloc(size int64, kind memalloc.Kind, label string) (*memalloc.Block, error) {
 	b, err := e.pool.Alloc(e.now(), size, kind, label)
 	if err != nil {
 		return nil, &AllocFailure{Label: label, Err: err, FreeSpans: e.pool.FreeSpans()}
@@ -168,7 +177,7 @@ func isClassifierRoot(t *dnn.Tensor) bool {
 // setupFramework allocates the classifier-side memory that lives outside
 // the vDNN pool in both managers: FC weights and their gradients, dropout
 // masks, classifier activations, and classifier gradient maps.
-func (e *executor) setupFramework() error {
+func (e *runtime) setupFramework() error {
 	d := e.net.DType
 	allocFW := func(size int64, kind memalloc.Kind, label string) (*memalloc.Block, error) {
 		b, err := e.fw.Alloc(0, size, kind, label)
@@ -219,7 +228,7 @@ func (e *executor) setupFramework() error {
 }
 
 // offloadsWeights reports whether the weight-offloading extension is active.
-func (e *executor) offloadsWeights() bool {
+func (e *runtime) offloadsWeights() bool {
 	return e.cfg.OffloadWeights && !e.plan.Baseline
 }
 
@@ -227,7 +236,7 @@ func (e *executor) offloadsWeights() bool {
 // weights and weight gradients for both managers, plus — for the baseline —
 // every feature map, the shared gradient slots, and the single maximum
 // workspace (Section IV-A).
-func (e *executor) setup() error {
+func (e *runtime) setup() error {
 	d := e.net.DType
 	for _, l := range e.net.FeatureLayers() {
 		if w := l.WeightBytes(d); w > 0 {
@@ -304,7 +313,7 @@ func (e *executor) setup() error {
 	return nil
 }
 
-func (e *executor) resetIteration() {
+func (e *runtime) resetIteration() {
 	e.stats = make([]LayerStats, len(e.net.Layers))
 	e.fwdStarts = make([]sim.Time, len(e.net.Layers))
 	for i, l := range e.net.Layers {
@@ -333,58 +342,9 @@ func sumInputBytes(l *dnn.Layer, d tensor.DType) int64 {
 	return b
 }
 
-// runIteration performs one forward + backward (+ weight update) pass.
-func (e *executor) runIteration() error {
-	// The input batch arrives from the data loader. The baseline holds it
-	// network-wide; vDNN allocates it per iteration.
-	in := e.buf[e.net.Input]
-	if in.block == nil {
-		b, err := e.alloc(e.net.Input.Bytes(e.net.DType), memalloc.KindFeatureMap, "input")
-		if err != nil {
-			return err
-		}
-		in.block = b
-	}
-	in.offloaded = false
-	in.lastWrite = nil
-
-	for _, l := range e.net.Layers {
-		if err := e.forwardLayer(l); err != nil {
-			return fmt.Errorf("fwd %s: %w", l.Name, err)
-		}
-	}
-	for i := len(e.net.Layers) - 1; i >= 0; i-- {
-		if err := e.backwardLayer(e.net.Layers[i]); err != nil {
-			return fmt.Errorf("bwd %s: %w", e.net.Layers[i].Name, err)
-		}
-	}
-	if !e.cfg.SkipWeightUpdate {
-		for _, l := range e.net.Layers {
-			if w := l.WeightBytes(e.net.DType); w > 0 {
-				c := cudnnsim.ElementwiseCost(e.cfg.Spec, w, 3)
-				var dep *sim.Op
-				if ws := e.wState[l]; ws != nil {
-					if ws.block == nil {
-						return fmt.Errorf("core: weights of %s not resident at update", l.Name)
-					}
-					dep = ws.lastWrite
-				}
-				op := e.dev.Kernel("sgd:"+l.Name, c.Dur, c.Flops, c.DRAMBytes, dep)
-				if ws := e.wState[l]; ws != nil {
-					ws.lastWrite = op
-				}
-			}
-		}
-	}
-	e.dev.TL.WaitStream(e.dev.StreamCompute)
-	e.dev.TL.WaitStream(e.dev.StreamMemory)
-	e.pool.Flush(e.now())
-	return e.checkIterationEnd()
-}
-
 // checkIterationEnd asserts the vDNN release discipline: every dynamically
 // managed buffer and gradient must be back in the pool.
-func (e *executor) checkIterationEnd() error {
+func (e *runtime) checkIterationEnd() error {
 	for t, st := range e.buf {
 		if !st.persist && st.block != nil && t != e.net.Input {
 			return fmt.Errorf("core: buffer fm%d leaked past iteration end", t.ID)
@@ -402,12 +362,12 @@ func (e *executor) checkIterationEnd() error {
 }
 
 // vdnnManaged reports whether the policy manages buffers dynamically.
-func (e *executor) vdnnManaged() bool { return !e.plan.Baseline }
+func (e *runtime) vdnnManaged() bool { return !e.plan.Baseline }
 
 // pickAlgos resolves the algorithms for a CONV layer, honoring the greedy
 // online mode: the fastest algorithm whose workspace fits in the largest
 // free pool range right now (Section III-C, profiling phase 3).
-func (e *executor) pickAlgos(l *dnn.Layer) LayerAlgos {
+func (e *runtime) pickAlgos(l *dnn.Layer) LayerAlgos {
 	if !e.plan.GreedyAt[l.ID] {
 		return e.plan.Algos[l.ID]
 	}
@@ -425,7 +385,7 @@ func (e *executor) pickAlgos(l *dnn.Layer) LayerAlgos {
 // ensurePinned lazily creates the pinned host staging buffer for an
 // offloaded feature map. cudaMallocHost is expensive, so the cost is charged
 // once (first iteration) and the region reused for the rest of training.
-func (e *executor) ensurePinned(t *dnn.Tensor) error {
+func (e *runtime) ensurePinned(t *dnn.Tensor) error {
 	st := e.buf[t]
 	if st.pinned != nil {
 		return nil
@@ -437,175 +397,4 @@ func (e *executor) ensurePinned(t *dnn.Tensor) error {
 	e.dev.TL.AdvanceHost(cost)
 	st.pinned = r
 	return nil
-}
-
-// forwardLayer issues one layer's forward pass, including vDNN's offload and
-// end-of-layer synchronization/release (Figures 7 and 9).
-func (e *executor) forwardLayer(l *dnn.Layer) error {
-	st := &e.stats[l.ID]
-	d := e.net.DType
-
-	// 1. Launch offloads for buffers whose last consumer is this layer,
-	// plus — under the weight-offloading extension — this layer's weights.
-	var offOps []*sim.Op
-	var offBufs []*dnn.Tensor
-	var offW *bufState
-	if e.vdnnManaged() {
-		for _, t := range e.plan.OffloadAt[l.ID] {
-			if err := e.ensurePinned(t); err != nil {
-				return err
-			}
-			bs := e.buf[t]
-			op := e.dev.Offload(fmt.Sprintf("OFF:%s(fm%d)", l.Name, t.ID), t.Bytes(d), bs.lastWrite)
-			offOps = append(offOps, op)
-			offBufs = append(offBufs, t)
-			e.lay[l.ID].offloaded = true
-			st.Offloaded = true
-			st.OffloadBytes += t.Bytes(d)
-		}
-		if ws := e.wState[l]; ws != nil && e.offloadsWeights() && !ws.offloaded {
-			if ws.pinned == nil {
-				r, cost, err := e.host.AllocPinned(l.WeightBytes(d), l.Name+".W.pin")
-				if err != nil {
-					return err
-				}
-				e.dev.TL.AdvanceHost(cost)
-				ws.pinned = r
-			}
-			// The weights were last written by the previous iteration's SGD
-			// update; the transfer must order after it.
-			op := e.dev.Offload("OFF:"+l.Name+".W", l.WeightBytes(d), ws.lastWrite)
-			offOps = append(offOps, op)
-			offW = ws
-			st.Offloaded = true
-			st.OffloadBytes += l.WeightBytes(d)
-		}
-	}
-
-	// 2. Allocate the output buffer (dynamic policies only; the baseline and
-	// classifier buffers are network-wide).
-	out := e.buf[l.Output]
-	if !l.InPlace && out.block == nil {
-		b, err := e.alloc(l.Output.Bytes(d), memalloc.KindFeatureMap, fmt.Sprintf("fm%d", l.Output.ID))
-		if err != nil {
-			return err
-		}
-		out.block = b
-	}
-
-	// 3. Workspace and kernel.
-	var algos LayerAlgos
-	var wsBytes int64
-	var wsBlock *memalloc.Block
-	if l.Kind == dnn.Conv {
-		algos = e.pickAlgos(l)
-		st.AlgoFwd = algos.Fwd
-		g := l.ConvGeom(d)
-		wsBytes = algos.Fwd.Workspace(g, cudnnsim.Fwd)
-		if wsBytes > 0 && e.vdnnManaged() {
-			b, err := e.alloc(wsBytes, memalloc.KindWorkspace, l.Name+".ws")
-			if err != nil {
-				return err
-			}
-			wsBlock = b
-		}
-		if e.sharedWS != nil && wsBytes > e.sharedWS.Size {
-			return fmt.Errorf("core: workspace %d exceeds shared buffer %d", wsBytes, e.sharedWS.Size)
-		}
-	}
-	st.FwdWSBytes = wsBytes
-
-	cost := e.fwdCost(l, algos)
-	deps := make([]*sim.Op, 0, len(l.Inputs))
-	for _, t := range l.Inputs {
-		if e.buf[t].block == nil {
-			return fmt.Errorf("core: fwd input fm%d not resident", t.ID)
-		}
-		deps = append(deps, e.buf[t].lastWrite)
-	}
-	op := e.dev.Kernel("FWD:"+l.Name, cost.Dur, cost.Flops, cost.DRAMBytes, deps...)
-	e.buf[l.Output].lastWrite = op
-	e.recordFwd(l, st, cost, op, wsBytes)
-
-	if wsBlock != nil {
-		// Stream-ordered free: later allocations may reuse the workspace
-		// because they serve kernels behind this one on stream_compute.
-		e.pool.Free(wsBlock, e.now())
-	}
-
-	// 4. End-of-layer synchronization when an offload is in flight, then
-	// release the offloaded device copies (Section III-B).
-	if len(offOps) > 0 {
-		e.dev.TL.Wait(op)
-		for _, o := range offOps {
-			e.dev.TL.Wait(o)
-		}
-		for _, t := range offBufs {
-			bs := e.buf[t]
-			e.pool.Free(bs.block, e.now())
-			bs.block = nil
-			bs.offloaded = true
-		}
-		if offW != nil {
-			e.pool.Free(offW.block, e.now())
-			offW.block = nil
-			offW.offloaded = true
-		}
-	}
-	return nil
-}
-
-// recordFwd updates the per-layer stats from a forward kernel.
-func (e *executor) recordFwd(l *dnn.Layer, st *LayerStats, c cudnnsim.Cost, op *sim.Op, wsBytes int64) {
-	st.FwdTime += c.Dur
-	if st.FwdEnd < op.End {
-		st.FwdEnd = op.End
-	}
-	if e.fwdStarts[l.ID] == 0 || op.Start < e.fwdStarts[l.ID] {
-		e.fwdStarts[l.ID] = op.Start
-	}
-	if c.Dur > 0 {
-		if bw := float64(c.DRAMBytes) / c.Dur.Seconds(); bw > st.FwdBW {
-			st.FwdBW = bw
-		}
-	}
-	ws := st.XBytes + st.WeightBytes + wsBytes + l.MaskBytes(e.net.DType)
-	if !l.InPlace {
-		ws += st.YBytes
-	}
-	if ws > st.FwdWorkingSet {
-		st.FwdWorkingSet = ws
-	}
-}
-
-// fwdCost computes the forward kernel cost of a layer.
-func (e *executor) fwdCost(l *dnn.Layer, algos LayerAlgos) cudnnsim.Cost {
-	spec := e.cfg.Spec
-	d := e.net.DType
-	switch l.Kind {
-	case dnn.Conv:
-		return cudnnsim.ConvCost(spec, l.ConvGeom(d), algos.Fwd, cudnnsim.Fwd)
-	case dnn.ReLU:
-		return cudnnsim.ActivationFwdCost(spec, l.In().Bytes(d))
-	case dnn.Pool:
-		return cudnnsim.PoolFwdCost(spec, l.In().Bytes(d), l.Output.Bytes(d))
-	case dnn.LRN:
-		return cudnnsim.LRNFwdCost(spec, l.In().Bytes(d))
-	case dnn.Concat:
-		return cudnnsim.ConcatCost(spec, l.Output.Bytes(d))
-	case dnn.Add:
-		// Read every branch, write the sum.
-		return cudnnsim.ElementwiseCost(spec, l.Output.Bytes(d), len(l.Inputs)+1)
-	case dnn.BatchNorm:
-		// Two passes for the statistics, one normalize-and-write pass.
-		return cudnnsim.ElementwiseCost(spec, l.In().Bytes(d), 3)
-	case dnn.FC:
-		in := l.In().Shape
-		return cudnnsim.GEMMCost(spec, int64(l.FC.OutFeatures), in.PerSample(), int64(in.N), d.Size())
-	case dnn.Dropout:
-		return cudnnsim.DropoutFwdCost(spec, l.In().Bytes(d), l.MaskBytes(d))
-	case dnn.SoftmaxLoss:
-		return cudnnsim.SoftmaxCost(spec, l.In().Bytes(d))
-	}
-	panic("core: unknown layer kind")
 }

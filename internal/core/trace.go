@@ -4,46 +4,80 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 )
+
+// traceEvent is one Chrome trace-event entry ("X" = complete event, "M" =
+// metadata). Field order is part of the stable output format the golden
+// tests pin down.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`            // microseconds
+	Dur  float64        `json:"dur,omitempty"` // microseconds
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// engineTIDs is the stable engine→track mapping of exported traces.
+var engineTIDs = map[string]int{"compute": 0, "copyD2H": 1, "copyH2D": 2}
 
 // WriteChromeTrace emits the captured schedule (Config.CaptureSchedule) in
 // the Chrome trace-event JSON format, loadable in chrome://tracing or
-// https://ui.perfetto.dev. Each engine becomes a track; the offload and
-// prefetch transfers visibly overlap the compute kernels — the paper's
-// Figure 9 as an interactive timeline.
+// https://ui.perfetto.dev. Each device becomes a process (pid = device
+// index) and each engine a track within it, so a multi-GPU run renders as N
+// stacked device lanes; the offload and prefetch transfers visibly overlap
+// the compute kernels — the paper's Figure 9 as an interactive timeline.
+//
+// The output is deterministic byte for byte: events are ordered by (start,
+// device, engine), the engine→tid mapping is fixed (compute 0, copyD2H 1,
+// copyH2D 2, others in order of appearance), and one process_name metadata
+// event per device precedes the span events.
 func (r *Result) WriteChromeTrace(w io.Writer) error {
 	if len(r.Schedule) == 0 {
 		return fmt.Errorf("core: no schedule captured; set Config.CaptureSchedule")
 	}
-	type event struct {
-		Name string  `json:"name"`
-		Cat  string  `json:"cat"`
-		Ph   string  `json:"ph"`
-		TS   float64 `json:"ts"`  // microseconds
-		Dur  float64 `json:"dur"` // microseconds
-		PID  int     `json:"pid"`
-		TID  int     `json:"tid"`
+	devices := map[int]bool{}
+	tids := map[string]int{}
+	for k, v := range engineTIDs {
+		tids[k] = v
 	}
-	tids := map[string]int{"compute": 0, "copyD2H": 1, "copyH2D": 2}
-	events := make([]event, 0, len(r.Schedule))
+	events := make([]traceEvent, 0, len(r.Schedule))
 	for _, op := range r.Schedule {
+		devices[op.Device] = true
 		tid, ok := tids[op.Engine]
 		if !ok {
 			tid = len(tids)
 			tids[op.Engine] = tid
 		}
-		events = append(events, event{
+		events = append(events, traceEvent{
 			Name: op.Label,
 			Cat:  op.Kind,
 			Ph:   "X",
 			TS:   float64(op.Start) / 1e3,
 			Dur:  float64(op.End-op.Start) / 1e3,
+			PID:  op.Device,
 			TID:  tid,
 		})
 	}
+	// One process label per device, in device order, ahead of the spans.
+	ids := make([]int, 0, len(devices))
+	for d := range devices {
+		ids = append(ids, d)
+	}
+	sort.Ints(ids)
+	meta := make([]traceEvent, 0, len(ids))
+	for _, d := range ids {
+		meta = append(meta, traceEvent{
+			Name: "process_name", Ph: "M", PID: d,
+			Args: map[string]any{"name": fmt.Sprintf("gpu%d", d)},
+		})
+	}
 	enc := json.NewEncoder(w)
-	return enc.Encode(map[string]interface{}{
-		"traceEvents":     events,
+	return enc.Encode(map[string]any{
+		"traceEvents":     append(meta, events...),
 		"displayTimeUnit": "ms",
 	})
 }

@@ -1,0 +1,290 @@
+package core
+
+import (
+	"fmt"
+
+	"vdnn/internal/cudnnsim"
+	"vdnn/internal/dnn"
+	"vdnn/internal/gpu"
+	"vdnn/internal/memalloc"
+	"vdnn/internal/sim"
+)
+
+// execute simulates cfg.Iterations training iterations and returns metrics
+// for the last one. An allocation failure anywhere aborts with an error
+// (the configuration is untrainable). Configurations with more than one
+// device run the data-parallel trainer; a single device runs one runtime on
+// a dedicated timeline — today's exact schedule.
+func execute(net *dnn.Network, cfg Config, plan *Plan) (*Result, error) {
+	if cfg.Devices > 1 {
+		return executeDP(net, cfg, plan)
+	}
+	dev := gpu.NewDevice(cfg.Spec)
+	dev.UsePageMigration = cfg.PageMigration
+	e, err := newRuntime(net, cfg, plan, dev)
+	if err != nil {
+		return nil, err
+	}
+
+	var winStart sim.Time
+	for e.iter = 0; e.iter < cfg.Iterations; e.iter++ {
+		e.resetIteration()
+		winStart = e.now()
+		if err := e.runIteration(); err != nil {
+			return nil, fmt.Errorf("iteration %d: %w", e.iter, err)
+		}
+	}
+	winEnd := e.now()
+	if err := e.dev.TL.Validate(); err != nil {
+		return nil, fmt.Errorf("core: schedule invariant broken: %w", err)
+	}
+	return e.assemble(winStart, winEnd), nil
+}
+
+// runIteration performs one single-device forward + backward (+ weight
+// update) pass, synchronizing each layer right after issuing it — the
+// paper's Figure 9 host loop.
+func (e *runtime) runIteration() error {
+	if err := e.beginIteration(); err != nil {
+		return err
+	}
+	for _, l := range e.net.Layers {
+		p, err := e.issueForward(l)
+		if err != nil {
+			return fmt.Errorf("fwd %s: %w", l.Name, err)
+		}
+		e.finishForward(p)
+	}
+	for i := len(e.net.Layers) - 1; i >= 0; i-- {
+		l := e.net.Layers[i]
+		p, err := e.issueBackward(l)
+		if err != nil {
+			return fmt.Errorf("bwd %s: %w", l.Name, err)
+		}
+		e.finishBackward(p)
+	}
+	if err := e.weightUpdate(nil); err != nil {
+		return err
+	}
+	return e.endIteration()
+}
+
+// beginIteration prepares the input batch buffer. The baseline holds it
+// network-wide; vDNN allocates it per iteration.
+func (e *runtime) beginIteration() error {
+	in := e.buf[e.net.Input]
+	if in.block == nil {
+		b, err := e.alloc(e.net.Input.Bytes(e.net.DType), memalloc.KindFeatureMap, "input")
+		if err != nil {
+			return err
+		}
+		in.block = b
+	}
+	in.offloaded = false
+	in.lastWrite = nil
+	return nil
+}
+
+// weightUpdate issues the SGD update kernels. syncDep, when non-nil, orders
+// every update after it — the data-parallel trainer passes the replica's
+// final all-reduce transfer so no weight updates before its gradients are
+// globally reduced.
+func (e *runtime) weightUpdate(syncDep *sim.Op) error {
+	if e.cfg.SkipWeightUpdate {
+		return nil
+	}
+	for _, l := range e.net.Layers {
+		if w := l.WeightBytes(e.net.DType); w > 0 {
+			c := cudnnsim.ElementwiseCost(e.cfg.Spec, w, 3)
+			var dep *sim.Op
+			if ws := e.wState[l]; ws != nil {
+				if ws.block == nil {
+					return fmt.Errorf("core: weights of %s not resident at update", l.Name)
+				}
+				dep = ws.lastWrite
+			}
+			op := e.dev.Kernel("sgd:"+l.Name, c.Dur, c.Flops, c.DRAMBytes, dep, syncDep)
+			if ws := e.wState[l]; ws != nil {
+				ws.lastWrite = op
+			}
+		}
+	}
+	return nil
+}
+
+// endIteration drains both streams, flushes the pool's pending frees and
+// asserts the release discipline.
+func (e *runtime) endIteration() error {
+	e.dev.TL.WaitStream(e.dev.StreamCompute)
+	e.dev.TL.WaitStream(e.dev.StreamMemory)
+	e.pool.Flush(e.now())
+	return e.checkIterationEnd()
+}
+
+// --- data-parallel trainer ---
+
+// maxDevices bounds the replica count; far beyond any PCIe root complex.
+const maxDevices = 64
+
+// executeDP simulates cfg.Devices data-parallel replicas on one shared
+// timeline: each replica trains the full network on its own minibatch under
+// the same plan, all DMA traffic is arbitrated over the topology's shared
+// root-complex channels, and a ring all-reduce synchronizes the weight
+// gradients each step before the SGD updates run.
+//
+// The driver is one host thread that walks the layer sequence in lockstep:
+// it issues a layer's work on every replica, then performs the end-of-layer
+// synchronizations — the multi-GPU generalization of the paper's Figure 9
+// loop. With one device and a dedicated topology this degenerates to the
+// single-device schedule exactly.
+func executeDP(net *dnn.Network, cfg Config, plan *Plan) (*Result, error) {
+	n := cfg.Devices
+	tl := sim.New(cfg.Spec.LaunchOverhead, cfg.Spec.SyncOverhead)
+	var down, up *sim.SharedChannel
+	if cfg.Topology.Shared() {
+		down = sim.NewSharedChannel("root.down", float64(cfg.Topology.RootBps))
+		up = sim.NewSharedChannel("root.up", float64(cfg.Topology.RootBps))
+	}
+
+	// Replicas share the node's host DRAM: split the pinned-memory budget.
+	repCfg := cfg
+	repCfg.HostBytes = cfg.HostBytes / int64(n)
+
+	reps := make([]*runtime, n)
+	for i := range reps {
+		dev := gpu.NewDeviceOn(tl, cfg.Spec, i, down, up)
+		dev.UsePageMigration = cfg.PageMigration
+		r, err := newRuntime(net, repCfg, plan, dev)
+		if err != nil {
+			return nil, fmt.Errorf("device %d: %w", i, err)
+		}
+		reps[i] = r
+	}
+
+	gradBytes := net.TotalWeightBytes()
+	var winStart sim.Time
+	for iter := 0; iter < cfg.Iterations; iter++ {
+		for _, r := range reps {
+			r.iter = iter
+			r.resetIteration()
+		}
+		winStart = tl.Now()
+		if err := runStepDP(net, reps, gradBytes); err != nil {
+			return nil, fmt.Errorf("iteration %d: %w", iter, err)
+		}
+	}
+	winEnd := tl.Now()
+	if err := tl.Validate(); err != nil {
+		return nil, fmt.Errorf("core: schedule invariant broken: %w", err)
+	}
+	for _, ch := range []*sim.SharedChannel{down, up} {
+		if ch == nil {
+			continue
+		}
+		if err := ch.Validate(); err != nil {
+			return nil, fmt.Errorf("core: interconnect invariant broken: %w", err)
+		}
+	}
+	return assembleDP(reps, cfg, winStart, winEnd), nil
+}
+
+// runStepDP drives one training step across all replicas in lockstep.
+func runStepDP(net *dnn.Network, reps []*runtime, gradBytes int64) error {
+	for i, r := range reps {
+		if err := r.beginIteration(); err != nil {
+			return fmt.Errorf("device %d: %w", i, err)
+		}
+	}
+	fp := make([]fwdPending, len(reps))
+	for _, l := range net.Layers {
+		for i, r := range reps {
+			p, err := r.issueForward(l)
+			if err != nil {
+				return fmt.Errorf("device %d: fwd %s: %w", i, l.Name, err)
+			}
+			fp[i] = p
+		}
+		for i, r := range reps {
+			r.finishForward(fp[i])
+		}
+	}
+	bp := make([]bwdPending, len(reps))
+	for j := len(net.Layers) - 1; j >= 0; j-- {
+		l := net.Layers[j]
+		for i, r := range reps {
+			p, err := r.issueBackward(l)
+			if err != nil {
+				return fmt.Errorf("device %d: bwd %s: %w", i, l.Name, err)
+			}
+			bp[i] = p
+		}
+		for i, r := range reps {
+			r.finishBackward(bp[i])
+		}
+	}
+	// The convnet-benchmarks timing protocol (SkipWeightUpdate) drops the
+	// weight update and with it the gradient sync that exists only to feed
+	// it — otherwise the all-reduce would dangle past the iteration
+	// boundary, unsynchronized by anything.
+	if reps[0].cfg.SkipWeightUpdate {
+		return endStepDP(reps)
+	}
+	ar := allReduce(reps, gradBytes)
+	for i, r := range reps {
+		if err := r.weightUpdate(ar.done[i]); err != nil {
+			return fmt.Errorf("device %d: %w", i, err)
+		}
+	}
+	return endStepDP(reps)
+}
+
+// endStepDP drains every replica's streams and checks the release
+// discipline.
+func endStepDP(reps []*runtime) error {
+	for i, r := range reps {
+		if err := r.endIteration(); err != nil {
+			return fmt.Errorf("device %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// allReduceOps records the gradient-synchronization transfers of one step.
+type allReduceOps struct {
+	done []*sim.Op // per replica: last transfer (the SGD gate)
+}
+
+// allReduce injects a ring all-reduce of the weight gradients over the
+// interconnect: 2(N-1) phases in which every replica simultaneously sends
+// one gradient chunk to its ring successor and receives one from its
+// predecessor. Each replica moves 2(N-1)/N of the model per direction — the
+// bandwidth-optimal schedule — and under a shared topology this traffic
+// contends with everything else on the root complex.
+func allReduce(reps []*runtime, gradBytes int64) *allReduceOps {
+	n := len(reps)
+	ar := &allReduceOps{done: make([]*sim.Op, n)}
+	if n < 2 || gradBytes == 0 {
+		return ar
+	}
+	chunk := (gradBytes + int64(n) - 1) / int64(n)
+	recv := make([]*sim.Op, n)
+	for phase := 0; phase < 2*(n-1); phase++ {
+		send := make([]*sim.Op, n)
+		for i, r := range reps {
+			// The first send waits for the replica's gradients (everything
+			// queued on stream_compute); later sends forward the chunk
+			// received in the previous phase.
+			dep := recv[i]
+			if dep == nil {
+				dep = r.dev.StreamCompute.Last()
+			}
+			send[i] = r.dev.PeerSend(fmt.Sprintf("AR-send:p%d", phase), chunk, r.arSend, dep)
+		}
+		for i, r := range reps {
+			peer := send[(i-1+n)%n]
+			recv[i] = r.dev.PeerRecv(fmt.Sprintf("AR-recv:p%d", phase), chunk, r.arRecv, peer)
+		}
+	}
+	copy(ar.done, recv)
+	return ar
+}

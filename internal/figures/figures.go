@@ -91,6 +91,7 @@ func (s *Suite) Experiments() []Experiment {
 		{"ablation-weights", s.ablationWeightOffloadJobs, s.AblationWeightOffload},
 		{"ablation-batch", s.ablationBatchScalingJobs, s.AblationBatchScaling},
 		{"case-multigpu", s.caseStudyMultiGPUJobs, s.CaseStudyMultiGPU},
+		{"case-contention", s.caseStudyContentionJobs, s.CaseStudyContention},
 		{"case-precision", s.caseStudyPrecisionJobs, s.CaseStudyPrecision},
 		{"case-devices", s.caseStudyDevicesJobs, s.CaseStudyDevices},
 		{"case-resnet", s.caseStudyResNetJobs, s.CaseStudyResNet},

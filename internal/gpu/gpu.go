@@ -151,10 +151,16 @@ func (s Spec) Validate() error {
 }
 
 // Device binds a Spec to a simulation timeline with the standard engine and
-// stream layout used by both the baseline and vDNN executors.
+// stream layout used by both the baseline and vDNN runtimes. Several devices
+// may share one timeline (one event clock) — the data-parallel trainer binds
+// N replica devices to a single timeline and, under a shared topology, to a
+// pair of shared interconnect channels.
 type Device struct {
 	Spec Spec
 	TL   *sim.Timeline
+
+	// ID is the device's replica index (0 for single-device simulations).
+	ID int
 
 	Compute *sim.Engine // SM array
 	DMADown *sim.Engine // device-to-host copy engine (offload)
@@ -162,6 +168,12 @@ type Device struct {
 
 	StreamCompute *sim.Stream // paper's stream_compute
 	StreamMemory  *sim.Stream // paper's stream_memory
+
+	// ChanDown/ChanUp are the shared root-complex channels the device's DMA
+	// traffic is arbitrated over, one per direction (PCIe is full duplex).
+	// Nil means a dedicated link: transfers take their fixed DMA time.
+	ChanDown *sim.SharedChannel
+	ChanUp   *sim.SharedChannel
 
 	// UsePageMigration switches host<->device transfers from pinned-memory
 	// DMA to demand paging, reproducing the paper's Section II-C argument
@@ -178,21 +190,51 @@ func (d *Device) TransferTime(n int64) sim.Time {
 	return d.Spec.Link.DMATime(n)
 }
 
-// NewDevice creates a device and its timeline.
+// NewDevice creates a device and its own timeline, on a dedicated link.
 func NewDevice(spec Spec) *Device {
 	if err := spec.Validate(); err != nil {
 		panic(err)
 	}
-	tl := sim.New(spec.LaunchOverhead, spec.SyncOverhead)
+	return NewDeviceOn(sim.New(spec.LaunchOverhead, spec.SyncOverhead), spec, 0, nil, nil)
+}
+
+// NewDeviceOn creates replica id on an existing timeline, optionally behind
+// shared root-complex channels (nil channels = dedicated link). All replicas
+// of a multi-device simulation share one timeline — one event clock, one
+// host issue thread — while each keeps its own engines and streams.
+func NewDeviceOn(tl *sim.Timeline, spec Spec, id int, down, up *sim.SharedChannel) *Device {
+	if err := spec.Validate(); err != nil {
+		panic(err)
+	}
 	return &Device{
 		Spec:          spec,
 		TL:            tl,
+		ID:            id,
 		Compute:       tl.NewEngine("compute"),
 		DMADown:       tl.NewEngine("copyD2H"),
 		DMAUp:         tl.NewEngine("copyH2D"),
 		StreamCompute: tl.NewStream("stream_compute"),
 		StreamMemory:  tl.NewStream("stream_memory"),
+		ChanDown:      down,
+		ChanUp:        up,
 	}
+}
+
+// Engines returns the device's own engines (a subset of the timeline's when
+// several replicas share it).
+func (d *Device) Engines() []*sim.Engine {
+	return []*sim.Engine{d.Compute, d.DMADown, d.DMAUp}
+}
+
+// Ops returns every op executed on this device's engines. When several
+// replicas share a timeline this is the device's slice of the schedule; for
+// a single device it covers the whole timeline.
+func (d *Device) Ops() []*sim.Op {
+	var out []*sim.Op
+	for _, e := range d.Engines() {
+		out = append(out, e.Ops()...)
+	}
+	return out
 }
 
 // Kernel issues a compute kernel on stream_compute.
@@ -203,31 +245,67 @@ func (d *Device) Kernel(label string, dur sim.Time, flops, dramBytes int64, deps
 	}, d.StreamCompute, d.Compute, deps...)
 }
 
+// transfer issues one DMA op, arbitrated over the shared channel when the
+// device sits behind one (page-migration transfers bypass the DMA engines'
+// bulk path and keep their fixed cost).
+func (d *Device) transfer(label string, kind sim.OpKind, n int64, s *sim.Stream, e *sim.Engine, ch *sim.SharedChannel, deps ...*sim.Op) *sim.Op {
+	op := &sim.Op{Label: label, Kind: kind, BusBytes: n, DRAMBytes: n}
+	if ch != nil && !d.UsePageMigration {
+		link := d.Spec.Link
+		return d.TL.IssueTransfer(op, s, e, ch, n, float64(link.EffBps), link.DMASetup, deps...)
+	}
+	op.DurationT = d.TransferTime(n)
+	return d.TL.Issue(op, s, e, deps...)
+}
+
 // Offload issues a D2H transfer of n bytes on stream_memory.
 func (d *Device) Offload(label string, n int64, deps ...*sim.Op) *sim.Op {
-	return d.TL.Issue(&sim.Op{
-		Label: label, Kind: sim.OpCopyD2H,
-		DurationT: d.TransferTime(n), BusBytes: n, DRAMBytes: n,
-	}, d.StreamMemory, d.DMADown, deps...)
+	return d.transfer(label, sim.OpCopyD2H, n, d.StreamMemory, d.DMADown, d.ChanDown, deps...)
 }
 
 // Prefetch issues an H2D transfer of n bytes on stream_memory.
 func (d *Device) Prefetch(label string, n int64, deps ...*sim.Op) *sim.Op {
-	return d.TL.Issue(&sim.Op{
-		Label: label, Kind: sim.OpCopyH2D,
-		DurationT: d.TransferTime(n), BusBytes: n, DRAMBytes: n,
-	}, d.StreamMemory, d.DMAUp, deps...)
+	return d.transfer(label, sim.OpCopyH2D, n, d.StreamMemory, d.DMAUp, d.ChanUp, deps...)
 }
 
-// BusTraffic returns total bytes moved over the interconnect, split by
-// direction (offload, prefetch).
+// p2p issues one leg of a peer-to-peer transfer (gradient all-reduce).
+// Peer DMA uses the copy engines and crosses the root complex like any bulk
+// transfer, but never demand-pages, so it keeps DMA cost even under the
+// page-migration ablation.
+func (d *Device) p2p(label string, n int64, s *sim.Stream, e *sim.Engine, ch *sim.SharedChannel, deps ...*sim.Op) *sim.Op {
+	op := &sim.Op{Label: label, Kind: sim.OpCopyP2P, BusBytes: n, DRAMBytes: n}
+	link := d.Spec.Link
+	if ch != nil {
+		return d.TL.IssueTransfer(op, s, e, ch, n, float64(link.EffBps), link.DMASetup, deps...)
+	}
+	op.DurationT = link.DMATime(n)
+	return d.TL.Issue(op, s, e, deps...)
+}
+
+// PeerSend issues a P2P transfer toward a peer device (outbound direction,
+// sharing the D2H engine and the root complex's down channel).
+func (d *Device) PeerSend(label string, n int64, s *sim.Stream, deps ...*sim.Op) *sim.Op {
+	return d.p2p(label, n, s, d.DMADown, d.ChanDown, deps...)
+}
+
+// PeerRecv issues a P2P transfer from a peer device (inbound direction,
+// sharing the H2D engine and the root complex's up channel).
+func (d *Device) PeerRecv(label string, n int64, s *sim.Stream, deps ...*sim.Op) *sim.Op {
+	return d.p2p(label, n, s, d.DMAUp, d.ChanUp, deps...)
+}
+
+// BusTraffic returns total bytes this device moved over the interconnect,
+// split by direction (offload, prefetch). All-reduce (P2P) traffic is
+// counted separately by the trainer.
 func (d *Device) BusTraffic() (down, up int64) {
-	for _, o := range d.TL.Ops() {
-		switch o.Kind {
-		case sim.OpCopyD2H:
-			down += o.BusBytes
-		case sim.OpCopyH2D:
-			up += o.BusBytes
+	for _, e := range d.Engines() {
+		for _, o := range e.Ops() {
+			switch o.Kind {
+			case sim.OpCopyD2H:
+				down += o.BusBytes
+			case sim.OpCopyH2D:
+				up += o.BusBytes
+			}
 		}
 	}
 	return down, up

@@ -28,7 +28,7 @@ func (d *Device) MeasurePower(start, end sim.Time) PowerStats {
 		op    *sim.Op
 	}
 	var edges []edge
-	for _, o := range d.TL.Ops() {
+	for _, o := range d.Ops() {
 		if o.DurationT == 0 || o.End <= start || o.Start >= end {
 			continue
 		}
@@ -59,7 +59,7 @@ func (d *Device) MeasurePower(start, end sim.Time) PowerStats {
 			switch o.Kind {
 			case sim.OpKernel:
 				computeBusy = true
-			case sim.OpCopyD2H, sim.OpCopyH2D:
+			case sim.OpCopyD2H, sim.OpCopyH2D, sim.OpCopyP2P:
 				copies++
 			}
 			if o.DurationT > 0 {

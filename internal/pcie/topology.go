@@ -1,0 +1,120 @@
+package pcie
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Topology describes how a set of devices attaches to the host interconnect.
+// Each device keeps its own Link (the lanes between the device and the
+// switch), but in real multi-GPU nodes those links hang off a shared PCIe
+// root complex or switch whose uplink carries every device's traffic at
+// once: offloads, prefetches and gradient synchronization all contend for
+// it. The "Compressing DMA Engine" follow-up to vDNN (Rhu et al.) motivates
+// exactly this configuration — several GPUs behind one root complex.
+//
+// The zero value is the dedicated topology: every device owns its full link
+// bandwidth and nothing is shared, which is the single-GPU model the paper
+// evaluates and what a one-device simulation degenerates to.
+type Topology struct {
+	// Name identifies the topology in results, registries and wire requests.
+	// Empty names mean "dedicated".
+	Name string `json:",omitempty"`
+	// RootBps is the per-direction aggregate bandwidth (bytes/sec) of the
+	// shared root complex the device links hang off. PCIe is full duplex, so
+	// each direction has its own RootBps of capacity. 0 means dedicated
+	// per-device links with no shared stage.
+	RootBps int64 `json:",omitempty"`
+}
+
+// Dedicated returns the no-sharing topology: every device gets its full
+// link, transfers never contend.
+func Dedicated() Topology { return Topology{Name: "dedicated"} }
+
+// SharedRoot returns a topology whose device links share a root complex
+// with the given per-direction aggregate bandwidth.
+func SharedRoot(name string, aggregateBps int64) Topology {
+	return Topology{Name: name, RootBps: aggregateBps}
+}
+
+// SharedGen3Root is a root complex with one gen3 x16's worth of effective
+// bandwidth (the measured 12.8 GB/s) shared by every device — the worst
+// case: N GPUs behind a single host uplink.
+func SharedGen3Root() Topology { return SharedRoot("shared-x16", int64(12.8e9)) }
+
+// SharedGen3Root2x doubles the shared uplink (two x16 root ports, the common
+// dual-socket workstation layout).
+func SharedGen3Root2x() Topology { return SharedRoot("shared-2x16", int64(25.6e9)) }
+
+// SharedGen3Root4x is a quad-x16 root complex (PLX-switch server boards).
+func SharedGen3Root4x() Topology { return SharedRoot("shared-4x16", int64(51.2e9)) }
+
+// Shared reports whether the topology has a shared bandwidth stage.
+func (t Topology) Shared() bool { return t.RootBps > 0 }
+
+// Validate checks that the topology is self-consistent.
+func (t Topology) Validate() error {
+	if t.RootBps < 0 {
+		return fmt.Errorf("pcie: negative root-complex bandwidth on topology %q", t.Name)
+	}
+	return nil
+}
+
+// String renders the topology for reports.
+func (t Topology) String() string {
+	if !t.Shared() {
+		return "dedicated links"
+	}
+	return fmt.Sprintf("%s (%.1f GB/s shared root)", t.Name, float64(t.RootBps)/1e9)
+}
+
+// Named topology registry, mirroring the link registry: CLI flags and JSON
+// requests address topologies by these tokens.
+var (
+	topoMu       sync.RWMutex
+	topoRegistry = map[string]Topology{
+		"dedicated":   Dedicated(),
+		"shared-x16":  SharedGen3Root(),
+		"shared-2x16": SharedGen3Root2x(),
+		"shared-4x16": SharedGen3Root4x(),
+	}
+)
+
+// TopologyByName returns the registered topology for a name like
+// "shared-x16". The empty name resolves to the dedicated topology.
+func TopologyByName(name string) (Topology, bool) {
+	if name == "" {
+		return Topology{}, true
+	}
+	topoMu.RLock()
+	defer topoMu.RUnlock()
+	t, ok := topoRegistry[name]
+	return t, ok
+}
+
+// TopologyNames lists the registered topology names, sorted.
+func TopologyNames() []string {
+	topoMu.RLock()
+	defer topoMu.RUnlock()
+	names := make([]string, 0, len(topoRegistry))
+	for n := range topoRegistry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// RegisterTopology adds (or replaces) a named topology. It must validate.
+func RegisterTopology(name string, t Topology) error {
+	if name == "" {
+		return fmt.Errorf("pcie: empty topology registry name")
+	}
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	topoMu.Lock()
+	defer topoMu.Unlock()
+	topoRegistry[name] = t
+	return nil
+}

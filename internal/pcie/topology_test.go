@@ -1,0 +1,87 @@
+package pcie
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestTopologyZeroValueIsDedicated(t *testing.T) {
+	var z Topology
+	if z.Shared() {
+		t.Fatal("zero topology reports a shared stage")
+	}
+	if err := z.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if Dedicated().Shared() {
+		t.Fatal("Dedicated() reports a shared stage")
+	}
+}
+
+func TestTopologyValidate(t *testing.T) {
+	if err := SharedGen3Root().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := Topology{Name: "bad", RootBps: -1}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("negative bandwidth accepted")
+	}
+}
+
+func TestTopologyRegistry(t *testing.T) {
+	for _, name := range []string{"dedicated", "shared-x16", "shared-2x16", "shared-4x16"} {
+		top, ok := TopologyByName(name)
+		if !ok {
+			t.Fatalf("built-in topology %q missing", name)
+		}
+		if name != "dedicated" && !top.Shared() {
+			t.Errorf("%q should have a shared stage", name)
+		}
+	}
+	if _, ok := TopologyByName("nope"); ok {
+		t.Fatal("unknown topology resolved")
+	}
+	// Empty name = dedicated zero value (the Config default).
+	top, ok := TopologyByName("")
+	if !ok || top != (Topology{}) {
+		t.Fatalf("empty name resolved to %+v, %v", top, ok)
+	}
+	if err := RegisterTopology("", Dedicated()); err == nil {
+		t.Fatal("empty registry name accepted")
+	}
+	if err := RegisterTopology("custom", SharedRoot("custom", 20e9)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := TopologyByName("custom"); !ok {
+		t.Fatal("registered topology not found")
+	}
+	names := TopologyNames()
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("names not sorted: %v", names)
+		}
+	}
+}
+
+func TestTopologyJSONRoundTrip(t *testing.T) {
+	top := SharedGen3Root2x()
+	b, err := json.Marshal(top)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Topology
+	if err := json.Unmarshal(b, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got != top {
+		t.Fatalf("round trip changed topology: %+v != %+v", got, top)
+	}
+	// The zero value marshals to an empty object (omitted in Configs).
+	z, err := json.Marshal(Topology{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(z) != "{}" {
+		t.Fatalf("zero topology marshaled to %s", z)
+	}
+}

@@ -56,6 +56,20 @@ type SimRequest struct {
 	OffloadWeights bool `json:"offload_weights,omitempty"`
 	// HostGB sizes host DRAM in GiB (default 64, the paper's testbed).
 	HostGB float64 `json:"host_gb,omitempty"`
+
+	// Devices is the number of data-parallel replicas (default 1). Replicas
+	// share the interconnect described by Topology and all-reduce their
+	// weight gradients each step.
+	Devices int `json:"devices,omitempty"`
+	// Topology names the interconnect topology for multi-device runs
+	// ("dedicated", "shared-x16", "shared-2x16", "shared-4x16"; default
+	// shared-x16 when devices > 1).
+	Topology string `json:"topology,omitempty"`
+
+	// Trace requests the op-level schedule of the measured iteration: the
+	// response's trace field carries Chrome trace-event JSON inline (open in
+	// chrome://tracing or ui.perfetto.dev). Not allowed inside sweeps.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // SimResponse is the wire form of a simulation result.
@@ -86,6 +100,29 @@ type SimResponse struct {
 
 	AvgPowerW float64 `json:"avg_power_w"`
 	MaxPowerW float64 `json:"max_power_w"`
+
+	// Multi-device results (devices > 1 in the request).
+	Devices         int              `json:"devices,omitempty"`
+	Topology        string           `json:"topology,omitempty"`
+	AllReduceBytes  int64            `json:"allreduce_bytes,omitempty"`
+	AllReduceTimeMs float64          `json:"allreduce_time_ms,omitempty"`
+	PerDevice       []DeviceResponse `json:"per_device,omitempty"`
+
+	// Trace is the inline Chrome trace-event JSON ("trace": true requests).
+	Trace json.RawMessage `json:"trace,omitempty"`
+}
+
+// DeviceResponse is the wire form of one replica's metrics.
+type DeviceResponse struct {
+	Device         int     `json:"device"`
+	StepTimeMs     float64 `json:"step_time_ms"`
+	OffloadBytes   int64   `json:"offload_bytes"`
+	PrefetchBytes  int64   `json:"prefetch_bytes"`
+	AllReduceBytes int64   `json:"allreduce_bytes"`
+	ContentionMs   float64 `json:"contention_stall_ms"`
+	OverlapEff     float64 `json:"overlap_efficiency"`
+	ComputeBusyMs  float64 `json:"compute_busy_ms"`
+	CopyBusyMs     float64 `json:"copy_busy_ms"`
 }
 
 // SweepRequest is a batch of simulations answered in order.
@@ -100,9 +137,10 @@ type SweepResponse struct {
 
 // CatalogResponse lists everything a request can name.
 type CatalogResponse struct {
-	Networks []string `json:"networks"`
-	GPUs     []string `json:"gpus"`
-	Links    []string `json:"links"`
+	Networks   []string `json:"networks"`
+	GPUs       []string `json:"gpus"`
+	Links      []string `json:"links"`
+	Topologies []string `json:"topologies"`
 }
 
 // Server is the HTTP handler. Create with New; it is an http.Handler safe
@@ -123,6 +161,9 @@ const (
 	maxMemGB     = 1 << 20 // 1 PB; far beyond any simulated host/device
 	maxSweepJobs = 1024
 	maxBodyBytes = 8 << 20
+	// maxRequestDevices bounds the replica fan-out of one request (an
+	// N-device simulation costs roughly N single-device passes).
+	maxRequestDevices = 16
 )
 
 // New creates a Server answering from the given simulator.
@@ -186,14 +227,24 @@ func (s *Server) resolve(req SimRequest) (*vdnn.Network, vdnn.Config, error) {
 		}
 		spec.Link = link
 	}
+	if req.Devices < 0 || req.Devices > maxRequestDevices {
+		return nil, cfg, fmt.Errorf("devices must be in [1, %d], got %d", maxRequestDevices, req.Devices)
+	}
+	topology, ok := vdnn.TopologyByName(req.Topology)
+	if !ok {
+		return nil, cfg, fmt.Errorf("unknown topology %q (have %s)", req.Topology, strings.Join(vdnn.TopologyNames(), ", "))
+	}
 	cfg = vdnn.Config{
-		Spec:           spec,
-		Policy:         req.Policy,
-		Algo:           req.Algo,
-		Prefetch:       req.Prefetch,
-		Oracle:         req.Oracle,
-		PageMigration:  req.PageMigration,
-		OffloadWeights: req.OffloadWeights,
+		Spec:            spec,
+		Policy:          req.Policy,
+		Algo:            req.Algo,
+		Prefetch:        req.Prefetch,
+		Oracle:          req.Oracle,
+		PageMigration:   req.PageMigration,
+		OffloadWeights:  req.OffloadWeights,
+		Devices:         req.Devices,
+		Topology:        topology,
+		CaptureSchedule: req.Trace,
 	}
 	if req.HostGB > 0 {
 		cfg.HostBytes = int64(req.HostGB * float64(1<<30))
@@ -205,8 +256,8 @@ func (s *Server) resolve(req SimRequest) (*vdnn.Network, vdnn.Config, error) {
 }
 
 // response formats a result for the wire.
-func response(req SimRequest, res *vdnn.Result) SimResponse {
-	return SimResponse{
+func response(req SimRequest, res *vdnn.Result) (SimResponse, error) {
+	out := SimResponse{
 		Network:  res.Network,
 		Batch:    res.Batch,
 		GPU:      req.GPU,
@@ -234,6 +285,36 @@ func response(req SimRequest, res *vdnn.Result) SimResponse {
 		AvgPowerW: res.Power.AvgW,
 		MaxPowerW: res.Power.MaxW,
 	}
+	if n := len(res.Devices); n > 0 {
+		out.Devices = n
+		// Report the topology the simulation actually ran under: the
+		// request's name resolved and defaulted exactly as core.Config does.
+		reqTop, _ := vdnn.TopologyByName(req.Topology)
+		out.Topology = vdnn.Config{Devices: n, Topology: reqTop}.WithDefaults().Topology.Name
+		out.AllReduceBytes = res.AllReduceBytes
+		out.AllReduceTimeMs = res.AllReduceTime.Msec()
+		for _, d := range res.Devices {
+			out.PerDevice = append(out.PerDevice, DeviceResponse{
+				Device:         d.Device,
+				StepTimeMs:     d.StepTime.Msec(),
+				OffloadBytes:   d.OffloadBytes,
+				PrefetchBytes:  d.PrefetchBytes,
+				AllReduceBytes: d.AllReduceBytes,
+				ContentionMs:   d.ContentionStall.Msec(),
+				OverlapEff:     d.OverlapEff,
+				ComputeBusyMs:  d.ComputeBusy.Msec(),
+				CopyBusyMs:     d.CopyBusy.Msec(),
+			})
+		}
+	}
+	if req.Trace {
+		var buf bytes.Buffer
+		if err := res.WriteChromeTrace(&buf); err != nil {
+			return out, fmt.Errorf("rendering trace: %w", err)
+		}
+		out.Trace = json.RawMessage(bytes.TrimSpace(buf.Bytes()))
+	}
+	return out, nil
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
@@ -257,7 +338,12 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, simStatus(err), err)
 		return
 	}
-	writeJSON(w, response(req, res))
+	out, err := response(req, res)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, out)
 }
 
 // simStatus classifies a simulation error for HTTP: the Run contract says a
@@ -294,6 +380,12 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, fmt.Errorf("job %d: %w", i, err))
 			return
 		}
+		if req.Trace {
+			// A sweep of inline traces would dwarf any sane response body;
+			// request traces one simulation at a time.
+			writeError(w, http.StatusBadRequest, fmt.Errorf("job %d: trace is not available in sweeps; use /v1/simulate", i))
+			return
+		}
 		net, cfg, err := s.resolve(req)
 		if err != nil {
 			writeError(w, http.StatusBadRequest, fmt.Errorf("job %d: %w", i, err))
@@ -309,16 +401,20 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 	out := SweepResponse{Results: make([]SimResponse, len(results))}
 	for i, res := range results {
-		out.Results[i] = response(reqs[i], res)
+		if out.Results[i], err = response(reqs[i], res); err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
 	}
 	writeJSON(w, out)
 }
 
 func (s *Server) handleNetworks(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, CatalogResponse{
-		Networks: vdnn.NetworkNames(),
-		GPUs:     s.sim.GPUNames(),
-		Links:    s.sim.LinkNames(),
+		Networks:   vdnn.NetworkNames(),
+		GPUs:       s.sim.GPUNames(),
+		Links:      s.sim.LinkNames(),
+		Topologies: vdnn.TopologyNames(),
 	})
 }
 

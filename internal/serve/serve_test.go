@@ -6,6 +6,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"reflect"
 	"strings"
 	"sync"
 	"testing"
@@ -192,7 +193,7 @@ func TestSweep(t *testing.T) {
 	if len(sw.Results) != 3 {
 		t.Fatalf("results = %d, want 3", len(sw.Results))
 	}
-	if sw.Results[0] != sw.Results[2] {
+	if !reflect.DeepEqual(sw.Results[0], sw.Results[2]) {
 		t.Error("duplicate sweep jobs returned different responses")
 	}
 	if sw.Results[0].Policy != vdnn.Baseline || sw.Results[1].Policy != vdnn.VDNNAll {
@@ -317,5 +318,166 @@ func TestConcurrentMixedSweeps(t *testing.T) {
 	wg.Wait()
 	if st := srv.Simulator().Stats(); st.Simulations != 3 {
 		t.Errorf("3 distinct configurations simulated %d times (stats %+v)", st.Simulations, st)
+	}
+}
+
+// TestSimulateTrace: "trace": true returns Chrome trace-event JSON inline.
+func TestSimulateTrace(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, body := post(t, ts.URL+"/v1/simulate",
+		`{"network":"alexnet","batch":32,"policy":"vdnn-all","algo":"m","trace":true}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, body)
+	}
+	var sr SimResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if len(sr.Trace) == 0 {
+		t.Fatal("no inline trace in the response")
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+			Cat  string `json:"cat"`
+			PID  int    `json:"pid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(sr.Trace, &doc); err != nil {
+		t.Fatalf("trace is not valid chrome-trace JSON: %v", err)
+	}
+	var kernels, copies int
+	for _, ev := range doc.TraceEvents {
+		switch ev.Cat {
+		case "kernel":
+			kernels++
+		case "copyD2H", "copyH2D":
+			copies++
+		}
+	}
+	if kernels == 0 || copies == 0 {
+		t.Fatalf("trace incomplete: %d kernels, %d copies", kernels, copies)
+	}
+
+	// Without the flag, no trace is attached.
+	resp, body = post(t, ts.URL+"/v1/simulate", `{"network":"alexnet","batch":32,"policy":"vdnn-all","algo":"m"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var plain SimResponse
+	if err := json.Unmarshal(body, &plain); err != nil {
+		t.Fatal(err)
+	}
+	if len(plain.Trace) != 0 {
+		t.Fatal("trace attached without being requested")
+	}
+}
+
+// TestSimulateMultiDevice: devices/topology surface end to end, with
+// per-device metrics and the multi-GPU trace tracks.
+func TestSimulateMultiDevice(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, body := post(t, ts.URL+"/v1/simulate",
+		`{"network":"alexnet","batch":32,"policy":"vdnn-all","algo":"m","devices":2,"topology":"shared-x16","trace":true}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, body)
+	}
+	var sr SimResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Devices != 2 || len(sr.PerDevice) != 2 {
+		t.Fatalf("devices = %d, per_device = %d, want 2/2", sr.Devices, len(sr.PerDevice))
+	}
+	if sr.Topology != "shared-x16" {
+		t.Errorf("topology = %q", sr.Topology)
+	}
+	if sr.AllReduceBytes == 0 {
+		t.Error("no all-reduce traffic reported")
+	}
+	for _, d := range sr.PerDevice {
+		if d.StepTimeMs <= 0 {
+			t.Errorf("device %d has step time %v", d.Device, d.StepTimeMs)
+		}
+	}
+	var doc struct {
+		TraceEvents []struct {
+			PID int `json:"pid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(sr.Trace, &doc); err != nil {
+		t.Fatal(err)
+	}
+	pids := map[int]bool{}
+	for _, ev := range doc.TraceEvents {
+		pids[ev.PID] = true
+	}
+	if !pids[0] || !pids[1] {
+		t.Errorf("trace pids = %v, want both devices", pids)
+	}
+
+	// Bounds and validation.
+	resp, _ = post(t, ts.URL+"/v1/simulate", `{"network":"alexnet","devices":99}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("devices=99: status %d, want 400", resp.StatusCode)
+	}
+	resp, body = post(t, ts.URL+"/v1/simulate", `{"network":"alexnet","devices":2,"topology":"nope"}`)
+	if resp.StatusCode != http.StatusBadRequest || !strings.Contains(string(body), "unknown topology") {
+		t.Errorf("bad topology: status %d body %s", resp.StatusCode, body)
+	}
+}
+
+// TestSweepMultiDeviceAndTraceRejection: devices flow through sweeps; trace
+// does not.
+func TestSweepMultiDeviceAndTraceRejection(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, body := post(t, ts.URL+"/v1/sweep", `{"jobs":[
+		{"network":"alexnet","batch":32,"policy":"vdnn-all","algo":"m","devices":1},
+		{"network":"alexnet","batch":32,"policy":"vdnn-all","algo":"m","devices":2}
+	]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, body)
+	}
+	var sw SweepResponse
+	if err := json.Unmarshal(body, &sw); err != nil {
+		t.Fatal(err)
+	}
+	if len(sw.Results) != 2 {
+		t.Fatalf("results = %d", len(sw.Results))
+	}
+	if sw.Results[0].Devices != 0 || sw.Results[1].Devices != 2 {
+		t.Errorf("devices = %d/%d, want 0/2", sw.Results[0].Devices, sw.Results[1].Devices)
+	}
+	if sw.Results[1].IterTimeMs <= sw.Results[0].IterTimeMs {
+		t.Errorf("2 contending replicas (%v ms) not slower than 1 (%v ms)",
+			sw.Results[1].IterTimeMs, sw.Results[0].IterTimeMs)
+	}
+	resp, body = post(t, ts.URL+"/v1/sweep", `{"jobs":[{"network":"alexnet","trace":true}]}`)
+	if resp.StatusCode != http.StatusBadRequest || !strings.Contains(string(body), "trace") {
+		t.Errorf("sweep trace: status %d body %s", resp.StatusCode, body)
+	}
+}
+
+// TestCatalogListsTopologies: the catalog advertises the topology registry.
+func TestCatalogListsTopologies(t *testing.T) {
+	_, ts := newTestServer(t)
+	res, err := http.Get(ts.URL + "/v1/networks")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	var cat CatalogResponse
+	if err := json.NewDecoder(res.Body).Decode(&cat); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, n := range cat.Topologies {
+		if n == "shared-x16" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("topologies = %v, want shared-x16 present", cat.Topologies)
 	}
 }

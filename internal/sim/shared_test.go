@@ -1,0 +1,169 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestSharedUncontendedMatchesDedicated: a transfer that never saturates the
+// channel completes in exactly the dedicated-link time, so a generously
+// provisioned topology reproduces dedicated schedules bit for bit.
+func TestSharedUncontendedMatchesDedicated(t *testing.T) {
+	const rate = 12.8e9
+	tl := New(0, 0)
+	eng := tl.NewEngine("dma")
+	st := tl.NewStream("mem")
+	ch := NewSharedChannel("root", 4*rate)
+
+	n := int64(256 << 20)
+	setup := 25 * Microsecond
+	got := tl.IssueTransfer(&Op{Label: "x", Kind: OpCopyD2H, BusBytes: n}, st, eng, ch, n, rate, setup)
+	want := setup + Time(float64(n)/rate*1e9)
+	if got.DurationT != want {
+		t.Fatalf("uncontended shared transfer took %v, dedicated link takes %v", got.DurationT, want)
+	}
+	// Same arithmetic with a nil channel.
+	tl2 := New(0, 0)
+	got2 := tl2.IssueTransfer(&Op{Label: "y", Kind: OpCopyD2H, BusBytes: n},
+		tl2.NewStream("mem"), tl2.NewEngine("dma"), nil, n, rate, setup)
+	if got2.DurationT != want {
+		t.Fatalf("nil-channel transfer took %v, want %v", got2.DurationT, want)
+	}
+}
+
+// TestSharedContentionStretches: two concurrent transfers over a channel
+// with the capacity of one link each take longer than the dedicated time,
+// and the second (later-issued) transfer absorbs the whole slowdown — the
+// first keeps its reservation.
+func TestSharedContentionStretches(t *testing.T) {
+	const rate = 10e9
+	tl := New(0, 0)
+	st1, st2 := tl.NewStream("m1"), tl.NewStream("m2")
+	e1, e2 := tl.NewEngine("d1"), tl.NewEngine("d2")
+	ch := NewSharedChannel("root", rate) // only one link's worth shared by two
+
+	n := int64(1 << 30)
+	a := tl.IssueTransfer(&Op{Label: "a", BusBytes: n}, st1, e1, ch, n, rate, 0)
+	b := tl.IssueTransfer(&Op{Label: "b", BusBytes: n}, st2, e2, ch, n, rate, 0)
+
+	dedicated := Time(float64(n) / rate * 1e9)
+	if a.DurationT != dedicated {
+		t.Errorf("first transfer slowed retroactively: %v, want %v", a.DurationT, dedicated)
+	}
+	if b.DurationT < 2*dedicated-Millisecond {
+		t.Errorf("second transfer finished in %v; the channel had no bandwidth before %v", b.DurationT, dedicated)
+	}
+	if err := ch.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSharedPartialOverlap: a transfer arriving while half the capacity is
+// reserved proceeds at the leftover rate, then speeds up when the earlier
+// reservation ends.
+func TestSharedPartialOverlap(t *testing.T) {
+	const rate = 8e9
+	n := int64(8e9)
+	ch := NewSharedChannel("root", 1.5*rate)
+	endA := ch.Reserve(0, n, rate) // 1 s at full rate
+	if want := Time(Second); endA != want {
+		t.Fatalf("first reservation ends at %v, want %v", endA, want)
+	}
+	// B overlaps A entirely for A's one-second run (gets the leftover
+	// 0.5*rate), then finishes at full rate.
+	endB := ch.Reserve(0, n, rate)
+	bytesDuringA := 0.5 * rate * 1.0
+	wantB := Time(Second) + Time((float64(n)-bytesDuringA)/rate*1e9)
+	tol := Time(Millisecond)
+	if endB < wantB-tol || endB > wantB+tol {
+		t.Fatalf("second reservation ends at %v, want ~%v", endB, wantB)
+	}
+	if err := ch.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSharedConservation fuzzes reservations and checks the invariant the
+// contention results rest on: the sum of concurrent transfer throughputs
+// never exceeds the channel's aggregate capacity.
+func TestSharedConservation(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		cap := 1e9 * (1 + rng.Float64()*30)
+		ch := NewSharedChannel("fuzz", cap)
+		for i := 0; i < 60; i++ {
+			start := Time(rng.Int63n(int64(Second)))
+			n := 1 + rng.Int63n(1<<30)
+			rate := cap * (0.1 + rng.Float64())
+			end := ch.Reserve(start, n, rate)
+			if end <= start {
+				t.Fatalf("trial %d: empty reservation [%v, %v]", trial, start, end)
+			}
+		}
+		if err := ch.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+// TestSharedSaturatedWaits: a transfer issued into a fully reserved channel
+// moves no bytes until capacity frees up.
+func TestSharedSaturatedWaits(t *testing.T) {
+	const rate = 10e9
+	ch := NewSharedChannel("root", rate)
+	busyUntil := ch.Reserve(0, 10<<30, rate) // saturates the channel
+	end := ch.Reserve(0, 1<<30, rate)
+	tail := float64(int64(1<<30)) / rate * 1e9
+	wantMin := busyUntil + Time(tail) - Millisecond
+	if end < wantMin {
+		t.Fatalf("starved transfer finished at %v, cannot beat %v", end, wantMin)
+	}
+	if err := ch.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestIssueTransferScheduleInvariants: transfers obey the same stream/engine
+// rules as fixed-duration ops and pass timeline validation.
+func TestIssueTransferScheduleInvariants(t *testing.T) {
+	const rate = 12.8e9
+	tl := New(Microsecond, 10*Microsecond)
+	comp := tl.NewEngine("compute")
+	dma := tl.NewEngine("dma")
+	sc := tl.NewStream("compute")
+	sm := tl.NewStream("mem")
+	ch := NewSharedChannel("root", rate)
+
+	k := tl.Issue(&Op{Label: "k", Kind: OpKernel, DurationT: Millisecond}, sc, comp)
+	x1 := tl.IssueTransfer(&Op{Label: "x1", Kind: OpCopyD2H, BusBytes: 64 << 20}, sm, dma, ch, 64<<20, rate, 0, k)
+	x2 := tl.IssueTransfer(&Op{Label: "x2", Kind: OpCopyD2H, BusBytes: 64 << 20}, sm, dma, ch, 64<<20, rate, 0)
+	if x1.Start < k.End {
+		t.Errorf("transfer started %v before its dependency ended %v", x1.Start, k.End)
+	}
+	if x2.Start < x1.End {
+		t.Errorf("stream order broken: x2 start %v < x1 end %v", x2.Start, x1.End)
+	}
+	if err := tl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ch.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if ch.Reservations() != 2 {
+		t.Errorf("reservations = %d, want 2", ch.Reservations())
+	}
+}
+
+// TestIssueTransferZeroBytes: an empty transfer is instantaneous and
+// reserves nothing.
+func TestIssueTransferZeroBytes(t *testing.T) {
+	tl := New(0, 0)
+	ch := NewSharedChannel("root", 1e9)
+	o := tl.IssueTransfer(&Op{Label: "z"}, tl.NewStream("m"), tl.NewEngine("d"), ch, 0, 1e9, 0)
+	if o.DurationT != 0 {
+		t.Fatalf("zero-byte transfer took %v", o.DurationT)
+	}
+	if ch.Reservations() != 0 {
+		t.Fatalf("zero-byte transfer reserved bandwidth")
+	}
+}

@@ -40,10 +40,11 @@ func (t Time) String() string { return t.Duration().String() }
 type OpKind int
 
 const (
-	OpKernel  OpKind = iota // compute kernel on the SM engine
+	OpKernel  OpKind = iota // compute kernel on the SM array
 	OpCopyD2H               // device-to-host DMA (offload)
 	OpCopyH2D               // host-to-device DMA (prefetch)
 	OpHost                  // host-side work (e.g. pinned allocation)
+	OpCopyP2P               // peer-to-peer DMA (gradient all-reduce)
 )
 
 func (k OpKind) String() string {
@@ -56,6 +57,8 @@ func (k OpKind) String() string {
 		return "copyH2D"
 	case OpHost:
 		return "host"
+	case OpCopyP2P:
+		return "copyP2P"
 	}
 	return fmt.Sprintf("OpKind(%d)", int(k))
 }
@@ -164,33 +167,10 @@ func (tl *Timeline) Issue(o *Op, s *Stream, e *Engine, deps ...*Op) *Op {
 	if o.DurationT < 0 {
 		panic(fmt.Sprintf("sim: op %q has negative duration", o.Label))
 	}
-	o.ID = len(tl.ops)
-	start := tl.host // an op cannot start before the host issues it
-	if s.last != nil {
-		o.deps = append(o.deps, s.last)
-		if s.last.End > start {
-			start = s.last.End
-		}
-	}
-	for _, d := range deps {
-		if d == nil {
-			continue
-		}
-		o.deps = append(o.deps, d)
-		if d.End > start {
-			start = d.End
-		}
-	}
-	if e.free > start {
-		start = e.free
-	}
+	start := tl.startTime(o, s, e, deps)
 	o.Start = start
 	o.End = start + o.DurationT
-	e.free = o.End
-	e.ops = append(e.ops, o)
-	s.last = o
-	tl.ops = append(tl.ops, o)
-	tl.host += tl.LaunchOverhead
+	tl.commit(o, s, e)
 	return o
 }
 

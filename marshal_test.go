@@ -121,6 +121,8 @@ func TestConfigJSONRoundTrip(t *testing.T) {
 		Prefetch:  vdnn.PrefetchFig10,
 		Oracle:    true,
 		HostBytes: 32 << 30,
+		Devices:   4,
+		Topology:  vdnn.SharedGen3Root(),
 	}
 	cfg.Spec.Link = vdnn.NVLink()
 	b, err := json.Marshal(cfg)

@@ -11,7 +11,8 @@ import (
 // resolves them (optionally shadowed per-simulator via WithGPU/WithLink).
 //
 // Built-in device names: "titanx", "titanx-nvlink", "gtx980", "teslak40",
-// "p100". Built-in link names: "pcie2", "pcie3", "nvlink".
+// "p100". Built-in link names: "pcie2", "pcie3", "nvlink". Built-in
+// topology names: "dedicated", "shared-x16", "shared-2x16", "shared-4x16".
 
 // GPUByName returns the registered device spec for a name like "titanx".
 func GPUByName(name string) (GPU, bool) { return gpu.ByName(name) }
@@ -32,3 +33,15 @@ func LinkNames() []string { return pcie.Names() }
 // RegisterLink adds (or replaces) a process-wide named interconnect. The
 // link must validate.
 func RegisterLink(name string, link Link) error { return pcie.Register(name, link) }
+
+// TopologyByName returns the registered multi-device topology for a name
+// like "shared-x16" ("dedicated", "shared-x16", "shared-2x16",
+// "shared-4x16" are built in; the empty name is the dedicated zero value).
+func TopologyByName(name string) (Topology, bool) { return pcie.TopologyByName(name) }
+
+// TopologyNames lists the registered topology names, sorted.
+func TopologyNames() []string { return pcie.TopologyNames() }
+
+// RegisterTopology adds (or replaces) a process-wide named topology. It
+// must validate.
+func RegisterTopology(name string, t Topology) error { return pcie.RegisterTopology(name, t) }
