@@ -1,6 +1,7 @@
 package vdnn
 
 import (
+	"vdnn/internal/compress"
 	"vdnn/internal/core"
 	"vdnn/internal/dnn"
 	"vdnn/internal/gpu"
@@ -52,12 +53,40 @@ const (
 	PrefetchEager = core.PrefetchEager
 )
 
+// Codec selects the compression algorithm of the simulated compressing DMA
+// engine (the cDMA follow-up paper): CodecNone disables it, CodecZVC is
+// cDMA's zero-value compression, CodecRLE a run-length/CSR-style variant.
+type Codec = compress.Codec
+
+// Compression codecs.
+const (
+	CodecNone = compress.CodecNone
+	CodecZVC  = compress.CodecZVC
+	CodecRLE  = compress.CodecRLE
+)
+
+// Compression selects the compressed-DMA model of a simulation: a codec plus
+// a named activation-sparsity profile (see SparsityProfileNames). Set it on
+// Config.Compression; the zero value disables compression and leaves every
+// schedule and cache key untouched.
+type Compression = compress.Config
+
+// SparsityProfile is a deterministic activation-sparsity model: how many
+// zeros the codec finds in ReLU-family outputs as a function of network
+// depth. Named presets live in a registry ("cdma", "flat50", "dense").
+type SparsityProfile = compress.Profile
+
 // OffloadPolicy is the extension point of the memory manager: a user
 // implementation decides per layer what is offloaded, which convolution
 // algorithm mode runs, and which prefetch schedule to follow. Set it on
 // Config.Custom; the four paper policies are built-in implementations
 // (BuiltinPolicy). See core.OffloadPolicy for the full contract.
 type OffloadPolicy = core.OffloadPolicy
+
+// CompressionPolicy is an optional OffloadPolicy extension: a policy that
+// implements it is consulted per offloaded buffer and may veto or override
+// the configured codec (Config.Compression).
+type CompressionPolicy = core.CompressionPolicy
 
 // Profiler is an optional OffloadPolicy extension: a policy that settles its
 // final configuration by running candidate simulations at startup, the way

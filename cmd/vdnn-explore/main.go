@@ -6,8 +6,9 @@
 //	vdnn-explore -network googlenet link
 //	vdnn-explore -network vgg16 -batch 128 batch
 //	vdnn-explore -network vgg16 -batch 64 devices
+//	vdnn-explore -network vgg16 -batch 128 codec
 //
-// Sweeps: capacity, link, batch, prefetch, pagemig, devices.
+// Sweeps: capacity, link, batch, prefetch, pagemig, devices, codec.
 //
 // Each sweep is enqueued as one batch on a vdnn.Simulator, so its
 // simulations run concurrently and overlapping configurations across sweeps
@@ -55,6 +56,8 @@ func main() {
 		e.pagemigSweep(*batch)
 	case "devices":
 		e.devicesSweep(*batch)
+	case "codec":
+		e.codecSweep(*batch)
 	default:
 		fmt.Fprintf(os.Stderr, "vdnn-explore: unknown sweep %q\n", flag.Arg(0))
 		os.Exit(1)
@@ -225,6 +228,46 @@ func (e *explorer) devicesSweep(batch int) {
 		t.AddRow(fmt.Sprintf("%d", c),
 			report.FmtMs(int64(step)), report.FmtMs(int64(stall)), report.FmtPct(overlap),
 			report.FmtMs(int64(baseStep)), fmt.Sprintf("%.0f", imgs))
+	}
+	t.Render(os.Stdout)
+}
+
+// codecSweep crosses the compressing-DMA codecs with the sparsity presets
+// under vDNN-all(m): how much wire traffic each codec saves on each
+// assumption, and what it does to feature-extraction time.
+func (e *explorer) codecSweep(batch int) {
+	type point struct {
+		codec    vdnn.Codec
+		sparsity string
+	}
+	points := []point{
+		{vdnn.CodecNone, ""},
+		{vdnn.CodecZVC, "cdma"}, {vdnn.CodecZVC, "flat50"}, {vdnn.CodecZVC, "dense"},
+		{vdnn.CodecRLE, "cdma"}, {vdnn.CodecRLE, "flat50"},
+	}
+	n := e.net(batch)
+	var jobs []vdnn.BatchJob
+	for _, p := range points {
+		jobs = append(jobs, vdnn.BatchJob{Net: n, Cfg: vdnn.Config{
+			Spec: vdnn.TitanX(), Policy: vdnn.VDNNAll, Algo: vdnn.MemOptimal,
+			Compression: vdnn.Compression{Codec: p.codec, Sparsity: p.sparsity},
+		}})
+	}
+	res := e.runAll(jobs)
+
+	t := report.NewTable(fmt.Sprintf("codec sweep — %s (%d), vDNN-all(m)", e.name, batch),
+		"codec", "sparsity", "offload raw (MB)", "offload wire (MB)", "ratio", "codec busy (ms)", "FE (ms)")
+	for i, p := range points {
+		r := res[i]
+		prof := p.sparsity
+		if p.codec == vdnn.CodecNone {
+			prof = "-"
+		}
+		t.AddRow(p.codec.String(), prof,
+			report.FmtMiB(r.OffloadRawBytes), report.FmtMiB(r.OffloadBytes),
+			fmt.Sprintf("%.2fx", r.CompressionRatio),
+			report.FmtMs(int64(r.CompressTime+r.DecompressTime)),
+			report.FmtMs(int64(r.FETime)))
 	}
 	t.Render(os.Stdout)
 }

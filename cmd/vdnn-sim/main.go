@@ -11,6 +11,11 @@
 // With -devices N (and optionally -topology) it simulates N data-parallel
 // replicas contending for the interconnect, printing per-device step times,
 // contention stalls and overlap efficiency alongside the aggregate metrics.
+//
+// With -codec zvc|rle (and optionally -sparsity) the compressing DMA engine
+// of the cDMA follow-up paper shrinks the offload/prefetch traffic with
+// activation sparsity, and the output reports raw vs wire bytes and the
+// achieved compression ratio.
 package main
 
 import (
@@ -26,26 +31,29 @@ import (
 
 func main() {
 	var (
-		network = flag.String("network", "vgg16", "network: "+strings.Join(vdnn.NetworkNames(), ", "))
-		batch   = flag.Int("batch", 64, "batch size")
-		gpuName = flag.String("gpu", "titanx", "device: "+strings.Join(vdnn.GPUNames(), ", "))
-		memGB   = flag.Int("gpu-mem", 0, "override GPU memory in GB (0 = device default)")
-		link    = flag.String("link", "", "override interconnect: "+strings.Join(vdnn.LinkNames(), ", "))
-		devices = flag.Int("devices", 1, "data-parallel replicas sharing the interconnect")
-		topo    = flag.String("topology", "", "multi-GPU topology: "+strings.Join(vdnn.TopologyNames(), ", ")+" (default shared-x16 when -devices > 1)")
-		pagemig = flag.Bool("page-migration", false, "use page-migration transfers instead of pinned DMA")
-		oracle  = flag.Bool("oracle", false, "simulate a GPU with unlimited memory")
-		layers  = flag.Bool("layers", false, "print the per-layer table")
-		trace   = flag.Bool("trace", false, "print a schedule excerpt (offload/prefetch overlap)")
-		chrome  = flag.String("chrome-trace", "", "write the schedule as Chrome trace JSON to this file")
+		network  = flag.String("network", "vgg16", "network: "+strings.Join(vdnn.NetworkNames(), ", "))
+		batch    = flag.Int("batch", 64, "batch size")
+		gpuName  = flag.String("gpu", "titanx", "device: "+strings.Join(vdnn.GPUNames(), ", "))
+		memGB    = flag.Int("gpu-mem", 0, "override GPU memory in GB (0 = device default)")
+		link     = flag.String("link", "", "override interconnect: "+strings.Join(vdnn.LinkNames(), ", "))
+		devices  = flag.Int("devices", 1, "data-parallel replicas sharing the interconnect")
+		topo     = flag.String("topology", "", "multi-GPU topology: "+strings.Join(vdnn.TopologyNames(), ", ")+" (default shared-x16 when -devices > 1)")
+		pagemig  = flag.Bool("page-migration", false, "use page-migration transfers instead of pinned DMA")
+		sparsity = flag.String("sparsity", "", "activation-sparsity profile for -codec: "+strings.Join(vdnn.SparsityProfileNames(), ", ")+" (default cdma)")
+		oracle   = flag.Bool("oracle", false, "simulate a GPU with unlimited memory")
+		layers   = flag.Bool("layers", false, "print the per-layer table")
+		trace    = flag.Bool("trace", false, "print a schedule excerpt (offload/prefetch overlap)")
+		chrome   = flag.String("chrome-trace", "", "write the schedule as Chrome trace JSON to this file")
 
 		policy   = vdnn.VDNNDyn
 		algo     = vdnn.PerfOptimal
 		prefetch = vdnn.PrefetchJIT
+		codec    = vdnn.CodecNone
 	)
 	flag.Var(&policy, "policy", "memory policy: base, vdnn-all, vdnn-conv, vdnn-dyn")
 	flag.Var(&algo, "algo", "convolution algorithms: m (memory-optimal), p (performance-optimal), greedy")
 	flag.Var(&prefetch, "prefetch", "prefetch schedule: jit, fig10, eager, none")
+	flag.Var(&codec, "codec", "compressing DMA engine: none, zvc, rle")
 	flag.Parse()
 
 	net, err := vdnn.BuildNetwork(*network, *batch)
@@ -71,6 +79,15 @@ func main() {
 		fail(fmt.Errorf("unknown topology %q (have %s)", *topo, strings.Join(vdnn.TopologyNames(), ", ")))
 	}
 
+	// The runtime would silently drop these conflicting knobs (Config
+	// normalization); reject them instead, like vdnn-serve does.
+	if *sparsity != "" && codec == vdnn.CodecNone {
+		fail(fmt.Errorf("-sparsity %q given without -codec (set -codec zvc or rle)", *sparsity))
+	}
+	if codec != vdnn.CodecNone && *pagemig {
+		fail(fmt.Errorf("-codec %v cannot run under -page-migration (the codec sits in the DMA engines)", codec))
+	}
+
 	cfg := vdnn.Config{
 		Spec:            spec,
 		Policy:          policy,
@@ -78,6 +95,7 @@ func main() {
 		Prefetch:        prefetch,
 		Oracle:          *oracle,
 		PageMigration:   *pagemig,
+		Compression:     vdnn.Compression{Codec: codec, Sparsity: *sparsity},
 		Devices:         *devices,
 		Topology:        topology,
 		CaptureSchedule: *chrome != "",
@@ -106,6 +124,12 @@ func main() {
 	fmt.Printf("  transfers: offload %s, prefetch %s, pinned host %s, on-demand fetches %d\n",
 		vdnn.FormatBytes(res.OffloadBytes), vdnn.FormatBytes(res.PrefetchBytes),
 		vdnn.FormatBytes(res.HostPinnedPeak), res.OnDemandFetches)
+	if cfg.Compression.Enabled() {
+		fmt.Printf("  compression: %v (profile %s): %s raw -> %s wire (%.2fx), codec busy %.2f ms\n",
+			cfg.Compression.Codec, cfg.Compression.Sparsity,
+			vdnn.FormatBytes(res.OffloadRawBytes), vdnn.FormatBytes(res.OffloadBytes),
+			res.CompressionRatio, (res.CompressTime + res.DecompressTime).Msec())
+	}
 	fmt.Printf("  time: iteration %.1f ms (feature extraction %.1f ms)\n",
 		res.IterTime.Msec(), res.FETime.Msec())
 	fmt.Printf("  power: avg %.0f W, max %.0f W\n", res.Power.AvgW, res.Power.MaxW)

@@ -1,0 +1,102 @@
+// Compressed DMA: simulate the follow-up to the vDNN paper — "Compressing
+// DMA Engine: Leveraging Activation Sparsity for Training Deep Neural
+// Networks" (Rhu et al.) — on top of the vDNN runtime. ReLU-family layers
+// leave VGG-16's offloaded feature maps 45-90% zero, so a codec sitting in
+// the DMA engines (Config.Compression) shrinks the PCIe traffic that
+// dominates vDNN's offload cost; prefetches pay a decompression pass before
+// the backward kernels consume the data.
+//
+// The walk-through compares VGG-16 under vDNN-all(m) with the codec off, with
+// cDMA's zero-value compression (ZVC), and with a run-length variant, then
+// shows a custom OffloadPolicy vetoing the codec per buffer through the
+// CompressionPolicy hook.
+package main
+
+import (
+	"context"
+	"fmt"
+
+	"vdnn"
+)
+
+// convOnlyCompression delegates everything to the built-in vDNN-all policy
+// but compresses only buffers consumed by CONV layers — the long
+// reuse-distance transfers where compression buys the most — leaving the
+// rest of the traffic uncompressed.
+type convOnlyCompression struct{ vdnn.OffloadPolicy }
+
+func (convOnlyCompression) Name() string { return "conv-only-zvc" }
+
+func (convOnlyCompression) Compress(_ *vdnn.Network, t *vdnn.Tensor, requested vdnn.Codec) vdnn.Codec {
+	for _, c := range t.Consumer {
+		if c.Kind == vdnn.Conv {
+			return requested
+		}
+	}
+	return vdnn.CodecNone
+}
+
+func main() {
+	sim := vdnn.NewSimulator()
+	net, err := sim.Network("vgg16", 128)
+	if err != nil {
+		panic(err)
+	}
+
+	base := vdnn.Config{
+		Spec:   vdnn.TitanX(),
+		Policy: vdnn.VDNNAll,
+		Algo:   vdnn.MemOptimal,
+	}
+	zvc := base
+	zvc.Compression = vdnn.Compression{Codec: vdnn.CodecZVC} // profile defaults to "cdma"
+	rle := base
+	rle.Compression = vdnn.Compression{Codec: vdnn.CodecRLE}
+
+	results, err := sim.RunBatch(context.Background(), []vdnn.BatchJob{
+		{Net: net, Cfg: base},
+		{Net: net, Cfg: zvc},
+		{Net: net, Cfg: rle},
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	fmt.Println("VGG-16 (128), vDNN-all(m) on a 12 GB Titan X over PCIe gen3 x16")
+	fmt.Println()
+	labels := []string{"no compression", "zvc (cdma profile)", "rle (cdma profile)"}
+	for i, r := range results {
+		fmt.Printf("%-20s offload %8s -> %8s wire (%.2fx)   codec busy %6.1f ms   FE %7.1f ms\n",
+			labels[i], vdnn.FormatBytes(r.OffloadRawBytes), vdnn.FormatBytes(r.OffloadBytes),
+			r.CompressionRatio, (r.CompressTime + r.DecompressTime).Msec(), r.FETime.Msec())
+	}
+
+	// The invariant the codec guarantees: compression never increases wire
+	// traffic, because incompressible buffers pass through unchanged.
+	for i, r := range results[1:] {
+		if r.OffloadBytes > results[0].OffloadBytes {
+			panic(fmt.Sprintf("%s increased offload traffic", labels[i+1]))
+		}
+	}
+
+	// Per-buffer control: an OffloadPolicy implementing CompressionPolicy
+	// picks the codec buffer by buffer.
+	all, err := vdnn.BuiltinPolicy(vdnn.VDNNAll)
+	if err != nil {
+		panic(err)
+	}
+	custom := base
+	custom.Custom = convOnlyCompression{all}
+	custom.Compression = vdnn.Compression{Codec: vdnn.CodecZVC}
+	rc, err := sim.Run(context.Background(), net, custom)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println()
+	fmt.Printf("custom %q policy: offload %s -> %s wire (%.2fx)\n",
+		rc.PolicyName, vdnn.FormatBytes(rc.OffloadRawBytes), vdnn.FormatBytes(rc.OffloadBytes),
+		rc.CompressionRatio)
+	fmt.Println()
+	fmt.Println("the codec turns offload-bound layers back into compute-bound ones;")
+	fmt.Println("sweep codecs and sparsity profiles with: vdnn-explore -network vgg16 codec")
+}

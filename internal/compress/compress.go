@@ -1,0 +1,219 @@
+// Package compress models a compressing DMA engine for vDNN's offload and
+// prefetch traffic, after "Compressing DMA Engine: Leveraging Activation
+// Sparsity for Training Deep Neural Networks" (Rhu et al.) — the direct
+// follow-up to the vDNN paper. ReLU-family layers leave feature maps 45-90%
+// zero, so a codec sitting next to the DMA engines can shrink the PCIe
+// traffic that dominates vDNN's offload cost by 2-4x, turning offload-bound
+// layers back into compute-bound ones.
+//
+// The package provides the two halves of the model:
+//
+//   - activation sparsity (sparsity.go): deterministic per-layer sparsity
+//     profiles for ReLU-family outputs, with named presets in a registry
+//     mirroring internal/gpu and internal/pcie;
+//   - codec cost models (this file): zero-value compression (cDMA's ZVC) and
+//     a run-length/CSR-style variant, mapping a tensor's raw bytes and
+//     sparsity to wire bytes plus compression/decompression latency on the
+//     device.
+//
+// A codec never expands a transfer: when the encoded form would be at least
+// as large as the raw tensor the engine passes the data through unchanged
+// (wire == raw, zero latency), which is what guarantees that enabling
+// compression never increases offload traffic.
+package compress
+
+import (
+	"fmt"
+	"strings"
+
+	"vdnn/internal/sim"
+)
+
+// Codec selects the compression algorithm of the simulated DMA engine.
+type Codec int
+
+const (
+	// CodecNone disables compression: every transfer moves its raw bytes.
+	CodecNone Codec = iota
+	// CodecZVC is cDMA's zero-value compression: a one-bit-per-element
+	// presence mask plus the densely packed non-zero values. Robust across
+	// the whole sparsity range and cheap to (de)compress in hardware.
+	CodecZVC
+	// CodecRLE is a run-length/CSR-style variant: packed non-zero values
+	// plus per-run descriptors. Competitive only at high sparsity; kept as a
+	// sweep dimension to show why cDMA settled on ZVC.
+	CodecRLE
+)
+
+var codecNames = [...]string{"none", "zvc", "rle"}
+
+func (c Codec) String() string {
+	if c >= 0 && int(c) < len(codecNames) {
+		return codecNames[c]
+	}
+	return fmt.Sprintf("Codec(%d)", int(c))
+}
+
+// MarshalText encodes the codec as its canonical token: "none", "zvc" or
+// "rle".
+func (c Codec) MarshalText() ([]byte, error) {
+	if c >= 0 && int(c) < len(codecNames) {
+		return []byte(codecNames[c]), nil
+	}
+	return nil, fmt.Errorf("compress: cannot marshal unknown codec %d", int(c))
+}
+
+// UnmarshalText decodes a codec token. Accepted (case-insensitive): the
+// canonical forms plus the aliases "off"/"disabled" for none,
+// "zero-value"/"cdma" for zvc and "run-length"/"csr" for rle.
+func (c *Codec) UnmarshalText(text []byte) error {
+	switch strings.ToLower(strings.TrimSpace(string(text))) {
+	case "none", "off", "disabled", "":
+		*c = CodecNone
+	case "zvc", "zero-value", "cdma":
+		*c = CodecZVC
+	case "rle", "run-length", "csr":
+		*c = CodecRLE
+	default:
+		return fmt.Errorf("compress: unknown codec %q (want none, zvc or rle)", text)
+	}
+	return nil
+}
+
+// Set implements flag.Value.
+func (c *Codec) Set(s string) error { return c.UnmarshalText([]byte(s)) }
+
+// Validate reports whether the codec is a known value.
+func (c Codec) Validate() error {
+	if c < CodecNone || c > CodecRLE {
+		return fmt.Errorf("compress: unknown codec %d", int(c))
+	}
+	return nil
+}
+
+// engineFrac is the codec engine's streaming rate as a fraction of the
+// device's effective DRAM bandwidth. The cDMA engine sits beside the DMA
+// engines and streams activations through DRAM, so its rate scales with the
+// device; it is far above any host interconnect, which is what lets the
+// codec latency hide under the transfer it feeds.
+func (c Codec) engineFrac() float64 {
+	switch c {
+	case CodecZVC:
+		return 0.50 // mask + pack: one streaming pass
+	case CodecRLE:
+		return 0.25 // run detection serializes harder
+	}
+	return 0
+}
+
+// Cost is the codec outcome for one transfer: the bytes that cross the
+// interconnect and the device-side compression/decompression latency. A
+// pass-through (incompressible or disabled) costs nothing: WireBytes == raw
+// and both latencies are zero.
+type Cost struct {
+	WireBytes  int64
+	Compress   sim.Time
+	Decompress sim.Time
+}
+
+// Cost maps a raw transfer to its compressed form: raw bytes of elemSize-byte
+// elements at the given zero-value sparsity, on a device whose codec engine
+// streams at engineBps * the codec's rate factor. The encoded size is clamped
+// at raw — the engine bypasses tensors it cannot shrink.
+func (c Codec) Cost(raw, elemSize int64, sparsity float64, engineBps float64) Cost {
+	pass := Cost{WireBytes: raw}
+	if c == CodecNone || raw <= 0 || elemSize <= 0 {
+		return pass
+	}
+	if sparsity < 0 {
+		sparsity = 0
+	}
+	if sparsity > 1 {
+		sparsity = 1
+	}
+	elems := raw / elemSize
+	if elems == 0 {
+		return pass
+	}
+	nnz := int64(float64(elems)*(1-sparsity) + 0.5)
+	var wire int64
+	switch c {
+	case CodecZVC:
+		// One presence bit per element plus the packed non-zero values.
+		wire = (elems+7)/8 + nnz*elemSize
+	case CodecRLE:
+		// Packed non-zero values plus 4-byte run descriptors (zero-run
+		// length + value-run length). For randomly placed zeros the expected
+		// number of runs is elems * s * (1-s) + 1.
+		runs := int64(float64(elems)*sparsity*(1-sparsity)) + 1
+		wire = nnz*elemSize + 4*runs
+	default:
+		return pass
+	}
+	if wire >= raw {
+		return pass
+	}
+	var cmp, dec sim.Time
+	if bps := engineBps * c.engineFrac(); bps > 0 {
+		// Both directions stream the raw footprint: compression reads it,
+		// decompression writes it.
+		cmp = sim.Time(float64(raw) / bps * 1e9)
+		dec = cmp
+	}
+	return Cost{WireBytes: wire, Compress: cmp, Decompress: dec}
+}
+
+// Config selects the compressed-DMA model of a simulation. The zero value
+// disables compression entirely and normalizes to itself, so configurations
+// that never mention compression keep their existing cache keys and
+// schedules byte for byte.
+type Config struct {
+	// Codec is the compression algorithm of the DMA engine (CodecNone
+	// disables the engine).
+	Codec Codec
+	// Sparsity names the activation-sparsity profile (see ProfileNames).
+	// Empty selects DefaultProfile when a codec is active; ignored (and
+	// normalized away) when the codec is CodecNone.
+	Sparsity string
+}
+
+// Enabled reports whether a codec is active.
+func (c Config) Enabled() bool { return c.Codec != CodecNone }
+
+// WithDefaults normalizes the configuration: the zero value stays the zero
+// value, a disabled codec drops any sparsity name, and an active codec
+// resolves the empty profile name to DefaultProfile. Two configurations that
+// normalize equal simulate identically (the cache-key contract of
+// core.Config.WithDefaults).
+func (c Config) WithDefaults() Config {
+	if c.Codec == CodecNone {
+		return Config{}
+	}
+	if c.Sparsity == "" {
+		c.Sparsity = DefaultProfile
+	}
+	return c
+}
+
+// Validate checks the codec and, when one is active, that the sparsity
+// profile is registered.
+func (c Config) Validate() error {
+	if err := c.Codec.Validate(); err != nil {
+		return err
+	}
+	if c.Codec == CodecNone {
+		return nil
+	}
+	name := c.Sparsity
+	if name == "" {
+		name = DefaultProfile
+	}
+	if _, ok := ProfileByName(name); !ok {
+		return fmt.Errorf("compress: unknown sparsity profile %q (have %s)",
+			name, strings.Join(ProfileNames(), ", "))
+	}
+	return nil
+}
+
+// CodecNames lists the codec tokens in enum order ("none", "zvc", "rle").
+func CodecNames() []string { return append([]string(nil), codecNames[:]...) }

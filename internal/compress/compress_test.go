@@ -1,0 +1,143 @@
+package compress
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestCodecNeverExpands(t *testing.T) {
+	const engineBps = 100e9
+	for _, c := range []Codec{CodecNone, CodecZVC, CodecRLE} {
+		for _, elem := range []int64{2, 4} {
+			for _, raw := range []int64{0, 64, 4 << 10, 16 << 20} {
+				for _, s := range []float64{0, 0.1, 0.45, 0.5, 0.9, 1} {
+					got := c.Cost(raw, elem, s, engineBps)
+					if got.WireBytes > raw {
+						t.Fatalf("%v raw=%d elem=%d s=%v: wire %d > raw", c, raw, elem, s, got.WireBytes)
+					}
+					if got.WireBytes < 0 || got.Compress < 0 || got.Decompress < 0 {
+						t.Fatalf("%v raw=%d s=%v: negative cost %+v", c, raw, s, got)
+					}
+					if got.WireBytes == raw && (got.Compress != 0 || got.Decompress != 0) {
+						t.Fatalf("%v raw=%d s=%v: pass-through charged latency %+v", c, raw, s, got)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestCodecMonotonicInSparsity(t *testing.T) {
+	const raw, elem = 16 << 20, 4
+	for _, c := range []Codec{CodecZVC, CodecRLE} {
+		prev := int64(raw)
+		for _, s := range []float64{0, 0.25, 0.5, 0.75, 0.9, 1} {
+			wire := c.Cost(raw, elem, s, 100e9).WireBytes
+			if wire > prev {
+				t.Fatalf("%v: wire grew from %d to %d as sparsity rose to %v", c, prev, wire, s)
+			}
+			prev = wire
+		}
+	}
+}
+
+func TestZVCMath(t *testing.T) {
+	// 1 MiB of fp32 at 75% sparsity: mask = elems/8, values = elems/4*4.
+	const raw = 1 << 20
+	elems := int64(raw / 4)
+	got := CodecZVC.Cost(raw, 4, 0.75, 100e9)
+	want := (elems+7)/8 + elems/4*4
+	if got.WireBytes != want {
+		t.Fatalf("ZVC wire = %d, want %d", got.WireBytes, want)
+	}
+	if got.Compress <= 0 || got.Decompress <= 0 {
+		t.Fatalf("ZVC latency not charged: %+v", got)
+	}
+}
+
+func TestCodecText(t *testing.T) {
+	for _, c := range []Codec{CodecNone, CodecZVC, CodecRLE} {
+		b, err := c.MarshalText()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got Codec
+		if err := got.UnmarshalText(b); err != nil || got != c {
+			t.Fatalf("codec %v round trip via %q failed: %v", c, b, err)
+		}
+	}
+	var c Codec
+	for in, want := range map[string]Codec{"cdma": CodecZVC, "csr": CodecRLE, "off": CodecNone, "ZVC": CodecZVC} {
+		if err := c.UnmarshalText([]byte(in)); err != nil || c != want {
+			t.Errorf("codec %q = %v (%v), want %v", in, c, err, want)
+		}
+	}
+	if err := c.UnmarshalText([]byte("gzip")); err == nil {
+		t.Error("bogus codec token accepted")
+	}
+}
+
+func TestConfigWithDefaults(t *testing.T) {
+	if got := (Config{}).WithDefaults(); got != (Config{}) {
+		t.Fatalf("zero config normalized to %+v", got)
+	}
+	// A disabled codec drops any stray profile name.
+	if got := (Config{Sparsity: "cdma"}).WithDefaults(); got != (Config{}) {
+		t.Fatalf("disabled config kept profile: %+v", got)
+	}
+	got := Config{Codec: CodecZVC}.WithDefaults()
+	if got.Sparsity != DefaultProfile {
+		t.Fatalf("active codec resolved profile %q, want %q", got.Sparsity, DefaultProfile)
+	}
+	if err := (Config{Codec: CodecZVC, Sparsity: "nope"}).Validate(); err == nil {
+		t.Error("unknown profile accepted")
+	}
+	if err := (Config{Codec: Codec(42)}).Validate(); err == nil {
+		t.Error("unknown codec accepted")
+	}
+	if err := (Config{Codec: CodecRLE}).Validate(); err != nil {
+		t.Errorf("empty profile with active codec rejected: %v", err)
+	}
+}
+
+func TestProfiles(t *testing.T) {
+	p, ok := ProfileByName(DefaultProfile)
+	if !ok {
+		t.Fatalf("default profile %q not registered", DefaultProfile)
+	}
+	if lo, hi := p.ReLU(0), p.ReLU(1); !(lo >= 0.4 && lo <= 0.5 && hi >= 0.85 && hi <= p.Max+1e-9) {
+		t.Fatalf("cdma ReLU sparsity range [%v, %v] off the paper's 45-90%%", lo, hi)
+	}
+	if hi, max := p.ReLU(2), p.Max; hi > max {
+		t.Fatalf("depth clamp broken: %v > %v", hi, max)
+	}
+	if d, _ := ProfileByName("dense"); d.ReLU(1) != 0 || d.Pool(0.9) != 0 {
+		t.Fatal("dense profile not dense")
+	}
+	names := ProfileNames()
+	if len(names) < 3 {
+		t.Fatalf("profiles = %v", names)
+	}
+	if err := RegisterProfile("bad", Profile{Max: 2}); err == nil {
+		t.Error("invalid profile registered")
+	}
+}
+
+func TestConfigJSON(t *testing.T) {
+	cfg := Config{Codec: CodecZVC, Sparsity: "flat50"}
+	b, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Config
+	if err := json.Unmarshal(b, &got); err != nil || got != cfg {
+		t.Fatalf("round trip via %s: %+v (%v)", b, got, err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(b, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m["Codec"] != "zvc" {
+		t.Fatalf("codec JSON form = %v", m["Codec"])
+	}
+}

@@ -1,0 +1,137 @@
+package compress
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Profile is a deterministic activation-sparsity model: given where a buffer
+// sits in the network and what produced its contents, it predicts the
+// fraction of zero values the compressing DMA engine will see. The cDMA
+// paper's measurement is the anchor: ReLU-family outputs average 45-90%
+// zeros, growing with depth as features specialize; pooling concentrates
+// activations and keeps most of the sparsity; everything else (convolution
+// and GEMM outputs before their activation, normalization outputs) is dense.
+type Profile struct {
+	Name string
+
+	// ReLUBase is the sparsity of a ReLU output at the very first layer;
+	// ReLUSlope is added linearly by the end of the network, modeling the
+	// depth trend of the cDMA paper's Figure 2.
+	ReLUBase, ReLUSlope float64
+
+	// PoolRetention is the fraction of input sparsity surviving a pooling
+	// layer (max pooling picks window maxima, which are less often zero).
+	PoolRetention float64
+
+	// Max clamps every predicted sparsity.
+	Max float64
+}
+
+// ReLU returns the sparsity of a ReLU output at the given network depth
+// (depthFrac in [0, 1]: the producing layer's position in execution order).
+func (p Profile) ReLU(depthFrac float64) float64 {
+	if depthFrac < 0 {
+		depthFrac = 0
+	}
+	if depthFrac > 1 {
+		depthFrac = 1
+	}
+	return p.clamp(p.ReLUBase + p.ReLUSlope*depthFrac)
+}
+
+// Pool returns the sparsity of a pooling output given its input's sparsity.
+func (p Profile) Pool(in float64) float64 { return p.clamp(in * p.PoolRetention) }
+
+func (p Profile) clamp(s float64) float64 {
+	if s < 0 {
+		s = 0
+	}
+	if s > p.Max {
+		s = p.Max
+	}
+	return s
+}
+
+// Validate checks the profile parameters are sensible.
+func (p Profile) Validate() error {
+	if p.Max < 0 || p.Max > 1 {
+		return fmt.Errorf("compress: profile %q Max %v outside [0,1]", p.Name, p.Max)
+	}
+	if p.ReLUBase < 0 || p.ReLUBase > 1 {
+		return fmt.Errorf("compress: profile %q ReLUBase %v outside [0,1]", p.Name, p.ReLUBase)
+	}
+	if p.PoolRetention < 0 || p.PoolRetention > 1 {
+		return fmt.Errorf("compress: profile %q PoolRetention %v outside [0,1]", p.Name, p.PoolRetention)
+	}
+	return nil
+}
+
+// CDMA returns the default profile, calibrated to the cDMA paper's
+// measurement: ReLU outputs 45% sparse at the first layer growing to ~90% at
+// the last, pooling keeping three quarters of it.
+func CDMA() Profile {
+	return Profile{Name: "cdma", ReLUBase: 0.45, ReLUSlope: 0.45, PoolRetention: 0.75, Max: 0.93}
+}
+
+// Flat50 returns a depth-independent 50% profile: the conservative
+// whole-network average the cDMA paper quotes for AlexNet's early epochs.
+func Flat50() Profile {
+	return Profile{Name: "flat50", ReLUBase: 0.50, ReLUSlope: 0, PoolRetention: 1, Max: 0.50}
+}
+
+// Dense returns the adversarial profile: no zeros anywhere, so every codec
+// passes everything through. Useful as the lower bound of codec sweeps.
+func Dense() Profile {
+	return Profile{Name: "dense", ReLUBase: 0, ReLUSlope: 0, PoolRetention: 0, Max: 0}
+}
+
+// DefaultProfile is the profile an active codec resolves to when the
+// configuration names none.
+const DefaultProfile = "cdma"
+
+// Named profile registry, mirroring the device registry in internal/gpu:
+// CLI flags and JSON requests address sparsity models by these tokens.
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Profile{
+		"cdma":   CDMA(),
+		"flat50": Flat50(),
+		"dense":  Dense(),
+	}
+)
+
+// ProfileByName returns the registered profile for a name like "cdma".
+func ProfileByName(name string) (Profile, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	p, ok := registry[name]
+	return p, ok
+}
+
+// ProfileNames lists the registered profile names, sorted.
+func ProfileNames() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// RegisterProfile adds (or replaces) a named profile. It must validate.
+func RegisterProfile(name string, p Profile) error {
+	if name == "" {
+		return fmt.Errorf("compress: empty registry name")
+	}
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	registry[name] = p
+	return nil
+}

@@ -30,7 +30,10 @@ func (e *runtime) findPrefetchLayer(currLayerID int) int {
 }
 
 // prefetchBuffers re-allocates device space for the given buffers and
-// launches their H2D transfers on stream_memory.
+// launches their H2D transfers on stream_memory. A buffer that was offloaded
+// compressed comes back through the codec: the wire-sized transfer is
+// followed by a decompression pass, and the buffer's lastWrite is the
+// decompression, so its backward readers pay the expansion before use.
 func (e *runtime) prefetchBuffers(label string, bufs []*dnn.Tensor) ([]*sim.Op, error) {
 	var ops []*sim.Op
 	for _, t := range bufs {
@@ -42,7 +45,7 @@ func (e *runtime) prefetchBuffers(label string, bufs []*dnn.Tensor) ([]*sim.Op, 
 		if err != nil {
 			return nil, err
 		}
-		op := e.dev.Prefetch(fmt.Sprintf("PRE:%s(fm%d)", label, t.ID), t.Bytes(e.net.DType))
+		op := e.prefetchCompressed(fmt.Sprintf("PRE:%s(fm%d)", label, t.ID), t, t.Bytes(e.net.DType))
 		bs.block = b
 		bs.offloaded = false
 		bs.lastWrite = op
@@ -64,8 +67,9 @@ func (e *runtime) fetchOnDemand(t *dnn.Tensor) error {
 	// The naive path has no lookahead: the copy is requested only when the
 	// backward computation reaches the layer, so it starts after all queued
 	// compute drains and the next kernel waits on it (the serialization the
-	// paper's Section III-A describes).
-	op := e.dev.Prefetch(fmt.Sprintf("FETCH(fm%d)", t.ID), t.Bytes(e.net.DType), e.dev.StreamCompute.Last())
+	// paper's Section III-A describes) — decompression included when the
+	// buffer went out compressed.
+	op := e.prefetchCompressed(fmt.Sprintf("FETCH(fm%d)", t.ID), t, t.Bytes(e.net.DType), e.dev.StreamCompute.Last())
 	e.dev.TL.Wait(op)
 	bs.block = b
 	bs.offloaded = false
@@ -123,6 +127,7 @@ func (e *runtime) issueBackward(l *dnn.Layer) (bwdPending, error) {
 				return pend, err
 			}
 			op := e.dev.Prefetch("PRE:"+wl.Name+".W", wl.WeightBytes(d))
+			e.preRawBytes += wl.WeightBytes(d)
 			ws.block = b
 			ws.offloaded = false
 			ws.lastWrite = op
@@ -172,6 +177,7 @@ func (e *runtime) issueBackward(l *dnn.Layer) (bwdPending, error) {
 			return pend, err
 		}
 		op := e.dev.Prefetch("FETCH:"+l.Name+".W", l.WeightBytes(d), e.dev.StreamCompute.Last())
+		e.preRawBytes += l.WeightBytes(d)
 		e.dev.TL.Wait(op)
 		ws.block = b
 		ws.offloaded = false

@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 
+	"vdnn/internal/compress"
 	"vdnn/internal/cudnnsim"
 	"vdnn/internal/dnn"
 	"vdnn/internal/gpu"
@@ -133,6 +134,15 @@ type Config struct {
 	Prefetch      PrefetchMode
 	PageMigration bool // ablation: page-migration transfers instead of DMA
 
+	// Compression selects the compressed-DMA model (the cDMA follow-up
+	// paper): an activation-sparsity-aware codec in the DMA engines shrinks
+	// offload transfers and pays a decompression pass on prefetch. The zero
+	// value disables it and normalizes to itself, so existing configurations
+	// keep their schedules and cache keys byte for byte. The codec lives in
+	// the DMA path, so the page-migration ablation (which bypasses the DMA
+	// engines) normalizes compression away.
+	Compression compress.Config
+
 	// Devices is the number of data-parallel replicas (default 1). Each
 	// replica trains the full network on its own minibatch under the same
 	// policy and plan; the weight gradients are ring-all-reduced over the
@@ -200,6 +210,12 @@ func (c Config) WithDefaults() Config {
 		c.Topology = pcie.Topology{}
 	} else if c.Topology == (pcie.Topology{}) {
 		c.Topology = pcie.SharedGen3Root()
+	}
+	c.Compression = c.Compression.WithDefaults()
+	if c.PageMigration {
+		// The codec sits inside the DMA engines; demand paging bypasses
+		// them, so the combination degenerates to plain page migration.
+		c.Compression = compress.Config{}
 	}
 	return c
 }
@@ -271,9 +287,25 @@ type Result struct {
 	// touch at once — the "maximum layer-wise usage" of Figure 1.
 	MaxWorkingSet int64
 
+	// OffloadBytes and PrefetchBytes are the interconnect traffic of the
+	// measured iteration: the bytes that actually crossed the wire, i.e.
+	// post-codec sizes when Config.Compression is active.
 	OffloadBytes    int64 // D2H traffic in the measured iteration
 	PrefetchBytes   int64 // H2D traffic in the measured iteration
 	OnDemandFetches int   // blocking fetches (0 under the window policy)
+
+	// OffloadRawBytes and PrefetchRawBytes are the pre-codec (logical) sizes
+	// of the same transfers; equal to OffloadBytes/PrefetchBytes when
+	// compression is disabled or nothing compressed.
+	OffloadRawBytes  int64
+	PrefetchRawBytes int64
+	// CompressionRatio is OffloadRawBytes/OffloadBytes (1 when there is no
+	// offload traffic or no compression).
+	CompressionRatio float64
+	// CompressTime and DecompressTime are the total codec busy time on the
+	// D2H and H2D DMA engines in the measured iteration.
+	CompressTime   sim.Time
+	DecompressTime sim.Time
 
 	HostPinnedPeak int64 // CPU-side allocation (Figure 15)
 
@@ -325,9 +357,17 @@ type DeviceResult struct {
 	ComputeBusy sim.Time // compute-engine busy time in the window
 	CopyBusy    sim.Time // both DMA engines' busy time in the window
 
-	OffloadBytes   int64 // D2H feature-map traffic
-	PrefetchBytes  int64 // H2D feature-map traffic
+	OffloadBytes   int64 // D2H feature-map traffic (wire bytes, post-codec)
+	PrefetchBytes  int64 // H2D feature-map traffic (wire bytes, post-codec)
 	AllReduceBytes int64 // gradient-sync traffic (both directions)
+
+	// OffloadRawBytes is the pre-codec size of the replica's offload
+	// traffic; CompressionRatio is OffloadRawBytes/OffloadBytes (1 when no
+	// compression). CodecBusy is the replica's total compression plus
+	// decompression time on its DMA engines.
+	OffloadRawBytes  int64
+	CompressionRatio float64
+	CodecBusy        sim.Time
 
 	// ContentionStall is the extra transfer time the shared interconnect
 	// cost this replica versus dedicated links: the sum over its DMA ops of
@@ -381,6 +421,9 @@ func Run(net *dnn.Network, cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("core: %d devices exceeds the limit of %d", cfg.Devices, maxDevices)
 	}
 	if err := cfg.Topology.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Compression.Validate(); err != nil {
 		return nil, err
 	}
 	if err := net.Validate(); err != nil {

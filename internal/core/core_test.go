@@ -20,8 +20,15 @@ var (
 
 func run(t *testing.T, net *dnn.Network, cfg Config) *Result {
 	t.Helper()
-	key := fmt.Sprintf("%s|%v|%v|%v|%v|%v|%d|%d", net.Name, cfg.Policy, cfg.Algo, cfg.Oracle,
-		cfg.Prefetch, cfg.PageMigration, cfg.Iterations, cfg.HostBytes)
+	// Key on the full normalized configuration (the sweep engine's contract),
+	// with the non-comparable custom policy reduced to its name.
+	norm := cfg.WithDefaults()
+	custom := ""
+	if norm.Custom != nil {
+		custom = norm.Custom.Name()
+		norm.Custom = nil
+	}
+	key := fmt.Sprintf("%s|%s|%+v", net.Name, custom, norm)
 	cacheMu.Lock()
 	r, ok := cache[key]
 	cacheMu.Unlock()

@@ -36,7 +36,7 @@ func (e *runtime) issueForward(l *dnn.Layer) (fwdPending, error) {
 				return p, err
 			}
 			bs := e.buf[t]
-			op := e.dev.Offload(fmt.Sprintf("OFF:%s(fm%d)", l.Name, t.ID), t.Bytes(d), bs.lastWrite)
+			op := e.offloadCompressed(fmt.Sprintf("%s(fm%d)", l.Name, t.ID), t, t.Bytes(d), bs.lastWrite)
 			p.offOps = append(p.offOps, op)
 			p.offBufs = append(p.offBufs, t)
 			e.lay[l.ID].offloaded = true
@@ -53,8 +53,10 @@ func (e *runtime) issueForward(l *dnn.Layer) (fwdPending, error) {
 				ws.pinned = r
 			}
 			// The weights were last written by the previous iteration's SGD
-			// update; the transfer must order after it.
+			// update; the transfer must order after it. Weights are dense, so
+			// they bypass the codec.
 			op := e.dev.Offload("OFF:"+l.Name+".W", l.WeightBytes(d), ws.lastWrite)
+			e.offRawBytes += l.WeightBytes(d)
 			p.offOps = append(p.offOps, op)
 			p.offW = ws
 			st.Offloaded = true

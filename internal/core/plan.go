@@ -42,6 +42,10 @@ type Plan struct {
 	// schedule (Figure 9): one backward step before the buffer's first
 	// backward reader.
 	PrefetchAt [][]*dnn.Tensor
+	// Compression maps each offloaded buffer to its resolved codec and
+	// predicted activation sparsity; nil when the configuration does not
+	// compress (see Config.Compression and CompressionPolicy).
+	Compression map[*dnn.Tensor]codecDecision
 	// offloadTotal is the per-iteration offload traffic implied by the plan.
 	offloadTotal int64
 }
@@ -92,11 +96,13 @@ func buildPlan(net *dnn.Network, cfg Config, pol OffloadPolicy) (*Plan, error) {
 
 	p.PrefetchAt = make([][]*dnn.Tensor, len(net.Layers))
 	firstReader := firstBwdReaders(net)
+	var offloaded []*dnn.Tensor
 	for _, t := range net.Tensors {
 		trigger := offloadTrigger(net, t, pol)
 		if trigger == nil {
 			continue
 		}
+		offloaded = append(offloaded, t)
 		p.OffloadAt[trigger.ID] = append(p.OffloadAt[trigger.ID], t)
 		p.offloadTotal += t.Bytes(net.DType)
 		// JIT prefetch: during the backward pass of the layer processed
@@ -112,6 +118,10 @@ func buildPlan(net *dnn.Network, cfg Config, pol OffloadPolicy) (*Plan, error) {
 			}
 			p.PrefetchAt[at] = append(p.PrefetchAt[at], t)
 		}
+	}
+	var err error
+	if p.Compression, err = buildCompression(net, cfg, pol, offloaded); err != nil {
+		return nil, err
 	}
 	return p, nil
 }

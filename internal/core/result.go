@@ -56,6 +56,11 @@ func (e *runtime) assemble(winStart, winEnd sim.Time) *Result {
 			r.PrefetchBytes += o.BusBytes
 		}
 	}
+	r.OffloadRawBytes = e.offRawBytes
+	r.PrefetchRawBytes = e.preRawBytes
+	r.CompressTime = e.compressTime
+	r.DecompressTime = e.decompressTime
+	r.CompressionRatio = compressionRatio(r.OffloadRawBytes, r.OffloadBytes)
 	r.OnDemandFetches = e.onDemand
 	r.HostPinnedPeak = e.host.Peak()
 	r.Power = e.dev.MeasurePower(winStart, winEnd)
@@ -158,6 +163,8 @@ func sortSchedule(s []ScheduleOp) {
 func assembleDP(reps []*runtime, cfg Config, winStart, winEnd sim.Time) *Result {
 	r := reps[0].assemble(winStart, winEnd)
 	r.OffloadBytes, r.PrefetchBytes, r.HostPinnedPeak = 0, 0, 0
+	r.OffloadRawBytes, r.PrefetchRawBytes = 0, 0
+	r.CompressTime, r.DecompressTime = 0, 0
 	if cfg.CaptureSchedule {
 		r.Schedule = nil
 		for _, rt := range reps {
@@ -173,6 +180,10 @@ func assembleDP(reps []*runtime, cfg Config, winStart, winEnd sim.Time) *Result 
 		r.OffloadBytes += d.OffloadBytes
 		r.PrefetchBytes += d.PrefetchBytes
 		r.AllReduceBytes += d.AllReduceBytes
+		r.OffloadRawBytes += rt.offRawBytes
+		r.PrefetchRawBytes += rt.preRawBytes
+		r.CompressTime += rt.compressTime
+		r.DecompressTime += rt.decompressTime
 		r.HostPinnedPeak += rt.host.Peak()
 		for _, eng := range rt.dev.Engines() {
 			for _, o := range eng.Ops() {
@@ -191,6 +202,7 @@ func assembleDP(reps []*runtime, cfg Config, winStart, winEnd sim.Time) *Result 
 	if arEnd > arStart && arStart >= 0 {
 		r.AllReduceTime = arEnd - arStart
 	}
+	r.CompressionRatio = compressionRatio(r.OffloadRawBytes, r.OffloadBytes)
 	return r
 }
 
@@ -216,6 +228,13 @@ func (e *runtime) deviceResult(winStart, winEnd sim.Time) DeviceResult {
 			case sim.OpKernel:
 				dr.ComputeBusy += o.DurationT
 				computeIv = append(computeIv, sim.Interval{Start: o.Start, End: o.End, Op: o})
+			case sim.OpCompress, sim.OpDecompress:
+				// Codec passes keep their DMA engine busy like any copy and
+				// can hide behind compute the same way; they move no wire
+				// bytes and never stall on the interconnect.
+				dr.CopyBusy += o.DurationT
+				dr.CodecBusy += o.DurationT
+				copyIv = append(copyIv, sim.Interval{Start: o.Start, End: o.End, Op: o})
 			case sim.OpCopyD2H, sim.OpCopyH2D, sim.OpCopyP2P:
 				dr.CopyBusy += o.DurationT
 				copyIv = append(copyIv, sim.Interval{Start: o.Start, End: o.End, Op: o})
@@ -241,8 +260,18 @@ func (e *runtime) deviceResult(winStart, winEnd sim.Time) DeviceResult {
 	if dr.CopyBusy > 0 {
 		dr.OverlapEff = float64(overlapTime(copyIv, computeIv)) / float64(dr.CopyBusy)
 	}
+	dr.OffloadRawBytes = e.offRawBytes
+	dr.CompressionRatio = compressionRatio(dr.OffloadRawBytes, dr.OffloadBytes)
 	dr.Power = e.dev.MeasurePower(winStart, winEnd)
 	return dr
+}
+
+// compressionRatio is raw/wire, defaulting to 1 when there is no traffic.
+func compressionRatio(raw, wire int64) float64 {
+	if wire <= 0 || raw <= 0 {
+		return 1
+	}
+	return float64(raw) / float64(wire)
 }
 
 // ReplicaMeans averages the per-replica metrics of a data-parallel result:

@@ -84,6 +84,14 @@ type runtime struct {
 	fwdStarts []sim.Time // first fwd kernel start per layer
 	onDemand  int
 	chosenAlg []LayerAlgos // algorithms actually used (greedy fills these)
+
+	// Codec accounting for the measured iteration: the pre-codec (logical)
+	// bytes behind the offload/prefetch wire traffic, and the codec busy
+	// time on the DMA engines. Raw equals wire when nothing compresses.
+	offRawBytes    int64
+	preRawBytes    int64
+	compressTime   sim.Time
+	decompressTime sim.Time
 }
 
 // newRuntime builds the execution context of one replica on the given
@@ -332,6 +340,8 @@ func (e *runtime) resetIteration() {
 		st.offloaded = false
 	}
 	e.onDemand = 0
+	e.offRawBytes, e.preRawBytes = 0, 0
+	e.compressTime, e.decompressTime = 0, 0
 }
 
 func sumInputBytes(l *dnn.Layer, d tensor.DType) int64 {

@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"testing"
 
+	"vdnn/internal/compress"
 	"vdnn/internal/dnn"
 	"vdnn/internal/gpu"
 	"vdnn/internal/pcie"
@@ -80,4 +81,14 @@ func TestChromeTraceGoldenMultiGPU(t *testing.T) {
 		Spec: gpu.TitanX(), Policy: VDNNAll, Algo: MemOptimal,
 		Devices: 2, Topology: pcie.SharedGen3Root(),
 	}, "chrome_trace_multigpu.golden.json")
+}
+
+// TestChromeTraceGoldenCompressed pins the compressed-DMA trace: CMP events
+// on the copyD2H track feeding shrunken OFF transfers, DEC events on the
+// copyH2D track behind the PRE transfers, with the dense input batch passing
+// through uncompressed.
+func TestChromeTraceGoldenCompressed(t *testing.T) {
+	cfg := Config{Spec: gpu.TitanX(), Policy: VDNNAll, Algo: MemOptimal}
+	cfg.Compression = compress.Config{Codec: compress.CodecZVC}
+	checkGolden(t, cfg, "chrome_trace_compressed.golden.json")
 }

@@ -268,6 +268,27 @@ func (d *Device) Prefetch(label string, n int64, deps ...*sim.Op) *sim.Op {
 	return d.transfer(label, sim.OpCopyH2D, n, d.StreamMemory, d.DMAUp, d.ChanUp, deps...)
 }
 
+// Compress issues a codec pass on the offload path: the D2H DMA engine is
+// busy for dur reading rawBytes from DRAM before the compressed transfer it
+// feeds (the cDMA engine lives inside the DMA engine, not on the SMs).
+func (d *Device) Compress(label string, dur sim.Time, rawBytes int64, deps ...*sim.Op) *sim.Op {
+	return d.TL.Issue(&sim.Op{
+		Label: label, Kind: sim.OpCompress,
+		DurationT: dur, DRAMBytes: rawBytes,
+	}, d.StreamMemory, d.DMADown, deps...)
+}
+
+// Decompress issues a codec pass on the prefetch path: the H2D DMA engine is
+// busy for dur expanding a landed transfer back to rawBytes in DRAM. Ordering
+// behind the transfer comes from stream_memory's program order; consumers
+// depending on the returned op pay the decompression before use.
+func (d *Device) Decompress(label string, dur sim.Time, rawBytes int64, deps ...*sim.Op) *sim.Op {
+	return d.TL.Issue(&sim.Op{
+		Label: label, Kind: sim.OpDecompress,
+		DurationT: dur, DRAMBytes: rawBytes,
+	}, d.StreamMemory, d.DMAUp, deps...)
+}
+
 // p2p issues one leg of a peer-to-peer transfer (gradient all-reduce).
 // Peer DMA uses the copy engines and crosses the root complex like any bulk
 // transfer, but never demand-pages, so it keeps DMA cost even under the

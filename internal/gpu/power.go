@@ -59,8 +59,8 @@ func (d *Device) MeasurePower(start, end sim.Time) PowerStats {
 			switch o.Kind {
 			case sim.OpKernel:
 				computeBusy = true
-			case sim.OpCopyD2H, sim.OpCopyH2D, sim.OpCopyP2P:
-				copies++
+			case sim.OpCopyD2H, sim.OpCopyH2D, sim.OpCopyP2P, sim.OpCompress, sim.OpDecompress:
+				copies++ // codec passes keep their DMA engine busy
 			}
 			if o.DurationT > 0 {
 				dramBps += float64(o.DRAMBytes) / o.DurationT.Seconds()

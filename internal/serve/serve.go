@@ -57,6 +57,14 @@ type SimRequest struct {
 	// HostGB sizes host DRAM in GiB (default 64, the paper's testbed).
 	HostGB float64 `json:"host_gb,omitempty"`
 
+	// Codec enables the compressing DMA engine ("none", "zvc", "rle";
+	// default none): offload transfers shrink with activation sparsity and
+	// prefetches pay a decompression pass.
+	Codec vdnn.Codec `json:"codec,omitempty"`
+	// Sparsity names the activation-sparsity profile the codec assumes
+	// ("cdma", "flat50", "dense"; default cdma when a codec is active).
+	Sparsity string `json:"sparsity,omitempty"`
+
 	// Devices is the number of data-parallel replicas (default 1). Replicas
 	// share the interconnect described by Topology and all-reduce their
 	// weight gradients each step.
@@ -98,6 +106,17 @@ type SimResponse struct {
 	OnDemandFetches     int   `json:"on_demand_fetches"`
 	HostPinnedPeakBytes int64 `json:"host_pinned_peak_bytes"`
 
+	// Compressed-DMA results (codec set in the request). Offload/prefetch
+	// bytes above are wire (post-codec) traffic; the raw fields carry the
+	// pre-codec sizes.
+	Codec            string  `json:"codec,omitempty"`
+	SparsityProfile  string  `json:"sparsity_profile,omitempty"`
+	OffloadRawBytes  int64   `json:"offload_raw_bytes,omitempty"`
+	PrefetchRawBytes int64   `json:"prefetch_raw_bytes,omitempty"`
+	CompressionRatio float64 `json:"compression_ratio,omitempty"`
+	CompressTimeMs   float64 `json:"compress_time_ms,omitempty"`
+	DecompressTimeMs float64 `json:"decompress_time_ms,omitempty"`
+
 	AvgPowerW float64 `json:"avg_power_w"`
 	MaxPowerW float64 `json:"max_power_w"`
 
@@ -137,10 +156,12 @@ type SweepResponse struct {
 
 // CatalogResponse lists everything a request can name.
 type CatalogResponse struct {
-	Networks   []string `json:"networks"`
-	GPUs       []string `json:"gpus"`
-	Links      []string `json:"links"`
-	Topologies []string `json:"topologies"`
+	Networks         []string `json:"networks"`
+	GPUs             []string `json:"gpus"`
+	Links            []string `json:"links"`
+	Topologies       []string `json:"topologies"`
+	Codecs           []string `json:"codecs"`
+	SparsityProfiles []string `json:"sparsity_profiles"`
 }
 
 // Server is the HTTP handler. Create with New; it is an http.Handler safe
@@ -242,9 +263,22 @@ func (s *Server) resolve(req SimRequest) (*vdnn.Network, vdnn.Config, error) {
 		Oracle:          req.Oracle,
 		PageMigration:   req.PageMigration,
 		OffloadWeights:  req.OffloadWeights,
+		Compression:     vdnn.Compression{Codec: req.Codec, Sparsity: req.Sparsity},
 		Devices:         req.Devices,
 		Topology:        topology,
 		CaptureSchedule: req.Trace,
+	}
+	if req.Sparsity != "" && req.Codec == vdnn.CodecNone {
+		return nil, cfg, fmt.Errorf("sparsity %q given without a codec (set codec to zvc or rle)", req.Sparsity)
+	}
+	if req.Codec != vdnn.CodecNone && req.PageMigration {
+		// The codec lives in the DMA engines, which page migration bypasses;
+		// the runtime would silently drop it, so reject the conflict instead
+		// of reporting a codec that never ran.
+		return nil, cfg, fmt.Errorf("codec %q cannot run under page migration (the codec sits in the DMA engines)", req.Codec)
+	}
+	if err := cfg.Compression.Validate(); err != nil {
+		return nil, cfg, err
 	}
 	if req.HostGB > 0 {
 		cfg.HostBytes = int64(req.HostGB * float64(1<<30))
@@ -284,6 +318,15 @@ func response(req SimRequest, res *vdnn.Result) (SimResponse, error) {
 
 		AvgPowerW: res.Power.AvgW,
 		MaxPowerW: res.Power.MaxW,
+	}
+	if req.Codec != vdnn.CodecNone {
+		out.Codec = req.Codec.String()
+		out.SparsityProfile = vdnn.Compression{Codec: req.Codec, Sparsity: req.Sparsity}.WithDefaults().Sparsity
+		out.OffloadRawBytes = res.OffloadRawBytes
+		out.PrefetchRawBytes = res.PrefetchRawBytes
+		out.CompressionRatio = res.CompressionRatio
+		out.CompressTimeMs = res.CompressTime.Msec()
+		out.DecompressTimeMs = res.DecompressTime.Msec()
 	}
 	if n := len(res.Devices); n > 0 {
 		out.Devices = n
@@ -411,10 +454,12 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleNetworks(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, CatalogResponse{
-		Networks:   vdnn.NetworkNames(),
-		GPUs:       s.sim.GPUNames(),
-		Links:      s.sim.LinkNames(),
-		Topologies: vdnn.TopologyNames(),
+		Networks:         vdnn.NetworkNames(),
+		GPUs:             s.sim.GPUNames(),
+		Links:            s.sim.LinkNames(),
+		Topologies:       vdnn.TopologyNames(),
+		Codecs:           vdnn.CodecNames(),
+		SparsityProfiles: vdnn.SparsityProfileNames(),
 	})
 }
 

@@ -481,3 +481,101 @@ func TestCatalogListsTopologies(t *testing.T) {
 		t.Errorf("topologies = %v, want shared-x16 present", cat.Topologies)
 	}
 }
+
+// TestSimulateCompression exercises the compressed-DMA knob: the response
+// reports wire vs raw traffic, the ratio, and codec busy time, and the wire
+// traffic never exceeds the uncompressed run's.
+func TestSimulateCompression(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, body := post(t, ts.URL+"/v1/simulate",
+		`{"network":"alexnet","batch":64,"policy":"vdnn-all","algo":"m"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, body)
+	}
+	var plain SimResponse
+	if err := json.Unmarshal(body, &plain); err != nil {
+		t.Fatal(err)
+	}
+	if plain.Codec != "" || plain.CompressionRatio != 0 {
+		t.Fatalf("uncompressed response carries codec fields: %+v", plain)
+	}
+
+	resp, body = post(t, ts.URL+"/v1/simulate",
+		`{"network":"alexnet","batch":64,"policy":"vdnn-all","algo":"m","codec":"zvc"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, body)
+	}
+	var sr SimResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Codec != "zvc" || sr.SparsityProfile != "cdma" {
+		t.Fatalf("codec/profile = %q/%q", sr.Codec, sr.SparsityProfile)
+	}
+	if sr.OffloadBytes > plain.OffloadBytes {
+		t.Fatalf("compression increased offload bytes: %d > %d", sr.OffloadBytes, plain.OffloadBytes)
+	}
+	if sr.OffloadRawBytes != plain.OffloadBytes {
+		t.Fatalf("raw bytes %d != uncompressed wire %d", sr.OffloadRawBytes, plain.OffloadBytes)
+	}
+	if sr.CompressionRatio <= 1 || sr.CompressTimeMs <= 0 || sr.DecompressTimeMs <= 0 {
+		t.Fatalf("codec metrics missing: %+v", sr)
+	}
+
+	// Explicit profile selection round-trips.
+	resp, body = post(t, ts.URL+"/v1/simulate",
+		`{"network":"alexnet","batch":64,"policy":"vdnn-all","algo":"m","codec":"rle","sparsity":"flat50"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Codec != "rle" || sr.SparsityProfile != "flat50" {
+		t.Fatalf("codec/profile = %q/%q", sr.Codec, sr.SparsityProfile)
+	}
+}
+
+// TestSimulateCompressionInvalid: bad codec tokens, unknown profiles and a
+// profile without a codec are client errors.
+func TestSimulateCompressionInvalid(t *testing.T) {
+	_, ts := newTestServer(t)
+	for _, body := range []string{
+		`{"network":"alexnet","codec":"gzip"}`,
+		`{"network":"alexnet","codec":"zvc","sparsity":"nope"}`,
+		`{"network":"alexnet","sparsity":"cdma"}`,
+		`{"network":"alexnet","codec":"zvc","page_migration":true}`,
+	} {
+		resp, b := post(t, ts.URL+"/v1/simulate", body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, body %s", body, resp.StatusCode, b)
+		}
+	}
+}
+
+// TestCatalogListsCodecs: the catalog advertises the codec and sparsity
+// presets a request can name.
+func TestCatalogListsCodecs(t *testing.T) {
+	_, ts := newTestServer(t)
+	res, err := http.Get(ts.URL + "/v1/networks")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	var cat CatalogResponse
+	if err := json.NewDecoder(res.Body).Decode(&cat); err != nil {
+		t.Fatal(err)
+	}
+	if len(cat.Codecs) != 3 || cat.Codecs[1] != "zvc" {
+		t.Errorf("codecs = %v", cat.Codecs)
+	}
+	found := false
+	for _, n := range cat.SparsityProfiles {
+		if n == "cdma" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("sparsity profiles = %v, want cdma present", cat.SparsityProfiles)
+	}
+}

@@ -40,11 +40,13 @@ func (t Time) String() string { return t.Duration().String() }
 type OpKind int
 
 const (
-	OpKernel  OpKind = iota // compute kernel on the SM array
-	OpCopyD2H               // device-to-host DMA (offload)
-	OpCopyH2D               // host-to-device DMA (prefetch)
-	OpHost                  // host-side work (e.g. pinned allocation)
-	OpCopyP2P               // peer-to-peer DMA (gradient all-reduce)
+	OpKernel     OpKind = iota // compute kernel on the SM array
+	OpCopyD2H                  // device-to-host DMA (offload)
+	OpCopyH2D                  // host-to-device DMA (prefetch)
+	OpHost                     // host-side work (e.g. pinned allocation)
+	OpCopyP2P                  // peer-to-peer DMA (gradient all-reduce)
+	OpCompress                 // codec pass in the D2H DMA path (cDMA engine)
+	OpDecompress               // codec pass in the H2D DMA path (cDMA engine)
 )
 
 func (k OpKind) String() string {
@@ -59,6 +61,10 @@ func (k OpKind) String() string {
 		return "host"
 	case OpCopyP2P:
 		return "copyP2P"
+	case OpCompress:
+		return "compress"
+	case OpDecompress:
+		return "decompress"
 	}
 	return fmt.Sprintf("OpKind(%d)", int(k))
 }

@@ -53,9 +53,26 @@ func TestEnumTextRoundTrip(t *testing.T) {
 			t.Errorf("prefetch display form %q did not parse: %v", m.String(), err)
 		}
 	}
+	for _, c := range []vdnn.Codec{vdnn.CodecNone, vdnn.CodecZVC, vdnn.CodecRLE} {
+		b, err := c.MarshalText()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got vdnn.Codec
+		if err := got.UnmarshalText(b); err != nil || got != c {
+			t.Errorf("codec %v round trip via %q failed: %v", c, b, err)
+		}
+		if err := got.UnmarshalText([]byte(c.String())); err != nil || got != c {
+			t.Errorf("codec display form %q did not parse: %v", c.String(), err)
+		}
+	}
 	var p vdnn.Policy
 	if err := p.UnmarshalText([]byte("bogus")); err == nil {
 		t.Error("bogus policy token accepted")
+	}
+	var c vdnn.Codec
+	if err := c.UnmarshalText([]byte("gzip")); err == nil {
+		t.Error("bogus codec token accepted")
 	}
 }
 
@@ -86,6 +103,15 @@ func TestEnumAliases(t *testing.T) {
 			t.Errorf("prefetch %q = %v (%v)", in, f, err)
 		}
 	}
+	var c vdnn.Codec
+	for in, want := range map[string]vdnn.Codec{
+		"zero-value": vdnn.CodecZVC, "cdma": vdnn.CodecZVC,
+		"csr": vdnn.CodecRLE, "off": vdnn.CodecNone,
+	} {
+		if err := c.UnmarshalText([]byte(in)); err != nil || c != want {
+			t.Errorf("codec %q = %v (%v), want %v", in, c, err, want)
+		}
+	}
 }
 
 // TestEnumFlagValue checks the enums bind directly as CLI flags, the way
@@ -96,14 +122,16 @@ func TestEnumFlagValue(t *testing.T) {
 	policy := vdnn.VDNNDyn
 	algo := vdnn.PerfOptimal
 	prefetch := vdnn.PrefetchJIT
+	codec := vdnn.CodecNone
 	fs.Var(&policy, "policy", "")
 	fs.Var(&algo, "algo", "")
 	fs.Var(&prefetch, "prefetch", "")
-	if err := fs.Parse([]string{"-policy", "conv", "-algo", "greedy", "-prefetch", "eager"}); err != nil {
+	fs.Var(&codec, "codec", "")
+	if err := fs.Parse([]string{"-policy", "conv", "-algo", "greedy", "-prefetch", "eager", "-codec", "zvc"}); err != nil {
 		t.Fatal(err)
 	}
-	if policy != vdnn.VDNNConv || algo != vdnn.GreedyAlgo || prefetch != vdnn.PrefetchEager {
-		t.Errorf("parsed (%v, %v, %v)", policy, algo, prefetch)
+	if policy != vdnn.VDNNConv || algo != vdnn.GreedyAlgo || prefetch != vdnn.PrefetchEager || codec != vdnn.CodecZVC {
+		t.Errorf("parsed (%v, %v, %v, %v)", policy, algo, prefetch, codec)
 	}
 	if err := fs.Parse([]string{"-policy", "nope"}); err == nil {
 		t.Error("invalid -policy accepted")
@@ -115,14 +143,15 @@ func TestEnumFlagValue(t *testing.T) {
 // surfaces rely on.
 func TestConfigJSONRoundTrip(t *testing.T) {
 	cfg := vdnn.Config{
-		Spec:      vdnn.GTX980(),
-		Policy:    vdnn.VDNNConv,
-		Algo:      vdnn.GreedyAlgo,
-		Prefetch:  vdnn.PrefetchFig10,
-		Oracle:    true,
-		HostBytes: 32 << 30,
-		Devices:   4,
-		Topology:  vdnn.SharedGen3Root(),
+		Spec:        vdnn.GTX980(),
+		Policy:      vdnn.VDNNConv,
+		Algo:        vdnn.GreedyAlgo,
+		Prefetch:    vdnn.PrefetchFig10,
+		Oracle:      true,
+		Compression: vdnn.Compression{Codec: vdnn.CodecZVC, Sparsity: "flat50"},
+		HostBytes:   32 << 30,
+		Devices:     4,
+		Topology:    vdnn.SharedGen3Root(),
 	}
 	cfg.Spec.Link = vdnn.NVLink()
 	b, err := json.Marshal(cfg)
@@ -143,5 +172,8 @@ func TestConfigJSONRoundTrip(t *testing.T) {
 	}
 	if m["Policy"] != "vdnn-conv" || m["Algo"] != "greedy" || m["Prefetch"] != "fig10" {
 		t.Errorf("enum JSON forms = %v/%v/%v", m["Policy"], m["Algo"], m["Prefetch"])
+	}
+	if comp, ok := m["Compression"].(map[string]any); !ok || comp["Codec"] != "zvc" {
+		t.Errorf("compression JSON form = %v", m["Compression"])
 	}
 }

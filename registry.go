@@ -1,6 +1,7 @@
 package vdnn
 
 import (
+	"vdnn/internal/compress"
 	"vdnn/internal/gpu"
 	"vdnn/internal/pcie"
 )
@@ -13,6 +14,7 @@ import (
 // Built-in device names: "titanx", "titanx-nvlink", "gtx980", "teslak40",
 // "p100". Built-in link names: "pcie2", "pcie3", "nvlink". Built-in
 // topology names: "dedicated", "shared-x16", "shared-2x16", "shared-4x16".
+// Built-in sparsity-profile names: "cdma", "flat50", "dense".
 
 // GPUByName returns the registered device spec for a name like "titanx".
 func GPUByName(name string) (GPU, bool) { return gpu.ByName(name) }
@@ -45,3 +47,22 @@ func TopologyNames() []string { return pcie.TopologyNames() }
 // RegisterTopology adds (or replaces) a process-wide named topology. It
 // must validate.
 func RegisterTopology(name string, t Topology) error { return pcie.RegisterTopology(name, t) }
+
+// SparsityProfileByName returns the registered activation-sparsity profile
+// for a name like "cdma" ("cdma", "flat50", "dense" are built in; "cdma" is
+// the default of an active codec).
+func SparsityProfileByName(name string) (SparsityProfile, bool) {
+	return compress.ProfileByName(name)
+}
+
+// SparsityProfileNames lists the registered sparsity-profile names, sorted.
+func SparsityProfileNames() []string { return compress.ProfileNames() }
+
+// RegisterSparsityProfile adds (or replaces) a process-wide named sparsity
+// profile. It must validate.
+func RegisterSparsityProfile(name string, p SparsityProfile) error {
+	return compress.RegisterProfile(name, p)
+}
+
+// CodecNames lists the compression codec tokens ("none", "zvc", "rle").
+func CodecNames() []string { return compress.CodecNames() }
