@@ -120,6 +120,12 @@ type Time = sim.Time
 // efficiency of one GPU.
 type DeviceResult = core.DeviceResult
 
+// StageResult is the per-stage view of a pipeline-parallel Result
+// (Config.Stages > 1): the stage's layer range, its active span and
+// measured pipeline bubble, its inter-stage wire traffic and its own
+// offload/prefetch traffic.
+type StageResult = core.StageResult
+
 // GPU describes the simulated device.
 type GPU = gpu.Spec
 

@@ -7,8 +7,9 @@
 //	vdnn-explore -network vgg16 -batch 128 batch
 //	vdnn-explore -network vgg16 -batch 64 devices
 //	vdnn-explore -network vgg16 -batch 128 codec
+//	vdnn-explore -network vgg16 -batch 64 stages
 //
-// Sweeps: capacity, link, batch, prefetch, pagemig, devices, codec.
+// Sweeps: capacity, link, batch, prefetch, pagemig, devices, codec, stages.
 //
 // Each sweep is enqueued as one batch on a vdnn.Simulator, so its
 // simulations run concurrently and overlapping configurations across sweeps
@@ -34,7 +35,7 @@ func main() {
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: vdnn-explore [-network N] [-batch B] capacity|link|batch|prefetch|pagemig|devices")
+		fmt.Fprintln(os.Stderr, "usage: vdnn-explore [-network N] [-batch B] capacity|link|batch|prefetch|pagemig|devices|codec|stages")
 		os.Exit(1)
 	}
 
@@ -58,6 +59,8 @@ func main() {
 		e.devicesSweep(*batch)
 	case "codec":
 		e.codecSweep(*batch)
+	case "stages":
+		e.stagesSweep(*batch)
 	default:
 		fmt.Fprintf(os.Stderr, "vdnn-explore: unknown sweep %q\n", flag.Arg(0))
 		os.Exit(1)
@@ -219,7 +222,7 @@ func (e *explorer) devicesSweep(batch int) {
 	res := e.runAll(jobs)
 
 	t := report.NewTable(fmt.Sprintf("device sweep — %s (%d per replica), shared x16 root complex", e.name, batch),
-		"GPUs", "vDNN-all step/replica (ms)", "stall (ms)", "overlap", "base(p) step/replica (ms)", "aggregate img/s (vDNN)")
+		"GPUs", "vDNN-all step/replica (ms)", "stall (ms)", "overlap", "imbalance", "base(p) step/replica (ms)", "aggregate img/s (vDNN)")
 	for i, c := range counts {
 		dyn, base := res[2*i], res[2*i+1]
 		step, stall, overlap := dyn.ReplicaMeans()
@@ -227,7 +230,44 @@ func (e *explorer) devicesSweep(batch int) {
 		imgs := float64(batch*c) / dyn.IterTime.Seconds()
 		t.AddRow(fmt.Sprintf("%d", c),
 			report.FmtMs(int64(step)), report.FmtMs(int64(stall)), report.FmtPct(overlap),
+			fmt.Sprintf("%.2fx", dyn.DeviceImbalance()),
 			report.FmtMs(int64(baseStep)), fmt.Sprintf("%.0f", imgs))
+	}
+	t.Render(os.Stdout)
+}
+
+// stagesSweep scales pipeline parallelism: partition the network across 2-8
+// stages on a shared root complex, at the default and a generous micro-batch
+// count, against the single-device reference. Per-stage imbalance and the
+// measured bubble show where model partitioning stops paying.
+func (e *explorer) stagesSweep(batch int) {
+	type point struct{ stages, microBatches int }
+	points := []point{{1, 0}, {2, 0}, {4, 0}, {4, 8}, {8, 0}, {8, 16}}
+	topology, _ := vdnn.TopologyByName("shared-x16")
+	n := e.net(batch)
+	var jobs []vdnn.BatchJob
+	for _, p := range points {
+		jobs = append(jobs, vdnn.BatchJob{Net: n, Cfg: vdnn.Config{
+			Spec: vdnn.TitanX(), Policy: vdnn.VDNNAll, Algo: vdnn.MemOptimal,
+			Stages: p.stages, MicroBatches: p.microBatches, Topology: topology,
+		}})
+	}
+	res := e.runAll(jobs)
+
+	t := report.NewTable(fmt.Sprintf("pipeline-stage sweep — %s (%d), vDNN-all(m), shared x16 root complex", e.name, batch),
+		"stages", "micro-batches", "iter (ms)", "bubble", "imbalance", "inter-stage (MB)", "peak stage pool (MB)")
+	for i, p := range points {
+		r := res[i]
+		mb := "-"
+		bubble := "-"
+		if p.stages > 1 {
+			mb = fmt.Sprintf("%d", r.MicroBatches)
+			bubble = fmt.Sprintf("%.0f%%", 100*r.BubbleFraction)
+		}
+		t.AddRow(fmt.Sprintf("%d", p.stages), mb,
+			report.FmtMs(int64(r.IterTime)), bubble,
+			fmt.Sprintf("%.2fx", r.DeviceImbalance()),
+			report.FmtMiB(r.InterStageBytes), report.FmtMiB(r.MaxUsage))
 	}
 	t.Render(os.Stdout)
 }
@@ -270,21 +310,6 @@ func (e *explorer) codecSweep(batch int) {
 			report.FmtMs(int64(r.FETime)))
 	}
 	t.Render(os.Stdout)
-}
-
-// replicaMeans averages the per-replica metrics (falling back to the
-// aggregate for single-device results).
-func replicaMeans(r *vdnn.Result) (step, stall vdnn.Time, overlap float64) {
-	if len(r.Devices) == 0 {
-		return r.IterTime, 0, 1
-	}
-	for _, d := range r.Devices {
-		step += d.StepTime
-		stall += d.ContentionStall
-		overlap += d.OverlapEff
-	}
-	n := vdnn.Time(len(r.Devices))
-	return step / n, stall / n, overlap / float64(len(r.Devices))
 }
 
 func mustLink(name string) vdnn.Link {

@@ -18,8 +18,8 @@
 // Experiments: fig1, fig4, fig5, fig6, fig11, fig12, fig13, fig14, fig15,
 // power, ablation-prefetch, ablation-pagemig, ablation-link,
 // ablation-capacity, ablation-weights, ablation-batch, case-multigpu,
-// case-contention, case-compression, case-precision, case-devices,
-// case-resnet.
+// case-contention, case-pipeline, case-compression, case-precision,
+// case-devices, case-resnet.
 package main
 
 import (

@@ -37,7 +37,10 @@ func main() {
 		memGB    = flag.Int("gpu-mem", 0, "override GPU memory in GB (0 = device default)")
 		link     = flag.String("link", "", "override interconnect: "+strings.Join(vdnn.LinkNames(), ", "))
 		devices  = flag.Int("devices", 1, "data-parallel replicas sharing the interconnect")
-		topo     = flag.String("topology", "", "multi-GPU topology: "+strings.Join(vdnn.TopologyNames(), ", ")+" (default shared-x16 when -devices > 1)")
+		stages   = flag.Int("stages", 1, "pipeline-parallel stages, one device per stage (model partitioning)")
+		microbs  = flag.Int("microbatches", 0, "micro-batches streamed through the pipeline (default: -stages)")
+		cuts     = flag.String("stage-cuts", "", "explicit stage boundaries as layer IDs, e.g. 7,13,20 (default: balanced by cost)")
+		topo     = flag.String("topology", "", "multi-GPU topology: "+strings.Join(vdnn.TopologyNames(), ", ")+" (default shared-x16 when -devices or -stages > 1)")
 		pagemig  = flag.Bool("page-migration", false, "use page-migration transfers instead of pinned DMA")
 		sparsity = flag.String("sparsity", "", "activation-sparsity profile for -codec: "+strings.Join(vdnn.SparsityProfileNames(), ", ")+" (default cdma)")
 		oracle   = flag.Bool("oracle", false, "simulate a GPU with unlimited memory")
@@ -97,6 +100,9 @@ func main() {
 		PageMigration:   *pagemig,
 		Compression:     vdnn.Compression{Codec: codec, Sparsity: *sparsity},
 		Devices:         *devices,
+		Stages:          *stages,
+		MicroBatches:    *microbs,
+		StageCuts:       *cuts,
 		Topology:        topology,
 		CaptureSchedule: *chrome != "",
 	}
@@ -134,7 +140,24 @@ func main() {
 		res.IterTime.Msec(), res.FETime.Msec())
 	fmt.Printf("  power: avg %.0f W, max %.0f W\n", res.Power.AvgW, res.Power.MaxW)
 
-	if len(res.Devices) > 0 {
+	if len(res.Stages) > 0 {
+		fmt.Printf("  pipeline: %d stages x %d micro-batches over %v, inter-stage %s, bubble %.1f ms (%.0f%%), imbalance %.2fx\n",
+			len(res.Stages), res.MicroBatches, cfg.Topology,
+			vdnn.FormatBytes(res.InterStageBytes), res.BubbleTime.Msec(),
+			100*res.BubbleFraction, res.DeviceImbalance())
+		t := report.NewTable("per-stage stats",
+			"stage", "layers", "step (ms)", "busy (ms)", "bubble (ms)", "send (MB)", "recv (MB)", "offload (MB)", "pool peak (MB)")
+		for _, s := range res.Stages {
+			t.AddRow(fmt.Sprintf("gpu%d", s.Stage),
+				fmt.Sprintf("%d-%d", s.FirstLayer, s.LastLayer),
+				report.FmtMs(int64(s.StepTime)), report.FmtMs(int64(s.ComputeBusy)),
+				report.FmtMs(int64(s.BubbleTime)),
+				report.FmtMiB(s.SendBytes), report.FmtMiB(s.RecvBytes),
+				report.FmtMiB(s.OffloadBytes), report.FmtMiB(s.PoolPeak))
+		}
+		fmt.Println()
+		t.Render(os.Stdout)
+	} else if len(res.Devices) > 0 {
 		fmt.Printf("  multi-GPU: %d replicas over %v, all-reduce %s in %.1f ms\n",
 			len(res.Devices), cfg.Topology, vdnn.FormatBytes(res.AllReduceBytes), res.AllReduceTime.Msec())
 		t := report.NewTable("per-device stats",

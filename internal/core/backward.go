@@ -5,8 +5,10 @@ import (
 
 	"vdnn/internal/cudnnsim"
 	"vdnn/internal/dnn"
+	"vdnn/internal/gpu"
 	"vdnn/internal/memalloc"
 	"vdnn/internal/sim"
+	"vdnn/internal/tensor"
 )
 
 // findPrefetchLayer is a direct port of the paper's Figure 10: starting from
@@ -41,11 +43,11 @@ func (e *runtime) prefetchBuffers(label string, bufs []*dnn.Tensor) ([]*sim.Op, 
 		if !bs.offloaded {
 			continue
 		}
-		b, err := e.alloc(t.Bytes(e.net.DType), memalloc.KindFeatureMap, fmt.Sprintf("fm%d", t.ID))
+		b, err := e.alloc(e.mbShare(t.Bytes(e.net.DType)), memalloc.KindFeatureMap, fmt.Sprintf("fm%d", t.ID))
 		if err != nil {
 			return nil, err
 		}
-		op := e.prefetchCompressed(fmt.Sprintf("PRE:%s(fm%d)", label, t.ID), t, t.Bytes(e.net.DType))
+		op := e.prefetchCompressed(fmt.Sprintf("PRE:%s(fm%d)", label, t.ID), t, e.mbShare(t.Bytes(e.net.DType)))
 		bs.block = b
 		bs.offloaded = false
 		bs.lastWrite = op
@@ -60,7 +62,7 @@ func (e *runtime) prefetchBuffers(label string, bufs []*dnn.Tensor) ([]*sim.Op, 
 // tests).
 func (e *runtime) fetchOnDemand(t *dnn.Tensor) error {
 	bs := e.buf[t]
-	b, err := e.alloc(t.Bytes(e.net.DType), memalloc.KindFeatureMap, fmt.Sprintf("fm%d", t.ID))
+	b, err := e.alloc(e.mbShare(t.Bytes(e.net.DType)), memalloc.KindFeatureMap, fmt.Sprintf("fm%d", t.ID))
 	if err != nil {
 		return err
 	}
@@ -69,7 +71,7 @@ func (e *runtime) fetchOnDemand(t *dnn.Tensor) error {
 	// compute drains and the next kernel waits on it (the serialization the
 	// paper's Section III-A describes) — decompression included when the
 	// buffer went out compressed.
-	op := e.prefetchCompressed(fmt.Sprintf("FETCH(fm%d)", t.ID), t, t.Bytes(e.net.DType), e.dev.StreamCompute.Last())
+	op := e.prefetchCompressed(fmt.Sprintf("FETCH(fm%d)", t.ID), t, e.mbShare(t.Bytes(e.net.DType)), e.dev.StreamCompute.Last())
 	e.dev.TL.Wait(op)
 	bs.block = b
 	bs.offloaded = false
@@ -89,7 +91,7 @@ func (e *runtime) ensureGrad(root *dnn.Tensor) (*memalloc.Block, error) {
 	if gi == nil {
 		return nil, fmt.Errorf("core: no gradient info for fm%d", root.ID)
 	}
-	b, err := e.alloc(gi.Bytes, memalloc.KindGradMap, fmt.Sprintf("grad%d", root.ID))
+	b, err := e.alloc(e.mbShare(gi.Bytes), memalloc.KindGradMap, fmt.Sprintf("grad%d", root.ID))
 	if err != nil {
 		return nil, err
 	}
@@ -315,12 +317,55 @@ type kernelOp struct {
 	cost cudnnsim.Cost
 }
 
+// bwdKernelCosts enumerates a layer's backward kernel costs — the cost half
+// of bwdKernels' switch, used by the pipeline partitioner's per-layer
+// estimate (it includes the CONV data gradient unconditionally; whether the
+// first layer skips it never moves a stage boundary).
+func bwdKernelCosts(spec gpu.Spec, d tensor.DType, l *dnn.Layer, algos LayerAlgos) []cudnnsim.Cost {
+	switch l.Kind {
+	case dnn.Conv:
+		g := l.ConvGeom(d)
+		return []cudnnsim.Cost{
+			cudnnsim.ConvCost(spec, g, algos.BwdData, cudnnsim.BwdData),
+			cudnnsim.ConvCost(spec, g, algos.BwdFilter, cudnnsim.BwdFilter),
+		}
+	case dnn.ReLU:
+		return []cudnnsim.Cost{cudnnsim.ActivationBwdCost(spec, l.In().Bytes(d))}
+	case dnn.Pool:
+		return []cudnnsim.Cost{cudnnsim.PoolBwdCost(spec, l.In().Bytes(d), l.Output.Bytes(d))}
+	case dnn.LRN:
+		return []cudnnsim.Cost{cudnnsim.LRNBwdCost(spec, l.In().Bytes(d))}
+	case dnn.Concat, dnn.Add:
+		return nil // pure views over the output gradient
+	case dnn.BatchNorm:
+		return []cudnnsim.Cost{cudnnsim.ElementwiseCost(spec, l.In().Bytes(d), 4)}
+	case dnn.FC:
+		in := l.In().Shape
+		inF, outF, n := in.PerSample(), int64(l.FC.OutFeatures), int64(in.N)
+		return []cudnnsim.Cost{
+			cudnnsim.GEMMCost(spec, inF, outF, n, d.Size()),
+			cudnnsim.GEMMCost(spec, outF, n, inF, d.Size()),
+		}
+	case dnn.Dropout:
+		return []cudnnsim.Cost{cudnnsim.DropoutBwdCost(spec, l.In().Bytes(d), l.MaskBytes(d))}
+	case dnn.SoftmaxLoss:
+		return []cudnnsim.Cost{cudnnsim.SoftmaxCost(spec, l.In().Bytes(d))}
+	}
+	return nil
+}
+
 // bwdKernels issues the backward kernels of one layer and returns them.
 func (e *runtime) bwdKernels(l *dnn.Layer, algos LayerAlgos) []kernelOp {
 	spec := e.cfg.Spec
 	d := e.net.DType
 	var out []kernelOp
 	issue := func(label string, c cudnnsim.Cost, deps ...*sim.Op) {
+		c = e.mbCost(c)
+		if e.bwdExtraDep != nil {
+			// Pipeline: a stage's backward kernels wait for the inter-stage
+			// gradient of the micro-batch to land (nil otherwise).
+			deps = append(deps, e.bwdExtraDep)
+		}
 		op := e.dev.Kernel(label, c.Dur, c.Flops, c.DRAMBytes, deps...)
 		out = append(out, kernelOp{op, c})
 	}

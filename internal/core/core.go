@@ -147,8 +147,33 @@ type Config struct {
 	// replica trains the full network on its own minibatch under the same
 	// policy and plan; the weight gradients are ring-all-reduced over the
 	// interconnect each step. Per-replica and aggregate metrics land in
-	// Result.Devices.
+	// Result.Devices. Mutually exclusive with Stages > 1.
 	Devices int
+
+	// Stages splits the network's layer sequence into that many contiguous
+	// pipeline stages, one device per stage (inter-layer model parallelism).
+	// Micro-batches stream through the stages GPipe-style (fill, steady
+	// state, drain); inter-stage activation and gradient transfers cross the
+	// Topology's interconnect, contending with each stage's own vDNN
+	// offload/prefetch traffic. Default 1: no pipelining, today's exact
+	// single-device schedule. Mutually exclusive with Devices > 1 and with
+	// OffloadWeights (a stage's weights are live across every in-flight
+	// micro-batch).
+	Stages int
+
+	// MicroBatches is the number of micro-batches one iteration's minibatch
+	// is split into under pipeline parallelism (Config.Stages > 1). More
+	// micro-batches shrink the pipeline bubble — the idle fill/drain
+	// fraction is (S-1)/(M+S-1) — at the cost of smaller, less efficient
+	// transfers. Defaults to Stages; normalized to 1 when Stages == 1.
+	MicroBatches int
+
+	// StageCuts places the stage boundaries explicitly: a comma-separated
+	// list of layer IDs ("5,9,13"), each starting a new stage, overriding
+	// the automatic balanced-by-cost partitioner. Must name Stages-1 valid
+	// boundaries when Stages > 1 (every boundary must be crossed by exactly
+	// one live feature map); normalized empty when Stages == 1.
+	StageCuts string
 
 	// Topology describes how the replicas attach to the host interconnect:
 	// the zero value (or pcie.Dedicated()) gives every device its full link,
@@ -203,7 +228,20 @@ func (c Config) WithDefaults() Config {
 	if c.Devices <= 0 {
 		c.Devices = 1
 	}
-	if c.Devices == 1 {
+	if c.Stages <= 0 {
+		c.Stages = 1
+	}
+	if c.Stages == 1 {
+		// One stage is no pipeline: micro-batching degenerates to gradient
+		// accumulation (out of scope) and cut points are meaningless, so
+		// normalize both away — the zero-value Config keeps its schedule and
+		// cache key byte for byte.
+		c.MicroBatches = 1
+		c.StageCuts = ""
+	} else if c.MicroBatches <= 0 {
+		c.MicroBatches = c.Stages
+	}
+	if c.Devices == 1 && c.Stages == 1 {
 		// A single device never contends with anything: the topology cannot
 		// affect the schedule, so normalize it away and let every
 		// single-device request share one cache entry.
@@ -218,6 +256,29 @@ func (c Config) WithDefaults() Config {
 		c.Compression = compress.Config{}
 	}
 	return c
+}
+
+// validatePipeline checks the pipeline knobs of a normalized Config against
+// the network's layer count. Partition feasibility (enough single-crossing
+// boundaries, valid explicit cuts) is checked later, when the stage ranges
+// are derived.
+func (c Config) validatePipeline(layers int) error {
+	if c.Stages == 1 {
+		return nil
+	}
+	if c.Stages > maxDevices {
+		return fmt.Errorf("core: %d pipeline stages exceeds the device limit of %d", c.Stages, maxDevices)
+	}
+	if c.Stages > layers {
+		return fmt.Errorf("core: %d pipeline stages exceed the network's %d layers", c.Stages, layers)
+	}
+	if c.Devices > 1 {
+		return fmt.Errorf("core: pipeline parallelism (Stages=%d) cannot combine with data parallelism (Devices=%d)", c.Stages, c.Devices)
+	}
+	if c.OffloadWeights {
+		return fmt.Errorf("core: OffloadWeights cannot combine with pipeline parallelism (a stage's weights stay live across every in-flight micro-batch)")
+	}
+	return nil
 }
 
 // LayerStats is the per-layer view of a run, feeding Figures 5, 6 and 13.
@@ -322,8 +383,34 @@ type Result struct {
 	// (Config.Devices > 1); nil for single-device simulations. The top-level
 	// pool/usage numbers describe one replica (replicas are symmetric),
 	// while OffloadBytes/PrefetchBytes/HostPinnedPeak aggregate across
-	// replicas.
+	// replicas. Pipeline runs (Config.Stages > 1) fill it too — device i
+	// hosts stage i — so device-level tooling works unchanged.
 	Devices []DeviceResult
+
+	// Stages carries the per-stage metrics of a pipeline-parallel run
+	// (Config.Stages > 1); nil otherwise. Stage i runs on device i. For
+	// pipeline runs the top-level pool/usage fields report the maximum over
+	// stages (each stage owns its own pool), FrameworkBytes sums the
+	// classifier memory wherever it landed, the traffic counters aggregate
+	// across stages, and Power aggregates across the stage devices — AvgW
+	// is the exact whole-pipeline average board power (unlike data-parallel
+	// runs, whose Power describes one replica), while MaxW sums the stages'
+	// individual maxima, an upper bound on the simultaneous node peak.
+	// Per-device power stays in Devices[i].Power.
+	Stages []StageResult
+	// MicroBatches is the pipeline's micro-batch count (1 otherwise).
+	MicroBatches int
+	// InterStageBytes is the total inter-stage activation + gradient wire
+	// traffic of the measured iteration, across all boundaries and
+	// micro-batches; InterStageRawBytes is its pre-codec size (gradients
+	// always move dense; activations compress under Config.Compression).
+	InterStageBytes    int64
+	InterStageRawBytes int64
+	// BubbleTime sums the stages' exposed compute idle time (see
+	// StageResult.BubbleTime); BubbleFraction normalizes it by stages ×
+	// iteration span. Zero for non-pipeline runs.
+	BubbleTime     sim.Time
+	BubbleFraction float64
 	// AllReduceBytes is the total gradient-synchronization traffic of the
 	// measured iteration, across all replicas and both directions.
 	AllReduceBytes int64
@@ -383,6 +470,35 @@ type DeviceResult struct {
 	Power gpu.PowerStats
 }
 
+// StageResult is the per-stage view of a pipeline-parallel run.
+type StageResult struct {
+	Stage int
+	// FirstLayer/LastLayer are the stage's layer ID range (inclusive).
+	FirstLayer, LastLayer int
+
+	// StepTime is the stage's active span in the measured iteration: from
+	// its first op's start to its last op's end.
+	StepTime sim.Time
+	// ComputeBusy is the stage's compute-engine busy time in that window;
+	// BubbleTime is the exposed remainder (StepTime − ComputeBusy): time the
+	// stage's device sat idle waiting for micro-batches, gradients, or
+	// transfers — the pipeline bubble, measured rather than modeled.
+	ComputeBusy sim.Time
+	BubbleTime  sim.Time
+
+	// SendBytes/RecvBytes are the stage's inter-stage wire traffic:
+	// activations forwarded to the next stage plus gradients returned to the
+	// previous one. Conservation holds per boundary: stage s's sends to s+1
+	// equal stage s+1's receives from s.
+	SendBytes, RecvBytes int64
+	// OffloadBytes/PrefetchBytes are the stage's own vDNN host-transfer wire
+	// traffic.
+	OffloadBytes, PrefetchBytes int64
+
+	// PoolPeak is the stage's vDNN memory-pool peak usage.
+	PoolPeak int64
+}
+
 // AllocFailure is the error returned when a configuration runs out of pool
 // memory; it carries the free-list snapshot for diagnosis.
 type AllocFailure struct {
@@ -420,6 +536,9 @@ func Run(net *dnn.Network, cfg Config) (*Result, error) {
 	if cfg.Devices > maxDevices {
 		return nil, fmt.Errorf("core: %d devices exceeds the limit of %d", cfg.Devices, maxDevices)
 	}
+	if err := cfg.validatePipeline(len(net.Layers)); err != nil {
+		return nil, err
+	}
 	if err := cfg.Topology.Validate(); err != nil {
 		return nil, err
 	}
@@ -446,14 +565,14 @@ func runStatic(net *dnn.Network, cfg Config, pol OffloadPolicy) (*Result, error)
 	if err != nil {
 		return nil, err
 	}
-	res, runErr := execute(net, cfg, plan)
+	res, runErr := execute(net, cfg, pol, plan)
 	if runErr == nil {
 		return res, nil
 	}
 	// OOM: report the hypothetical demand on an oracular device.
 	oracleCfg := cfg
 	oracleCfg.Oracle = true
-	res, err = execute(net, oracleCfg, plan)
+	res, err = execute(net, oracleCfg, pol, plan)
 	if err != nil {
 		return nil, fmt.Errorf("core: oracle rerun failed: %w", err)
 	}
@@ -489,7 +608,7 @@ func profileSimulate(net *dnn.Network) Simulate {
 		if err != nil {
 			return nil, err
 		}
-		res, runErr := execute(net, sub, plan)
+		res, runErr := execute(net, sub, pol, plan)
 		if runErr != nil {
 			if sub.Oracle {
 				return nil, fmt.Errorf("core: oracle candidate failed: %w", runErr)

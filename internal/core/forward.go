@@ -5,8 +5,10 @@ import (
 
 	"vdnn/internal/cudnnsim"
 	"vdnn/internal/dnn"
+	"vdnn/internal/gpu"
 	"vdnn/internal/memalloc"
 	"vdnn/internal/sim"
+	"vdnn/internal/tensor"
 )
 
 // fwdPending is the in-flight state of one layer's forward pass between its
@@ -36,12 +38,12 @@ func (e *runtime) issueForward(l *dnn.Layer) (fwdPending, error) {
 				return p, err
 			}
 			bs := e.buf[t]
-			op := e.offloadCompressed(fmt.Sprintf("%s(fm%d)", l.Name, t.ID), t, t.Bytes(d), bs.lastWrite)
+			op := e.offloadCompressed(fmt.Sprintf("%s(fm%d)", l.Name, t.ID), t, e.mbShare(t.Bytes(d)), bs.lastWrite)
 			p.offOps = append(p.offOps, op)
 			p.offBufs = append(p.offBufs, t)
 			e.lay[l.ID].offloaded = true
 			st.Offloaded = true
-			st.OffloadBytes += t.Bytes(d)
+			st.OffloadBytes += e.mbShare(t.Bytes(d))
 		}
 		if ws := e.wState[l]; ws != nil && e.offloadsWeights() && !ws.offloaded {
 			if ws.pinned == nil {
@@ -68,7 +70,7 @@ func (e *runtime) issueForward(l *dnn.Layer) (fwdPending, error) {
 	// classifier buffers are network-wide).
 	out := e.buf[l.Output]
 	if !l.InPlace && out.block == nil {
-		b, err := e.alloc(l.Output.Bytes(d), memalloc.KindFeatureMap, fmt.Sprintf("fm%d", l.Output.ID))
+		b, err := e.alloc(e.mbShare(l.Output.Bytes(d)), memalloc.KindFeatureMap, fmt.Sprintf("fm%d", l.Output.ID))
 		if err != nil {
 			return p, err
 		}
@@ -97,7 +99,7 @@ func (e *runtime) issueForward(l *dnn.Layer) (fwdPending, error) {
 	}
 	st.FwdWSBytes = wsBytes
 
-	cost := e.fwdCost(l, algos)
+	cost := e.mbCost(e.fwdCost(l, algos))
 	deps := make([]*sim.Op, 0, len(l.Inputs))
 	for _, t := range l.Inputs {
 		if e.buf[t].block == nil {
@@ -141,6 +143,34 @@ func (e *runtime) finishForward(p fwdPending) {
 	}
 }
 
+// finishForwardAsync is the pipeline trainer's end-of-layer step: the same
+// releases as finishForward, but without blocking the shared host thread —
+// the device copies are scheduled to free once the kernel and the offloads
+// have completed, so one stage's synchronization never stalls the issue of
+// another stage's work.
+func (e *runtime) finishForwardAsync(p fwdPending) {
+	if len(p.offOps) == 0 {
+		return
+	}
+	rel := p.kernel.End
+	for _, o := range p.offOps {
+		if o.End > rel {
+			rel = o.End
+		}
+	}
+	for _, t := range p.offBufs {
+		bs := e.buf[t]
+		e.pool.Free(bs.block, rel)
+		bs.block = nil
+		bs.offloaded = true
+	}
+	if p.offW != nil {
+		e.pool.Free(p.offW.block, rel)
+		p.offW.block = nil
+		p.offW.offloaded = true
+	}
+}
+
 // recordFwd updates the per-layer stats from a forward kernel.
 func (e *runtime) recordFwd(l *dnn.Layer, st *LayerStats, c cudnnsim.Cost, op *sim.Op, wsBytes int64) {
 	st.FwdTime += c.Dur
@@ -166,8 +196,12 @@ func (e *runtime) recordFwd(l *dnn.Layer, st *LayerStats, c cudnnsim.Cost, op *s
 
 // fwdCost computes the forward kernel cost of a layer.
 func (e *runtime) fwdCost(l *dnn.Layer, algos LayerAlgos) cudnnsim.Cost {
-	spec := e.cfg.Spec
-	d := e.net.DType
+	return fwdKernelCost(e.cfg.Spec, e.net.DType, l, algos)
+}
+
+// fwdKernelCost is the forward kernel cost model, also consulted by the
+// pipeline partitioner's per-layer cost estimate.
+func fwdKernelCost(spec gpu.Spec, d tensor.DType, l *dnn.Layer, algos LayerAlgos) cudnnsim.Cost {
 	switch l.Kind {
 	case dnn.Conv:
 		return cudnnsim.ConvCost(spec, l.ConvGeom(d), algos.Fwd, cudnnsim.Fwd)

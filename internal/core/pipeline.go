@@ -1,0 +1,526 @@
+package core
+
+import (
+	"fmt"
+
+	"vdnn/internal/compress"
+	"vdnn/internal/cudnnsim"
+	"vdnn/internal/dnn"
+	"vdnn/internal/gpu"
+	"vdnn/internal/memalloc"
+	"vdnn/internal/partition"
+	"vdnn/internal/sim"
+)
+
+// Pipeline-parallel trainer (Config.Stages > 1).
+//
+// The network's layer sequence is split into contiguous stages, one device
+// per stage, and each iteration's minibatch into Config.MicroBatches
+// micro-batches that stream through the stages GPipe-style: a fill phase
+// while the first micro-batches propagate forward, a steady state where
+// every stage works on a different micro-batch, and a drain during backward.
+// Each stage runs the full vDNN runtime on its own layers — per-stage
+// offload/prefetch under the configured OffloadPolicy, per-stage memory
+// pool, per-stage codec decisions — while the boundary activations
+// (forward) and boundary gradients (backward) cross the Topology's
+// interconnect, contending with that offload traffic on the shared
+// root-complex channels. Activation sends go through the compressing DMA
+// engine when Config.Compression is active; gradients move dense (the cDMA
+// observation: sparsity lives in activations).
+
+// stageBoundary is the single feature map crossing between stage b and
+// stage b+1, with its resolved activation codec (compressed == false means
+// the transfer moves raw bytes).
+type stageBoundary struct {
+	t          *dnn.Tensor
+	codec      codecDecision
+	compressed bool
+}
+
+// pipelineStages derives the stage partition of a pipeline configuration:
+// explicit Config.StageCuts when given, otherwise the balanced-by-cost
+// partitioner over the allowed cut positions. A cut position is allowed when
+// exactly one live feature map crosses it and that map's gradient is its own
+// (no concat/add gradient aliasing across the boundary) — the single
+// activation/gradient hand-off the inter-stage transfer machinery models.
+func pipelineStages(net *dnn.Network, cfg Config, pol OffloadPolicy) ([]partition.Stage, []stageBoundary, error) {
+	n := len(net.Layers)
+	allowed, crossing := allowedCuts(net)
+
+	var parts []partition.Stage
+	if cfg.StageCuts != "" {
+		cuts, err := partition.ParseCuts(cfg.StageCuts)
+		if err != nil {
+			return nil, nil, err
+		}
+		if len(cuts)+1 != cfg.Stages {
+			return nil, nil, fmt.Errorf("core: %d stage cuts define %d stages, Config.Stages is %d",
+				len(cuts), len(cuts)+1, cfg.Stages)
+		}
+		parts, err = partition.FromCuts(n, cuts, allowed)
+		if err != nil {
+			return nil, nil, err
+		}
+	} else {
+		costs := make([]float64, n)
+		for i, l := range net.Layers {
+			costs[i] = layerCostEstimate(cfg.Spec, net, l, cfg.Algo)
+		}
+		var err error
+		parts, err = partition.Balanced(costs, cfg.Stages, allowed)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	if err := partition.Verify(parts, n); err != nil {
+		return nil, nil, err
+	}
+
+	bounds := make([]stageBoundary, len(parts)-1)
+	for b := range bounds {
+		bounds[b] = stageBoundary{t: crossing[parts[b].Hi]}
+	}
+	if err := resolveBoundaryCodecs(net, cfg, pol, bounds); err != nil {
+		return nil, nil, err
+	}
+	return parts, bounds, nil
+}
+
+// allowedCuts computes the valid stage-boundary positions and, for each, the
+// crossing tensor. Position i (a boundary immediately before layer i) is
+// allowed when exactly one tensor is live across it — produced by a layer
+// below i, still consumed at or above i — the network input crosses nowhere,
+// and the crossing tensor owns its gradient (GradRoot(t) == t with gradient
+// info, so a dense dX can be handed back across the boundary).
+func allowedCuts(net *dnn.Network) (allowed []bool, crossing []*dnn.Tensor) {
+	n := len(net.Layers)
+	allowed = make([]bool, n)
+	crossing = make([]*dnn.Tensor, n+1)
+	gradInfos := dnn.GradientInfos(net)
+	for i := 1; i < n; i++ {
+		var cross *dnn.Tensor
+		count := 0
+		inputLive := false
+		for _, t := range net.Tensors {
+			live := false
+			for _, c := range t.Consumer {
+				if c.ID >= i {
+					live = true
+					break
+				}
+			}
+			if !live {
+				continue
+			}
+			if t.Producer == nil {
+				inputLive = true
+				break
+			}
+			if t.Producer.ID < i {
+				cross = t
+				count++
+			}
+		}
+		if inputLive || count != 1 {
+			continue
+		}
+		if dnn.GradRoot(cross) != cross || gradInfos[cross] == nil {
+			continue
+		}
+		allowed[i] = true
+		crossing[i] = cross
+	}
+	return allowed, crossing
+}
+
+// layerCostEstimate scores one layer for the balanced partitioner: forward
+// plus backward kernel time under the requested algorithm mode (greedy
+// layers are estimated memory-optimal, their guaranteed-feasible floor).
+// Only relative magnitudes matter — the estimate balances stages, the
+// simulation itself uses the real plan.
+func layerCostEstimate(spec gpu.Spec, net *dnn.Network, l *dnn.Layer, algo AlgoMode) float64 {
+	d := net.DType
+	var algos LayerAlgos
+	if l.Kind == dnn.Conv {
+		switch algo {
+		case PerfOptimal:
+			g := l.ConvGeom(d)
+			algos = LayerAlgos{
+				Fwd:       cudnnsim.FastestAlgo(spec, g, cudnnsim.Fwd, -1).Algo,
+				BwdData:   cudnnsim.FastestAlgo(spec, g, cudnnsim.BwdData, -1).Algo,
+				BwdFilter: cudnnsim.FastestAlgo(spec, g, cudnnsim.BwdFilter, -1).Algo,
+			}
+		default:
+			algos = LayerAlgos{cudnnsim.ImplicitGEMM, cudnnsim.ImplicitGEMM, cudnnsim.ImplicitGEMM}
+		}
+	}
+	total := fwdKernelCost(spec, d, l, algos).Dur
+	for _, c := range bwdKernelCosts(spec, d, l, algos) {
+		total += c.Dur
+	}
+	return float64(total)
+}
+
+// resolveBoundaryCodecs fills each boundary's activation codec decision by
+// running the crossing tensors through buildCompression — the exact
+// resolution the offload plan applies (configured codec, sparsity profile,
+// CompressionPolicy hook), so inter-stage activations compress exactly like
+// offloaded ones.
+func resolveBoundaryCodecs(net *dnn.Network, cfg Config, pol OffloadPolicy, bounds []stageBoundary) error {
+	ts := make([]*dnn.Tensor, len(bounds))
+	for i := range bounds {
+		ts[i] = bounds[i].t
+	}
+	decisions, err := buildCompression(net, cfg, pol, ts)
+	if err != nil {
+		return err
+	}
+	for i := range bounds {
+		if d, ok := decisions[bounds[i].t]; ok {
+			bounds[i].codec = d
+			bounds[i].compressed = true
+		}
+	}
+	return nil
+}
+
+// executePP simulates a pipeline-parallel configuration: per-stage runtimes
+// on one shared timeline, micro-batches streamed through them with
+// inter-stage transfers arbitrated over the topology's shared channels.
+func executePP(net *dnn.Network, cfg Config, pol OffloadPolicy) (*Result, error) {
+	parts, bounds, err := pipelineStages(net, cfg, pol)
+	if err != nil {
+		return nil, err
+	}
+	tl := sim.New(cfg.Spec.LaunchOverhead, cfg.Spec.SyncOverhead)
+	var down, up *sim.SharedChannel
+	if cfg.Topology.Shared() {
+		down = sim.NewSharedChannel("root.down", float64(cfg.Topology.RootBps))
+		up = sim.NewSharedChannel("root.up", float64(cfg.Topology.RootBps))
+	}
+
+	// Stages share the node's host DRAM: split the pinned-memory budget.
+	stCfg := cfg
+	stCfg.HostBytes = cfg.HostBytes / int64(cfg.Stages)
+
+	rts := make([]*runtime, len(parts))
+	for s, pr := range parts {
+		dev := gpu.NewDeviceOn(tl, cfg.Spec, s, down, up)
+		dev.UsePageMigration = cfg.PageMigration
+		plan, err := buildStagePlan(net, cfg, pol, pr.Lo, pr.Hi)
+		if err != nil {
+			return nil, fmt.Errorf("stage %d: %w", s, err)
+		}
+		rt, err := newRuntimeRange(net, stCfg, plan, dev, pr.Lo, pr.Hi, cfg.MicroBatches)
+		if err != nil {
+			return nil, fmt.Errorf("stage %d: %w", s, err)
+		}
+		rts[s] = rt
+	}
+
+	var winStart sim.Time
+	for iter := 0; iter < cfg.Iterations; iter++ {
+		for _, rt := range rts {
+			rt.iter = iter
+			rt.resetIteration()
+		}
+		winStart = tl.Now()
+		if err := runStepPP(net, rts, bounds); err != nil {
+			return nil, fmt.Errorf("iteration %d: %w", iter, err)
+		}
+	}
+	winEnd := tl.Now()
+	if err := tl.Validate(); err != nil {
+		return nil, fmt.Errorf("core: schedule invariant broken: %w", err)
+	}
+	for _, ch := range []*sim.SharedChannel{down, up} {
+		if ch == nil {
+			continue
+		}
+		if err := ch.Validate(); err != nil {
+			return nil, fmt.Errorf("core: interconnect invariant broken: %w", err)
+		}
+	}
+	return assemblePP(rts, cfg, winStart, winEnd), nil
+}
+
+// runStepPP drives one training step through the pipeline: a GPipe forward
+// schedule (at clock step k, stage s issues micro-batch k−s), the mirrored
+// backward schedule in reverse micro-batch order, then per-stage weight
+// updates over the accumulated gradients. Stage synchronization is purely
+// event-based — the shared host thread never blocks mid-pipeline, so one
+// stage's transfers stall another only through real engine and interconnect
+// contention.
+func runStepPP(net *dnn.Network, rts []*runtime, bounds []stageBoundary) error {
+	S := len(rts)
+	M := rts[0].mbCount
+
+	for step := 0; step <= (S-1)+(M-1); step++ {
+		for s := 0; s < S; s++ {
+			mb := step - s
+			if mb < 0 || mb >= M {
+				continue
+			}
+			rt := rts[s]
+			rt.setMB(mb)
+			if s == 0 {
+				if err := rt.beginIteration(); err != nil {
+					return fmt.Errorf("stage 0: %w", err)
+				}
+			}
+			for _, l := range net.Layers[rt.lo:rt.hi] {
+				p, err := rt.issueForward(l)
+				if err != nil {
+					return fmt.Errorf("stage %d: fwd %s (mb %d): %w", s, l.Name, mb, err)
+				}
+				rt.finishForwardAsync(p)
+			}
+			if s < S-1 {
+				if err := sendActivation(rts[s], rts[s+1], bounds[s], mb); err != nil {
+					return fmt.Errorf("stage %d: %w", s, err)
+				}
+			}
+		}
+	}
+
+	// gradRecv[s][m]: the receive of stage s's output gradient for
+	// micro-batch m, written by stage s+1's backward one clock step earlier.
+	gradRecv := make([][]*sim.Op, S)
+	for s := range gradRecv {
+		gradRecv[s] = make([]*sim.Op, M)
+	}
+	for step := 0; step <= (S-1)+(M-1); step++ {
+		for s := S - 1; s >= 0; s-- {
+			m := (S - 1 - s) + (M - 1) - step
+			if m < 0 || m >= M {
+				continue
+			}
+			rt := rts[s]
+			rt.setMB(m)
+			if s < S-1 {
+				if err := installBoundaryGrad(rt, bounds[s], gradRecv[s][m]); err != nil {
+					return fmt.Errorf("stage %d (mb %d): %w", s, m, err)
+				}
+			}
+			for i := rt.hi - 1; i >= rt.lo; i-- {
+				l := net.Layers[i]
+				// Event-based: no host-blocking end-of-layer sync; the
+				// prefetch/kernel ordering is carried by op dependencies.
+				if _, err := rt.issueBackward(l); err != nil {
+					return fmt.Errorf("stage %d: bwd %s (mb %d): %w", s, l.Name, m, err)
+				}
+			}
+			rt.bwdExtraDep = nil
+			if s > 0 {
+				gradRecv[s-1][m] = sendGradient(rts[s], rts[s-1], bounds[s-1], m)
+			}
+		}
+	}
+
+	for s, rt := range rts {
+		rt.setMB(0)
+		if err := rt.weightUpdate(nil); err != nil {
+			return fmt.Errorf("stage %d: %w", s, err)
+		}
+		// Drain the inter-stage streams too before the end-of-iteration
+		// check (the single/data-parallel trainers have no traffic there).
+		rt.dev.TL.WaitStream(rt.arSend)
+		rt.dev.TL.WaitStream(rt.arRecv)
+		if err := rt.endIteration(); err != nil {
+			return fmt.Errorf("stage %d: %w", s, err)
+		}
+	}
+	return nil
+}
+
+// sendActivation moves boundary b's feature map for one micro-batch from
+// src to dst: an optional compression pass on src's D2H engine, the
+// wire-sized transfer across both shared channel directions, an optional
+// decompression pass on dst's H2D engine, and the device residence in dst's
+// pool. dst's first consumer kernels depend on the landed (and expanded)
+// data through the buffer's lastWrite.
+func sendActivation(src, dst *runtime, b stageBoundary, mb int) error {
+	d := src.net.DType
+	t := b.t
+	bs := src.buf[t]
+	if bs.block == nil {
+		return fmt.Errorf("core: boundary fm%d not resident at send (mb %d)", t.ID, mb)
+	}
+	raw := src.mbShare(t.Bytes(d))
+	wire := raw
+	dep := bs.lastWrite
+	label := fmt.Sprintf("fm%d.mb%d", t.ID, mb)
+	var cost compress.Cost
+	if b.compressed {
+		cost = b.codec.codec.Cost(raw, d.Size(), b.codec.sparsity, src.cfg.Spec.EffDRAMBps())
+		if cost.WireBytes < raw {
+			wire = cost.WireBytes
+			dep = src.dev.Compress("CMP:PPS:"+label, cost.Compress, raw, dep)
+			src.compressTime += cost.Compress
+		}
+	}
+	send := src.dev.StageSend("PPS:"+label, wire, src.arSend, dep)
+	recv := dst.dev.StageRecv("PPR:"+label, wire, dst.arRecv, send)
+	last := recv
+	if wire < raw {
+		last = dst.dev.Decompress("DEC:PPR:"+label, cost.Decompress, raw, recv)
+		dst.decompressTime += cost.Decompress
+	}
+	blk, err := dst.alloc(raw, memalloc.KindFeatureMap, fmt.Sprintf("fm%d", t.ID))
+	if err != nil {
+		return err
+	}
+	st := dst.mbBufs[mb][t]
+	st.block = blk
+	st.offloaded = false
+	st.lastWrite = last
+	src.ppSendRaw += raw
+	src.ppSendBytes += wire
+	dst.ppRecvRaw += raw
+	dst.ppRecvBytes += wire
+	return nil
+}
+
+// installBoundaryGrad prepares a stage's backward walk for one micro-batch:
+// the gradient of its boundary-out tensor — computed by the next stage and
+// received over the interconnect — gets device residence, and every backward
+// kernel of the walk is ordered after the receive.
+func installBoundaryGrad(rt *runtime, b stageBoundary, recv *sim.Op) error {
+	if recv == nil {
+		return fmt.Errorf("core: boundary gradient for fm%d missing", b.t.ID)
+	}
+	bs := rt.buf[b.t]
+	if bs.gradBlock == nil {
+		gi := rt.gradInfos[b.t]
+		blk, err := rt.alloc(rt.mbShare(gi.Bytes), memalloc.KindGradMap, fmt.Sprintf("grad%d", b.t.ID))
+		if err != nil {
+			return err
+		}
+		bs.gradBlock = blk
+	}
+	bs.gradWritten = true
+	rt.bwdExtraDep = recv
+	return nil
+}
+
+// sendGradient hands boundary b's gradient for one micro-batch back from
+// src (the stage above the boundary) to dst. Gradients move dense — the
+// cDMA engine targets activation sparsity, which dX maps do not share. The
+// send waits for everything src queued on its compute stream (its own
+// backward contributions included); once it is in flight, src's copies of
+// the gradient and of the boundary-in activation are released.
+func sendGradient(src, dst *runtime, b stageBoundary, mb int) *sim.Op {
+	t := b.t
+	raw := src.mbShare(src.gradInfos[t].Bytes)
+	label := fmt.Sprintf("grad%d.mb%d", t.ID, mb)
+	send := src.dev.StageSend("PPS:"+label, raw, src.arSend, src.dev.StreamCompute.Last())
+	recv := dst.dev.StageRecv("PPR:"+label, raw, dst.arRecv, send)
+	bs := src.buf[t]
+	if bs.gradBlock != nil && !bs.gradPersist {
+		src.pool.Free(bs.gradBlock, send.End)
+		bs.gradBlock = nil
+	}
+	if bs.block != nil && !bs.persist {
+		// The received activation copy: dead once the stage's backward (all
+		// queued before the send) has consumed it, unless the stage's own
+		// release discipline already freed it.
+		src.pool.Free(bs.block, send.End)
+		bs.block = nil
+		bs.offloaded = false
+	}
+	src.ppSendRaw += raw
+	src.ppSendBytes += raw
+	dst.ppRecvRaw += raw
+	dst.ppRecvBytes += raw
+	return recv
+}
+
+// assemblePP builds the Result of a pipeline run: merged per-layer stats,
+// per-stage detail in Stages (and the device view in Devices, so
+// device-level tooling keeps working), aggregate traffic, and the measured
+// pipeline bubble. Pool usage reports the peak stage (each stage owns its
+// own pool); framework memory and traffic counters aggregate.
+func assemblePP(rts []*runtime, cfg Config, winStart, winEnd sim.Time) *Result {
+	net := rts[0].net
+	r := &Result{
+		Network:      net.Name,
+		Batch:        net.Batch,
+		Policy:       cfg.Policy,
+		PolicyName:   rts[0].plan.PolicyName,
+		Algo:         cfg.Algo,
+		Oracle:       cfg.Oracle,
+		Trainable:    true,
+		IterTime:     winEnd - winStart,
+		MicroBatches: cfg.MicroBatches,
+		PeakByKind:   map[memalloc.Kind]int64{},
+	}
+	merged := make([]LayerStats, len(net.Layers))
+	for s, rt := range rts {
+		rt.finalizeStats()
+		copy(merged[rt.lo:rt.hi], rt.stats[rt.lo:rt.hi])
+		ms := rt.pool.Measure(winStart, winEnd)
+		if ms.Peak > r.MaxUsage {
+			r.MaxUsage = ms.Peak
+		}
+		if ms.Avg > r.AvgUsage {
+			r.AvgUsage = ms.Avg
+		}
+		for k, v := range ms.PeakByKind {
+			r.PeakByKind[k] += v
+		}
+		for _, k := range memalloc.Kinds() {
+			if v := rt.fw.UsedByKind(k); v > 0 {
+				r.PeakByKind[k] += v
+			}
+		}
+		r.FrameworkBytes += rt.fw.Used()
+
+		dr := rt.deviceResult(winStart, winEnd)
+		r.Devices = append(r.Devices, dr)
+		r.OffloadBytes += dr.OffloadBytes
+		r.PrefetchBytes += dr.PrefetchBytes
+		r.OffloadRawBytes += rt.offRawBytes
+		r.PrefetchRawBytes += rt.preRawBytes
+		r.CompressTime += rt.compressTime
+		r.DecompressTime += rt.decompressTime
+		r.HostPinnedPeak += rt.host.Peak()
+		r.OnDemandFetches += rt.onDemand
+		r.InterStageBytes += rt.ppSendBytes // each transfer counted once, at its sender
+		r.InterStageRawBytes += rt.ppSendRaw
+		r.Power.AvgW += dr.Power.AvgW
+		r.Power.MaxW += dr.Power.MaxW
+
+		sr := StageResult{
+			Stage:         s,
+			FirstLayer:    rt.lo,
+			LastLayer:     rt.hi - 1,
+			StepTime:      dr.StepTime,
+			ComputeBusy:   dr.ComputeBusy,
+			BubbleTime:    dr.StepTime - dr.ComputeBusy,
+			SendBytes:     rt.ppSendBytes,
+			RecvBytes:     rt.ppRecvBytes,
+			OffloadBytes:  dr.OffloadBytes,
+			PrefetchBytes: dr.PrefetchBytes,
+			PoolPeak:      ms.Peak,
+		}
+		r.Stages = append(r.Stages, sr)
+		r.BubbleTime += sr.BubbleTime
+	}
+	if r.IterTime > 0 {
+		r.BubbleFraction = float64(r.BubbleTime) / (float64(len(rts)) * float64(r.IterTime))
+	}
+	r.CompressionRatio = compressionRatio(r.OffloadRawBytes, r.OffloadBytes)
+	r.MaxWorkingSet = maxWorkingSet(merged)
+	r.FETime = feWindow(merged)
+	if r.FETime == 0 {
+		r.FETime = r.IterTime
+	}
+	r.Layers = merged
+	if cfg.CaptureSchedule {
+		for _, rt := range rts {
+			r.Schedule = append(r.Schedule, rt.captureSchedule(winStart, winEnd)...)
+		}
+		sortSchedule(r.Schedule)
+	}
+	return r
+}

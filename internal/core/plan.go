@@ -55,8 +55,23 @@ func (p *Plan) Offloads() bool { return p.offloadTotal > 0 }
 
 // buildPlan derives the static plan for one configuration by consulting the
 // policy about every CONV layer's algorithms, every feature-extraction
-// buffer's offload eligibility, and the prefetch schedule.
+// buffer's offload eligibility, and the prefetch schedule. It is the
+// full-layer-range stage plan: under pipeline parallelism each stage
+// derives the same plan scoped to its own range.
 func buildPlan(net *dnn.Network, cfg Config, pol OffloadPolicy) (*Plan, error) {
+	return buildStagePlan(net, cfg, pol, 0, len(net.Layers))
+}
+
+// buildStagePlan derives the execution plan of one pipeline stage owning
+// layers [lo, hi): the policy is consulted about every in-range CONV
+// layer's algorithms, and the structural offload/prefetch rules are scoped
+// to the stage — a buffer is offloaded by its last consumer within the
+// stage (its in-range feature-extraction consumers offered to the policy)
+// and prefetched one step before its first backward reader within the
+// stage. Boundary activations consumed by a later stage are never
+// offloaded — they are the stage's live outputs, sent over the
+// interconnect and kept resident for the stage's own backward pass.
+func buildStagePlan(net *dnn.Network, cfg Config, pol OffloadPolicy, lo, hi int) (*Plan, error) {
 	switch cfg.Algo {
 	case MemOptimal, PerfOptimal, GreedyAlgo:
 	default:
@@ -71,13 +86,12 @@ func buildPlan(net *dnn.Network, cfg Config, pol OffloadPolicy) (*Plan, error) {
 		Prefetch:   pol.PrefetchSchedule(net, cfg.Prefetch),
 		OffloadAt:  make([][]*dnn.Tensor, len(net.Layers)),
 	}
-	for _, l := range net.Layers {
+	for _, l := range net.Layers[lo:hi] {
 		if l.Kind != dnn.Conv {
 			continue
 		}
 		switch mode := pol.Algorithms(net, l, cfg.Algo); mode {
 		case MemOptimal:
-			// Implicit GEMM everywhere: zero workspace.
 			p.Algos[l.ID] = LayerAlgos{cudnnsim.ImplicitGEMM, cudnnsim.ImplicitGEMM, cudnnsim.ImplicitGEMM}
 		case PerfOptimal:
 			g := l.ConvGeom(net.DType)
@@ -95,10 +109,10 @@ func buildPlan(net *dnn.Network, cfg Config, pol OffloadPolicy) (*Plan, error) {
 	}
 
 	p.PrefetchAt = make([][]*dnn.Tensor, len(net.Layers))
-	firstReader := firstBwdReaders(net)
+	firstReader := stageFirstBwdReaders(net, lo, hi)
 	var offloaded []*dnn.Tensor
 	for _, t := range net.Tensors {
-		trigger := offloadTrigger(net, t, pol)
+		trigger := stageOffloadTrigger(net, t, pol, lo, hi)
 		if trigger == nil {
 			continue
 		}
@@ -113,8 +127,8 @@ func buildPlan(net *dnn.Network, cfg Config, pol OffloadPolicy) (*Plan, error) {
 		// in-place ReLU's backward.)
 		if f := firstReader[t]; f != nil {
 			at := f.ID + 1
-			if at >= len(net.Layers) {
-				at = len(net.Layers) - 1 // fetched at the very first backward step
+			if at >= hi {
+				at = hi - 1 // fetched at the stage's very first backward step
 			}
 			p.PrefetchAt[at] = append(p.PrefetchAt[at], t)
 		}
@@ -126,33 +140,29 @@ func buildPlan(net *dnn.Network, cfg Config, pol OffloadPolicy) (*Plan, error) {
 	return p, nil
 }
 
-// firstBwdReaders maps each buffer to the layer whose backward kernels read
-// it first in backward execution order (the highest-ID reader).
-func firstBwdReaders(net *dnn.Network) map[*dnn.Tensor]*dnn.Layer {
-	m := make(map[*dnn.Tensor]*dnn.Layer, len(net.Tensors))
-	for _, l := range net.Layers {
-		for _, t := range l.BwdReads() {
-			if cur, ok := m[t]; !ok || l.ID > cur.ID {
-				m[t] = l
-			}
-		}
-	}
-	return m
-}
-
-// offloadTrigger decides whether buffer t is offloaded under the policy and,
-// if so, which layer initiates the transfer. The structural rules stay here,
-// out of the policy's hands: classifier-side buffers are unmanaged, only
-// feature-extraction consumers are offered to the policy, and the transfer is
-// triggered by the buffer's LAST consumer so that shared (forked) feature
-// maps are never released while a pending consumer remains (the paper's
-// Refcnt rule).
-func offloadTrigger(net *dnn.Network, t *dnn.Tensor, pol OffloadPolicy) *dnn.Layer {
+// stageOffloadTrigger decides whether buffer t is offloaded within the
+// layer range [lo, hi) and, if so, which layer initiates the transfer. The
+// structural rules stay here, out of the policy's hands: classifier-side
+// buffers are unmanaged, only in-range feature-extraction consumers are
+// offered to the policy, the trigger is the buffer's last in-range consumer
+// (the reference-count rule of Figure 3/7, scoped to the stage), and
+// buffers any later stage still needs (forward consumers at or past hi) are
+// excluded — their device copy must survive the stage's forward walk to
+// feed the inter-stage send.
+func stageOffloadTrigger(net *dnn.Network, t *dnn.Tensor, pol OffloadPolicy, lo, hi int) *dnn.Layer {
 	if t.Producer != nil && t.Producer.Stage == dnn.Classifier {
 		return nil // classifier buffers are unmanaged
 	}
 	qualifies := false
+	var trigger *dnn.Layer
 	for _, c := range t.Consumer {
+		if c.ID >= hi {
+			return nil // boundary-out: a later stage still reads it
+		}
+		if c.ID < lo {
+			continue
+		}
+		trigger = c // consumers are execution-ordered: last in-range wins
 		if c.Stage != dnn.FeatureExtraction {
 			continue
 		}
@@ -163,5 +173,20 @@ func offloadTrigger(net *dnn.Network, t *dnn.Tensor, pol OffloadPolicy) *dnn.Lay
 	if !qualifies {
 		return nil
 	}
-	return t.LastConsumer()
+	return trigger
+}
+
+// stageFirstBwdReaders maps each buffer to the layer whose backward kernels
+// read it first in backward execution order within [lo, hi) — the buffer's
+// highest-ID reader among the stage's own backward kernels.
+func stageFirstBwdReaders(net *dnn.Network, lo, hi int) map[*dnn.Tensor]*dnn.Layer {
+	m := make(map[*dnn.Tensor]*dnn.Layer, len(net.Tensors))
+	for _, l := range net.Layers[lo:hi] {
+		for _, t := range l.BwdReads() {
+			if cur, ok := m[t]; !ok || l.ID > cur.ID {
+				m[t] = l
+			}
+		}
+	}
+	return m
 }

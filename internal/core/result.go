@@ -13,14 +13,15 @@ import (
 // when replicas share one).
 func (e *runtime) assemble(winStart, winEnd sim.Time) *Result {
 	r := &Result{
-		Network:    e.net.Name,
-		Batch:      e.net.Batch,
-		Policy:     e.cfg.Policy,
-		PolicyName: e.plan.PolicyName,
-		Algo:       e.cfg.Algo,
-		Oracle:     e.cfg.Oracle,
-		Trainable:  true,
-		IterTime:   winEnd - winStart,
+		Network:      e.net.Name,
+		Batch:        e.net.Batch,
+		Policy:       e.cfg.Policy,
+		PolicyName:   e.plan.PolicyName,
+		Algo:         e.cfg.Algo,
+		Oracle:       e.cfg.Oracle,
+		Trainable:    true,
+		IterTime:     winEnd - winStart,
+		MicroBatches: e.cfg.MicroBatches, // 1 outside pipeline runs
 	}
 
 	ms := e.pool.Measure(winStart, winEnd)
@@ -68,9 +69,20 @@ func (e *runtime) assemble(winStart, winEnd sim.Time) *Result {
 	// Per-layer stats: finish reuse distances and algorithm records, then
 	// derive the feature-extraction window and the maximum layer-wise
 	// working set.
-	var fwdFEStart, fwdFEEnd, bwdFEStart, bwdFEEnd sim.Time
-	first := true
-	for i := range e.stats {
+	e.finalizeStats()
+	r.MaxWorkingSet = maxWorkingSet(e.stats)
+	r.FETime = feWindow(e.stats)
+	if r.FETime == 0 {
+		r.FETime = r.IterTime
+	}
+	r.Layers = e.stats
+	return r
+}
+
+// finalizeStats fills the derived per-layer fields (forward start, reuse
+// distance, chosen algorithms) for the runtime's owned layers.
+func (e *runtime) finalizeStats() {
+	for i := e.lo; i < e.hi; i++ {
 		st := &e.stats[i]
 		st.FwdStart = e.fwdStarts[i]
 		if st.BwdStart > st.FwdEnd && st.FwdEnd > 0 {
@@ -81,39 +93,56 @@ func (e *runtime) assemble(winStart, winEnd sim.Time) *Result {
 			st.AlgoBwdData = e.chosenAlg[i].BwdData
 			st.AlgoBwdFilter = e.chosenAlg[i].BwdFilter
 		}
-		if ws := st.FwdWorkingSet; ws > r.MaxWorkingSet {
-			r.MaxWorkingSet = ws
+	}
+}
+
+// maxWorkingSet is the largest per-layer kernel working set across stats.
+func maxWorkingSet(stats []LayerStats) int64 {
+	var max int64
+	for i := range stats {
+		if ws := stats[i].FwdWorkingSet; ws > max {
+			max = ws
 		}
-		if ws := st.BwdWorkingSet; ws > r.MaxWorkingSet {
-			r.MaxWorkingSet = ws
-		}
-		if st.Stage == dnn.FeatureExtraction {
-			if first || st.FwdStart < fwdFEStart {
-				fwdFEStart = st.FwdStart
-			}
-			if st.FwdEnd > fwdFEEnd {
-				fwdFEEnd = st.FwdEnd
-			}
-			if st.BwdStart > 0 && (bwdFEStart == 0 || st.BwdStart < bwdFEStart) {
-				bwdFEStart = st.BwdStart
-			}
-			if st.BwdEnd > bwdFEEnd {
-				bwdFEEnd = st.BwdEnd
-			}
-			first = false
+		if ws := stats[i].BwdWorkingSet; ws > max {
+			max = ws
 		}
 	}
+	return max
+}
+
+// feWindow derives the feature-extraction time (the paper's performance
+// metric) from finalized layer stats: the span of the forward FE window plus
+// the span of the backward FE window.
+func feWindow(stats []LayerStats) sim.Time {
+	var fwdFEStart, fwdFEEnd, bwdFEStart, bwdFEEnd sim.Time
+	first := true
+	for i := range stats {
+		st := &stats[i]
+		if st.Stage != dnn.FeatureExtraction {
+			continue
+		}
+		if first || st.FwdStart < fwdFEStart {
+			fwdFEStart = st.FwdStart
+		}
+		if st.FwdEnd > fwdFEEnd {
+			fwdFEEnd = st.FwdEnd
+		}
+		if st.BwdStart > 0 && (bwdFEStart == 0 || st.BwdStart < bwdFEStart) {
+			bwdFEStart = st.BwdStart
+		}
+		if st.BwdEnd > bwdFEEnd {
+			bwdFEEnd = st.BwdEnd
+		}
+		first = false
+	}
+	var fe sim.Time
 	if fwdFEEnd > fwdFEStart {
-		r.FETime = fwdFEEnd - fwdFEStart
+		fe = fwdFEEnd - fwdFEStart
 	}
 	if bwdFEEnd > bwdFEStart {
-		r.FETime += bwdFEEnd - bwdFEStart
+		fe += bwdFEEnd - bwdFEStart
 	}
-	if r.FETime == 0 {
-		r.FETime = r.IterTime
-	}
-	r.Layers = e.stats
-	return r
+	return fe
 }
 
 // captureSchedule records this device's ops inside the window.
@@ -235,7 +264,7 @@ func (e *runtime) deviceResult(winStart, winEnd sim.Time) DeviceResult {
 				dr.CopyBusy += o.DurationT
 				dr.CodecBusy += o.DurationT
 				copyIv = append(copyIv, sim.Interval{Start: o.Start, End: o.End, Op: o})
-			case sim.OpCopyD2H, sim.OpCopyH2D, sim.OpCopyP2P:
+			case sim.OpCopyD2H, sim.OpCopyH2D, sim.OpCopyP2P, sim.OpCopyStage:
 				dr.CopyBusy += o.DurationT
 				copyIv = append(copyIv, sim.Interval{Start: o.Start, End: o.End, Op: o})
 				switch o.Kind {
@@ -289,6 +318,29 @@ func (r *Result) ReplicaMeans() (step, stall sim.Time, overlap float64) {
 	}
 	n := len(r.Devices)
 	return step / sim.Time(n), stall / sim.Time(n), overlap / float64(n)
+}
+
+// DeviceImbalance is the compute-load imbalance across a run's devices: the
+// maximum per-device compute-busy time over the mean. 1 means perfectly
+// balanced — symmetric data-parallel replicas sit there by construction,
+// while pipeline stages report how unevenly the partitioner split the
+// network. Single-device results report 1.
+func (r *Result) DeviceImbalance() float64 {
+	if len(r.Devices) == 0 {
+		return 1
+	}
+	var total, max sim.Time
+	for _, d := range r.Devices {
+		total += d.ComputeBusy
+		if d.ComputeBusy > max {
+			max = d.ComputeBusy
+		}
+	}
+	if total == 0 {
+		return 1
+	}
+	mean := float64(total) / float64(len(r.Devices))
+	return float64(max) / mean
 }
 
 // overlapTime returns the total time the intervals of a spend inside the

@@ -56,6 +56,37 @@ type runtime struct {
 	net  *dnn.Network
 	plan *Plan
 
+	// lo/hi bound the layer IDs this runtime owns: [0, len(Layers)) for a
+	// whole-network replica, a contiguous stage range under pipeline
+	// parallelism. Setup, execution and the release discipline only touch
+	// owned layers and the tensors they produce (plus boundary tensors
+	// received from the previous stage).
+	lo, hi int
+
+	// Micro-batch context (pipeline parallelism). mbCount is the number of
+	// micro-batches one iteration is split into (1 otherwise); mbIndex is
+	// the micro-batch currently being issued. buf and lay alias
+	// mbBufs[mbIndex]/mbLay[mbIndex], so the per-layer issue/finish code is
+	// oblivious to micro-batching: each micro-batch carries its own buffer
+	// and offload/prefetch flags, while persistent state (weights, baseline
+	// feature maps, classifier memory, the input batch) is shared.
+	mbCount int
+	mbIndex int
+	mbBufs  []map[*dnn.Tensor]*bufState
+	mbLay   [][]*layerState
+
+	// bwdExtraDep, when set, is added to every backward kernel issued — the
+	// pipeline driver points it at the inter-stage gradient receive so a
+	// stage's backward cannot start before its output gradient lands. Nil
+	// outside pipeline runs.
+	bwdExtraDep *sim.Op
+
+	// Inter-stage wire traffic counters (pipeline parallelism): bytes this
+	// stage sent to its successor and received from its neighbors, wire and
+	// pre-codec.
+	ppSendBytes, ppRecvBytes int64
+	ppSendRaw, ppRecvRaw     int64
+
 	dev  *gpu.Device
 	pool *memalloc.Pool // the vDNN/cnmem pool: feature-extraction memory
 	fw   *memalloc.Pool // framework-side (classifier) memory, outside vDNN
@@ -106,10 +137,20 @@ type runtime struct {
 // manager controls: feature-extraction maps, gradient maps, FE weights, and
 // convolution workspaces. Figure 11's usage numbers are pool numbers.
 func newRuntime(net *dnn.Network, cfg Config, plan *Plan, dev *gpu.Device) (*runtime, error) {
+	return newRuntimeRange(net, cfg, plan, dev, 0, len(net.Layers), 1)
+}
+
+// newRuntimeRange builds the execution context of one pipeline stage owning
+// layers [lo, hi), split into mbCount micro-batches. The full range with one
+// micro-batch is exactly newRuntime.
+func newRuntimeRange(net *dnn.Network, cfg Config, plan *Plan, dev *gpu.Device, lo, hi, mbCount int) (*runtime, error) {
 	e := &runtime{
 		cfg:       cfg,
 		net:       net,
 		plan:      plan,
+		lo:        lo,
+		hi:        hi,
+		mbCount:   mbCount,
 		dev:       dev,
 		fw:        memalloc.New(oraclePool),
 		host:      hostmem.New(cfg.HostBytes),
@@ -128,7 +169,7 @@ func newRuntime(net *dnn.Network, cfg Config, plan *Plan, dev *gpu.Device) (*run
 		e.lay[i] = &layerState{}
 	}
 	copy(e.chosenAlg, plan.Algos)
-	for t, l := range dnn.LastBwdReaders(net) {
+	for t, l := range e.lastBwdReaders() {
 		e.freeAtBwd[l.ID] = append(e.freeAtBwd[l.ID], t)
 	}
 	e.wState = map[*dnn.Layer]*bufState{}
@@ -162,7 +203,109 @@ func newRuntime(net *dnn.Network, cfg Config, plan *Plan, dev *gpu.Device) (*run
 	if err := e.setup(); err != nil {
 		return nil, err
 	}
+
+	// Per-micro-batch buffer and layer-flag views. Index 0 is the map the
+	// persistent setup above populated; further micro-batches share the
+	// persistent states (weights, baseline/classifier buffers, gradient
+	// slots, the input batch) and get fresh states for everything the vDNN
+	// runtime manages dynamically.
+	e.mbBufs = make([]map[*dnn.Tensor]*bufState, e.mbCount)
+	e.mbLay = make([][]*layerState, e.mbCount)
+	e.mbBufs[0], e.mbLay[0] = e.buf, e.lay
+	for mb := 1; mb < e.mbCount; mb++ {
+		bufs := make(map[*dnn.Tensor]*bufState, len(net.Tensors))
+		for t, st := range e.mbBufs[0] {
+			if st.persist || st.gradPersist {
+				bufs[t] = st
+			} else {
+				bufs[t] = &bufState{}
+			}
+		}
+		lay := make([]*layerState, len(net.Layers))
+		for i := range lay {
+			lay[i] = &layerState{}
+		}
+		e.mbBufs[mb], e.mbLay[mb] = bufs, lay
+	}
 	return e, nil
+}
+
+// setMB switches the runtime's current micro-batch context.
+func (e *runtime) setMB(mb int) {
+	e.mbIndex = mb
+	e.buf = e.mbBufs[mb]
+	e.lay = e.mbLay[mb]
+}
+
+// owned reports whether the runtime owns layer ID id.
+func (e *runtime) owned(id int) bool { return id >= e.lo && id < e.hi }
+
+// ownsTensor reports whether the runtime owns tensor t's storage: tensors
+// its layers produce, plus the network input for the first stage.
+func (e *runtime) ownsTensor(t *dnn.Tensor) bool {
+	if t.Producer == nil {
+		return e.lo == 0
+	}
+	return e.owned(t.Producer.ID)
+}
+
+// lastBwdReaders maps every buffer this runtime touches to the owned layer
+// whose backward pass is its final owned reader — the stage-local version of
+// dnn.LastBwdReaders, identical to it over the full layer range. Boundary
+// tensors received from a previous stage that no owned backward kernel reads
+// fall back to their earliest owned consumer.
+func (e *runtime) lastBwdReaders() map[*dnn.Tensor]*dnn.Layer {
+	if e.lo == 0 && e.hi == len(e.net.Layers) {
+		return dnn.LastBwdReaders(e.net)
+	}
+	m := make(map[*dnn.Tensor]*dnn.Layer, len(e.net.Tensors))
+	for _, l := range e.net.Layers[e.lo:e.hi] {
+		for _, t := range l.BwdReads() {
+			if cur, ok := m[t]; !ok || l.ID < cur.ID {
+				m[t] = l
+			}
+		}
+	}
+	for _, t := range e.net.Tensors {
+		if _, ok := m[t]; ok {
+			continue
+		}
+		if t.Producer != nil && e.owned(t.Producer.ID) {
+			m[t] = t.Producer
+			continue
+		}
+		// Boundary-in tensor: release after its earliest owned consumer's
+		// backward (nothing below it in this stage can reference it).
+		for _, c := range t.Consumer {
+			if e.owned(c.ID) {
+				m[t] = c
+				break
+			}
+		}
+	}
+	return m
+}
+
+// mbShare returns this micro-batch's slice of an iteration-level quantity
+// (bytes, duration, flops): the exact split n·(i+1)/M − n·i/M, which sums to
+// n over all micro-batches and is the identity when mbCount is 1.
+func (e *runtime) mbShare(n int64) int64 {
+	if e.mbCount <= 1 {
+		return n
+	}
+	m, i := int64(e.mbCount), int64(e.mbIndex)
+	return n*(i+1)/m - n*i/m
+}
+
+// mbCost scales a full-batch kernel cost to the current micro-batch.
+func (e *runtime) mbCost(c cudnnsim.Cost) cudnnsim.Cost {
+	if e.mbCount <= 1 {
+		return c
+	}
+	c.Dur = sim.Time(e.mbShare(int64(c.Dur)))
+	c.Flops = e.mbShare(c.Flops)
+	c.DRAMBytes = e.mbShare(c.DRAMBytes)
+	return c
 }
 
 func (e *runtime) now() sim.Time { return e.dev.TL.Now() }
@@ -195,6 +338,9 @@ func (e *runtime) setupFramework() error {
 		return b, nil
 	}
 	for _, l := range e.net.ClassifierLayers() {
+		if !e.owned(l.ID) {
+			continue
+		}
 		if w := l.WeightBytes(d); w > 0 {
 			if _, err := allocFW(w, memalloc.KindWeights, l.Name+".W"); err != nil {
 				return err
@@ -210,7 +356,7 @@ func (e *runtime) setupFramework() error {
 		}
 	}
 	for _, t := range e.net.Tensors {
-		if !isClassifierRoot(t) {
+		if !isClassifierRoot(t) || !e.ownsTensor(t) {
 			continue
 		}
 		b, err := allocFW(t.Bytes(d), memalloc.KindFeatureMap, fmt.Sprintf("fm%d", t.ID))
@@ -222,7 +368,7 @@ func (e *runtime) setupFramework() error {
 		st.persist = true
 	}
 	for root, gi := range e.gradInfos {
-		if !isClassifierRoot(root) {
+		if !isClassifierRoot(root) || !e.ownsTensor(root) {
 			continue
 		}
 		b, err := allocFW(gi.Bytes, memalloc.KindGradMap, fmt.Sprintf("grad%d", root.ID))
@@ -247,6 +393,9 @@ func (e *runtime) offloadsWeights() bool {
 func (e *runtime) setup() error {
 	d := e.net.DType
 	for _, l := range e.net.FeatureLayers() {
+		if !e.owned(l.ID) {
+			continue
+		}
 		if w := l.WeightBytes(d); w > 0 {
 			wb, err := e.alloc(w, memalloc.KindWeights, l.Name+".W")
 			if err != nil {
@@ -265,8 +414,8 @@ func (e *runtime) setup() error {
 
 	// Baseline: all feature maps are resident network-wide.
 	for _, t := range e.net.Tensors {
-		if isClassifierRoot(t) {
-			continue // already in framework memory
+		if isClassifierRoot(t) || !e.ownsTensor(t) {
+			continue // framework memory, or another stage's buffer
 		}
 		b, err := e.alloc(t.Bytes(d), memalloc.KindFeatureMap, fmt.Sprintf("fm%d", t.ID))
 		if err != nil {
@@ -279,7 +428,7 @@ func (e *runtime) setup() error {
 
 	// Shared gradient slots over the feature-extraction stage.
 	gplan := dnn.PlanGradientSlotsWhere(e.net, func(gi *dnn.GradInfo) bool {
-		return !isClassifierRoot(gi.Root)
+		return !isClassifierRoot(gi.Root) && e.ownsTensor(gi.Root)
 	})
 	if err := dnn.VerifyGradPlan(gplan); err != nil {
 		return fmt.Errorf("core: gradient plan: %w", err)
@@ -300,6 +449,9 @@ func (e *runtime) setup() error {
 	// Single workspace sized to the maximum need across the network.
 	var maxWS int64
 	for _, l := range e.net.ConvLayers() {
+		if !e.owned(l.ID) {
+			continue
+		}
 		g := l.ConvGeom(d)
 		a := e.plan.Algos[l.ID]
 		for _, wd := range []struct {
@@ -332,16 +484,24 @@ func (e *runtime) resetIteration() {
 		st.WeightBytes = l.WeightBytes(e.net.DType)
 		st.XBytes = sumInputBytes(l, e.net.DType)
 		st.YBytes = l.Output.Bytes(e.net.DType)
-		e.lay[i].offloaded = false
-		e.lay[i].prefetched = false
 	}
-	for _, st := range e.buf {
-		st.gradWritten = false
-		st.offloaded = false
+	for _, lay := range e.mbLay {
+		for _, ls := range lay {
+			ls.offloaded = false
+			ls.prefetched = false
+		}
+	}
+	for _, bufs := range e.mbBufs {
+		for _, st := range bufs {
+			st.gradWritten = false
+			st.offloaded = false
+		}
 	}
 	e.onDemand = 0
 	e.offRawBytes, e.preRawBytes = 0, 0
 	e.compressTime, e.decompressTime = 0, 0
+	e.ppSendBytes, e.ppRecvBytes = 0, 0
+	e.ppSendRaw, e.ppRecvRaw = 0, 0
 }
 
 func sumInputBytes(l *dnn.Layer, d tensor.DType) int64 {
@@ -355,12 +515,14 @@ func sumInputBytes(l *dnn.Layer, d tensor.DType) int64 {
 // checkIterationEnd asserts the vDNN release discipline: every dynamically
 // managed buffer and gradient must be back in the pool.
 func (e *runtime) checkIterationEnd() error {
-	for t, st := range e.buf {
-		if !st.persist && st.block != nil && t != e.net.Input {
-			return fmt.Errorf("core: buffer fm%d leaked past iteration end", t.ID)
-		}
-		if st.gradBlock != nil && !st.gradPersist {
-			return fmt.Errorf("core: gradient of fm%d leaked past iteration end", t.ID)
+	for _, bufs := range e.mbBufs {
+		for t, st := range bufs {
+			if !st.persist && st.block != nil && t != e.net.Input {
+				return fmt.Errorf("core: buffer fm%d leaked past iteration end", t.ID)
+			}
+			if st.gradBlock != nil && !st.gradPersist {
+				return fmt.Errorf("core: gradient of fm%d leaked past iteration end", t.ID)
+			}
 		}
 	}
 	for l, ws := range e.wState {
@@ -400,7 +562,7 @@ func (e *runtime) ensurePinned(t *dnn.Tensor) error {
 	if st.pinned != nil {
 		return nil
 	}
-	r, cost, err := e.host.AllocPinned(t.Bytes(e.net.DType), fmt.Sprintf("pin-fm%d", t.ID))
+	r, cost, err := e.host.AllocPinned(e.mbShare(t.Bytes(e.net.DType)), fmt.Sprintf("pin-fm%d", t.ID))
 	if err != nil {
 		return err
 	}

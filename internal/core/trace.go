@@ -68,11 +68,21 @@ func (r *Result) WriteChromeTrace(w io.Writer) error {
 		ids = append(ids, d)
 	}
 	sort.Ints(ids)
+	// Pipeline runs label each device lane with the stage it hosts and its
+	// layer range; other runs keep the bare device name.
+	stageOf := map[int]StageResult{}
+	for _, s := range r.Stages {
+		stageOf[s.Stage] = s
+	}
 	meta := make([]traceEvent, 0, len(ids))
 	for _, d := range ids {
+		name := fmt.Sprintf("gpu%d", d)
+		if s, ok := stageOf[d]; ok {
+			name = fmt.Sprintf("gpu%d [stage %d: layers %d-%d]", d, s.Stage, s.FirstLayer, s.LastLayer)
+		}
 		meta = append(meta, traceEvent{
 			Name: "process_name", Ph: "M", PID: d,
-			Args: map[string]any{"name": fmt.Sprintf("gpu%d", d)},
+			Args: map[string]any{"name": name},
 		})
 	}
 	enc := json.NewEncoder(w)

@@ -12,10 +12,15 @@ import (
 
 // execute simulates cfg.Iterations training iterations and returns metrics
 // for the last one. An allocation failure anywhere aborts with an error
-// (the configuration is untrainable). Configurations with more than one
-// device run the data-parallel trainer; a single device runs one runtime on
-// a dedicated timeline — today's exact schedule.
-func execute(net *dnn.Network, cfg Config, plan *Plan) (*Result, error) {
+// (the configuration is untrainable). Pipeline configurations run the
+// micro-batch pipeline trainer (which derives its own per-stage plans from
+// the policy), configurations with more than one device run the
+// data-parallel trainer, and a single device runs one runtime on a dedicated
+// timeline — today's exact schedule.
+func execute(net *dnn.Network, cfg Config, pol OffloadPolicy, plan *Plan) (*Result, error) {
+	if cfg.Stages > 1 {
+		return executePP(net, cfg, pol)
+	}
 	if cfg.Devices > 1 {
 		return executeDP(net, cfg, plan)
 	}
@@ -70,11 +75,12 @@ func (e *runtime) runIteration() error {
 }
 
 // beginIteration prepares the input batch buffer. The baseline holds it
-// network-wide; vDNN allocates it per iteration.
+// network-wide; vDNN allocates it per iteration (per micro-batch under
+// pipeline parallelism — each micro-batch feeds its own input slice).
 func (e *runtime) beginIteration() error {
 	in := e.buf[e.net.Input]
 	if in.block == nil {
-		b, err := e.alloc(e.net.Input.Bytes(e.net.DType), memalloc.KindFeatureMap, "input")
+		b, err := e.alloc(e.mbShare(e.net.Input.Bytes(e.net.DType)), memalloc.KindFeatureMap, "input")
 		if err != nil {
 			return err
 		}
@@ -94,6 +100,9 @@ func (e *runtime) weightUpdate(syncDep *sim.Op) error {
 		return nil
 	}
 	for _, l := range e.net.Layers {
+		if !e.owned(l.ID) {
+			continue // another pipeline stage holds these weights
+		}
 		if w := l.WeightBytes(e.net.DType); w > 0 {
 			c := cudnnsim.ElementwiseCost(e.cfg.Spec, w, 3)
 			var dep *sim.Op

@@ -92,6 +92,7 @@ func (s *Suite) Experiments() []Experiment {
 		{"ablation-batch", s.ablationBatchScalingJobs, s.AblationBatchScaling},
 		{"case-multigpu", s.caseStudyMultiGPUJobs, s.CaseStudyMultiGPU},
 		{"case-contention", s.caseStudyContentionJobs, s.CaseStudyContention},
+		{"case-pipeline", s.caseStudyPipelineJobs, s.CaseStudyPipeline},
 		{"case-compression", s.caseStudyCompressionJobs, s.CaseStudyCompression},
 		{"case-precision", s.caseStudyPrecisionJobs, s.CaseStudyPrecision},
 		{"case-devices", s.caseStudyDevicesJobs, s.CaseStudyDevices},

@@ -1,0 +1,85 @@
+package figures
+
+import (
+	"fmt"
+
+	"vdnn/internal/core"
+	"vdnn/internal/dnn"
+	"vdnn/internal/networks"
+	"vdnn/internal/pcie"
+	"vdnn/internal/report"
+	"vdnn/internal/sweep"
+)
+
+// The pipeline-vs-data-parallel case study: four GPUs behind one shared
+// gen3 x16 root complex processing a 256-image global batch of VGG-16 —
+// split across replicas (data parallelism, 64 each, ring all-reduce) or
+// across layers (pipeline parallelism, micro-batches streamed through four
+// stages). Same silicon, same interconnect, same work per iteration; the
+// traffic patterns could not be more different.
+
+// pipelineMicroBatchCounts are the pipeline points of the study.
+var pipelineMicroBatchCounts = []int{4, 8, 16}
+
+func (s *Suite) pipelineNet() *dnn.Network {
+	return s.net(func() *dnn.Network { return networks.VGG16(256) }, "vgg16-256")
+}
+
+func (s *Suite) pipelineDPNet() *dnn.Network {
+	return s.net(func() *dnn.Network { return networks.VGG16(64) }, "vgg16-64")
+}
+
+// pipelineCfg is a 4-stage pipeline over the shared root complex.
+func (s *Suite) pipelineCfg(microBatches int) core.Config {
+	return core.Config{Spec: s.Spec, Policy: core.VDNNAll, Algo: core.MemOptimal,
+		Stages: 4, MicroBatches: microBatches, Topology: pcie.SharedGen3Root()}
+}
+
+// caseStudyPipelineJobs is the simulation set: the single-GPU reference, the
+// 4-replica data-parallel split, and 4-stage pipelines at rising micro-batch
+// counts.
+func (s *Suite) caseStudyPipelineJobs() []sweep.Job {
+	js := []sweep.Job{
+		job(s.pipelineNet(), core.Config{Spec: s.Spec, Policy: core.VDNNAll, Algo: core.MemOptimal}),
+		job(s.pipelineDPNet(), s.contentionCfg(core.VDNNAll, core.MemOptimal, 4)),
+	}
+	for _, m := range pipelineMicroBatchCounts {
+		js = append(js, job(s.pipelineNet(), s.pipelineCfg(m)))
+	}
+	return js
+}
+
+// CaseStudyPipeline renders the comparison: iteration time and throughput
+// for a 256-image VGG-16 batch on 1 GPU, on 4 data-parallel replicas, and
+// on a 4-stage pipeline — with each mode's interconnect bill (all-reduce vs
+// inter-stage hand-offs), the pipeline's measured bubble, and the
+// partitioner's stage imbalance.
+func (s *Suite) CaseStudyPipeline() *report.Table {
+	s.Prime(s.caseStudyPipelineJobs())
+
+	t := report.NewTable("Case study — pipeline vs data parallelism: VGG-16, 256-image global batch, 4 GPUs on one shared x16 root complex",
+		"mode", "iter (ms)", "img/s", "interconnect (MB)", "bubble", "imbalance", "peak pool/GPU (MB)")
+	row := func(mode string, r *core.Result, traffic int64) {
+		bubble := "-"
+		if len(r.Stages) > 0 {
+			bubble = fmt.Sprintf("%.0f%%", 100*r.BubbleFraction)
+		}
+		t.AddRow(mode, report.FmtMs(int64(r.IterTime)),
+			fmt.Sprintf("%.0f", 256/r.IterTime.Seconds()),
+			report.FmtMiB(traffic),
+			bubble, fmt.Sprintf("%.2fx", r.DeviceImbalance()),
+			report.FmtMiB(r.MaxUsage))
+	}
+
+	single := s.Run(s.pipelineNet(), core.Config{Spec: s.Spec, Policy: core.VDNNAll, Algo: core.MemOptimal})
+	row("1 GPU", single, 0)
+	dp := s.Run(s.pipelineDPNet(), s.contentionCfg(core.VDNNAll, core.MemOptimal, 4))
+	row("data-parallel 4x64", dp, dp.AllReduceBytes)
+	for _, m := range pipelineMicroBatchCounts {
+		r := s.Run(s.pipelineNet(), s.pipelineCfg(m))
+		row(fmt.Sprintf("pipeline 4 stages, M=%d", m), r, r.InterStageBytes)
+	}
+
+	t.AddNote("data parallelism pays a per-step gradient all-reduce (528 MB of weights, 2(N-1)/N each way); the pipeline pays per-micro-batch activation hand-offs and an (S-1)/(M+S-1) fill/drain bubble")
+	return t
+}

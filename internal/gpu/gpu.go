@@ -315,6 +315,33 @@ func (d *Device) PeerRecv(label string, n int64, s *sim.Stream, deps ...*sim.Op)
 	return d.p2p(label, n, s, d.DMAUp, d.ChanUp, deps...)
 }
 
+// stage issues one leg of an inter-stage pipeline transfer (boundary
+// activation forward, boundary gradient backward). Like peer DMA it uses the
+// copy engines, crosses the root complex like any bulk transfer, and never
+// demand-pages — but it is a distinct op kind so pipeline traffic is never
+// conflated with gradient all-reduce traffic in metrics.
+func (d *Device) stage(label string, n int64, s *sim.Stream, e *sim.Engine, ch *sim.SharedChannel, deps ...*sim.Op) *sim.Op {
+	op := &sim.Op{Label: label, Kind: sim.OpCopyStage, BusBytes: n, DRAMBytes: n}
+	link := d.Spec.Link
+	if ch != nil {
+		return d.TL.IssueTransfer(op, s, e, ch, n, float64(link.EffBps), link.DMASetup, deps...)
+	}
+	op.DurationT = link.DMATime(n)
+	return d.TL.Issue(op, s, e, deps...)
+}
+
+// StageSend issues an inter-stage transfer toward the next pipeline stage
+// (outbound: D2H engine, root complex down channel).
+func (d *Device) StageSend(label string, n int64, s *sim.Stream, deps ...*sim.Op) *sim.Op {
+	return d.stage(label, n, s, d.DMADown, d.ChanDown, deps...)
+}
+
+// StageRecv issues an inter-stage transfer from the previous pipeline stage
+// (inbound: H2D engine, root complex up channel).
+func (d *Device) StageRecv(label string, n int64, s *sim.Stream, deps ...*sim.Op) *sim.Op {
+	return d.stage(label, n, s, d.DMAUp, d.ChanUp, deps...)
+}
+
 // BusTraffic returns total bytes this device moved over the interconnect,
 // split by direction (offload, prefetch). All-reduce (P2P) traffic is
 // counted separately by the trainer.

@@ -59,7 +59,7 @@ func (d *Device) MeasurePower(start, end sim.Time) PowerStats {
 			switch o.Kind {
 			case sim.OpKernel:
 				computeBusy = true
-			case sim.OpCopyD2H, sim.OpCopyH2D, sim.OpCopyP2P, sim.OpCompress, sim.OpDecompress:
+			case sim.OpCopyD2H, sim.OpCopyH2D, sim.OpCopyP2P, sim.OpCopyStage, sim.OpCompress, sim.OpDecompress:
 				copies++ // codec passes keep their DMA engine busy
 			}
 			if o.DurationT > 0 {

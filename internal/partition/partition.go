@@ -1,0 +1,203 @@
+// Package partition splits a statically ordered layer sequence into
+// contiguous pipeline stages. Inter-layer model parallelism — each device
+// owning a contiguous run of layers, micro-batches streaming through them —
+// is the standard dataflow answer for networks too large (or too slow) for
+// one device (Sze et al., "Efficient Processing of Deep Neural Networks");
+// for vDNN it opens the scenario where per-stage offload traffic and
+// inter-stage activation transfers contend for one interconnect.
+//
+// Two entry points produce the same Stage representation: Balanced computes
+// the contiguous partition minimizing the maximum per-stage cost (exact
+// dynamic program over the allowed cut positions, deterministic tie-break),
+// and FromCuts validates explicit user cut points.
+package partition
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Stage is one pipeline stage: the half-open range [Lo, Hi) of layer IDs it
+// owns. Stages produced by this package are contiguous, non-empty, ordered,
+// and cover [0, n) exactly once.
+type Stage struct {
+	Lo, Hi int
+}
+
+// Len returns the number of layers in the stage.
+func (s Stage) Len() int { return s.Hi - s.Lo }
+
+// Balanced partitions n = len(costs) layers into the given number of stages,
+// minimizing the maximum per-stage cost sum. allowed[i] reports whether a
+// stage boundary may sit immediately before layer i (i in [1, n)); nil
+// allows every position. The result is deterministic: among optimal
+// partitions the earliest cut positions win.
+//
+// The dynamic program is exact — O(n² · stages) over at most a few hundred
+// layers and a handful of stages — so the partition is reproducible and
+// cache-key friendly, unlike heuristic balancers.
+func Balanced(costs []float64, stages int, allowed []bool) ([]Stage, error) {
+	n := len(costs)
+	if err := checkArity(n, stages); err != nil {
+		return nil, err
+	}
+	if allowed != nil && len(allowed) != n {
+		return nil, fmt.Errorf("partition: allowed mask has %d entries for %d layers", len(allowed), n)
+	}
+	ok := func(i int) bool { return allowed == nil || allowed[i] }
+	if stages == 1 {
+		return []Stage{{0, n}}, nil
+	}
+
+	// prefix[i] = sum of costs[0:i].
+	prefix := make([]float64, n+1)
+	for i, c := range costs {
+		prefix[i+1] = prefix[i] + c
+	}
+	span := func(lo, hi int) float64 { return prefix[hi] - prefix[lo] }
+
+	const inf = 1e300
+	// best[k][i]: minimal max-stage-cost splitting layers [0, i) into k
+	// stages; cut[k][i]: the start of the last stage in that optimum.
+	best := make([][]float64, stages+1)
+	cut := make([][]int, stages+1)
+	for k := 0; k <= stages; k++ {
+		best[k] = make([]float64, n+1)
+		cut[k] = make([]int, n+1)
+		for i := range best[k] {
+			best[k][i] = inf
+			cut[k][i] = -1
+		}
+	}
+	best[0][0] = 0
+	for k := 1; k <= stages; k++ {
+		for i := k; i <= n; i++ {
+			// Last stage is [j, i); j = 0 only when k == 1, and j > 0 must be
+			// an allowed boundary.
+			for j := k - 1; j < i; j++ {
+				if j > 0 && !ok(j) {
+					continue
+				}
+				if best[k-1][j] == inf {
+					continue
+				}
+				c := span(j, i)
+				if best[k-1][j] > c {
+					c = best[k-1][j]
+				}
+				// Strict improvement keeps the earliest optimal cut.
+				if c < best[k][i] {
+					best[k][i] = c
+					cut[k][i] = j
+				}
+			}
+		}
+	}
+	if best[stages][n] >= inf {
+		return nil, fmt.Errorf("partition: no valid %d-stage cut of %d layers (allowed boundaries too sparse)", stages, n)
+	}
+
+	out := make([]Stage, stages)
+	hi := n
+	for k := stages; k >= 1; k-- {
+		lo := cut[k][hi]
+		out[k-1] = Stage{Lo: lo, Hi: hi}
+		hi = lo
+	}
+	return out, nil
+}
+
+// FromCuts builds the stage ranges implied by explicit cut points: each cut
+// c means a stage boundary immediately before layer c. Cuts must be strictly
+// increasing within (0, n); the resulting partition has len(cuts)+1 stages.
+// allowed (optional, same contract as Balanced) rejects cuts at disallowed
+// boundaries.
+func FromCuts(n int, cuts []int, allowed []bool) ([]Stage, error) {
+	if err := checkArity(n, len(cuts)+1); err != nil {
+		return nil, err
+	}
+	if !sort.IntsAreSorted(cuts) {
+		return nil, fmt.Errorf("partition: cut points %v are not increasing", cuts)
+	}
+	out := make([]Stage, 0, len(cuts)+1)
+	lo := 0
+	for _, c := range cuts {
+		if c <= lo || c >= n {
+			return nil, fmt.Errorf("partition: cut %d out of range (want %d < cut < %d)", c, lo, n)
+		}
+		if allowed != nil && !allowed[c] {
+			return nil, fmt.Errorf("partition: no stage boundary possible before layer %d", c)
+		}
+		out = append(out, Stage{Lo: lo, Hi: c})
+		lo = c
+	}
+	return append(out, Stage{Lo: lo, Hi: n}), nil
+}
+
+// ParseCuts parses a comma-separated cut-point list ("5,9,13").
+func ParseCuts(s string) ([]int, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("partition: bad cut point %q: %v", p, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// FormatCuts renders stage boundaries in ParseCuts form (empty for one
+// stage) — the canonical normalization of an explicit cut list.
+func FormatCuts(stages []Stage) string {
+	if len(stages) <= 1 {
+		return ""
+	}
+	parts := make([]string, 0, len(stages)-1)
+	for _, s := range stages[1:] {
+		parts = append(parts, strconv.Itoa(s.Lo))
+	}
+	return strings.Join(parts, ",")
+}
+
+// Verify checks that stages form a contiguous, non-empty, exact cover of
+// [0, n) — the invariant every consumer of a partition relies on.
+func Verify(stages []Stage, n int) error {
+	if len(stages) == 0 {
+		return fmt.Errorf("partition: empty partition")
+	}
+	lo := 0
+	for i, s := range stages {
+		if s.Lo != lo {
+			return fmt.Errorf("partition: stage %d starts at %d, want %d", i, s.Lo, lo)
+		}
+		if s.Hi <= s.Lo {
+			return fmt.Errorf("partition: stage %d is empty [%d,%d)", i, s.Lo, s.Hi)
+		}
+		lo = s.Hi
+	}
+	if lo != n {
+		return fmt.Errorf("partition: stages cover [0,%d), want [0,%d)", lo, n)
+	}
+	return nil
+}
+
+func checkArity(n, stages int) error {
+	if n <= 0 {
+		return fmt.Errorf("partition: no layers to partition")
+	}
+	if stages < 1 {
+		return fmt.Errorf("partition: need at least one stage, got %d", stages)
+	}
+	if stages > n {
+		return fmt.Errorf("partition: %d stages exceed %d layers", stages, n)
+	}
+	return nil
+}

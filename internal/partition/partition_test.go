@@ -1,0 +1,164 @@
+package partition
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestBalancedCoversEveryLayerOnce checks the structural invariant on a
+// spread of shapes: contiguous stages, each layer in exactly one stage.
+func TestBalancedCoversEveryLayerOnce(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 7, 16, 57, 200} {
+		costs := make([]float64, n)
+		for i := range costs {
+			costs[i] = float64((i*7)%13 + 1)
+		}
+		for stages := 1; stages <= n && stages <= 9; stages++ {
+			got, err := Balanced(costs, stages, nil)
+			if err != nil {
+				t.Fatalf("n=%d stages=%d: %v", n, stages, err)
+			}
+			if len(got) != stages {
+				t.Fatalf("n=%d stages=%d: got %d stages", n, stages, len(got))
+			}
+			if err := Verify(got, n); err != nil {
+				t.Fatalf("n=%d stages=%d: %v", n, stages, err)
+			}
+		}
+	}
+}
+
+// TestBalancedDeterministic runs the same partition repeatedly and on a
+// copied cost slice: identical output every time.
+func TestBalancedDeterministic(t *testing.T) {
+	costs := []float64{5, 1, 1, 1, 5, 1, 1, 1, 5, 1}
+	first, err := Balanced(costs, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		again, err := Balanced(append([]float64(nil), costs...), 3, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(first, again) {
+			t.Fatalf("run %d diverged: %v vs %v", i, again, first)
+		}
+	}
+}
+
+// TestBalancedMinimizesMaxStage checks optimality on a case with a known
+// answer: uniform costs split evenly.
+func TestBalancedMinimizesMaxStage(t *testing.T) {
+	costs := make([]float64, 12)
+	for i := range costs {
+		costs[i] = 1
+	}
+	got, err := Balanced(costs, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range got {
+		if s.Len() != 3 {
+			t.Fatalf("stage %d has %d layers, want 3 (%v)", i, s.Len(), got)
+		}
+	}
+
+	// A heavy head forces a lone first stage.
+	costs2 := []float64{100, 1, 1, 1}
+	got2, err := Balanced(costs2, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Stage{{0, 1}, {1, 4}}
+	if !reflect.DeepEqual(got2, want) {
+		t.Fatalf("got %v, want %v", got2, want)
+	}
+}
+
+// TestBalancedRespectsAllowedMask only cuts at permitted boundaries, and
+// errors cleanly when the mask leaves too few.
+func TestBalancedRespectsAllowedMask(t *testing.T) {
+	costs := []float64{1, 1, 1, 1, 1, 1}
+	allowed := []bool{false, false, false, true, false, false} // only before layer 3
+	got, err := Balanced(costs, 2, allowed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Stage{{0, 3}, {3, 6}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	if _, err := Balanced(costs, 3, allowed); err == nil {
+		t.Fatal("3 stages with one allowed boundary: want error")
+	}
+}
+
+// TestBalancedErrors covers the arity failures, including the
+// stages > layers contract.
+func TestBalancedErrors(t *testing.T) {
+	if _, err := Balanced([]float64{1, 2}, 3, nil); err == nil {
+		t.Fatal("stages > layers: want error")
+	}
+	if _, err := Balanced(nil, 1, nil); err == nil {
+		t.Fatal("no layers: want error")
+	}
+	if _, err := Balanced([]float64{1}, 0, nil); err == nil {
+		t.Fatal("zero stages: want error")
+	}
+	if _, err := Balanced([]float64{1, 2, 3}, 2, []bool{true}); err == nil {
+		t.Fatal("short mask: want error")
+	}
+}
+
+// TestFromCuts validates explicit cut points: ordering, range, allowed
+// boundaries, and the round-trip through FormatCuts/ParseCuts.
+func TestFromCuts(t *testing.T) {
+	got, err := FromCuts(10, []int{3, 7}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Stage{{0, 3}, {3, 7}, {7, 10}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	if err := Verify(got, 10); err != nil {
+		t.Fatal(err)
+	}
+
+	cuts, err := ParseCuts(FormatCuts(got))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cuts, []int{3, 7}) {
+		t.Fatalf("round-trip got %v", cuts)
+	}
+
+	for _, bad := range [][]int{{7, 3}, {0, 5}, {5, 10}, {5, 5}} {
+		if _, err := FromCuts(10, bad, nil); err == nil {
+			t.Fatalf("cuts %v: want error", bad)
+		}
+	}
+	allowed := make([]bool, 10)
+	allowed[3] = true
+	if _, err := FromCuts(10, []int{3, 7}, allowed); err == nil {
+		t.Fatal("disallowed cut 7: want error")
+	}
+}
+
+// TestParseCuts covers the text form.
+func TestParseCuts(t *testing.T) {
+	got, err := ParseCuts(" 3, 7 ,9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, []int{3, 7, 9}) {
+		t.Fatalf("got %v", got)
+	}
+	if c, err := ParseCuts(""); err != nil || c != nil {
+		t.Fatalf("empty: got %v, %v", c, err)
+	}
+	if _, err := ParseCuts("3,x"); err == nil {
+		t.Fatal("bad token: want error")
+	}
+}

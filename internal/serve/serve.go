@@ -67,11 +67,22 @@ type SimRequest struct {
 
 	// Devices is the number of data-parallel replicas (default 1). Replicas
 	// share the interconnect described by Topology and all-reduce their
-	// weight gradients each step.
+	// weight gradients each step. Mutually exclusive with stages > 1.
 	Devices int `json:"devices,omitempty"`
-	// Topology names the interconnect topology for multi-device runs
-	// ("dedicated", "shared-x16", "shared-2x16", "shared-4x16"; default
-	// shared-x16 when devices > 1).
+	// Stages splits the network into that many contiguous pipeline stages,
+	// one device per stage, with micro-batches streamed through them
+	// (default 1: no pipelining).
+	Stages int `json:"stages,omitempty"`
+	// MicroBatches is the micro-batch count of a pipeline run (default:
+	// stages).
+	MicroBatches int `json:"micro_batches,omitempty"`
+	// StageCuts places the pipeline stage boundaries explicitly: a
+	// comma-separated list of layer IDs ("7,13,20"); empty uses the
+	// balanced-by-cost partitioner.
+	StageCuts string `json:"stage_cuts,omitempty"`
+	// Topology names the interconnect topology for multi-device and
+	// pipeline runs ("dedicated", "shared-x16", "shared-2x16",
+	// "shared-4x16"; default shared-x16 when devices or stages > 1).
 	Topology string `json:"topology,omitempty"`
 
 	// Trace requests the op-level schedule of the measured iteration: the
@@ -127,6 +138,16 @@ type SimResponse struct {
 	AllReduceTimeMs float64          `json:"allreduce_time_ms,omitempty"`
 	PerDevice       []DeviceResponse `json:"per_device,omitempty"`
 
+	// Pipeline results (stages > 1 in the request).
+	Stages             int             `json:"stages,omitempty"`
+	MicroBatches       int             `json:"micro_batches,omitempty"`
+	InterStageBytes    int64           `json:"inter_stage_bytes,omitempty"`
+	InterStageRawBytes int64           `json:"inter_stage_raw_bytes,omitempty"`
+	BubbleTimeMs       float64         `json:"bubble_time_ms,omitempty"`
+	BubbleFraction     float64         `json:"bubble_fraction,omitempty"`
+	StageImbalance     float64         `json:"stage_imbalance,omitempty"`
+	PerStage           []StageResponse `json:"per_stage,omitempty"`
+
 	// Trace is the inline Chrome trace-event JSON ("trace": true requests).
 	Trace json.RawMessage `json:"trace,omitempty"`
 }
@@ -142,6 +163,21 @@ type DeviceResponse struct {
 	OverlapEff     float64 `json:"overlap_efficiency"`
 	ComputeBusyMs  float64 `json:"compute_busy_ms"`
 	CopyBusyMs     float64 `json:"copy_busy_ms"`
+}
+
+// StageResponse is the wire form of one pipeline stage's metrics.
+type StageResponse struct {
+	Stage         int     `json:"stage"`
+	FirstLayer    int     `json:"first_layer"`
+	LastLayer     int     `json:"last_layer"`
+	StepTimeMs    float64 `json:"step_time_ms"`
+	ComputeBusyMs float64 `json:"compute_busy_ms"`
+	BubbleTimeMs  float64 `json:"bubble_time_ms"`
+	SendBytes     int64   `json:"send_bytes"`
+	RecvBytes     int64   `json:"recv_bytes"`
+	OffloadBytes  int64   `json:"offload_bytes"`
+	PrefetchBytes int64   `json:"prefetch_bytes"`
+	PoolPeakBytes int64   `json:"pool_peak_bytes"`
 }
 
 // SweepRequest is a batch of simulations answered in order.
@@ -251,6 +287,18 @@ func (s *Server) resolve(req SimRequest) (*vdnn.Network, vdnn.Config, error) {
 	if req.Devices < 0 || req.Devices > maxRequestDevices {
 		return nil, cfg, fmt.Errorf("devices must be in [1, %d], got %d", maxRequestDevices, req.Devices)
 	}
+	if req.Stages < 0 || req.Stages > maxRequestDevices {
+		return nil, cfg, fmt.Errorf("stages must be in [1, %d], got %d", maxRequestDevices, req.Stages)
+	}
+	if req.Stages > 1 && req.Devices > 1 {
+		return nil, cfg, fmt.Errorf("stages (%d) and devices (%d) cannot combine: pick pipeline or data parallelism", req.Stages, req.Devices)
+	}
+	if req.Stages <= 1 && (req.MicroBatches > 1 || req.StageCuts != "") {
+		return nil, cfg, fmt.Errorf("micro_batches/stage_cuts require stages > 1")
+	}
+	if req.MicroBatches < 0 || req.MicroBatches > maxBatch {
+		return nil, cfg, fmt.Errorf("micro_batches must be in [1, %d], got %d", maxBatch, req.MicroBatches)
+	}
 	topology, ok := vdnn.TopologyByName(req.Topology)
 	if !ok {
 		return nil, cfg, fmt.Errorf("unknown topology %q (have %s)", req.Topology, strings.Join(vdnn.TopologyNames(), ", "))
@@ -265,6 +313,9 @@ func (s *Server) resolve(req SimRequest) (*vdnn.Network, vdnn.Config, error) {
 		OffloadWeights:  req.OffloadWeights,
 		Compression:     vdnn.Compression{Codec: req.Codec, Sparsity: req.Sparsity},
 		Devices:         req.Devices,
+		Stages:          req.Stages,
+		MicroBatches:    req.MicroBatches,
+		StageCuts:       req.StageCuts,
 		Topology:        topology,
 		CaptureSchedule: req.Trace,
 	}
@@ -347,6 +398,30 @@ func response(req SimRequest, res *vdnn.Result) (SimResponse, error) {
 				OverlapEff:     d.OverlapEff,
 				ComputeBusyMs:  d.ComputeBusy.Msec(),
 				CopyBusyMs:     d.CopyBusy.Msec(),
+			})
+		}
+	}
+	if len(res.Stages) > 0 {
+		out.Stages = len(res.Stages)
+		out.MicroBatches = res.MicroBatches
+		out.InterStageBytes = res.InterStageBytes
+		out.InterStageRawBytes = res.InterStageRawBytes
+		out.BubbleTimeMs = res.BubbleTime.Msec()
+		out.BubbleFraction = res.BubbleFraction
+		out.StageImbalance = res.DeviceImbalance()
+		for _, s := range res.Stages {
+			out.PerStage = append(out.PerStage, StageResponse{
+				Stage:         s.Stage,
+				FirstLayer:    s.FirstLayer,
+				LastLayer:     s.LastLayer,
+				StepTimeMs:    s.StepTime.Msec(),
+				ComputeBusyMs: s.ComputeBusy.Msec(),
+				BubbleTimeMs:  s.BubbleTime.Msec(),
+				SendBytes:     s.SendBytes,
+				RecvBytes:     s.RecvBytes,
+				OffloadBytes:  s.OffloadBytes,
+				PrefetchBytes: s.PrefetchBytes,
+				PoolPeakBytes: s.PoolPeak,
 			})
 		}
 	}

@@ -579,3 +579,95 @@ func TestCatalogListsCodecs(t *testing.T) {
 		t.Errorf("sparsity profiles = %v, want cdma present", cat.SparsityProfiles)
 	}
 }
+
+func TestSimulatePipeline(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, body := post(t, ts.URL+"/v1/simulate",
+		`{"network":"vgg16","batch":64,"policy":"vdnn-all","algo":"m","stages":4,"micro_batches":8}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, body)
+	}
+	var out SimResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Stages != 4 || out.MicroBatches != 8 {
+		t.Fatalf("stages/micro_batches = %d/%d, want 4/8", out.Stages, out.MicroBatches)
+	}
+	if len(out.PerStage) != 4 {
+		t.Fatalf("per_stage has %d entries, want 4", len(out.PerStage))
+	}
+	if out.InterStageBytes <= 0 || out.BubbleTimeMs <= 0 || out.StageImbalance < 1 {
+		t.Fatalf("pipeline metrics missing: %+v", out)
+	}
+	var send, recv int64
+	for _, s := range out.PerStage {
+		send += s.SendBytes
+		recv += s.RecvBytes
+	}
+	if send != recv || send != out.InterStageBytes {
+		t.Fatalf("inter-stage bytes not conserved over the wire: send %d, recv %d, total %d",
+			send, recv, out.InterStageBytes)
+	}
+	// Pipeline runs carry the device view too.
+	if len(out.PerDevice) != 4 || out.Topology == "" {
+		t.Fatalf("device view missing: %d devices, topology %q", len(out.PerDevice), out.Topology)
+	}
+}
+
+func TestSimulatePipelineExplicitCuts(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, body := post(t, ts.URL+"/v1/simulate",
+		`{"network":"vgg16","batch":64,"policy":"vdnn-all","algo":"m","stages":2,"stage_cuts":"13"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, body)
+	}
+	var out SimResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.PerStage) != 2 || out.PerStage[1].FirstLayer != 13 {
+		t.Fatalf("explicit cut ignored: %+v", out.PerStage)
+	}
+}
+
+func TestSimulatePipelineInvalid(t *testing.T) {
+	_, ts := newTestServer(t)
+	for _, tc := range []struct{ name, body string }{
+		{"stages over limit", `{"network":"alexnet","stages":999}`},
+		{"negative stages", `{"network":"alexnet","stages":-1}`},
+		{"stages with devices", `{"network":"alexnet","stages":2,"devices":2}`},
+		{"micro_batches without stages", `{"network":"alexnet","micro_batches":4}`},
+		{"stage_cuts without stages", `{"network":"alexnet","stage_cuts":"3"}`},
+		{"bad stage_cuts", `{"network":"vgg16","batch":64,"stages":2,"stage_cuts":"zzz"}`},
+		{"cut count mismatch", `{"network":"vgg16","batch":64,"stages":3,"stage_cuts":"13"}`},
+	} {
+		resp, body := post(t, ts.URL+"/v1/simulate", tc.body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400 (%s)", tc.name, resp.StatusCode, body)
+		}
+		if !strings.Contains(string(body), "error") {
+			t.Errorf("%s: missing error body: %s", tc.name, body)
+		}
+	}
+}
+
+func TestSweepPipeline(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, body := post(t, ts.URL+"/v1/sweep",
+		`{"jobs":[{"network":"vgg16","batch":64,"policy":"vdnn-all","algo":"m","stages":2},
+		          {"network":"vgg16","batch":64,"policy":"vdnn-all","algo":"m"}]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, body)
+	}
+	var out SweepResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Results) != 2 {
+		t.Fatalf("got %d results", len(out.Results))
+	}
+	if out.Results[0].Stages != 2 || out.Results[1].Stages != 0 {
+		t.Fatalf("stage fields: %d, %d", out.Results[0].Stages, out.Results[1].Stages)
+	}
+}

@@ -47,6 +47,7 @@ const (
 	OpCopyP2P                  // peer-to-peer DMA (gradient all-reduce)
 	OpCompress                 // codec pass in the D2H DMA path (cDMA engine)
 	OpDecompress               // codec pass in the H2D DMA path (cDMA engine)
+	OpCopyStage                // inter-stage pipeline transfer (activation or gradient)
 )
 
 func (k OpKind) String() string {
@@ -65,6 +66,8 @@ func (k OpKind) String() string {
 		return "compress"
 	case OpDecompress:
 		return "decompress"
+	case OpCopyStage:
+		return "copyStage"
 	}
 	return fmt.Sprintf("OpKind(%d)", int(k))
 }
