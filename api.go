@@ -1,6 +1,8 @@
 package vdnn
 
 import (
+	"context"
+
 	"vdnn/internal/compress"
 	"vdnn/internal/core"
 	"vdnn/internal/dnn"
@@ -228,6 +230,12 @@ func SharedRootTopology(name string, aggregateBps int64) Topology {
 // default topology of multi-device configurations.
 func SharedGen3Root() Topology { return pcie.SharedGen3Root() }
 
+// ErrCanceled marks a simulation abandoned by context cancellation: errors
+// from Simulator.Run/RunBatch satisfy errors.Is(err, ErrCanceled) (and
+// errors.Is against context.Canceled or context.DeadlineExceeded, whichever
+// cause applied) when the simulation stopped early instead of failing.
+var ErrCanceled = core.ErrCanceled
+
 // Run simulates training one network under one configuration — the one-shot
 // convenience for scripts. Long-lived callers, batch sweeps and anything
 // serving repeated requests should use a Simulator, which adds caching,
@@ -236,6 +244,14 @@ func SharedGen3Root() Topology { return pcie.SharedGen3Root() }
 // Trainable == false and reports the hypothetical memory demand measured on
 // an oracular device; a non-nil error indicates an invalid configuration.
 func Run(net *Network, cfg Config) (*Result, error) { return core.Run(net, cfg) }
+
+// RunContext is Run under a context: cancellation is checked at layer
+// granularity (per clock step for pipeline runs), so a canceled simulation
+// returns within the cost of one layer's bookkeeping. The returned error
+// wraps ErrCanceled and the context's cause.
+func RunContext(ctx context.Context, net *Network, cfg Config) (*Result, error) {
+	return core.RunContext(ctx, net, cfg)
+}
 
 // BuildNetwork constructs one of the paper's benchmark networks by name:
 // "alexnet", "overfeat", "googlenet", "vgg16", or the very deep variants

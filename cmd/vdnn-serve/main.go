@@ -1,9 +1,10 @@
 // vdnn-serve is the HTTP daemon of the library: a JSON API serving vDNN
 // simulations from a shared, deduplicated result cache under concurrency.
 //
-//	vdnn-serve -addr :8080 -j 8 -cache 65536
+//	vdnn-serve -addr :8080 -j 8 -cache 65536 -drain 30s
 //
 //	curl localhost:8080/healthz
+//	curl localhost:8080/readyz
 //	curl localhost:8080/v1/networks
 //	curl -d '{"network":"vgg16","batch":256}' localhost:8080/v1/simulate
 //	curl -d '{"jobs":[{"network":"alexnet"},{"network":"vgg16","policy":"base","algo":"p"}]}' \
@@ -12,7 +13,14 @@
 //
 // Repeated and concurrent identical requests are simulated once; every
 // simulation is deterministic, so identical requests always produce
-// identical responses. See internal/serve for the wire formats.
+// identical responses. See internal/serve for the wire formats, error
+// taxonomy, and admission-control behavior.
+//
+// Shutdown is graceful: on SIGINT/SIGTERM the daemon stops admitting work
+// (/readyz flips to 503, new simulations fast-fail with 503 "draining"),
+// waits up to -drain for in-flight requests, then hard-cancels stragglers
+// through the same context path a client disconnect uses. A second signal
+// skips the wait.
 package main
 
 import (
@@ -20,6 +28,7 @@ import (
 	"errors"
 	"flag"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -32,27 +41,52 @@ import (
 
 func main() {
 	var (
-		addr  = flag.String("addr", ":8080", "listen address")
-		jobs  = flag.Int("j", 0, "max top-level simulations in flight (0 = all cores)")
-		cache = flag.Int("cache", 65536, "max cached results (0 = unbounded; keep a bound on long-lived daemons)")
+		addr     = flag.String("addr", ":8080", "listen address")
+		jobs     = flag.Int("j", 0, "max top-level simulations in flight (0 = all cores)")
+		cache    = flag.Int("cache", 65536, "max cached results (0 = unbounded; keep a bound on long-lived daemons)")
+		queue    = flag.Int("queue", -1, "max requests waiting for a slot before 503 (-1 = 4x concurrency)")
+		deadline = flag.Duration("deadline", 2*time.Minute, "default per-request deadline (0 = none)")
+		maxDL    = flag.Duration("max-deadline", 10*time.Minute, "ceiling on client deadline_ms (0 = no ceiling)")
+		drain    = flag.Duration("drain", 30*time.Second, "graceful-drain budget before in-flight work is canceled")
 	)
 	flag.Parse()
 
 	sim := vdnn.NewSimulator(vdnn.WithParallelism(*jobs), vdnn.WithCacheBound(*cache))
+	api := serve.New(sim,
+		serve.WithQueueDepth(*queue),
+		serve.WithDeadlines(*deadline, *maxDL),
+	)
+
+	// baseCtx parents every request context; canceling it is the hard-cancel
+	// lever that reaches in-flight simulations when the drain budget runs out.
+	baseCtx, cancelBase := context.WithCancel(context.Background())
+	defer cancelBase()
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           serve.New(sim),
+		Handler:           api,
 		ReadHeaderTimeout: 10 * time.Second,
+		BaseContext:       func(net.Listener) context.Context { return baseCtx },
 	}
 
-	done := make(chan os.Signal, 1)
-	signal.Notify(done, os.Interrupt, syscall.SIGTERM)
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
 	go func() {
-		<-done
-		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		sig := <-sigs
+		log.Printf("vdnn-serve: %v: draining (budget %s; signal again to skip)", sig, *drain)
+		api.StartDrain()
+		go func() {
+			<-sigs
+			log.Printf("vdnn-serve: second signal: canceling in-flight work")
+			cancelBase()
+		}()
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil {
-			log.Printf("vdnn-serve: shutdown: %v", err)
+			// Budget exhausted: cancel the base context so every in-flight
+			// simulation unwinds through its per-layer checks, then close.
+			log.Printf("vdnn-serve: drain budget exhausted: canceling in-flight work (%v)", err)
+			cancelBase()
+			srv.Close()
 		}
 	}()
 
@@ -62,6 +96,7 @@ func main() {
 		log.Fatalf("vdnn-serve: %v", err)
 	}
 	st := sim.Stats()
-	log.Printf("vdnn-serve: bye (simulations %d, hits %d, coalesced %d, evictions %d)",
-		st.Simulations, st.Hits, st.Coalesced, st.Evictions)
+	sst := api.Stats()
+	log.Printf("vdnn-serve: bye (simulations %d, hits %d, coalesced %d, canceled %d, rejected %d)",
+		st.Simulations, st.Hits, st.Coalesced, st.Canceled, sst.RejectedOverload+sst.RejectedDraining)
 }

@@ -1,0 +1,167 @@
+// Package chaos is the deterministic fault-injection harness of the serving
+// stack: seeded injectors that add latency, fail requests, or panic at named
+// injection points, wired as HTTP middleware around the vdnn-serve handlers
+// and as a hook inside the sweep engine's worker loop. Every decision comes
+// from one seeded PRNG consumed in call order, so a test that replays the
+// same request sequence against the same seed sees the same faults — chaos
+// that reproduces.
+//
+// The injector never fakes outcomes: an injected panic really unwinds
+// through the recovery middleware, injected latency really holds the worker,
+// and an injected error really travels the same error path a broken
+// simulation would. What the tests assert is therefore the system's actual
+// failure behavior (error taxonomy, drain, goroutine hygiene), not a mock's.
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrInjected is the root of every injected error; errors.Is(err,
+// ErrInjected) identifies a chaos fault wherever it surfaces.
+var ErrInjected = errors.New("chaos: injected fault")
+
+// Config selects what an Injector injects. Probabilities are in [0, 1] and
+// evaluated independently per call in the order latency, error, panic.
+type Config struct {
+	// Seed feeds the PRNG; the same seed and call sequence reproduce the
+	// same faults.
+	Seed int64
+
+	// LatencyProb injects Latency (a real sleep) into that fraction of
+	// calls.
+	LatencyProb float64
+	Latency     time.Duration
+
+	// ErrorProb fails that fraction of calls with an error wrapping
+	// ErrInjected.
+	ErrorProb float64
+
+	// PanicProb panics on that fraction of calls — exercising whatever
+	// recovery isolation surrounds the injection point.
+	PanicProb float64
+}
+
+// Stats counts what an Injector actually did.
+type Stats struct {
+	Calls     int64 `json:"calls"`
+	Latencies int64 `json:"latencies"`
+	Errors    int64 `json:"errors"`
+	Panics    int64 `json:"panics"`
+}
+
+// Injector injects faults per Config. Safe for concurrent use; decisions are
+// serialized on an internal lock, so concurrent callers see a deterministic
+// multiset of faults (the interleaving, as always under concurrency, is the
+// scheduler's).
+type Injector struct {
+	cfg Config
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	calls, latencies, errs, panics atomic.Int64
+}
+
+// New creates an Injector for the given configuration.
+func New(cfg Config) *Injector {
+	return &Injector{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// Fault is one call's injection decision.
+type Fault struct {
+	Latency time.Duration // sleep this long first (0: none)
+	Err     error         // then fail with this error (nil: none)
+	Panic   bool          // ... by panicking instead of returning
+}
+
+// Decide draws one call's fault from the PRNG. point names the injection
+// site and is carried into the injected error for attribution.
+func (in *Injector) Decide(point string) Fault {
+	in.calls.Add(1)
+	in.mu.Lock()
+	lat := in.rng.Float64() < in.cfg.LatencyProb
+	errDraw := in.rng.Float64() < in.cfg.ErrorProb
+	panicDraw := in.rng.Float64() < in.cfg.PanicProb
+	in.mu.Unlock()
+
+	var f Fault
+	if lat {
+		f.Latency = in.cfg.Latency
+		in.latencies.Add(1)
+	}
+	switch {
+	case panicDraw:
+		f.Err = fmt.Errorf("%w: panic at %s", ErrInjected, point)
+		f.Panic = true
+		in.panics.Add(1)
+	case errDraw:
+		f.Err = fmt.Errorf("%w: error at %s", ErrInjected, point)
+		in.errs.Add(1)
+	}
+	return f
+}
+
+// Apply draws a fault and enacts it: sleeps the latency, panics on a panic
+// fault, returns the error otherwise (nil when nothing fired).
+func (in *Injector) Apply(point string) error {
+	f := in.Decide(point)
+	if f.Latency > 0 {
+		time.Sleep(f.Latency)
+	}
+	if f.Panic {
+		panic(f.Err)
+	}
+	return f.Err
+}
+
+// Hook adapts the injector to the sweep engine's chaos hook
+// (sweep.Engine.SetChaosHook): injected errors fail the simulation attempt,
+// injected panics unwind into the engine's panic isolation.
+func (in *Injector) Hook() func(point string) error {
+	return func(point string) error { return in.Apply("sweep:" + point) }
+}
+
+// Middleware wraps an HTTP handler with per-request fault injection:
+// injected latency delays the request (respecting its context so deadlines
+// still fire promptly), an injected error answers 500 with a structured
+// body, and an injected panic unwinds into the server's recovery middleware.
+func (in *Injector) Middleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		f := in.Decide("http:" + r.URL.Path)
+		if f.Latency > 0 {
+			t := time.NewTimer(f.Latency)
+			select {
+			case <-t.C:
+			case <-r.Context().Done():
+				t.Stop()
+			}
+		}
+		if f.Panic {
+			panic(f.Err)
+		}
+		if f.Err != nil {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusInternalServerError)
+			fmt.Fprintf(w, "{\"error\": %q, \"code\": \"injected\"}\n", f.Err.Error())
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// Stats snapshots the injection counters.
+func (in *Injector) Stats() Stats {
+	return Stats{
+		Calls:     in.calls.Load(),
+		Latencies: in.latencies.Load(),
+		Errors:    in.errs.Load(),
+		Panics:    in.panics.Load(),
+	}
+}

@@ -1,0 +1,131 @@
+package chaos
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestDeterminism checks the seed contract: two injectors with the same
+// configuration produce identical fault sequences call for call.
+func TestDeterminism(t *testing.T) {
+	cfg := Config{Seed: 42, LatencyProb: 0.3, Latency: time.Millisecond, ErrorProb: 0.3, PanicProb: 0.2}
+	a, b := New(cfg), New(cfg)
+	for i := 0; i < 200; i++ {
+		fa, fb := a.Decide("p"), b.Decide("p")
+		if fa.Latency != fb.Latency || fa.Panic != fb.Panic || (fa.Err == nil) != (fb.Err == nil) {
+			t.Fatalf("call %d diverged: %+v vs %+v", i, fa, fb)
+		}
+	}
+	if a.Stats() != b.Stats() {
+		t.Fatalf("stats diverged: %+v vs %+v", a.Stats(), b.Stats())
+	}
+	// A different seed must (overwhelmingly) produce a different sequence.
+	c := New(Config{Seed: 43, LatencyProb: 0.3, Latency: time.Millisecond, ErrorProb: 0.3, PanicProb: 0.2})
+	for i := 0; i < 200; i++ {
+		c.Decide("p")
+	}
+	if c.Stats() == a.Stats() {
+		t.Log("distinct seeds produced identical stats (possible but unlikely)")
+	}
+}
+
+// TestProbabilityEdges checks the degenerate configurations: probability 1
+// fires every call, the zero config never fires.
+func TestProbabilityEdges(t *testing.T) {
+	always := New(Config{Seed: 1, ErrorProb: 1})
+	for i := 0; i < 50; i++ {
+		if err := always.Apply("x"); !errors.Is(err, ErrInjected) {
+			t.Fatalf("call %d: err = %v, want ErrInjected", i, err)
+		}
+	}
+	if st := always.Stats(); st.Errors != 50 || st.Calls != 50 {
+		t.Fatalf("stats = %+v, want 50 errors / 50 calls", st)
+	}
+	never := New(Config{Seed: 1})
+	for i := 0; i < 50; i++ {
+		if err := never.Apply("x"); err != nil {
+			t.Fatalf("zero config injected %v", err)
+		}
+	}
+	if st := never.Stats(); st.Errors != 0 || st.Latencies != 0 || st.Panics != 0 {
+		t.Fatalf("zero config counted faults: %+v", st)
+	}
+}
+
+// TestPanicPrecedence checks a call drawing both error and panic panics (the
+// more violent fault wins), and that the panic value wraps ErrInjected.
+func TestPanicPrecedence(t *testing.T) {
+	in := New(Config{Seed: 1, ErrorProb: 1, PanicProb: 1})
+	defer func() {
+		rec := recover()
+		if rec == nil {
+			t.Fatal("no panic from PanicProb 1")
+		}
+		err, ok := rec.(error)
+		if !ok || !errors.Is(err, ErrInjected) {
+			t.Fatalf("panic value %v does not wrap ErrInjected", rec)
+		}
+	}()
+	_ = in.Apply("x")
+}
+
+// TestHookPointAttribution checks the sweep-hook adapter names its injection
+// point and preserves the sentinel.
+func TestHookPointAttribution(t *testing.T) {
+	h := New(Config{Seed: 1, ErrorProb: 1}).Hook()
+	err := h("simulate")
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	if !strings.Contains(err.Error(), "sweep:simulate") {
+		t.Errorf("error %q does not name the injection point", err)
+	}
+}
+
+// TestMiddlewareError checks an injected error answers 500 with the
+// structured "injected" code without reaching the wrapped handler.
+func TestMiddlewareError(t *testing.T) {
+	reached := false
+	h := New(Config{Seed: 1, ErrorProb: 1}).Middleware(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
+		reached = true
+	}))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/x", nil))
+	if reached {
+		t.Error("handler ran despite injected error")
+	}
+	if rec.Code != http.StatusInternalServerError {
+		t.Errorf("status = %d, want 500", rec.Code)
+	}
+	if body := rec.Body.String(); !strings.Contains(body, `"injected"`) {
+		t.Errorf("body %q lacks the injected code", body)
+	}
+}
+
+// TestMiddlewarePassThrough checks a quiet injector is transparent.
+func TestMiddlewarePassThrough(t *testing.T) {
+	h := New(Config{Seed: 1}).Middleware(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusTeapot)
+	}))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/x", nil))
+	if rec.Code != http.StatusTeapot {
+		t.Errorf("status = %d, want pass-through 418", rec.Code)
+	}
+}
+
+// TestMiddlewarePanicUnwinds checks an injected panic propagates out of the
+// middleware — reaching whatever recovery isolation the server installed.
+func TestMiddlewarePanicUnwinds(t *testing.T) {
+	h := New(Config{Seed: 1, PanicProb: 1}).Middleware(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {}))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("injected panic did not unwind")
+		}
+	}()
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/x", nil))
+}

@@ -12,6 +12,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -529,6 +530,21 @@ func (r *Result) TotalMaxUsage() int64 { return r.MaxUsage + r.FrameworkBytes }
 // memory demand can still be reported (the starred bars of Figure 11);
 // Trainable is false in that case.
 func Run(net *dnn.Network, cfg Config) (*Result, error) {
+	return RunContext(context.Background(), net, cfg)
+}
+
+// RunContext is Run under a context: the simulation checks ctx at every
+// layer (and micro-batch) boundary and aborts with an error wrapping both
+// ErrCanceled and the context's cause. A nil ctx behaves like
+// context.Background(). Cancellation reaches every trainer — single-device,
+// data-parallel, pipeline — and the dynamic policy's profiling candidates.
+func RunContext(ctx context.Context, net *dnn.Network, cfg Config) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if ctx.Err() != nil {
+		return nil, canceled(ctx)
+	}
 	cfg = cfg.WithDefaults()
 	if err := cfg.Spec.Validate(); err != nil {
 		return nil, err
@@ -553,26 +569,31 @@ func Run(net *dnn.Network, cfg Config) (*Result, error) {
 		return nil, err
 	}
 	if prof, ok := pol.(Profiler); ok {
-		return prof.Profile(net, cfg, profileSimulate(net))
+		return prof.Profile(net, cfg, profileSimulate(ctx, net))
 	}
-	return runStatic(net, cfg, pol)
+	return runStatic(ctx, net, cfg, pol)
 }
 
 // runStatic simulates one non-profiling configuration, falling back to an
 // oracular rerun to report the hypothetical demand when it cannot train.
-func runStatic(net *dnn.Network, cfg Config, pol OffloadPolicy) (*Result, error) {
+func runStatic(ctx context.Context, net *dnn.Network, cfg Config, pol OffloadPolicy) (*Result, error) {
 	plan, err := buildPlan(net, cfg, pol)
 	if err != nil {
 		return nil, err
 	}
-	res, runErr := execute(net, cfg, pol, plan)
+	res, runErr := execute(ctx, net, cfg, pol, plan)
 	if runErr == nil {
 		return res, nil
+	}
+	if errors.Is(runErr, ErrCanceled) {
+		// Aborted, not untrainable: the oracle rerun would burn a second full
+		// simulation on a request nobody is waiting for.
+		return nil, runErr
 	}
 	// OOM: report the hypothetical demand on an oracular device.
 	oracleCfg := cfg
 	oracleCfg.Oracle = true
-	res, err = execute(net, oracleCfg, pol, plan)
+	res, err = execute(ctx, net, oracleCfg, pol, plan)
 	if err != nil {
 		return nil, fmt.Errorf("core: oracle rerun failed: %w", err)
 	}
@@ -593,9 +614,14 @@ func runStatic(net *dnn.Network, cfg Config, pol OffloadPolicy) (*Result, error)
 // An execution failure on an oracle-sized pool is never plain memory
 // oversubscription, so it propagates with its cause instead of reading as
 // "untrainable" — profilers lean on oracle runs for their fallback
-// diagnostics.
-func profileSimulate(net *dnn.Network) Simulate {
+// diagnostics. The caller's context is bound into the callback, so a
+// canceled request aborts every profiling candidate too (a canceled
+// candidate propagates its error instead of reading as "untrainable").
+func profileSimulate(ctx context.Context, net *dnn.Network) Simulate {
 	return func(sub Config) (*Result, error) {
+		if ctx.Err() != nil {
+			return nil, canceled(ctx)
+		}
 		sub = sub.WithDefaults()
 		pol, err := sub.policyImpl()
 		if err != nil {
@@ -608,8 +634,11 @@ func profileSimulate(net *dnn.Network) Simulate {
 		if err != nil {
 			return nil, err
 		}
-		res, runErr := execute(net, sub, pol, plan)
+		res, runErr := execute(ctx, net, sub, pol, plan)
 		if runErr != nil {
+			if errors.Is(runErr, ErrCanceled) {
+				return nil, runErr
+			}
 			if sub.Oracle {
 				return nil, fmt.Errorf("core: oracle candidate failed: %w", runErr)
 			}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"vdnn/internal/compress"
@@ -187,7 +188,7 @@ func resolveBoundaryCodecs(net *dnn.Network, cfg Config, pol OffloadPolicy, boun
 // executePP simulates a pipeline-parallel configuration: per-stage runtimes
 // on one shared timeline, micro-batches streamed through them with
 // inter-stage transfers arbitrated over the topology's shared channels.
-func executePP(net *dnn.Network, cfg Config, pol OffloadPolicy) (*Result, error) {
+func executePP(ctx context.Context, net *dnn.Network, cfg Config, pol OffloadPolicy) (*Result, error) {
 	parts, bounds, err := pipelineStages(net, cfg, pol)
 	if err != nil {
 		return nil, err
@@ -215,6 +216,7 @@ func executePP(net *dnn.Network, cfg Config, pol OffloadPolicy) (*Result, error)
 		if err != nil {
 			return nil, fmt.Errorf("stage %d: %w", s, err)
 		}
+		rt.ctx = ctx
 		rts[s] = rt
 	}
 
@@ -256,6 +258,9 @@ func runStepPP(net *dnn.Network, rts []*runtime, bounds []stageBoundary) error {
 	M := rts[0].mbCount
 
 	for step := 0; step <= (S-1)+(M-1); step++ {
+		if err := rts[0].checkCtx(); err != nil {
+			return err
+		}
 		for s := 0; s < S; s++ {
 			mb := step - s
 			if mb < 0 || mb >= M {
@@ -290,6 +295,9 @@ func runStepPP(net *dnn.Network, rts []*runtime, bounds []stageBoundary) error {
 		gradRecv[s] = make([]*sim.Op, M)
 	}
 	for step := 0; step <= (S-1)+(M-1); step++ {
+		if err := rts[0].checkCtx(); err != nil {
+			return err
+		}
 		for s := S - 1; s >= 0; s-- {
 			m := (S - 1 - s) + (M - 1) - step
 			if m < 0 || m >= M {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"vdnn/internal/cudnnsim"
@@ -55,6 +56,13 @@ type runtime struct {
 	cfg  Config
 	net  *dnn.Network
 	plan *Plan
+
+	// ctx, when non-nil, is the cancellation signal of the enclosing
+	// RunContext call: the drivers probe it (checkCtx) at layer and
+	// micro-batch boundaries so a canceled request stops simulating within
+	// one boundary's worth of work. Set by the execute* drivers, never by
+	// newRuntime — construction is quick and always runs to completion.
+	ctx context.Context
 
 	// lo/hi bound the layer IDs this runtime owns: [0, len(Layers)) for a
 	// whole-network replica, a contiguous stage range under pipeline

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"vdnn/internal/cudnnsim"
@@ -16,13 +17,14 @@ import (
 // micro-batch pipeline trainer (which derives its own per-stage plans from
 // the policy), configurations with more than one device run the
 // data-parallel trainer, and a single device runs one runtime on a dedicated
-// timeline — today's exact schedule.
-func execute(net *dnn.Network, cfg Config, pol OffloadPolicy, plan *Plan) (*Result, error) {
+// timeline — today's exact schedule. A done ctx aborts the run at the next
+// layer (or micro-batch) boundary with an ErrCanceled-wrapping error.
+func execute(ctx context.Context, net *dnn.Network, cfg Config, pol OffloadPolicy, plan *Plan) (*Result, error) {
 	if cfg.Stages > 1 {
-		return executePP(net, cfg, pol)
+		return executePP(ctx, net, cfg, pol)
 	}
 	if cfg.Devices > 1 {
-		return executeDP(net, cfg, plan)
+		return executeDP(ctx, net, cfg, plan)
 	}
 	dev := gpu.NewDevice(cfg.Spec)
 	dev.UsePageMigration = cfg.PageMigration
@@ -30,6 +32,7 @@ func execute(net *dnn.Network, cfg Config, pol OffloadPolicy, plan *Plan) (*Resu
 	if err != nil {
 		return nil, err
 	}
+	e.ctx = ctx
 
 	var winStart sim.Time
 	for e.iter = 0; e.iter < cfg.Iterations; e.iter++ {
@@ -54,6 +57,9 @@ func (e *runtime) runIteration() error {
 		return err
 	}
 	for _, l := range e.net.Layers {
+		if err := e.checkCtx(); err != nil {
+			return err
+		}
 		p, err := e.issueForward(l)
 		if err != nil {
 			return fmt.Errorf("fwd %s: %w", l.Name, err)
@@ -61,6 +67,9 @@ func (e *runtime) runIteration() error {
 		e.finishForward(p)
 	}
 	for i := len(e.net.Layers) - 1; i >= 0; i-- {
+		if err := e.checkCtx(); err != nil {
+			return err
+		}
 		l := e.net.Layers[i]
 		p, err := e.issueBackward(l)
 		if err != nil {
@@ -146,7 +155,7 @@ const maxDevices = 64
 // synchronizations — the multi-GPU generalization of the paper's Figure 9
 // loop. With one device and a dedicated topology this degenerates to the
 // single-device schedule exactly.
-func executeDP(net *dnn.Network, cfg Config, plan *Plan) (*Result, error) {
+func executeDP(ctx context.Context, net *dnn.Network, cfg Config, plan *Plan) (*Result, error) {
 	n := cfg.Devices
 	tl := sim.New(cfg.Spec.LaunchOverhead, cfg.Spec.SyncOverhead)
 	var down, up *sim.SharedChannel
@@ -167,6 +176,7 @@ func executeDP(net *dnn.Network, cfg Config, plan *Plan) (*Result, error) {
 		if err != nil {
 			return nil, fmt.Errorf("device %d: %w", i, err)
 		}
+		r.ctx = ctx
 		reps[i] = r
 	}
 
@@ -206,6 +216,9 @@ func runStepDP(net *dnn.Network, reps []*runtime, gradBytes int64) error {
 	}
 	fp := make([]fwdPending, len(reps))
 	for _, l := range net.Layers {
+		if err := reps[0].checkCtx(); err != nil {
+			return err
+		}
 		for i, r := range reps {
 			p, err := r.issueForward(l)
 			if err != nil {
@@ -219,6 +232,9 @@ func runStepDP(net *dnn.Network, reps []*runtime, gradBytes int64) error {
 	}
 	bp := make([]bwdPending, len(reps))
 	for j := len(net.Layers) - 1; j >= 0; j-- {
+		if err := reps[0].checkCtx(); err != nil {
+			return err
+		}
 		l := net.Layers[j]
 		for i, r := range reps {
 			p, err := r.issueBackward(l)

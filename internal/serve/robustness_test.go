@@ -1,0 +1,339 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"vdnn"
+	"vdnn/internal/chaos"
+)
+
+// newRobustServer builds a server with explicit robustness knobs and an
+// optional chaos hook holding simulations open for holdup per attempt.
+func newRobustServer(t *testing.T, holdup time.Duration, serveOpts ...Option) (*Server, *httptest.Server) {
+	t.Helper()
+	sim := vdnn.NewSimulator(vdnn.WithParallelism(4))
+	if holdup > 0 {
+		sim.SetChaosHook(func(string) error { time.Sleep(holdup); return nil })
+	}
+	srv := New(sim, serveOpts...)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+// errBody decodes the structured error body.
+func errBody(t *testing.T, b []byte) (msg, code string) {
+	t.Helper()
+	var e struct {
+		Error string `json:"error"`
+		Code  string `json:"code"`
+	}
+	if err := json.Unmarshal(b, &e); err != nil {
+		t.Fatalf("error body %q: %v", b, err)
+	}
+	return e.Error, e.Code
+}
+
+// TestOverloadFastFail fills the admission system (1 executing + 1 queued)
+// and checks the excess requests fail fast with 503, the "overloaded" code
+// and a Retry-After header, while the admitted ones still succeed.
+func TestOverloadFastFail(t *testing.T) {
+	srv, ts := newRobustServer(t, 300*time.Millisecond,
+		WithMaxConcurrent(1), WithQueueDepth(1))
+
+	const n = 6
+	codes := make([]int, n)
+	retryAfter := make([]string, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Distinct batch per request: distinct cache keys, so every
+			// admitted request really occupies its slot for the holdup.
+			body := fmt.Sprintf(`{"network":"alexnet","batch":%d}`, 8+i)
+			resp, err := http.Post(ts.URL+"/v1/simulate", "application/json", strings.NewReader(body))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer resp.Body.Close()
+			codes[i] = resp.StatusCode
+			retryAfter[i] = resp.Header.Get("Retry-After")
+		}(i)
+	}
+	wg.Wait()
+
+	var ok, rejected int
+	for i, c := range codes {
+		switch c {
+		case http.StatusOK:
+			ok++
+		case http.StatusServiceUnavailable:
+			rejected++
+			if retryAfter[i] == "" {
+				t.Errorf("request %d: 503 without Retry-After", i)
+			}
+		default:
+			t.Errorf("request %d: unexpected status %d", i, c)
+		}
+	}
+	// 1 executing + 1 queued can be admitted at once; with 6 near-
+	// simultaneous requests at a 300 ms holdup, at least one of each outcome
+	// is guaranteed.
+	if ok == 0 || rejected == 0 {
+		t.Fatalf("ok = %d, rejected = %d, want both nonzero (codes %v)", ok, rejected, codes)
+	}
+	st := srv.Stats()
+	if st.RejectedOverload != int64(rejected) {
+		t.Errorf("RejectedOverload = %d, want %d", st.RejectedOverload, rejected)
+	}
+	if st.InFlight != 0 {
+		t.Errorf("InFlight = %d after quiesce, want 0", st.InFlight)
+	}
+	if st.Completed != int64(ok) {
+		t.Errorf("Completed = %d, want %d", st.Completed, ok)
+	}
+}
+
+// TestDeadlineExceeded checks a tiny client deadline against a held-open
+// simulation answers 408 with the "deadline" code.
+func TestDeadlineExceeded(t *testing.T) {
+	srv, ts := newRobustServer(t, 200*time.Millisecond)
+	resp, body := post(t, ts.URL+"/v1/simulate", `{"network":"alexnet","batch":8,"deadline_ms":20}`)
+	if resp.StatusCode != http.StatusRequestTimeout {
+		t.Fatalf("status = %d, body %s, want 408", resp.StatusCode, body)
+	}
+	if _, code := errBody(t, body); code != "deadline" {
+		t.Errorf("code = %q, want deadline", code)
+	}
+	if st := srv.Stats(); st.DeadlineExceeded == 0 {
+		t.Errorf("DeadlineExceeded = 0 after a 408")
+	}
+}
+
+// TestDeadlineValidation checks deadline_ms bounds and its rejection inside
+// sweep jobs.
+func TestDeadlineValidation(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, body := post(t, ts.URL+"/v1/simulate", `{"network":"alexnet","deadline_ms":-5}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("negative deadline: status = %d, body %s", resp.StatusCode, body)
+	}
+	resp, body = post(t, ts.URL+"/v1/sweep", `{"jobs":[{"network":"alexnet","deadline_ms":100}]}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("job-level deadline: status = %d, body %s", resp.StatusCode, body)
+	}
+	if msg, _ := errBody(t, body); !strings.Contains(msg, "sweep body") {
+		t.Errorf("error %q does not point at the sweep-level field", msg)
+	}
+	// Sweep-level deadline on a fast sweep succeeds.
+	resp, body = post(t, ts.URL+"/v1/sweep", `{"deadline_ms":60000,"jobs":[{"network":"alexnet","batch":8}]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sweep-level deadline: status = %d, body %s", resp.StatusCode, body)
+	}
+}
+
+// TestClientCancel checks a request arriving with a dead context is answered
+// 499 with the "canceled" code and counted.
+func TestClientCancel(t *testing.T) {
+	sim := vdnn.NewSimulator()
+	srv := New(sim)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	req := httptest.NewRequest("POST", "/v1/simulate",
+		strings.NewReader(`{"network":"alexnet","batch":8}`)).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if rec.Code != StatusClientClosedRequest {
+		t.Fatalf("status = %d, body %s, want 499", rec.Code, rec.Body)
+	}
+	if _, code := errBody(t, rec.Body.Bytes()); code != "canceled" {
+		t.Errorf("code = %q, want canceled", code)
+	}
+	if st := srv.Stats(); st.Canceled != 1 {
+		t.Errorf("Canceled = %d, want 1", st.Canceled)
+	}
+}
+
+// TestDrainFlow checks readiness flips and admission closes under drain
+// while liveness and running work stay untouched.
+func TestDrainFlow(t *testing.T) {
+	srv, ts := newTestServer(t)
+	get := func(path string) int {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if c := get("/readyz"); c != http.StatusOK {
+		t.Fatalf("/readyz before drain = %d", c)
+	}
+	srv.StartDrain()
+	if !srv.Draining() {
+		t.Fatal("Draining() false after StartDrain")
+	}
+	if c := get("/readyz"); c != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz during drain = %d, want 503", c)
+	}
+	if c := get("/healthz"); c != http.StatusOK {
+		t.Fatalf("/healthz during drain = %d, want 200 (liveness is not readiness)", c)
+	}
+	resp, body := post(t, ts.URL+"/v1/simulate", `{"network":"alexnet","batch":8}`)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("simulate during drain: status = %d, body %s", resp.StatusCode, body)
+	}
+	if _, code := errBody(t, body); code != "draining" {
+		t.Errorf("code = %q, want draining", code)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("draining 503 without Retry-After")
+	}
+	if st := srv.Stats(); st.RejectedDraining != 1 {
+		t.Errorf("RejectedDraining = %d, want 1", st.RejectedDraining)
+	}
+}
+
+// TestPanicIsolation checks an injected panic (via the chaos middleware, the
+// same unwind path a worker bug would take) becomes a structured 500 and the
+// server keeps serving.
+func TestPanicIsolation(t *testing.T) {
+	sim := vdnn.NewSimulator()
+	srv := New(sim, WithChaos(chaos.New(chaos.Config{Seed: 1, PanicProb: 1})))
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500 from injected panic", resp.StatusCode)
+	}
+	if st := srv.Stats(); st.Panics != 1 {
+		t.Errorf("Panics = %d, want 1", st.Panics)
+	}
+}
+
+// TestEnginePanicIsolation checks a panic inside the simulation engine (the
+// chaos hook's panic point) surfaces as a 500, not a dead connection.
+func TestEnginePanicIsolation(t *testing.T) {
+	sim := vdnn.NewSimulator()
+	sim.SetChaosHook(chaos.New(chaos.Config{Seed: 1, PanicProb: 1}).Hook())
+	srv := New(sim)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	resp, body := post(t, ts.URL+"/v1/simulate", `{"network":"alexnet","batch":8}`)
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status = %d, body %s, want 500", resp.StatusCode, body)
+	}
+	if _, code := errBody(t, body); code != "internal" {
+		t.Errorf("code = %q, want internal (engine wraps the panic)", code)
+	}
+}
+
+// TestInjectedEngineError checks a chaos error injected at the engine's
+// simulate point maps to the "injected" taxonomy slot.
+func TestInjectedEngineError(t *testing.T) {
+	sim := vdnn.NewSimulator()
+	sim.SetChaosHook(chaos.New(chaos.Config{Seed: 1, ErrorProb: 1}).Hook())
+	srv := New(sim)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	resp, body := post(t, ts.URL+"/v1/simulate", `{"network":"alexnet","batch":8}`)
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status = %d, body %s, want 500", resp.StatusCode, body)
+	}
+	if _, code := errBody(t, body); code != "injected" {
+		t.Errorf("code = %q, want injected", code)
+	}
+	// Injected faults are transient: a retry of the same request (quiet
+	// injector now exhausted its one guaranteed hit? prob 1 always fires) —
+	// swap the hook off and the key must re-simulate successfully.
+	sim.SetChaosHook(nil)
+	resp, body = post(t, ts.URL+"/v1/simulate", `{"network":"alexnet","batch":8}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("retry after injected fault: status = %d, body %s (errored entries must not be cached)", resp.StatusCode, body)
+	}
+}
+
+// TestStatsSuperset checks /v1/stats carries both the engine counters and
+// the serve counters.
+func TestStatsSuperset(t *testing.T) {
+	_, ts := newTestServer(t)
+	if resp, body := post(t, ts.URL+"/v1/simulate", `{"network":"alexnet","batch":8}`); resp.StatusCode != http.StatusOK {
+		t.Fatalf("simulate: %d %s", resp.StatusCode, body)
+	}
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Simulations != 1 {
+		t.Errorf("engine Simulations = %d, want 1", st.Simulations)
+	}
+	if st.Serve.Completed != 1 || st.Serve.Admitted != 1 {
+		t.Errorf("serve stats = %+v, want 1 completed / 1 admitted", st.Serve)
+	}
+}
+
+// TestNoGoroutineLeaksUnderChurn hammers the failure paths — overload
+// rejections, deadlines, cancels, drains — and checks the goroutine count
+// settles back to baseline.
+func TestNoGoroutineLeaksUnderChurn(t *testing.T) {
+	srv, ts := newRobustServer(t, 50*time.Millisecond,
+		WithMaxConcurrent(1), WithQueueDepth(1))
+	before := runtime.NumGoroutine()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 24; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			body := fmt.Sprintf(`{"network":"alexnet","batch":%d,"deadline_ms":%d}`, 8+i%4, 10+i*7)
+			resp, err := http.Post(ts.URL+"/v1/simulate", "application/json", strings.NewReader(body))
+			if err == nil {
+				resp.Body.Close()
+			}
+		}(i)
+	}
+	wg.Wait()
+	srv.StartDrain()
+	resp, _ := post(t, ts.URL+"/v1/simulate", `{"network":"alexnet","batch":8}`)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("post-drain admission = %d, want 503", resp.StatusCode)
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= before+3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			t.Fatalf("goroutines before %d, after %d:\n%s",
+				before, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if st := srv.Stats(); st.InFlight != 0 {
+		t.Errorf("InFlight = %d after churn, want 0", st.InFlight)
+	}
+}

@@ -9,10 +9,15 @@
 //	POST /v1/simulate   one configuration        -> SimResponse
 //	POST /v1/sweep      {"jobs": [...]} batch    -> SweepResponse
 //	GET  /v1/networks   model/device/link names  -> CatalogResponse
-//	GET  /v1/stats      cache counters           -> vdnn.EngineStats
+//	GET  /v1/stats      cache + serve counters   -> StatsResponse
 //	GET  /healthz       liveness                 -> "ok"
+//	GET  /readyz        readiness (503 draining) -> "ready"
 //
-// Errors are JSON bodies {"error": "..."} with a 4xx/5xx status.
+// Simulation requests pass through admission control (bounded queue, 503 +
+// Retry-After when full) and run under a per-request deadline (server
+// default, or the request's deadline_ms clamped to the server maximum).
+// Errors are JSON bodies {"error": "...", "code": "..."} with a 4xx/5xx
+// status; the taxonomy is documented in robustness.go.
 package serve
 
 import (
@@ -22,6 +27,8 @@ import (
 	"io"
 	"net/http"
 	"strings"
+	"sync/atomic"
+	"time"
 
 	"vdnn"
 )
@@ -89,6 +96,12 @@ type SimRequest struct {
 	// response's trace field carries Chrome trace-event JSON inline (open in
 	// chrome://tracing or ui.perfetto.dev). Not allowed inside sweeps.
 	Trace bool `json:"trace,omitempty"`
+
+	// DeadlineMS bounds this request's wall-clock time in milliseconds; the
+	// server clamps it to its configured maximum and answers 408 when it
+	// fires. Zero uses the server default. Inside a sweep, set it on the
+	// sweep body (it covers the whole batch), not on individual jobs.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
 }
 
 // SimResponse is the wire form of a simulation result.
@@ -180,9 +193,18 @@ type StageResponse struct {
 	PoolPeakBytes int64   `json:"pool_peak_bytes"`
 }
 
-// SweepRequest is a batch of simulations answered in order.
+// SweepRequest is a batch of simulations answered in order. DeadlineMS
+// bounds the whole batch; per-job deadline_ms is rejected.
 type SweepRequest struct {
-	Jobs []SimRequest `json:"jobs"`
+	Jobs       []SimRequest `json:"jobs"`
+	DeadlineMS int64        `json:"deadline_ms,omitempty"`
+}
+
+// StatsResponse is the GET /v1/stats body: the simulator's cache counters
+// plus the HTTP layer's admission counters.
+type StatsResponse struct {
+	vdnn.EngineStats
+	Serve ServeStats `json:"serve"`
 }
 
 // SweepResponse carries one result per job, in job order.
@@ -203,8 +225,15 @@ type CatalogResponse struct {
 // Server is the HTTP handler. Create with New; it is an http.Handler safe
 // for concurrent use.
 type Server struct {
-	sim *vdnn.Simulator
-	mux *http.ServeMux
+	sim     *vdnn.Simulator
+	mux     *http.ServeMux
+	handler http.Handler // recoverer( [chaos(] mux [)] )
+
+	adm             *admission
+	counters        serveCounters
+	draining        atomic.Bool
+	defaultDeadline time.Duration
+	maxDeadline     time.Duration
 }
 
 // Request guardrails. Every numeric knob below is client-controlled, so the
@@ -223,19 +252,55 @@ const (
 	maxRequestDevices = 16
 )
 
-// New creates a Server answering from the given simulator.
-func New(sim *vdnn.Simulator) *Server {
-	s := &Server{sim: sim, mux: http.NewServeMux()}
+// Default deadlines: generous enough for the heaviest catalogued sweep, so
+// only a stuck or abusive request ever hits them uninvited.
+const (
+	defaultRequestDeadline = 2 * time.Minute
+	defaultMaxDeadline     = 10 * time.Minute
+)
+
+// New creates a Server answering from the given simulator. With no options
+// it admits sim.Parallelism() concurrent simulation requests, queues 4× that
+// beyond them, and applies the default deadlines above.
+func New(sim *vdnn.Simulator, opts ...Option) *Server {
+	o := options{
+		maxConcurrent:   sim.Parallelism(),
+		queueDepth:      -1,
+		defaultDeadline: defaultRequestDeadline,
+		maxDeadline:     defaultMaxDeadline,
+	}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if o.maxConcurrent <= 0 {
+		o.maxConcurrent = 1
+	}
+	if o.queueDepth < 0 {
+		o.queueDepth = 4 * o.maxConcurrent
+	}
+	s := &Server{
+		sim:             sim,
+		mux:             http.NewServeMux(),
+		adm:             newAdmission(o.maxConcurrent, o.queueDepth),
+		defaultDeadline: o.defaultDeadline,
+		maxDeadline:     o.maxDeadline,
+	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
 	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	s.mux.HandleFunc("GET /v1/networks", s.handleNetworks)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	var h http.Handler = s.mux
+	if o.injector != nil {
+		h = o.injector.Middleware(h)
+	}
+	s.handler = s.recoverer(h)
 	return s
 }
 
 // ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.handler.ServeHTTP(w, r) }
 
 // Simulator returns the server's simulator (stats, registries).
 func (s *Server) Simulator() *vdnn.Simulator { return s.sim }
@@ -446,14 +511,28 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	if err := validDeadlineMS(req.DeadlineMS); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
 	net, cfg, err := s.resolve(req)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	res, err := s.sim.Run(r.Context(), net, cfg)
+	// r.Context() is the cancellation root: a client disconnect (or the
+	// daemon's drain hard-cancel via Server.BaseContext) propagates from here
+	// through Run into the per-layer checks of the core trainer.
+	ctx, cancel := s.requestContext(r.Context(), req.DeadlineMS)
+	defer cancel()
+	release, ok := s.admit(w, ctx)
+	if !ok {
+		return
+	}
+	defer release()
+	res, err := s.sim.Run(ctx, net, cfg)
 	if err != nil {
-		writeError(w, simStatus(err), err)
+		s.writeSimError(w, err)
 		return
 	}
 	out, err := response(req, res)
@@ -461,24 +540,20 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
+	s.counters.completed.Add(1)
 	writeJSON(w, out)
-}
-
-// simStatus classifies a simulation error for HTTP: the Run contract says a
-// non-nil error means an invalid configuration (client-supplied here), so
-// those are 400s; only an internal panic is the server's fault.
-func simStatus(err error) int {
-	if strings.Contains(err.Error(), "simulation panic") {
-		return http.StatusInternalServerError
-	}
-	return http.StatusBadRequest
 }
 
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	var sr struct {
-		Jobs []json.RawMessage `json:"jobs"`
+		Jobs       []json.RawMessage `json:"jobs"`
+		DeadlineMS int64             `json:"deadline_ms"`
 	}
 	if err := decodeJSON(w, r, &sr); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := validDeadlineMS(sr.DeadlineMS); err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
@@ -504,6 +579,10 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, fmt.Errorf("job %d: trace is not available in sweeps; use /v1/simulate", i))
 			return
 		}
+		if req.DeadlineMS != 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("job %d: deadline_ms applies to the whole sweep; set it on the sweep body", i))
+			return
+		}
 		net, cfg, err := s.resolve(req)
 		if err != nil {
 			writeError(w, http.StatusBadRequest, fmt.Errorf("job %d: %w", i, err))
@@ -512,9 +591,16 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		reqs[i] = req
 		jobs[i] = vdnn.BatchJob{Net: net, Cfg: cfg}
 	}
-	results, err := s.sim.RunBatch(r.Context(), jobs)
+	ctx, cancel := s.requestContext(r.Context(), sr.DeadlineMS)
+	defer cancel()
+	release, ok := s.admit(w, ctx)
+	if !ok {
+		return
+	}
+	defer release()
+	results, err := s.sim.RunBatch(ctx, jobs)
 	if err != nil {
-		writeError(w, simStatus(err), err)
+		s.writeSimError(w, err)
 		return
 	}
 	out := SweepResponse{Results: make([]SimResponse, len(results))}
@@ -524,6 +610,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	s.counters.completed.Add(1)
 	writeJSON(w, out)
 }
 
@@ -539,7 +626,7 @@ func (s *Server) handleNetworks(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, s.sim.Stats())
+	writeJSON(w, StatsResponse{EngineStats: s.sim.Stats(), Serve: s.counters.snapshot()})
 }
 
 // decodeJSON reads a size-capped request body strictly: unknown fields are
@@ -565,8 +652,19 @@ func writeJSON(w http.ResponseWriter, v any) {
 	_ = enc.Encode(v)
 }
 
+// writeError is the plain-validation error writer: the code derives from the
+// status (4xx invalid, 5xx internal). Paths with a more specific taxonomy
+// slot call writeErrorCode directly.
 func writeError(w http.ResponseWriter, status int, err error) {
+	code := "invalid"
+	if status >= 500 {
+		code = "internal"
+	}
+	writeErrorCode(w, status, code, err)
+}
+
+func writeErrorCode(w http.ResponseWriter, status int, code string, err error) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error(), "code": code})
 }

@@ -22,6 +22,7 @@ package sweep
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -61,10 +62,19 @@ func keyOf(net *dnn.Network, cfg core.Config) key {
 // entry is one cache slot. done is closed when res/err are final, which is
 // what lets concurrent requests for the same key wait on the first without
 // holding the engine lock.
+//
+// refs counts the callers interested in the in-flight simulation — the
+// initiator plus every coalesced waiter (guarded by the engine mutex). A
+// caller abandoning its wait drops its reference; when the last reference is
+// dropped the simulation's own context is canceled, so work nobody is
+// waiting for stops at the next layer boundary instead of burning a full
+// simulation. One surviving waiter keeps the simulation alive for everyone.
 type entry struct {
-	done chan struct{}
-	res  *core.Result
-	err  error
+	done   chan struct{}
+	res    *core.Result
+	err    error
+	refs   int
+	cancel context.CancelFunc
 }
 
 // Stats counts the engine's cache behavior (test, reporting and /v1/stats
@@ -81,6 +91,9 @@ type Stats struct {
 	// Evictions is the number of completed entries dropped to honor the
 	// cache bound.
 	Evictions int64 `json:"evictions"`
+	// Canceled is the number of simulations aborted mid-flight because every
+	// caller waiting on them went away.
+	Canceled int64 `json:"canceled"`
 }
 
 // Engine schedules simulations over a bounded worker pool with a shared,
@@ -89,6 +102,12 @@ type Engine struct {
 	workers    int
 	maxEntries int
 	sem        chan struct{} // worker slots; every simulation holds one
+
+	// hook, when set, is called at the fault-injection points of the worker
+	// loop (SetChaosHook). A returned error fails the simulation without
+	// running it; a panic exercises the engine's panic isolation. Injected
+	// failures are transient, so they are never retained in the cache.
+	hook func(point string) error
 
 	mu    sync.Mutex
 	cache map[key]*entry
@@ -125,6 +144,14 @@ func NewEngineCache(workers, maxEntries int) *Engine {
 
 // Workers returns the configured parallelism.
 func (e *Engine) Workers() int { return e.workers }
+
+// SetChaosHook installs a fault-injection hook called once per simulation
+// attempt, just before the simulation runs (point "simulate"). A non-nil
+// return fails the attempt with that error; a panic is recovered by the
+// engine's panic isolation and becomes a shared error. Pass nil to remove.
+// Set it before the engine serves traffic — it is read without locking on
+// the hot path.
+func (e *Engine) SetChaosHook(h func(point string) error) { e.hook = h }
 
 // CacheBound returns the configured cache capacity (0 = unbounded).
 func (e *Engine) CacheBound() int { return e.maxEntries }
@@ -211,6 +238,40 @@ func (e *Engine) evictLocked() {
 	}
 }
 
+// dropRef releases one caller's interest in an in-flight entry; the last
+// drop cancels the simulation's context so abandoned work stops at the next
+// layer boundary.
+func (e *Engine) dropRef(ent *entry) {
+	e.mu.Lock()
+	ent.refs--
+	last := ent.refs <= 0
+	if last {
+		select {
+		case <-ent.done:
+			last = false // already finished; nothing to abort
+		default:
+			e.stats.Canceled++
+		}
+	}
+	e.mu.Unlock()
+	if last {
+		ent.cancel()
+	}
+}
+
+// uncache removes a completed entry that must not serve future requests —
+// errored simulations: cancellations and injected faults are transient, and
+// caching a panic or validation error would pin a one-off failure onto a key
+// forever. Waiters already parked on the entry still share its error; only
+// later requests re-simulate.
+func (e *Engine) uncache(k key, ent *entry) {
+	e.mu.Lock()
+	if e.cache[k] == ent {
+		delete(e.cache, k)
+	}
+	e.mu.Unlock()
+}
+
 // Run simulates one job, serving it from the cache when an identical job has
 // already run (or is running). Safe for concurrent use. Every actual
 // simulation holds one of the engine's worker slots, so single-Run callers
@@ -219,9 +280,14 @@ func (e *Engine) evictLocked() {
 // top-level simulations: the dynamic policy's profiler speculatively runs up
 // to three candidate passes inside its one slot — a deliberate, fixed-factor
 // overshoot documented in core/dynamic.go; candidates cannot take engine
-// slots of their own without risking nested-acquire deadlock.) A canceled
-// context abandons the wait (an in-flight simulation itself completes and
-// stays cached for the next caller).
+// slots of their own without risking nested-acquire deadlock.)
+//
+// Cancellation: a canceled context abandons the wait immediately, and the
+// in-flight simulation is reference-counted — it keeps running while any
+// other caller still waits on it and is itself canceled (mid-flight, at the
+// next layer boundary) when the last waiter goes away. Errored results,
+// cancellations included, are never retained in the cache: a fresh request
+// for the same key re-simulates.
 func (e *Engine) Run(ctx context.Context, net *dnn.Network, cfg core.Config) (*core.Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -236,14 +302,28 @@ func (e *Engine) Run(ctx context.Context, net *dnn.Network, cfg core.Config) (*c
 			select {
 			case <-ent.done:
 				e.stats.Hits++
+				e.mu.Unlock()
+				return ent.res, ent.err
 			default:
+				ent.refs++
 				e.stats.Coalesced++
 			}
 			e.mu.Unlock()
 			select {
 			case <-ent.done:
+				if ent.err != nil && errors.Is(ent.err, core.ErrCanceled) {
+					if ctx.Err() == nil {
+						// The run we coalesced onto was aborted (its last
+						// other waiter left before our reference landed, or
+						// the cancel raced our join), but this caller is
+						// still live: retry on a fresh entry.
+						continue
+					}
+					return nil, canceledAs(ctx)
+				}
 				return ent.res, ent.err
 			case <-ctx.Done():
+				e.dropRef(ent)
 				return nil, ctx.Err()
 			}
 		}
@@ -267,7 +347,8 @@ func (e *Engine) Run(ctx context.Context, net *dnn.Network, cfg core.Config) (*c
 			continue
 		}
 		e.evictLocked()
-		ent := &entry{done: make(chan struct{})}
+		runCtx, runCancel := context.WithCancel(context.Background())
+		ent := &entry{done: make(chan struct{}), refs: 1, cancel: runCancel}
 		e.cache[k] = ent
 		if e.maxEntries > 0 {
 			e.order = append(e.order, k) // eviction order; unused when unbounded
@@ -275,25 +356,59 @@ func (e *Engine) Run(ctx context.Context, net *dnn.Network, cfg core.Config) (*c
 		e.stats.Simulations++
 		e.mu.Unlock()
 
+		// The initiator runs the simulation on its own goroutine, so its
+		// cancellation must be observed from the side: AfterFunc drops the
+		// initiator's reference when ctx fires, which cancels runCtx only if
+		// no coalesced waiter still wants the result.
+		stopWatch := context.AfterFunc(ctx, func() { e.dropRef(ent) })
+
 		runCfg := k.cfg
 		runCfg.Custom = cfg.Custom
 		func() {
 			// done must close on every path: a panic that escaped past it
 			// would leave the entry permanently in flight, hanging every
-			// later request for the key. A panicking simulation (a bug, or a
-			// hostile custom policy) becomes an error shared by all waiters
-			// instead.
+			// later request for the key. A panicking simulation (a bug, a
+			// hostile custom policy, or an injected chaos fault) becomes an
+			// error shared by all waiters instead.
 			defer func() {
 				if r := recover(); r != nil {
 					ent.res, ent.err = nil, fmt.Errorf("sweep: simulation panic: %v", r)
 				}
 				close(ent.done)
+				stopWatch()
+				runCancel() // release the context's resources on every path
+				if ent.err != nil {
+					e.uncache(k, ent)
+				}
 				<-e.sem
 			}()
-			ent.res, ent.err = core.Run(net, runCfg)
+			if h := e.hook; h != nil {
+				if herr := h("simulate"); herr != nil {
+					ent.err = fmt.Errorf("sweep: injected fault: %w", herr)
+					return
+				}
+			}
+			ent.res, ent.err = core.RunContext(runCtx, net, runCfg)
 		}()
+		if ent.err != nil && errors.Is(ent.err, core.ErrCanceled) {
+			if ctx.Err() == nil {
+				// Aborted under us (a waiter-join/cancel race), but this
+				// caller is still live: retry.
+				continue
+			}
+			return nil, canceledAs(ctx)
+		}
 		return ent.res, ent.err
 	}
+}
+
+// canceledAs rewraps an abort with the calling context's own cause. The
+// simulation runs under a detached context whose cancellation is always a
+// plain Canceled, so the shared entry error cannot distinguish a caller
+// whose deadline fired from one that hung up — each caller reports its own
+// reason.
+func canceledAs(ctx context.Context) error {
+	return fmt.Errorf("%w: %w", core.ErrCanceled, context.Cause(ctx))
 }
 
 // RunAll simulates a batch of jobs across the worker pool and returns the
@@ -357,7 +472,7 @@ func (e *Engine) RunAll(ctx context.Context, jobs []Job) ([]*core.Result, error)
 			select {
 			case next <- i:
 			case <-ctx.Done():
-				errs[i] = ctx.Err()
+				errs[i] = fmt.Errorf("job %d abandoned before dispatch: %w", i, ctx.Err())
 				break dispatch
 			}
 		}
@@ -366,7 +481,10 @@ func (e *Engine) RunAll(ctx context.Context, jobs []Job) ([]*core.Result, error)
 		if err := ctx.Err(); err != nil {
 			for _, i := range unique {
 				if results[i] == nil && errs[i] == nil {
-					errs[i] = err
+					// Identify which sweep points were abandoned: a batch
+					// error naming only the context reason hides how far the
+					// dispatch got.
+					errs[i] = fmt.Errorf("job %d abandoned before dispatch: %w", i, err)
 				}
 			}
 		}

@@ -135,8 +135,14 @@ func (s *Simulator) Network(name string, batch int) (*Network, error) {
 // is running — concurrent requests coalesce onto one simulation). When the
 // configuration cannot train the network (out of memory), the Result has
 // Trainable == false and reports the hypothetical demand measured on an
-// oracular device; a non-nil error indicates an invalid configuration. A
-// canceled context abandons the call.
+// oracular device; a non-nil error indicates an invalid configuration.
+//
+// Cancellation is prompt and precise: once ctx is canceled the running
+// simulation stops at its next per-layer check and Run returns an error
+// satisfying errors.Is(err, ErrCanceled) (and the context's own cause).
+// When concurrent callers coalesce onto one simulation, it keeps running
+// until the last interested caller cancels; a canceled simulation is never
+// cached, so the next identical request simulates afresh.
 func (s *Simulator) Run(ctx context.Context, net *Network, cfg Config) (*Result, error) {
 	return s.eng.Run(ctx, net, cfg)
 }
@@ -147,8 +153,9 @@ func (s *Simulator) Run(ctx context.Context, net *Network, cfg Config) (*Result,
 // Duplicate jobs, within the batch or against anything the simulator ran
 // before, are simulated once and share one Result. The first error in job
 // order is returned; results of failed jobs are nil. Once ctx is canceled no
-// further simulations start and the remaining jobs fail with the context's
-// error.
+// further simulations start, running ones stop at their next per-layer
+// check, and the remaining jobs fail with errors identifying the job index
+// and satisfying errors.Is(err, ErrCanceled) or the context's error.
 func (s *Simulator) RunBatch(ctx context.Context, jobs []BatchJob) ([]*Result, error) {
 	return s.eng.RunAll(ctx, jobs)
 }
@@ -161,6 +168,13 @@ func (s *Simulator) Parallelism() int { return s.eng.Workers() }
 
 // CacheBound returns the configured cache capacity (0 = unbounded).
 func (s *Simulator) CacheBound() int { return s.eng.CacheBound() }
+
+// SetChaosHook installs a fault-injection hook on the simulation engine
+// (see internal/chaos): it runs once per actual simulation, where a non-nil
+// return fails that attempt and a panic exercises the engine's panic
+// isolation. Injected failures are never cached. Test harness only; set it
+// before the simulator serves traffic.
+func (s *Simulator) SetChaosHook(h func(point string) error) { s.eng.SetChaosHook(h) }
 
 // GPUByName resolves a device name against the simulator's registry:
 // WithGPU entries first, then the package-level built-ins (see GPUNames).
