@@ -287,6 +287,11 @@ func ResNet101(batch int) *Network { return networks.ResNet101(batch) }
 // paper's introduction anticipates.
 func ResNet152(batch int) *Network { return networks.ResNet152(batch) }
 
+// Transformer builds a ViT-Large-style 24-block encoder whose attention
+// score maps are quadratic in the token count — the post-paper workload
+// whose activation footprint most stresses an offload policy.
+func Transformer(batch int) *Network { return networks.Transformer(batch) }
+
 // NewBuilder starts a custom network definition with the given input batch
 // size and element type. The builder API mirrors Torch/Caffe-style model
 // definitions; see the dnn.Builder methods.

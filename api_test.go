@@ -29,7 +29,7 @@ func TestPublicAPISmoke(t *testing.T) {
 
 func TestPublicAPINames(t *testing.T) {
 	names := vdnn.NetworkNames()
-	if len(names) != 11 {
+	if len(names) != 12 {
 		t.Fatalf("network names = %v", names)
 	}
 	for _, n := range names {

@@ -1,10 +1,13 @@
 // vdnn-bench-serve is a load generator for vdnn-serve: it fires concurrent
-// /v1/simulate requests at a running daemon, retries 503s with exponential
-// backoff + jitter (honoring Retry-After), and reports a latency histogram
-// and status breakdown. CI uses it to prove the overload→503→retry-success
-// contract and to exercise SIGTERM drain under live load.
+// /v1/simulate (or, with -endpoint plan, /v1/plan) requests at a running
+// daemon, retries 503s with exponential backoff + jitter (honoring
+// Retry-After), and reports a latency histogram and status breakdown. CI
+// uses it to prove the overload→503→retry-success contract and to exercise
+// SIGTERM drain under live load — for planner searches as well as single
+// simulations.
 //
 //	vdnn-bench-serve -addr http://localhost:8080 -n 200 -c 16 -network alexnet
+//	vdnn-bench-serve -addr http://localhost:8080 -n 20 -c 4 -endpoint plan
 //
 // Exit status is 0 when the success ratio meets -min-success, 1 otherwise.
 package main
@@ -33,6 +36,7 @@ func main() {
 		c          = flag.Int("c", 8, "concurrent clients")
 		network    = flag.String("network", "alexnet", "network to simulate")
 		batch      = flag.Int("batch", 64, "minibatch size")
+		endpoint   = flag.String("endpoint", "simulate", "API to load: simulate or plan")
 		policy     = flag.String("policy", "", "policy override (empty = server default)")
 		deadlineMS = flag.Int64("deadline-ms", 0, "per-request deadline_ms (0 = server default)")
 		retries    = flag.Int("retries", 5, "max retries per request on 503/connection errors")
@@ -43,6 +47,15 @@ func main() {
 		vary       = flag.Bool("vary", false, "vary batch per request to defeat the result cache (true load)")
 	)
 	flag.Parse()
+	var path string
+	switch *endpoint {
+	case "simulate":
+		path = "/v1/simulate"
+	case "plan":
+		path = "/v1/plan"
+	default:
+		log.Fatalf("vdnn-bench-serve: unknown -endpoint %q (simulate or plan)", *endpoint)
+	}
 
 	client := &http.Client{Timeout: *timeout}
 	var (
@@ -71,7 +84,7 @@ func main() {
 					// share keys.
 					req["batch"] = *batch + i%256
 				}
-				if *policy != "" {
+				if *policy != "" && path == "/v1/simulate" {
 					req["policy"] = *policy
 				}
 				if *deadlineMS > 0 {
@@ -80,7 +93,7 @@ func main() {
 				body, _ := json.Marshal(req)
 
 				t0 := time.Now()
-				status, code, err := post(client, *addr+"/v1/simulate", body, *retries, *backoff, rng, &retried)
+				status, code, err := post(client, *addr+path, body, *retries, *backoff, rng, &retried)
 				lat := time.Since(t0)
 
 				mu.Lock()

@@ -11,7 +11,9 @@
 //
 // Sweeps: capacity, link, batch, prefetch, pagemig, devices, codec, stages.
 //
-// Each sweep is enqueued as one batch on a vdnn.Simulator, so its
+// Each sweep is one axis product enumerated by the planner's generator
+// (plan.Cross over plan.Axis values — the same machinery behind vdnn-plan's
+// candidate space), enqueued as one batch on a vdnn.Simulator, so its
 // simulations run concurrently and overlapping configurations across sweeps
 // of one invocation are simulated once.
 package main
@@ -24,6 +26,7 @@ import (
 	"strings"
 
 	"vdnn"
+	"vdnn/internal/plan"
 	"vdnn/internal/report"
 )
 
@@ -94,17 +97,35 @@ func (e *explorer) runAll(jobs []vdnn.BatchJob) []*vdnn.Result {
 	return res
 }
 
+// cross enumerates a sweep with the planner's generator and pairs every
+// configuration with the network. Axis order follows plan.Cross: the first
+// axis varies slowest, the last fastest.
+func (e *explorer) cross(n *vdnn.Network, base vdnn.Config, axes ...plan.Axis) []vdnn.BatchJob {
+	cfgs := plan.Cross(base, axes...)
+	jobs := make([]vdnn.BatchJob, len(cfgs))
+	for i, c := range cfgs {
+		jobs[i] = vdnn.BatchJob{Net: n, Cfg: c}
+	}
+	return jobs
+}
+
+// trainAxis is the trainability face-off most sweeps tabulate: the fastest
+// baseline against vDNN-dyn.
+func trainAxis() plan.Axis {
+	return plan.Axis{
+		plan.PolicyVariant(vdnn.Baseline, vdnn.PerfOptimal),
+		plan.PolicyVariant(vdnn.VDNNDyn, 0),
+	}
+}
+
 func (e *explorer) capacitySweep(batch int) {
 	gbs := []int64{4, 6, 8, 12, 16, 24, 32, 48}
-	var jobs []vdnn.BatchJob
-	n := e.net(batch)
+	var capacity plan.Axis
 	for _, gb := range gbs {
-		spec := vdnn.TitanX().WithMemory(gb << 30)
-		jobs = append(jobs,
-			vdnn.BatchJob{Net: n, Cfg: vdnn.Config{Spec: spec, Policy: vdnn.Baseline, Algo: vdnn.PerfOptimal}},
-			vdnn.BatchJob{Net: n, Cfg: vdnn.Config{Spec: spec, Policy: vdnn.VDNNDyn}})
+		capacity = append(capacity, plan.CapacityVariant(gb<<30))
 	}
-	res := e.runAll(jobs)
+	n := e.net(batch)
+	res := e.runAll(e.cross(n, vdnn.Config{Spec: vdnn.TitanX()}, capacity, trainAxis()))
 
 	t := report.NewTable(fmt.Sprintf("GPU capacity sweep — %s (%d)", e.name, batch),
 		"capacity (GB)", "base(p)", "vDNN-dyn", "dyn max usage (MB)", "dyn FE (ms)")
@@ -116,25 +137,30 @@ func (e *explorer) capacitySweep(batch int) {
 	t.Render(os.Stdout)
 }
 
+// linkVariant rewires the offload interconnect.
+func linkVariant(name string) plan.Variant {
+	link := mustLink(name)
+	return plan.Variant{Label: link.Name, Apply: func(c vdnn.Config) vdnn.Config {
+		c.Spec.Link = link
+		return c
+	}}
+}
+
 func (e *explorer) linkSweep(batch int) {
-	links := []string{"pcie2", "pcie3", "nvlink"}
+	links := plan.Axis{linkVariant("pcie2"), linkVariant("pcie3"), linkVariant("nvlink")}
 	n := e.net(batch)
 	jobs := []vdnn.BatchJob{
 		{Net: n, Cfg: vdnn.Config{Spec: vdnn.TitanX(), Policy: vdnn.VDNNConv, Algo: vdnn.MemOptimal, Oracle: true}},
 	}
-	for _, name := range links {
-		spec := vdnn.TitanX()
-		spec.Link = mustLink(name)
-		jobs = append(jobs, vdnn.BatchJob{Net: n,
-			Cfg: vdnn.Config{Spec: spec, Policy: vdnn.VDNNAll, Algo: vdnn.MemOptimal, Oracle: true}})
-	}
+	jobs = append(jobs, e.cross(n,
+		vdnn.Config{Spec: vdnn.TitanX(), Policy: vdnn.VDNNAll, Algo: vdnn.MemOptimal, Oracle: true}, links)...)
 	res := e.runAll(jobs)
 	oracle := res[0]
 
 	t := report.NewTable(fmt.Sprintf("interconnect sweep — %s (%d), vDNN-all(m)", e.name, batch),
 		"link", "eff GB/s", "FE (ms)", "offload stalls hidden?")
-	for i, name := range links {
-		link := mustLink(name)
+	for i, v := range links {
+		link := mustLink(v.Label)
 		r := res[i+1]
 		hidden := "partly"
 		if float64(r.FETime) <= 1.02*float64(oracle.FETime) {
@@ -148,13 +174,14 @@ func (e *explorer) linkSweep(batch int) {
 
 func (e *explorer) batchSweep() {
 	batches := []int{16, 32, 64, 128, 192, 256, 384, 512}
+	policies := plan.Axis{
+		plan.PolicyVariant(vdnn.Baseline, vdnn.PerfOptimal),
+		plan.PolicyVariant(vdnn.Baseline, vdnn.MemOptimal),
+		plan.PolicyVariant(vdnn.VDNNDyn, 0),
+	}
 	var jobs []vdnn.BatchJob
 	for _, b := range batches {
-		n := e.net(b)
-		jobs = append(jobs,
-			vdnn.BatchJob{Net: n, Cfg: vdnn.Config{Spec: vdnn.TitanX(), Policy: vdnn.Baseline, Algo: vdnn.PerfOptimal}},
-			vdnn.BatchJob{Net: n, Cfg: vdnn.Config{Spec: vdnn.TitanX(), Policy: vdnn.Baseline, Algo: vdnn.MemOptimal}},
-			vdnn.BatchJob{Net: n, Cfg: vdnn.Config{Spec: vdnn.TitanX(), Policy: vdnn.VDNNDyn}})
+		jobs = append(jobs, e.cross(e.net(b), vdnn.Config{Spec: vdnn.TitanX()}, policies)...)
 	}
 	res := e.runAll(jobs)
 
@@ -170,13 +197,13 @@ func (e *explorer) batchSweep() {
 
 func (e *explorer) prefetchSweep(batch int) {
 	modes := []vdnn.PrefetchMode{vdnn.PrefetchJIT, vdnn.PrefetchFig10, vdnn.PrefetchEager, vdnn.PrefetchNone}
-	n := e.net(batch)
-	var jobs []vdnn.BatchJob
+	var schedules plan.Axis
 	for _, m := range modes {
-		jobs = append(jobs, vdnn.BatchJob{Net: n,
-			Cfg: vdnn.Config{Spec: vdnn.TitanX(), Policy: vdnn.VDNNAll, Algo: vdnn.MemOptimal, Oracle: true, Prefetch: m}})
+		schedules = append(schedules, plan.PrefetchVariant(m))
 	}
-	res := e.runAll(jobs)
+	n := e.net(batch)
+	res := e.runAll(e.cross(n,
+		vdnn.Config{Spec: vdnn.TitanX(), Policy: vdnn.VDNNAll, Algo: vdnn.MemOptimal, Oracle: true}, schedules))
 
 	t := report.NewTable(fmt.Sprintf("prefetch schedule sweep — %s (%d), vDNN-all(m)", e.name, batch),
 		"schedule", "max (MB)", "avg (MB)", "FE (ms)", "on-demand")
@@ -189,17 +216,22 @@ func (e *explorer) prefetchSweep(batch int) {
 }
 
 func (e *explorer) pagemigSweep(batch int) {
+	transfer := plan.Axis{
+		{Label: "pinned DMA", Apply: func(c vdnn.Config) vdnn.Config { return c }},
+		{Label: "page migration", Apply: func(c vdnn.Config) vdnn.Config {
+			c.PageMigration = true
+			return c
+		}},
+	}
 	n := e.net(batch)
-	res := e.runAll([]vdnn.BatchJob{
-		{Net: n, Cfg: vdnn.Config{Spec: vdnn.TitanX(), Policy: vdnn.VDNNAll, Algo: vdnn.MemOptimal, Oracle: true}},
-		{Net: n, Cfg: vdnn.Config{Spec: vdnn.TitanX(), Policy: vdnn.VDNNAll, Algo: vdnn.MemOptimal, Oracle: true, PageMigration: true}},
-	})
+	res := e.runAll(e.cross(n,
+		vdnn.Config{Spec: vdnn.TitanX(), Policy: vdnn.VDNNAll, Algo: vdnn.MemOptimal, Oracle: true}, transfer))
 	dma, pm := res[0], res[1]
 
 	t := report.NewTable(fmt.Sprintf("transfer-mode sweep — %s (%d), vDNN-all(m)", e.name, batch),
 		"mode", "FE (ms)", "slowdown")
-	t.AddRow("pinned DMA", report.FmtMs(int64(dma.FETime)), "1.0x")
-	t.AddRow("page migration", report.FmtMs(int64(pm.FETime)),
+	t.AddRow(transfer[0].Label, report.FmtMs(int64(dma.FETime)), "1.0x")
+	t.AddRow(transfer[1].Label, report.FmtMs(int64(pm.FETime)),
 		fmt.Sprintf("%.1fx", float64(pm.FETime)/float64(dma.FETime)))
 	t.Render(os.Stdout)
 }
@@ -210,16 +242,16 @@ func (e *explorer) pagemigSweep(batch int) {
 func (e *explorer) devicesSweep(batch int) {
 	counts := []int{1, 2, 4, 8}
 	topology, _ := vdnn.TopologyByName("shared-x16")
-	n := e.net(batch)
-	var jobs []vdnn.BatchJob
+	var replicas plan.Axis
 	for _, c := range counts {
-		jobs = append(jobs,
-			vdnn.BatchJob{Net: n, Cfg: vdnn.Config{Spec: vdnn.TitanX(), Policy: vdnn.VDNNAll, Algo: vdnn.MemOptimal,
-				Devices: c, Topology: topology}},
-			vdnn.BatchJob{Net: n, Cfg: vdnn.Config{Spec: vdnn.TitanX(), Policy: vdnn.Baseline, Algo: vdnn.PerfOptimal,
-				Devices: c, Topology: topology}})
+		replicas = append(replicas, plan.DevicesVariant(c, topology))
 	}
-	res := e.runAll(jobs)
+	policies := plan.Axis{
+		plan.PolicyVariant(vdnn.VDNNAll, vdnn.MemOptimal),
+		plan.PolicyVariant(vdnn.Baseline, vdnn.PerfOptimal),
+	}
+	n := e.net(batch)
+	res := e.runAll(e.cross(n, vdnn.Config{Spec: vdnn.TitanX()}, replicas, policies))
 
 	t := report.NewTable(fmt.Sprintf("device sweep — %s (%d per replica), shared x16 root complex", e.name, batch),
 		"GPUs", "vDNN-all step/replica (ms)", "stall (ms)", "overlap", "imbalance", "base(p) step/replica (ms)", "aggregate img/s (vDNN)")
@@ -244,15 +276,13 @@ func (e *explorer) stagesSweep(batch int) {
 	type point struct{ stages, microBatches int }
 	points := []point{{1, 0}, {2, 0}, {4, 0}, {4, 8}, {8, 0}, {8, 16}}
 	topology, _ := vdnn.TopologyByName("shared-x16")
-	n := e.net(batch)
-	var jobs []vdnn.BatchJob
+	var shapes plan.Axis
 	for _, p := range points {
-		jobs = append(jobs, vdnn.BatchJob{Net: n, Cfg: vdnn.Config{
-			Spec: vdnn.TitanX(), Policy: vdnn.VDNNAll, Algo: vdnn.MemOptimal,
-			Stages: p.stages, MicroBatches: p.microBatches, Topology: topology,
-		}})
+		shapes = append(shapes, plan.PipelineVariant(p.stages, p.microBatches, topology))
 	}
-	res := e.runAll(jobs)
+	n := e.net(batch)
+	res := e.runAll(e.cross(n,
+		vdnn.Config{Spec: vdnn.TitanX(), Policy: vdnn.VDNNAll, Algo: vdnn.MemOptimal}, shapes))
 
 	t := report.NewTable(fmt.Sprintf("pipeline-stage sweep — %s (%d), vDNN-all(m), shared x16 root complex", e.name, batch),
 		"stages", "micro-batches", "iter (ms)", "bubble", "imbalance", "inter-stage (MB)", "peak stage pool (MB)")
@@ -285,15 +315,13 @@ func (e *explorer) codecSweep(batch int) {
 		{vdnn.CodecZVC, "cdma"}, {vdnn.CodecZVC, "flat50"}, {vdnn.CodecZVC, "dense"},
 		{vdnn.CodecRLE, "cdma"}, {vdnn.CodecRLE, "flat50"},
 	}
-	n := e.net(batch)
-	var jobs []vdnn.BatchJob
+	var codecs plan.Axis
 	for _, p := range points {
-		jobs = append(jobs, vdnn.BatchJob{Net: n, Cfg: vdnn.Config{
-			Spec: vdnn.TitanX(), Policy: vdnn.VDNNAll, Algo: vdnn.MemOptimal,
-			Compression: vdnn.Compression{Codec: p.codec, Sparsity: p.sparsity},
-		}})
+		codecs = append(codecs, plan.CodecVariant(p.codec, p.sparsity))
 	}
-	res := e.runAll(jobs)
+	n := e.net(batch)
+	res := e.runAll(e.cross(n,
+		vdnn.Config{Spec: vdnn.TitanX(), Policy: vdnn.VDNNAll, Algo: vdnn.MemOptimal}, codecs))
 
 	t := report.NewTable(fmt.Sprintf("codec sweep — %s (%d), vDNN-all(m)", e.name, batch),
 		"codec", "sparsity", "offload raw (MB)", "offload wire (MB)", "ratio", "codec busy (ms)", "FE (ms)")

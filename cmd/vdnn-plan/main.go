@@ -1,0 +1,97 @@
+// vdnn-plan searches the parallelism design space for the fastest trainable
+// configuration of a workload under a memory cap: data-parallel replica
+// counts, pipeline shapes, the vDNN offload policies, convolution algorithm
+// modes and the compressed-DMA codecs. It prints the winning configuration
+// and the full evidence table — every candidate with its step time and peak
+// memory, or the reason the search pruned it without paying for a
+// simulation. With -json it emits the machine-readable plan instead.
+//
+// The fleet is described by -gpu, -max-devices and -topology; -mem-cap
+// overrides the device's physical memory, which is the hard per-device cap
+// the winner must train under.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"vdnn"
+)
+
+func main() {
+	var (
+		network  = flag.String("network", "vgg16", "network: "+strings.Join(vdnn.NetworkNames(), ", "))
+		batch    = flag.Int("batch", 256, "global batch size of one training step")
+		gpuName  = flag.String("gpu", "titanx", "fleet GPU: "+strings.Join(vdnn.GPUNames(), ", "))
+		memCapGB = flag.Int("mem-cap", 0, "per-device memory cap in GB (0 = device default)")
+		maxDev   = flag.Int("max-devices", 4, fmt.Sprintf("device-count budget, max %d", vdnn.PlanMaxDevices))
+		topo     = flag.String("topology", "", "multi-GPU topology: "+strings.Join(vdnn.TopologyNames(), ", ")+" (default shared-x16)")
+		noCodec  = flag.Bool("no-codec", false, "search only the codec-free branch (skip compressed DMA)")
+		jsonOut  = flag.Bool("json", false, "emit the plan as JSON instead of text")
+	)
+	flag.Parse()
+
+	spec, ok := vdnn.GPUByName(*gpuName)
+	if !ok {
+		fail(fmt.Errorf("unknown gpu %q (have %s)", *gpuName, strings.Join(vdnn.GPUNames(), ", ")))
+	}
+	topology, ok := vdnn.TopologyByName(*topo)
+	if !ok {
+		fail(fmt.Errorf("unknown topology %q (have %s)", *topo, strings.Join(vdnn.TopologyNames(), ", ")))
+	}
+
+	req := vdnn.PlanRequest{
+		Network:     *network,
+		Batch:       *batch,
+		Spec:        spec,
+		MemCapBytes: int64(*memCapGB) << 30,
+		MaxDevices:  *maxDev,
+		Topology:    topology,
+	}
+	if *noCodec {
+		req.Codecs = []vdnn.Compression{{}}
+	}
+
+	plan, err := vdnn.PlanContext(context.Background(), req)
+	if err != nil && plan == nil {
+		fail(err)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		fail(enc.Encode(plan))
+		return
+	}
+
+	cap := req.MemCapBytes
+	if cap == 0 {
+		cap = spec.MemBytes
+	}
+	fmt.Printf("planning %s, batch %d on %s (cap %s, budget %d devices)\n",
+		*network, *batch, spec.Name, vdnn.FormatBytes(cap), *maxDev)
+	if !plan.Feasible {
+		fmt.Printf("  no trainable configuration under the cap\n\n")
+		plan.Table().Render(os.Stdout)
+		os.Exit(2)
+	}
+	best, res := plan.Best, plan.Result
+	fmt.Printf("  winner: %s %s codec %s\n", best.Mode(), best.PolicyLabel(), best.CodecLabel())
+	fmt.Printf("  step time %.1f ms, peak memory %s (pool %s + classifier-side %s)\n",
+		res.IterTime.Msec(), vdnn.FormatBytes(res.TotalMaxUsage()),
+		vdnn.FormatBytes(res.MaxUsage), vdnn.FormatBytes(res.FrameworkBytes))
+	fmt.Printf("  search: %d-candidate space, %d evaluated (%d refined), %d pruned unevaluated\n\n",
+		plan.Counters.Space, plan.Counters.Evaluated, plan.Counters.Refined, plan.Counters.Pruned)
+	plan.Table().Render(os.Stdout)
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vdnn-plan:", err)
+		os.Exit(1)
+	}
+}

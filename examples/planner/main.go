@@ -1,0 +1,69 @@
+// Planner: let the design-space search pick the parallelism configuration
+// instead of hand-tuning it. The earlier examples chose their policies,
+// replica counts and pipeline shapes by hand; this one states only the
+// problem — a network, a global batch, a fleet of capped GPUs — and asks the
+// planner for the minimum-step-time configuration that trains under the
+// cap. The returned plan carries the winner, its full simulation, and the
+// evidence table recording what every other candidate cost or why it was
+// pruned without being simulated.
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+
+	"vdnn"
+)
+
+func main() {
+	sim := vdnn.NewSimulator()
+
+	// The problem: AlexNet's 128-image batch on up to four GPUs with only
+	// 1 GB usable per device — far below the single-device footprint, so
+	// the planner has to combine parallelism with offloading to fit.
+	req := vdnn.PlanRequest{
+		Network:     "alexnet",
+		Batch:       128,
+		Spec:        vdnn.TitanX(),
+		MemCapBytes: 1 << 30,
+		MaxDevices:  4,
+	}
+	plan, err := sim.Plan(context.Background(), req)
+	if err != nil {
+		// An infeasible problem still returns the evidence table; any other
+		// error is fatal.
+		if plan == nil {
+			panic(err)
+		}
+		fmt.Println("no trainable configuration under the cap")
+		plan.Table().Render(os.Stdout)
+		return
+	}
+
+	best, res := plan.Best, plan.Result
+	fmt.Printf("winner: %s %s codec %s\n", best.Mode(), best.PolicyLabel(), best.CodecLabel())
+	fmt.Printf("step time %.1f ms, peak memory %s under a %s cap\n",
+		res.IterTime.Msec(), vdnn.FormatBytes(res.TotalMaxUsage()),
+		vdnn.FormatBytes(req.MemCapBytes))
+	fmt.Printf("search: %d candidates, %d simulated, %d pruned without simulation\n\n",
+		plan.Counters.Space, plan.Counters.Evaluated, plan.Counters.Pruned)
+
+	// The evidence table is the planner's audit trail: every candidate with
+	// its step time and peak memory, or the reason it was skipped.
+	plan.Table().Render(os.Stdout)
+
+	// A second search on the same simulator reuses the result cache — only
+	// the widened design space (a deeper device budget here) pays for new
+	// simulations.
+	req.MaxDevices = 8
+	before := sim.Stats().Simulations
+	again, err := sim.Plan(context.Background(), req)
+	if err != nil {
+		panic(err)
+	}
+	fresh := sim.Stats().Simulations - before
+	fmt.Printf("\nwith budget 8: %s %s codec %s, %.1f ms (%d of %d evaluations answered by cache)\n",
+		again.Best.Mode(), again.Best.PolicyLabel(), again.Best.CodecLabel(),
+		again.Result.IterTime.Msec(), again.Counters.Evaluated-int(fresh), again.Counters.Evaluated)
+}

@@ -170,11 +170,11 @@ func (c Codec) Cost(raw, elemSize int64, sparsity float64, engineBps float64) Co
 type Config struct {
 	// Codec is the compression algorithm of the DMA engine (CodecNone
 	// disables the engine).
-	Codec Codec
+	Codec Codec `json:"codec,omitempty"`
 	// Sparsity names the activation-sparsity profile (see ProfileNames).
 	// Empty selects DefaultProfile when a codec is active; ignored (and
 	// normalized away) when the codec is CodecNone.
-	Sparsity string
+	Sparsity string `json:"sparsity,omitempty"`
 }
 
 // Enabled reports whether a codec is active.

@@ -137,7 +137,7 @@ func TestConfigJSON(t *testing.T) {
 	if err := json.Unmarshal(b, &m); err != nil {
 		t.Fatal(err)
 	}
-	if m["Codec"] != "zvc" {
-		t.Fatalf("codec JSON form = %v", m["Codec"])
+	if m["codec"] != "zvc" {
+		t.Fatalf("codec JSON form = %v", m["codec"])
 	}
 }

@@ -97,6 +97,7 @@ func (s *Suite) Experiments() []Experiment {
 		{"case-precision", s.caseStudyPrecisionJobs, s.CaseStudyPrecision},
 		{"case-devices", s.caseStudyDevicesJobs, s.CaseStudyDevices},
 		{"case-resnet", s.caseStudyResNetJobs, s.CaseStudyResNet},
+		{"case-plan", s.caseStudyPlannerJobs, s.CaseStudyPlanner},
 	}
 }
 

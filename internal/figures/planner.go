@@ -1,0 +1,117 @@
+package figures
+
+import (
+	"context"
+	"fmt"
+
+	"vdnn"
+	"vdnn/internal/core"
+	"vdnn/internal/dnn"
+	"vdnn/internal/gpu"
+	"vdnn/internal/networks"
+	"vdnn/internal/pcie"
+	"vdnn/internal/report"
+	"vdnn/internal/sweep"
+)
+
+// The auto-parallelism case study: hand the planner the problem the
+// data-parallelism and pipeline case studies solved by hand — VGG-16's
+// 256-image global batch on up to four 16 GB GPUs behind one shared gen3
+// x16 root complex — and compare its pick against the hand-tuned
+// configurations, with the search's own bill (evaluated vs pruned) in the
+// footnote.
+
+// plannerMemCap is the per-device memory cap of the study.
+const plannerMemCap int64 = 16 << 30
+
+// plannerSpec is the fleet device: the suite's GPU with 16 GB on board.
+func (s *Suite) plannerSpec() gpu.Spec { return s.Spec.WithMemory(plannerMemCap) }
+
+// plannerRequest is the planning problem handed to the search.
+func (s *Suite) plannerRequest() vdnn.PlanRequest {
+	return vdnn.PlanRequest{
+		Network:     "vgg16",
+		Batch:       256,
+		Spec:        s.Spec,
+		MemCapBytes: plannerMemCap,
+		MaxDevices:  4,
+		Topology:    pcie.SharedGen3Root(),
+	}
+}
+
+// plannerHandTuned are the configurations a practitioner would reach for
+// without the planner: the single-GPU vDNN reference and the hand-tuned
+// data-parallel and pipeline splits of the earlier case studies, all on the
+// same capped fleet.
+func (s *Suite) plannerHandTuned() []struct {
+	name string
+	net  *dnn.Network
+	cfg  core.Config
+} {
+	spec := s.plannerSpec()
+	n256 := s.net(func() *dnn.Network { return networks.VGG16(256) }, "vgg16-256")
+	n64 := s.net(func() *dnn.Network { return networks.VGG16(64) }, "vgg16-64")
+	return []struct {
+		name string
+		net  *dnn.Network
+		cfg  core.Config
+	}{
+		{"hand-tuned: 1 GPU vDNN-all(m)", n256,
+			core.Config{Spec: spec, Policy: core.VDNNAll, Algo: core.MemOptimal}},
+		{"hand-tuned: data-parallel 4x64 vDNN-all(m)", n64,
+			core.Config{Spec: spec, Policy: core.VDNNAll, Algo: core.MemOptimal,
+				Devices: 4, Topology: pcie.SharedGen3Root()}},
+		{"hand-tuned: pipeline 4 stages M=16 vDNN-all(m)", n256,
+			core.Config{Spec: spec, Policy: core.VDNNAll, Algo: core.MemOptimal,
+				Stages: 4, MicroBatches: 16, Topology: pcie.SharedGen3Root()}},
+	}
+}
+
+func (s *Suite) caseStudyPlannerJobs() []sweep.Job {
+	// The search's evaluation set cannot be enumerated statically without
+	// re-implementing its pruning, but the search is deterministic and runs
+	// through the suite's shared cache: running it here makes the priming
+	// pass cover everything CaseStudyPlanner reads, so its own search is
+	// answered entirely from cache.
+	if _, err := s.sim.Plan(context.Background(), s.plannerRequest()); err != nil {
+		panic(fmt.Sprintf("figures: planner: %v", err))
+	}
+	var js []sweep.Job
+	for _, h := range s.plannerHandTuned() {
+		js = append(js, job(h.net, h.cfg))
+	}
+	return js
+}
+
+// CaseStudyPlanner runs the design-space search and renders its pick next
+// to the hand-tuned alternatives: same workload, same fleet, and the step
+// time each one actually delivers under the cap.
+func (s *Suite) CaseStudyPlanner() *report.Table {
+	s.Prime(s.caseStudyPlannerJobs())
+	p, err := s.sim.Plan(context.Background(), s.plannerRequest())
+	if err != nil {
+		panic(fmt.Sprintf("figures: planner: %v", err))
+	}
+
+	t := report.NewTable("Case study — auto-parallelism planner: VGG-16, 256-image global batch, <=4 GPUs, 16 GB cap",
+		"setup", "iter (ms)", "img/s", "peak/GPU (MB)", "vs planner")
+	row := func(name string, r *core.Result, ratio float64) {
+		t.AddRow(name, report.FmtMs(int64(r.IterTime)),
+			fmt.Sprintf("%.0f", 256/r.IterTime.Seconds()),
+			report.FmtMiB(r.TotalMaxUsage()),
+			fmt.Sprintf("%.2fx", ratio))
+	}
+
+	best, res := p.Best, p.Result
+	row(fmt.Sprintf("planner pick: %s %s codec %s", best.Mode(), best.PolicyLabel(), best.CodecLabel()),
+		res, 1)
+	for _, h := range s.plannerHandTuned() {
+		r := s.Run(h.net, h.cfg)
+		row(h.name, r, float64(r.IterTime)/float64(res.IterTime))
+	}
+
+	c := p.Counters
+	t.AddNote("the search covered a %d-candidate space with %d simulations (%d refined); %d candidates (%.0f%%) were pruned by monotonicity/domination without being evaluated",
+		c.Space, c.Evaluated, c.Refined, c.Pruned, 100*float64(c.Pruned)/float64(c.Space))
+	return t
+}

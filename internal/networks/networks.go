@@ -234,6 +234,8 @@ func ByName(name string, batch int) (*dnn.Network, error) {
 		return ResNet101(batch), nil
 	case "resnet152":
 		return ResNet152(batch), nil
+	case "transformer":
+		return Transformer(batch), nil
 	}
 	return nil, fmt.Errorf("networks: unknown network %q: valid names are %s",
 		name, strings.Join(Names(), ", "))
@@ -242,7 +244,7 @@ func ByName(name string, batch int) (*dnn.Network, error) {
 // Names lists the valid ByName identifiers, sorted. The returned slice is a
 // fresh copy on every call, so callers may mutate it freely.
 func Names() []string {
-	names := []string{"alexnet", "overfeat", "googlenet", "vgg16", "vgg116", "vgg216", "vgg316", "vgg416", "resnet50", "resnet101", "resnet152"}
+	names := []string{"alexnet", "overfeat", "googlenet", "vgg16", "vgg116", "vgg216", "vgg316", "vgg416", "resnet50", "resnet101", "resnet152", "transformer"}
 	sort.Strings(names)
 	return names
 }

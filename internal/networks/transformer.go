@@ -1,0 +1,66 @@
+package networks
+
+import (
+	"fmt"
+
+	"vdnn/internal/dnn"
+	"vdnn/internal/tensor"
+)
+
+// A vision-transformer-style encoder, the post-paper workload whose memory
+// profile most stresses an offload policy: attention materializes score maps
+// quadratic in the token count, so a block's activation footprint dwarfs its
+// weight footprint even at modest batch sizes. Every projection is expressed
+// as a 1x1 convolution over the (width, 14, 14) token grid — the builder's
+// FC layer permanently switches the network to its classifier stage, so it
+// appears only in the head — which keeps the whole encoder inside the
+// feature-extraction region the vDNN policies manage.
+
+// transformer dimensions (ViT-Large-ish): 16x16 patches of a 224x224 image
+// give a 14x14 = 196-token grid at width 1024 with 16 attention heads, so
+// each block's score tensor carries heads*tokens = 3136 channels per token —
+// batch x 16 x 196 x 196 score elements, quadratic in the token count.
+const (
+	xfmrWidth  = 1024
+	xfmrHeads  = 16
+	xfmrBlocks = 24
+	xfmrPatch  = 16
+	xfmrGrid   = 14 // 224 / xfmrPatch
+	xfmrMLP    = 4 * xfmrWidth
+)
+
+// xfmrBlock appends one encoder block: the attention sub-layer (QKV
+// projection, quadratic score map, context projection) and the 4x MLP
+// sub-layer, each normalized and closed by a residual addition.
+func xfmrBlock(b *dnn.Builder, name string, x *dnn.Tensor) *dnn.Tensor {
+	// Attention: scores hold heads*tokens channels over the token grid.
+	y := b.BatchNormLayer(x, name+"/ln1")
+	y = b.Conv(y, name+"/qkv", 3*xfmrWidth, 1, 1, 0)
+	y = b.Conv(y, name+"/scores", xfmrHeads*xfmrGrid*xfmrGrid, 1, 1, 0)
+	y = b.ReLU(y, name+"/attn")
+	y = b.Conv(y, name+"/ctx", xfmrWidth, 1, 1, 0)
+	x = b.AddJoin(name+"/add1", x, y)
+
+	// MLP: expand 4x, nonlinearity, project back.
+	y = b.BatchNormLayer(x, name+"/ln2")
+	y = b.Conv(y, name+"/mlp1", xfmrMLP, 1, 1, 0)
+	y = b.ReLU(y, name+"/gelu")
+	y = b.Conv(y, name+"/mlp2", xfmrWidth, 1, 1, 0)
+	return b.AddJoin(name+"/add2", x, y)
+}
+
+// Transformer builds the 24-block encoder: patch embedding, the blocks, and
+// a pooled linear head.
+func Transformer(batch int) *dnn.Network {
+	b := dnn.NewBuilder(fmt.Sprintf("Transformer (%d)", batch), batch, tensor.Float32)
+	x := b.Input(3, 224, 224)
+	x = b.Conv(x, "patch_embed", xfmrWidth, xfmrPatch, xfmrPatch, 0)
+	for i := 0; i < xfmrBlocks; i++ {
+		x = xfmrBlock(b, fmt.Sprintf("block%d", i+1), x)
+	}
+	x = b.BatchNormLayer(x, "ln_final")
+	x = b.AvgPool(x, "pool", xfmrGrid, 1, 0)
+	x = b.FC(x, "head", 1000)
+	b.SoftmaxLoss(x, "loss")
+	return b.MustFinalize()
+}

@@ -1,0 +1,55 @@
+package networks
+
+import (
+	"strings"
+	"testing"
+
+	"vdnn/internal/tensor"
+)
+
+func TestTransformerShapes(t *testing.T) {
+	n := Transformer(32)
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s := n.Summary()
+	// 1 patch embedding + 24 blocks x 5 projections = 121 convolutions.
+	if s.ConvLayers != 121 {
+		t.Fatalf("conv layers = %d, want 121", s.ConvLayers)
+	}
+	// ~587M params: 24 x ~24.4M per block plus patch embedding and head.
+	params := n.TotalWeightBytes() / 4
+	if params < 560e6 || params > 620e6 {
+		t.Fatalf("params = %d, want ~587M", params)
+	}
+	// The attention score map is the point of the network: heads * tokens
+	// channels over the token grid, i.e. batch x heads x 196 x 196 elements
+	// — quadratic in the token count.
+	tokens := xfmrGrid * xfmrGrid
+	for _, l := range n.Layers {
+		if !strings.HasSuffix(l.Name, "/scores") {
+			continue
+		}
+		sh := l.Output.Shape
+		if sh.C != xfmrHeads*tokens || sh.H != xfmrGrid || sh.W != xfmrGrid {
+			t.Fatalf("%s output %v, want %d channels on a %dx%d grid",
+				l.Name, sh, xfmrHeads*tokens, xfmrGrid, xfmrGrid)
+		}
+	}
+}
+
+// TestTransformerActivationDominance pins the property that makes the
+// encoder an offload target: its per-iteration activation footprint exceeds
+// its (already large) weight footprint.
+func TestTransformerActivationDominance(t *testing.T) {
+	n := Transformer(32)
+	var act int64
+	for _, l := range n.Layers {
+		if l.Output != nil {
+			act += l.Output.Bytes(tensor.Float32)
+		}
+	}
+	if w := n.TotalWeightBytes(); act <= w {
+		t.Fatalf("activations %d <= weights %d; attention should dominate", act, w)
+	}
+}

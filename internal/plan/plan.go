@@ -1,0 +1,836 @@
+package plan
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+
+	"vdnn/internal/compress"
+	"vdnn/internal/core"
+	"vdnn/internal/dnn"
+	"vdnn/internal/report"
+	"vdnn/internal/sim"
+	"vdnn/internal/sweep"
+)
+
+// ErrInfeasible reports a search that evaluated its whole space without
+// finding any trainable configuration under the cap. Search still returns
+// the Plan alongside it: the evidence table says why every branch died.
+var ErrInfeasible = errors.New("plan: no trainable configuration under the memory cap")
+
+// Env is the planner's execution environment: how to build the workload
+// network at a given minibatch size and how to run a batch of candidate
+// simulations. vdnn.Simulator satisfies it directly (Network + RunBatch),
+// which routes every candidate through the shared sweep.Engine — cached,
+// deduplicated, cancelable, chaos-testable.
+type Env struct {
+	Net func(batch int) (*dnn.Network, error)
+	Run func(ctx context.Context, jobs []sweep.Job) ([]*core.Result, error)
+}
+
+// Counters summarizes how much of the space the search actually paid for.
+type Counters struct {
+	// Space is the size of the coarse candidate space (Request.Candidates).
+	Space int `json:"space"`
+	// Evaluated counts candidates that ran a simulation (refined ones too).
+	Evaluated int `json:"evaluated"`
+	// Pruned counts candidates skipped without evaluation, each with a
+	// recorded reason.
+	Pruned int `json:"pruned"`
+	// Invalid counts candidates the simulator rejected as malformed (e.g. a
+	// stage count the network cannot be partitioned into).
+	Invalid int `json:"invalid"`
+	// CacheHits counts refinement proposals answered by a result the search
+	// already had, without a new simulation. (The engine's cross-request
+	// result cache adds more hits on top; see its own stats.)
+	CacheHits int `json:"cache_hits"`
+	// Refined counts neighborhood-refinement candidates evaluated beyond
+	// the coarse space.
+	Refined int `json:"refined"`
+}
+
+// Add accumulates counters (used by serving stats).
+func (c Counters) Add(o Counters) Counters {
+	c.Space += o.Space
+	c.Evaluated += o.Evaluated
+	c.Pruned += o.Pruned
+	c.Invalid += o.Invalid
+	c.CacheHits += o.CacheHits
+	c.Refined += o.Refined
+	return c
+}
+
+// Evidence statuses.
+const (
+	StatusEvaluated = "evaluated"
+	StatusPruned    = "pruned"
+	StatusInvalid   = "invalid"
+)
+
+// Evidence is one row of the deterministic evidence table: a candidate and
+// what the search did with it.
+type Evidence struct {
+	Candidate Candidate `json:"candidate"`
+	// Status is evaluated, pruned or invalid.
+	Status string `json:"status"`
+	// Reason says why a row was pruned or invalid (empty when evaluated).
+	Reason string `json:"reason,omitempty"`
+
+	// Simulation outcome, present on evaluated rows only.
+	Trainable      bool    `json:"trainable,omitempty"`
+	FailReason     string  `json:"fail_reason,omitempty"`
+	StepMS         float64 `json:"step_ms,omitempty"`
+	PeakMiB        float64 `json:"peak_mib,omitempty"`
+	BubbleFraction float64 `json:"bubble_fraction,omitempty"`
+	Imbalance      float64 `json:"imbalance,omitempty"`
+}
+
+// Plan is the search outcome: the winning configuration (when one exists)
+// plus the full evidence table and the search counters.
+type Plan struct {
+	Network string `json:"network"`
+	Batch   int    `json:"batch"`
+
+	// Feasible reports whether any candidate trained under the cap.
+	Feasible bool `json:"feasible"`
+	// Best is the winning candidate; Config is it materialized against the
+	// request's (capped) spec and topology; Result its full simulation.
+	Best   *Candidate   `json:"best,omitempty"`
+	Config core.Config  `json:"-"`
+	Result *core.Result `json:"-"`
+
+	Evidence []Evidence `json:"evidence"`
+	Counters Counters   `json:"counters"`
+}
+
+// Search runs the pruned design-space search and returns the best plan.
+//
+// The search exploits the partial order of the space instead of evaluating
+// all of it:
+//
+//   - Probes. Each parallelism point (single, each data-parallel width,
+//     each pipeline shape) is probed with base(p) — the fastest possible
+//     configuration at the point — and vDNN-all(m) per codec — the point's
+//     memory floor. If base(p) trains, nothing else at the point can beat
+//     it (offloading only adds transfer and synchronization time, and (p)
+//     algorithms are the fastest), so the rest of the point is pruned as
+//     dominated. If the floor does not train under the cap, every sibling
+//     of that codec branch needs strictly more memory and is pruned as
+//     untrainable by monotonicity.
+//   - Data-parallel cascade. Per-replica memory grows with per-replica
+//     batch, so the data-parallel family is probed widest-first: a floor
+//     that fails at N devices condemns every narrower width (whose
+//     replicas train larger minibatches) without another simulation.
+//     Pipeline stage memory is not monotone in the stage count (stages cut
+//     both the layer range and its offload opportunities), so pipeline
+//     points are probed independently.
+//   - Battery order. Within a surviving branch the remaining policies are
+//     evaluated in a fixed order whose memory relations prune further:
+//     conv(m) failing condemns conv(p) and base(m); all(p) failing
+//     condemns conv(p). Baseline rows under a codec are pre-pruned: with
+//     no offload traffic there is nothing to compress.
+//   - Refinement. The incumbent's neighborhood outside the coarse grid
+//     (micro-batch counts between grid lines, non-power-of-two replica
+//     counts) is evaluated last and wins only on strictly better step time.
+//
+// Ties in step time resolve to the earliest candidate in enumeration
+// order, i.e. the simplest configuration. The result is deterministic:
+// same request, same plan, same evidence table.
+func Search(ctx context.Context, req Request, env Env) (*Plan, error) {
+	req = req.withDefaults()
+	if err := req.validate(); err != nil {
+		return nil, err
+	}
+	if env.Net == nil || env.Run == nil {
+		return nil, fmt.Errorf("plan: environment needs Net and Run")
+	}
+	s := &searcher{req: req, env: env, nets: map[int]netEntry{}}
+	return s.run(ctx)
+}
+
+const (
+	statusPending = iota
+	statusEvaluated
+	statusPruned
+	statusInvalid
+)
+
+// Battery indices (see battery in space.go).
+const (
+	bBaseP = iota
+	bAllM
+	bAllP
+	bConvP
+	bConvM
+	bBaseM
+	bDyn
+)
+
+type netEntry struct {
+	net *dnn.Network
+	err error
+}
+
+type pointInfo struct {
+	pt modePoint
+	// cand[b][c] is the candidate index of battery row b under codec c;
+	// -1 when the combination is not in the space.
+	cand [][]int
+}
+
+type searcher struct {
+	req  Request
+	env  Env
+	nets map[int]netEntry
+
+	cands  []Candidate
+	status []int
+	reason []string
+	res    []*core.Result
+	// dead marks candidates known untrainable under the cap, whether by
+	// evaluation or by monotonicity inference; downstream pruning rules key
+	// off this fact rather than off how it was established.
+	dead   []bool
+	points []pointInfo
+
+	counters Counters
+}
+
+// untrainable reports whether a candidate is known not to train under the
+// cap (evaluated untrainable, or inferred so by a monotonicity prune).
+func (s *searcher) untrainable(i int) bool { return i >= 0 && s.dead[i] }
+
+func (s *searcher) run(ctx context.Context) (*Plan, error) {
+	s.init()
+
+	// Wave 1 — base(p) everywhere. A base(p) probe settles its branch's
+	// fate: trainable means the branch is dominated (nothing there can beat
+	// the no-offload, fastest-algorithm config) and pays for no further
+	// simulation; a simulator rejection means the shape itself is
+	// impossible and condemns every sibling. Single-device and
+	// data-parallel points need one probe (their codec rows are baseline
+	// no-ops, pre-pruned); pipeline points probe per codec branch, because
+	// compressed inter-stage traffic changes baseline's time and peak.
+	var bases []int
+	for i := range s.points {
+		for _, idx := range s.points[i].cand[bBaseP] {
+			if idx >= 0 && s.status[idx] == statusPending {
+				bases = append(bases, idx)
+			}
+		}
+	}
+	if err := s.evaluateCascade(ctx, bases); err != nil {
+		return nil, err
+	}
+	for i := range s.points {
+		p := &s.points[i]
+		base := p.cand[bBaseP][0]
+		if s.status[base] == statusInvalid {
+			// Shape validation is policy-independent: a rejected baseline
+			// means every candidate at the point is equally malformed.
+			s.markPoint(p, statusInvalid, "mode point rejected by the simulator: "+s.reason[base])
+			continue
+		}
+		for c := range s.req.Codecs {
+			idx := p.cand[bBaseP][c]
+			probe := idx
+			if probe < 0 || s.status[probe] == statusPruned {
+				// Codec row is a baseline no-op: the codec-free probe
+				// speaks for the branch's domination verdict.
+				probe = base
+			}
+			switch {
+			case s.status[probe] == statusInvalid:
+				s.pruneBranchInvalid(p, c, "codec branch rejected by the simulator: "+s.reason[probe])
+			case s.status[probe] == statusEvaluated && s.res[probe].Trainable:
+				s.pruneBranch(p, c, fmt.Sprintf(
+					"dominated: base(p)%s trains at %s, and every offload policy only adds transfer and algorithm time there",
+					codecSuffix(s.cands[probe].Comp), p.pt))
+			}
+		}
+	}
+
+	// Wave 2 — memory floors (vDNN-all(m) per codec branch) for the
+	// surviving points. Pipeline shapes probe as micro-batch ladders,
+	// finest-first (see evaluateCascade); the data-parallel family probes
+	// widest-first, because per-replica memory grows with per-replica
+	// batch: a floor that fails at N devices condemns every narrower width
+	// (whose replicas train larger minibatches) without another simulation.
+	var floorWave []int
+	var dpCascade []*pointInfo
+	for i := range s.points {
+		p := &s.points[i]
+		if len(s.pendingFloors(p)) == 0 {
+			continue
+		}
+		if p.pt.stages > 1 {
+			floorWave = append(floorWave, s.pendingFloors(p)...)
+		} else {
+			dpCascade = append(dpCascade, p)
+		}
+	}
+	sort.SliceStable(dpCascade, func(i, j int) bool { return dpCascade[i].pt.devices > dpCascade[j].pt.devices })
+
+	if err := s.evaluateCascade(ctx, floorWave); err != nil {
+		return nil, err
+	}
+	floorDead := make([]struct {
+		dead    bool
+		devices int
+	}, len(s.req.Codecs))
+	for _, p := range dpCascade {
+		for c := range s.req.Codecs {
+			if floorDead[c].dead {
+				s.pruneBranch(p, c, fmt.Sprintf(
+					"untrainable by monotonicity: per-replica batch %d ≥ %d, where vDNN-all(m)%s — the memory floor — already exceeded the cap",
+					s.req.Batch/p.pt.devices, s.req.Batch/floorDead[c].devices, codecSuffix(s.req.Codecs[c])))
+			}
+		}
+		if err := s.evaluate(ctx, s.pendingFloors(p)); err != nil {
+			return nil, err
+		}
+		for c := range s.req.Codecs {
+			if s.untrainable(p.cand[bAllM][c]) && !floorDead[c].dead {
+				floorDead[c].dead, floorDead[c].devices = true, p.pt.devices
+			}
+		}
+	}
+	for i := range s.points {
+		s.applyFloorVerdicts(&s.points[i])
+	}
+
+	// Wave 3 — all(p) on the live branches, then conv(p) wherever all(p)
+	// trained: vDNN-all offloads a strict superset of vDNN-conv, so an
+	// all(p) failure proves conv(p) untrainable unevaluated.
+	if err := s.evaluateCascade(ctx, s.pendingRows(bAllP)); err != nil {
+		return nil, err
+	}
+	for i := range s.points {
+		p := &s.points[i]
+		for c := range s.req.Codecs {
+			if s.untrainable(p.cand[bAllP][c]) {
+				s.pruneUntrainable(p.cand[bConvP][c], fmt.Sprintf(
+					"untrainable by monotonicity: all(p)%s — which offloads strictly more — already exceeded the cap", codecSuffix(s.req.Codecs[c])))
+			}
+		}
+	}
+	if err := s.evaluateCascade(ctx, s.pendingRows(bConvP)); err != nil {
+		return nil, err
+	}
+
+	// Wave 4 — conv(m), skipped wherever conv(p) trained: memory-optimal
+	// algorithms only slow the same offload schedule down, and the
+	// tie-break already prefers the earlier conv(p) row.
+	for i := range s.points {
+		p := &s.points[i]
+		for c := range s.req.Codecs {
+			if idx := p.cand[bConvP][c]; idx >= 0 && s.status[idx] == statusEvaluated && s.res[idx].Trainable {
+				s.pruneIfPending(p.cand[bConvM][c],
+					"cannot win: conv(p) trains here, and memory-optimal algorithms only slow the same offload schedule down")
+			}
+		}
+	}
+	if err := s.evaluateCascade(ctx, s.pendingRows(bConvM)); err != nil {
+		return nil, err
+	}
+
+	// Wave 5 — the long tail: base(m) (pruned when conv(m) failed, which
+	// needs strictly less memory), dyn (pruned when both all(p) and
+	// conv(p) trained: the dynamic policy converges to one of the static
+	// policies with greedily chosen — never faster — algorithms), and
+	// anything still pending.
+	for i := range s.points {
+		p := &s.points[i]
+		for c := range s.req.Codecs {
+			if s.untrainable(p.cand[bConvM][c]) {
+				s.pruneUntrainable(p.cand[bBaseM][c], fmt.Sprintf(
+					"untrainable by monotonicity: conv(m)%s — which offloads more and allocates no workspace — already exceeded the cap", codecSuffix(s.req.Codecs[c])))
+			}
+			allP, convP := p.cand[bAllP][c], p.cand[bConvP][c]
+			if allP >= 0 && convP >= 0 &&
+				s.status[allP] == statusEvaluated && s.res[allP].Trainable &&
+				s.status[convP] == statusEvaluated && s.res[convP].Trainable {
+				s.pruneIfPending(p.cand[bDyn][c],
+					"cannot win: dyn converges to a static policy with greedy (never faster than perf-optimal) algorithms, and both all(p) and conv(p) train here")
+			}
+		}
+	}
+	var rest []int
+	for i := range s.cands {
+		if s.status[i] == statusPending {
+			rest = append(rest, i)
+		}
+	}
+	if err := s.evaluateCascade(ctx, rest); err != nil {
+		return nil, err
+	}
+
+	// Refinement: probe the incumbent's neighborhood outside the coarse
+	// grid; a refined candidate replaces it only on strictly better time.
+	if best := s.best(); best >= 0 {
+		if err := s.refine(ctx, best); err != nil {
+			return nil, err
+		}
+	}
+
+	return s.plan()
+}
+
+// markPoint applies a verdict to every still-pending candidate of a point.
+func (s *searcher) markPoint(p *pointInfo, status int, reason string) {
+	for _, row := range p.cand {
+		for _, i := range row {
+			if i >= 0 && s.status[i] == statusPending {
+				s.mark(i, status, reason)
+			}
+		}
+	}
+}
+
+// pendingFloors returns a point's still-pending all(m) probes.
+func (s *searcher) pendingFloors(p *pointInfo) []int {
+	var idxs []int
+	for c := range s.req.Codecs {
+		if i := p.cand[bAllM][c]; i >= 0 && s.status[i] == statusPending {
+			idxs = append(idxs, i)
+		}
+	}
+	return idxs
+}
+
+// pendingRows returns the still-pending candidates of one battery row
+// across all points and codec branches.
+func (s *searcher) pendingRows(b int) []int {
+	var idxs []int
+	for i := range s.points {
+		for _, idx := range s.points[i].cand[b] {
+			if idx >= 0 && s.status[idx] == statusPending {
+				idxs = append(idxs, idx)
+			}
+		}
+	}
+	return idxs
+}
+
+func (s *searcher) init() {
+	s.cands = s.req.Candidates()
+	s.status = make([]int, len(s.cands))
+	s.reason = make([]string, len(s.cands))
+	s.res = make([]*core.Result, len(s.cands))
+	s.dead = make([]bool, len(s.cands))
+	s.counters.Space = len(s.cands)
+
+	// Rebuild the (point, battery, codec) index over the flat enumeration.
+	next := 0
+	for _, pt := range s.req.modePoints() {
+		p := pointInfo{pt: pt, cand: make([][]int, len(battery))}
+		for b, pa := range battery {
+			p.cand[b] = make([]int, len(s.req.Codecs))
+			for c := range s.req.Codecs {
+				if pa.p == core.VDNNDyn && pt.stages > 1 {
+					p.cand[b][c] = -1
+					continue
+				}
+				p.cand[b][c] = next
+				next++
+			}
+		}
+		s.points = append(s.points, p)
+	}
+
+	// Pre-prune: at single-device and data-parallel points baseline moves
+	// no compressible traffic (no offload, and gradients all-reduce dense),
+	// so a codec changes nothing about it — those rows duplicate the
+	// codec-free baseline. Pipeline points keep their baseline codec rows:
+	// inter-stage activations do compress there.
+	for i := range s.points {
+		p := &s.points[i]
+		if p.pt.stages > 1 {
+			continue
+		}
+		for _, b := range []int{bBaseP, bBaseM} {
+			for c := 1; c < len(s.req.Codecs); c++ {
+				s.mark(p.cand[b][c], statusPruned,
+					"baseline moves no compressible traffic at this point, so a codec is a no-op: see the codec-free baseline row")
+			}
+		}
+	}
+}
+
+// applyFloorVerdicts turns a point's all(m) floor outcomes into prunes,
+// per codec branch (a codec can lower the peak by shrinking the offload
+// backlog, so each branch gets its own verdict).
+func (s *searcher) applyFloorVerdicts(p *pointInfo) {
+	for c := range s.req.Codecs {
+		probe := p.cand[bAllM][c]
+		if probe < 0 {
+			continue
+		}
+		switch {
+		case s.status[probe] == statusInvalid:
+			s.pruneBranchInvalid(p, c, "codec branch rejected by the simulator: "+s.reason[probe])
+		case s.untrainable(probe):
+			s.pruneBranch(p, c, fmt.Sprintf(
+				"untrainable by monotonicity: vDNN-all(m)%s — the point's memory floor — already exceeds the cap", codecSuffix(s.req.Codecs[c])))
+		}
+	}
+}
+
+// pruneBranch prunes a point's still-pending candidates under one codec.
+func (s *searcher) pruneBranch(p *pointInfo, codec int, reason string) {
+	for _, row := range p.cand {
+		if i := row[codec]; i >= 0 && s.status[i] == statusPending {
+			s.mark(i, statusPruned, reason)
+		}
+	}
+}
+
+func (s *searcher) pruneBranchInvalid(p *pointInfo, codec int, reason string) {
+	for _, row := range p.cand {
+		if i := row[codec]; i >= 0 && s.status[i] == statusPending {
+			s.mark(i, statusInvalid, reason)
+		}
+	}
+}
+
+func (s *searcher) pruneIfPending(i int, reason string) {
+	if i >= 0 && s.status[i] == statusPending {
+		s.mark(i, statusPruned, reason)
+	}
+}
+
+// pruneUntrainable prunes a candidate and records the stronger fact that it
+// is known untrainable (not merely unable to win), so further monotonicity
+// rules can chain off it.
+func (s *searcher) pruneUntrainable(i int, reason string) {
+	if i < 0 {
+		return
+	}
+	s.dead[i] = true
+	if s.status[i] == statusPending {
+		s.mark(i, statusPruned, reason)
+	}
+}
+
+func (s *searcher) mark(i, status int, reason string) {
+	s.status[i] = status
+	s.reason[i] = reason
+	switch status {
+	case statusPruned:
+		s.counters.Pruned++
+	case statusInvalid:
+		s.counters.Invalid++
+	}
+}
+
+func (s *searcher) net(batch int) (*dnn.Network, error) {
+	if e, ok := s.nets[batch]; ok {
+		return e.net, e.err
+	}
+	n, err := s.env.Net(batch)
+	s.nets[batch] = netEntry{n, err}
+	return n, err
+}
+
+// evaluate runs the pending candidates among idxs as one engine batch.
+// Per-candidate simulator rejections become invalid evidence rows and the
+// search continues; cancellation aborts the whole search.
+func (s *searcher) evaluate(ctx context.Context, idxs []int) error {
+	var jobs []sweep.Job
+	var kept []int
+	for _, i := range idxs {
+		if s.status[i] != statusPending {
+			continue
+		}
+		c := s.cands[i]
+		net, err := s.net(c.PerDevBatch)
+		if err != nil {
+			s.mark(i, statusInvalid, fmt.Sprintf("network at batch %d: %v", c.PerDevBatch, err))
+			continue
+		}
+		jobs = append(jobs, sweep.Job{Net: net, Cfg: c.Config(s.req.Spec, s.req.Topology)})
+		kept = append(kept, i)
+	}
+	if len(jobs) == 0 {
+		return nil
+	}
+	res, err := s.env.Run(ctx, jobs)
+	if aborted := s.searchAborted(ctx, err); aborted != nil {
+		return aborted
+	}
+	for j, i := range kept {
+		if res == nil || j >= len(res) || res[j] == nil {
+			s.mark(i, statusInvalid, fmt.Sprintf("simulation rejected the configuration: %v", err))
+			continue
+		}
+		s.res[i] = res[j]
+		s.status[i] = statusEvaluated
+		if !res[j].Trainable {
+			s.dead[i] = true
+		}
+		s.counters.Evaluated++
+	}
+	return nil
+}
+
+// evaluateCascade evaluates the pending candidates among idxs, probing each
+// pipeline micro-batch ladder finest-first. A pipeline stage keeps a fixed,
+// stages-deep window of in-flight micro-batches, so its peak memory scales
+// with the micro-batch size Batch/M plus m-independent weight and gradient
+// state: coarser micro-batching (smaller M) never needs less memory. An
+// untrainable verdict at M therefore condemns every coarser sibling of the
+// same (shape, policy, algo, codec) ladder without a simulation.
+func (s *searcher) evaluateCascade(ctx context.Context, idxs []int) error {
+	type ladderKey struct {
+		devices, stages int
+		policy          core.Policy
+		algo            core.AlgoMode
+		comp            compress.Config
+	}
+	ladders := map[ladderKey][]int{}
+	var order []ladderKey
+	var flat []int
+	for _, i := range idxs {
+		c := s.cands[i]
+		if c.Stages <= 1 {
+			flat = append(flat, i)
+			continue
+		}
+		k := ladderKey{c.Devices, c.Stages, c.Policy, c.Algo, c.Comp}
+		if _, ok := ladders[k]; !ok {
+			order = append(order, k)
+		}
+		ladders[k] = append(ladders[k], i)
+	}
+	depth := 0
+	for _, k := range order {
+		l := ladders[k]
+		sort.Slice(l, func(a, b int) bool { return s.cands[l[a]].MicroBatches > s.cands[l[b]].MicroBatches })
+		if len(l) > depth {
+			depth = len(l)
+		}
+	}
+	for rung := 0; rung == 0 || rung < depth; rung++ {
+		var wave []int
+		if rung == 0 {
+			wave = append(wave, flat...)
+		}
+		for _, k := range order {
+			if l := ladders[k]; rung < len(l) && s.status[l[rung]] == statusPending {
+				wave = append(wave, l[rung])
+			}
+		}
+		if err := s.evaluate(ctx, wave); err != nil {
+			return err
+		}
+		for _, k := range order {
+			l := ladders[k]
+			if rung >= len(l) || !s.untrainable(l[rung]) {
+				continue
+			}
+			probe := s.cands[l[rung]]
+			for _, j := range l[rung+1:] {
+				s.dead[j] = true
+				if s.status[j] == statusPending {
+					s.mark(j, statusPruned, fmt.Sprintf(
+						"untrainable by monotonicity: %s%s at M%d — coarser micro-batches only grow per-stage memory — already exceeded the cap",
+						PolicyLabel(probe.Policy, probe.Algo), codecSuffix(probe.Comp), probe.MicroBatches))
+				}
+			}
+			ladders[k] = l[:rung+1]
+		}
+	}
+	return nil
+}
+
+// searchAborted distinguishes a dead context — which aborts the whole
+// search with a consistent ErrCanceled — from per-job rejections, which the
+// caller tolerates as invalid evidence rows.
+func (s *searcher) searchAborted(ctx context.Context, err error) error {
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, core.ErrCanceled) {
+		return err
+	}
+	if ctx.Err() != nil {
+		return fmt.Errorf("plan: search aborted: %w: %w", core.ErrCanceled, context.Cause(ctx))
+	}
+	return nil
+}
+
+// best returns the index of the trainable candidate with the lowest step
+// time, ties resolving to the earliest (simplest) one; -1 when none train.
+func (s *searcher) best() int {
+	best := -1
+	for i := range s.cands {
+		if s.status[i] != statusEvaluated || !s.res[i].Trainable {
+			continue
+		}
+		if best < 0 || s.res[i].IterTime < s.res[best].IterTime {
+			best = i
+		}
+	}
+	return best
+}
+
+// refine evaluates the incumbent's neighbors outside the coarse grid: the
+// micro-batch counts between pipeline grid lines and the non-power-of-two
+// replica counts adjacent to a data-parallel incumbent. Refined candidates
+// keep the incumbent's policy, algorithm and codec — the point-local
+// winners — and enter the evidence table after the space.
+func (s *searcher) refine(ctx context.Context, best int) error {
+	inc := s.cands[best]
+	inSpace := map[modePoint]bool{}
+	for i := range s.points {
+		inSpace[s.points[i].pt] = true
+	}
+
+	var shapes []modePoint
+	switch {
+	case inc.Stages > 1:
+		for _, m := range []int{inc.MicroBatches / 2, inc.MicroBatches * 2} {
+			pt := modePoint{devices: 1, stages: inc.Stages, micro: m}
+			if m >= inc.Stages && m <= s.req.Batch && s.req.Batch%m == 0 && !inSpace[pt] {
+				shapes = append(shapes, pt)
+			}
+		}
+	case inc.Devices > 1:
+		for d := inc.Devices/2 + 1; d < inc.Devices*2; d++ {
+			pt := modePoint{devices: d, stages: 1}
+			if d >= 2 && d != inc.Devices && d <= s.req.MaxDevices && s.req.Batch%d == 0 && !inSpace[pt] {
+				shapes = append(shapes, pt)
+			}
+		}
+	}
+
+	var jobs []sweep.Job
+	var cands []Candidate
+	for _, pt := range shapes {
+		c := Candidate{
+			Index:        len(s.cands) + len(cands),
+			Devices:      pt.devices,
+			Stages:       pt.stages,
+			MicroBatches: pt.micro,
+			PerDevBatch:  s.req.Batch / pt.devices,
+			Policy:       inc.Policy,
+			Algo:         inc.Algo,
+			Comp:         inc.Comp,
+			Refined:      true,
+		}
+		net, err := s.net(c.PerDevBatch)
+		if err != nil {
+			continue
+		}
+		jobs = append(jobs, sweep.Job{Net: net, Cfg: c.Config(s.req.Spec, s.req.Topology)})
+		cands = append(cands, c)
+	}
+	if len(cands) == 0 {
+		return nil
+	}
+	res, err := s.env.Run(ctx, jobs)
+	if aborted := s.searchAborted(ctx, err); aborted != nil {
+		return aborted
+	}
+	for j, c := range cands {
+		s.cands = append(s.cands, c)
+		if res == nil || j >= len(res) || res[j] == nil {
+			s.status = append(s.status, statusInvalid)
+			s.reason = append(s.reason, fmt.Sprintf("simulation rejected the refined configuration: %v", err))
+			s.res = append(s.res, nil)
+			s.counters.Invalid++
+			continue
+		}
+		s.status = append(s.status, statusEvaluated)
+		s.reason = append(s.reason, "")
+		s.res = append(s.res, res[j])
+		s.counters.Evaluated++
+		s.counters.Refined++
+	}
+	return nil
+}
+
+func (s *searcher) plan() (*Plan, error) {
+	p := &Plan{
+		Network:  s.req.Network,
+		Batch:    s.req.Batch,
+		Counters: s.counters,
+		Evidence: make([]Evidence, len(s.cands)),
+	}
+	for i, c := range s.cands {
+		ev := Evidence{Candidate: c, Reason: s.reason[i]}
+		switch s.status[i] {
+		case statusEvaluated:
+			r := s.res[i]
+			ev.Status = StatusEvaluated
+			ev.Trainable = r.Trainable
+			ev.FailReason = r.FailReason
+			if r.Trainable {
+				ev.StepMS = float64(r.IterTime) / float64(sim.Millisecond)
+				ev.PeakMiB = float64(r.TotalMaxUsage()) / (1 << 20)
+				ev.BubbleFraction = r.BubbleFraction
+				ev.Imbalance = r.DeviceImbalance()
+			}
+		case statusPruned:
+			ev.Status = StatusPruned
+		case statusInvalid:
+			ev.Status = StatusInvalid
+		default:
+			// Unreachable: the final catch-all wave evaluates every pending
+			// candidate. Keep the row honest if it ever happens.
+			ev.Status = StatusPruned
+			ev.Reason = "not reached"
+		}
+		p.Evidence[i] = ev
+	}
+	if best := s.best(); best >= 0 {
+		c := s.cands[best]
+		p.Feasible = true
+		p.Best = &c
+		p.Config = c.Config(s.req.Spec, s.req.Topology)
+		p.Result = s.res[best]
+		return p, nil
+	}
+	return p, ErrInfeasible
+}
+
+func codecSuffix(c compress.Config) string {
+	if !c.Enabled() {
+		return ""
+	}
+	return " under codec " + codecLabel(c)
+}
+
+// Table renders the evidence as a report table: one row per candidate in
+// enumeration order, with the winner starred.
+func (p *Plan) Table() *report.Table {
+	t := report.NewTable(
+		fmt.Sprintf("Planner evidence — %s, batch %d", p.Network, p.Batch),
+		"", "mode", "policy", "codec", "status", "step ms", "peak MiB", "bubble", "imbal", "why / fail")
+	t.SetAligns(report.Left, report.Left, report.Left, report.Left,
+		report.Left, report.Right, report.Right, report.Right,
+		report.Right, report.Left)
+	for _, ev := range p.Evidence {
+		star := ""
+		if p.Best != nil && ev.Candidate.Index == p.Best.Index {
+			star = "*"
+		}
+		row := []string{star, ev.Candidate.Mode(), ev.Candidate.PolicyLabel(), ev.Candidate.CodecLabel(), ev.Status}
+		switch {
+		case ev.Status == StatusEvaluated && ev.Trainable:
+			row = append(row,
+				fmt.Sprintf("%.1f", ev.StepMS), fmt.Sprintf("%.0f", ev.PeakMiB),
+				fmt.Sprintf("%.2f", ev.BubbleFraction), fmt.Sprintf("%.2f", ev.Imbalance), "")
+		case ev.Status == StatusEvaluated:
+			row = append(row, "-", "-", "-", "-", "untrainable: "+ev.FailReason)
+		default:
+			row = append(row, "-", "-", "-", "-", ev.Reason)
+		}
+		t.AddRow(row...)
+	}
+	t.AddNote("space %d: %d evaluated (%d refined), %d pruned unevaluated, %d invalid; feasible=%v",
+		p.Counters.Space, p.Counters.Evaluated, p.Counters.Refined,
+		p.Counters.Pruned, p.Counters.Invalid, p.Feasible)
+	return t
+}

@@ -1,0 +1,208 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+
+	"vdnn"
+)
+
+// PlanRequest is the wire form of POST /v1/plan: one auto-parallelism
+// planning problem. The fleet is named the same way simulations name theirs
+// (GPU registry name, topology name); the cap and budget are the planner's
+// own knobs. Zero fields take the planner defaults.
+type PlanRequest struct {
+	// Network is a benchmark network name (see GET /v1/networks). Required.
+	Network string `json:"network"`
+	// Batch is the global batch size of one training step. Default 64.
+	Batch int `json:"batch,omitempty"`
+
+	// GPU names the fleet's device model. Default "titanx".
+	GPU string `json:"gpu,omitempty"`
+	// MemCapGB overrides the device's physical memory, in GiB: the hard
+	// per-device cap the winner must train under. Zero keeps the device
+	// default.
+	MemCapGB float64 `json:"mem_cap_gb,omitempty"`
+	// MaxDevices is the device-count budget (default 4).
+	MaxDevices int `json:"max_devices,omitempty"`
+	// Topology names the interconnect of multi-device candidates
+	// ("dedicated", "shared-x16", ...; default shared-x16).
+	Topology string `json:"topology,omitempty"`
+	// Codecs restricts the compressed-DMA branches to search ("none",
+	// "zvc", "rle"); empty searches none plus zvc. The codec-free branch is
+	// always included.
+	Codecs []vdnn.Codec `json:"codecs,omitempty"`
+
+	// DeadlineMS bounds the whole search in milliseconds (server clamps and
+	// defaults as for simulations).
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+}
+
+// PlanChoice is the winning candidate on the wire: human-readable labels,
+// the structured candidate, and a paste-ready /v1/simulate request body.
+type PlanChoice struct {
+	Mode    string             `json:"mode"`
+	Policy  string             `json:"policy"`
+	Codec   string             `json:"codec"`
+	Chosen  vdnn.PlanCandidate `json:"candidate"`
+	Request SimRequest         `json:"request"`
+}
+
+// PlanResponse is the wire form of a planner search: feasibility, the
+// winner (with its full simulation metrics), the evidence table and the
+// search counters.
+type PlanResponse struct {
+	Network  string `json:"network"`
+	Batch    int    `json:"batch"`
+	GPU      string `json:"gpu"`
+	Feasible bool   `json:"feasible"`
+
+	Best   *PlanChoice  `json:"best,omitempty"`
+	Result *SimResponse `json:"result,omitempty"`
+
+	Evidence []vdnn.PlanEvidence `json:"evidence"`
+	Counters vdnn.PlanCounters   `json:"counters"`
+}
+
+// plannerCounters accumulates PlanCounters across requests for /v1/stats.
+type plannerCounters struct {
+	mu  sync.Mutex
+	sum vdnn.PlanCounters
+}
+
+func (p *plannerCounters) add(c vdnn.PlanCounters) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.sum = p.sum.Add(c)
+}
+
+func (p *plannerCounters) snapshot() vdnn.PlanCounters {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.sum
+}
+
+// resolvePlan validates a wire planning request against the registries and
+// guardrails and turns it into a planner request.
+func (s *Server) resolvePlan(req PlanRequest) (vdnn.PlanRequest, error) {
+	var preq vdnn.PlanRequest
+	// Resolving the network at the global batch both validates the name and
+	// warms the memoized instance the single-device candidates reuse.
+	if _, err := s.network(req.Network, req.Batch); err != nil {
+		return preq, err
+	}
+	spec, ok := s.sim.GPUByName(req.GPU)
+	if !ok {
+		return preq, fmt.Errorf("unknown gpu %q (have %s)", req.GPU, strings.Join(s.sim.GPUNames(), ", "))
+	}
+	if req.MemCapGB < 0 || req.MemCapGB > maxMemGB {
+		return preq, fmt.Errorf("mem_cap_gb must be in [0, %d], got %g", int64(maxMemGB), req.MemCapGB)
+	}
+	if req.MaxDevices < 0 || req.MaxDevices > maxRequestDevices {
+		return preq, fmt.Errorf("max_devices must be in [1, %d], got %d", maxRequestDevices, req.MaxDevices)
+	}
+	topology, ok := vdnn.TopologyByName(req.Topology)
+	if !ok {
+		return preq, fmt.Errorf("unknown topology %q (have %s)", req.Topology, strings.Join(vdnn.TopologyNames(), ", "))
+	}
+	var codecs []vdnn.Compression
+	for _, c := range req.Codecs {
+		codecs = append(codecs, vdnn.Compression{Codec: c})
+	}
+	return vdnn.PlanRequest{
+		Network:     req.Network,
+		Batch:       req.Batch,
+		Spec:        spec,
+		MemCapBytes: int64(req.MemCapGB * float64(1<<30)),
+		MaxDevices:  req.MaxDevices,
+		Topology:    topology,
+		Codecs:      codecs,
+	}, nil
+}
+
+// simRequest renders a winning candidate as the /v1/simulate body that
+// reproduces it (the per-replica batch is what a simulation names).
+func (req PlanRequest) simRequest(c vdnn.PlanCandidate) SimRequest {
+	out := SimRequest{
+		Network:  req.Network,
+		Batch:    c.PerDevBatch,
+		GPU:      req.GPU,
+		GPUMemGB: req.MemCapGB,
+		Policy:   c.Policy,
+		Algo:     c.Algo,
+		Codec:    c.Comp.Codec,
+		Sparsity: c.Comp.Sparsity,
+		Topology: req.Topology,
+	}
+	if c.Devices > 1 {
+		out.Devices = c.Devices
+	}
+	if c.Stages > 1 {
+		out.Stages, out.MicroBatches = c.Stages, c.MicroBatches
+	}
+	return out
+}
+
+func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	req := PlanRequest{Batch: 64, GPU: "titanx"}
+	if err := decodeJSON(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := validDeadlineMS(req.DeadlineMS); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	preq, err := s.resolvePlan(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	ctx, cancel := s.requestContext(r.Context(), req.DeadlineMS)
+	defer cancel()
+	release, ok := s.admit(w, ctx)
+	if !ok {
+		return
+	}
+	defer release()
+	plan, err := s.sim.Plan(ctx, preq)
+	switch {
+	case errors.Is(err, vdnn.ErrInfeasiblePlan):
+		// An exhausted search is an answer, not a failure: the evidence
+		// table says why every branch died.
+	case err != nil:
+		s.writeSimError(w, err)
+		return
+	}
+	s.planner.add(plan.Counters)
+	out := PlanResponse{
+		Network:  plan.Network,
+		Batch:    plan.Batch,
+		GPU:      req.GPU,
+		Feasible: plan.Feasible,
+		Evidence: plan.Evidence,
+		Counters: plan.Counters,
+	}
+	if plan.Feasible {
+		best := *plan.Best
+		simReq := req.simRequest(best)
+		res, err := response(simReq, plan.Result)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		out.Best = &PlanChoice{
+			Mode:    best.Mode(),
+			Policy:  best.PolicyLabel(),
+			Codec:   best.CodecLabel(),
+			Chosen:  best,
+			Request: simReq,
+		}
+		out.Result = &res
+	}
+	s.counters.completed.Add(1)
+	writeJSON(w, out)
+}

@@ -8,6 +8,7 @@
 //
 //	POST /v1/simulate   one configuration        -> SimResponse
 //	POST /v1/sweep      {"jobs": [...]} batch    -> SweepResponse
+//	POST /v1/plan       design-space search      -> PlanResponse
 //	GET  /v1/networks   model/device/link names  -> CatalogResponse
 //	GET  /v1/stats      cache + serve counters   -> StatsResponse
 //	GET  /healthz       liveness                 -> "ok"
@@ -200,11 +201,13 @@ type SweepRequest struct {
 	DeadlineMS int64        `json:"deadline_ms,omitempty"`
 }
 
-// StatsResponse is the GET /v1/stats body: the simulator's cache counters
-// plus the HTTP layer's admission counters.
+// StatsResponse is the GET /v1/stats body: the simulator's cache counters,
+// the HTTP layer's admission counters, and the planner's cumulative search
+// counters (how much of its design spaces the daemon evaluated vs pruned).
 type StatsResponse struct {
 	vdnn.EngineStats
-	Serve ServeStats `json:"serve"`
+	Serve   ServeStats        `json:"serve"`
+	Planner vdnn.PlanCounters `json:"planner"`
 }
 
 // SweepResponse carries one result per job, in job order.
@@ -231,6 +234,7 @@ type Server struct {
 
 	adm             *admission
 	counters        serveCounters
+	planner         plannerCounters
 	draining        atomic.Bool
 	defaultDeadline time.Duration
 	maxDeadline     time.Duration
@@ -289,6 +293,7 @@ func New(sim *vdnn.Simulator, opts ...Option) *Server {
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
 	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	s.mux.HandleFunc("POST /v1/plan", s.handlePlan)
 	s.mux.HandleFunc("GET /v1/networks", s.handleNetworks)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	var h http.Handler = s.mux
@@ -626,7 +631,7 @@ func (s *Server) handleNetworks(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, StatsResponse{EngineStats: s.sim.Stats(), Serve: s.counters.snapshot()})
+	writeJSON(w, StatsResponse{EngineStats: s.sim.Stats(), Serve: s.counters.snapshot(), Planner: s.planner.snapshot()})
 }
 
 // decodeJSON reads a size-capped request body strictly: unknown fields are

@@ -173,7 +173,7 @@ func TestConfigJSONRoundTrip(t *testing.T) {
 	if m["Policy"] != "vdnn-conv" || m["Algo"] != "greedy" || m["Prefetch"] != "fig10" {
 		t.Errorf("enum JSON forms = %v/%v/%v", m["Policy"], m["Algo"], m["Prefetch"])
 	}
-	if comp, ok := m["Compression"].(map[string]any); !ok || comp["Codec"] != "zvc" {
+	if comp, ok := m["Compression"].(map[string]any); !ok || comp["codec"] != "zvc" {
 		t.Errorf("compression JSON form = %v", m["Compression"])
 	}
 }

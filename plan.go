@@ -1,0 +1,78 @@
+package vdnn
+
+import (
+	"context"
+
+	"vdnn/internal/plan"
+	"vdnn/internal/sweep"
+)
+
+// PlanRequest describes one auto-parallelism planning problem: the workload
+// (network name and global batch size), the fleet (GPU model, device-count
+// budget, topology) and the per-device memory cap the winner must train
+// under. See the field documentation on plan.Request; zero-valued fields
+// take the paper's defaults (Titan X, budget of 4 devices, shared gen3
+// root, codec-free plus ZVC branches).
+type PlanRequest = plan.Request
+
+// PlanResult is the outcome of a planner search: the winning candidate and
+// its materialized Config and Result (when the request is feasible), the
+// full deterministic evidence table, and the search counters. Its Table
+// method renders the evidence for humans.
+type PlanResult = plan.Plan
+
+// PlanCandidate is one point of the planner's design space.
+type PlanCandidate = plan.Candidate
+
+// PlanEvidence is one row of the planner's evidence table: a candidate and
+// what the search did with it (evaluated with metrics, or pruned/invalid
+// with a reason).
+type PlanEvidence = plan.Evidence
+
+// PlanCounters summarizes how much of the candidate space a search paid
+// for: space size, evaluated, pruned without evaluation, invalid, refined.
+type PlanCounters = plan.Counters
+
+// PlanMaxDevices is the largest device budget a PlanRequest may ask for.
+const PlanMaxDevices = plan.MaxBudget
+
+// ErrInfeasiblePlan reports a planning problem with no trainable
+// configuration under the memory cap. Plan still returns the PlanResult
+// alongside it — the evidence table records why every branch died.
+var ErrInfeasiblePlan = plan.ErrInfeasible
+
+// Plan searches the parallelism design space (devices x stages x
+// micro-batches x offload policy x algorithm mode x codec) for the
+// minimum-step-time configuration that trains under the request's memory
+// cap — the one-shot convenience for scripts. Long-lived callers should use
+// Simulator.Plan, which shares the simulator's result cache across
+// searches. On an infeasible request the error is ErrInfeasiblePlan and the
+// returned PlanResult holds the full evidence table.
+func Plan(req PlanRequest) (*PlanResult, error) {
+	return PlanContext(context.Background(), req)
+}
+
+// PlanContext is Plan under a context: cancellation aborts the search
+// between and during candidate simulations, returning an error satisfying
+// errors.Is(err, ErrCanceled).
+func PlanContext(ctx context.Context, req PlanRequest) (*PlanResult, error) {
+	eng := sweep.NewEngine(0)
+	env := plan.Env{
+		Net: func(batch int) (*Network, error) { return BuildNetwork(req.Network, batch) },
+		Run: eng.RunAll,
+	}
+	return plan.Search(ctx, req, env)
+}
+
+// Plan runs the auto-parallelism search on this simulator: every candidate
+// executes through RunBatch, so evaluations land in the shared result
+// cache, coalesce with concurrent identical requests (a repeated search is
+// answered almost entirely from cache), respect the simulator's parallelism
+// bound and stop promptly on cancellation.
+func (s *Simulator) Plan(ctx context.Context, req PlanRequest) (*PlanResult, error) {
+	env := plan.Env{
+		Net: func(batch int) (*Network, error) { return s.Network(req.Network, batch) },
+		Run: s.RunBatch,
+	}
+	return plan.Search(ctx, req, env)
+}
