@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Benchmark regression gate.
+
+Usage: bench_gate.py CURRENT.json [BASELINE.json]
+
+CURRENT.json is the freshly rendered benchmark report for this run.
+BASELINE.json defaults to the newest committed BENCH_pr<N>.json (by PR
+number) other than CURRENT itself.
+
+Two independent checks, either of which fails the gate:
+
+  1. Absolute floors. Every benchmark in the CURRENT run reporting a
+     "speedup-x" or "reduction-x" metric is checked against
+     BENCH_SPEEDUP_FLOOR / BENCH_REDUCTION_FLOOR. This half needs no
+     baseline, so it can never be skipped by a missing or mismatched
+     baseline entry.
+
+  2. Relative bands against the baseline, matched by normalized name
+     (the "-<GOMAXPROCS>" suffix go test appends is stripped on both
+     sides — the gate's original sin was matching "BenchmarkReproAll/par"
+     against "BenchmarkReproAll/par-4" and silently comparing nothing):
+       - ns/op: one-sided, fail above 1.25x (timing improves freely);
+       - B/op:  two-sided ±25%. Allocated bytes per op are
+         near-deterministic, so a change in either direction is a real
+         behavior change: above the band is a regression, below it the
+         committed baseline is stale and must be refreshed with this
+         run's numbers.
+
+Exit status 0 = gate passed, 1 = at least one check failed.
+"""
+
+import glob
+import json
+import os
+import re
+import sys
+
+
+def norm(name):
+    """Strip go test's GOMAXPROCS suffix: BenchmarkFoo/par-4 -> .../par."""
+    return re.sub(r"-\d+$", "", name)
+
+
+def pr_num(path):
+    m = re.match(r"BENCH_pr(\d+)\.json$", os.path.basename(path))
+    return int(m.group(1)) if m else -1
+
+
+def main(argv):
+    current_name = argv[1]
+    current = json.load(open(current_name))
+    failed = False
+
+    # --- Half 1: absolute floors, baseline-independent. ---------------------
+    floors = {}
+    for metric, env in (("speedup-x", "BENCH_SPEEDUP_FLOOR"),
+                        ("reduction-x", "BENCH_REDUCTION_FLOOR")):
+        if os.environ.get(env):
+            floors[metric] = float(os.environ[env])
+    for b in current["benchmarks"]:
+        for metric, floor in floors.items():
+            if metric not in b:
+                continue
+            if b[metric] < floor:
+                print(f"{norm(b['name'])}: {metric} {b[metric]:.2f} "
+                      f"BELOW FLOOR {floor}")
+                failed = True
+            else:
+                print(f"{norm(b['name'])}: {metric} {b[metric]:.2f} ok "
+                      f"(floor {floor})")
+
+    # --- Half 2: relative bands against the committed baseline. -------------
+    if len(argv) > 2:
+        base_path = argv[2]
+    else:
+        baselines = sorted(
+            (p for p in glob.glob("BENCH_pr*.json")
+             if os.path.abspath(p) != os.path.abspath(current_name)
+             and pr_num(p) >= 0),
+            key=pr_num)
+        base_path = baselines[-1] if baselines else None
+    if base_path is None:
+        print("no committed BENCH_pr<N>.json baseline; "
+              "relative bands skipped (floors above still applied)")
+        return 1 if failed else 0
+
+    base = json.load(open(base_path))
+    base_by_name = {norm(b["name"]): b for b in base["benchmarks"]}
+    print(f"gating against {base_path} (pr {base['pr']})")
+
+    for b in current["benchmarks"]:
+        name = norm(b["name"])
+        ref = base_by_name.get(name)
+        if ref is None:
+            print(f"{name}: no baseline entry (new benchmark; "
+                  f"will be gated once a baseline records it)")
+            continue
+        # ns/op: one-sided band.
+        ratio = b["ns_per_op"] / ref["ns_per_op"]
+        status = "REGRESSION" if ratio > 1.25 else "ok"
+        failed = failed or ratio > 1.25
+        print(f"{name}: {ref['ns_per_op']:.0f} -> {b['ns_per_op']:.0f} ns/op "
+              f"({ratio:.2f}x) {status}")
+        # B/op: two-sided band.
+        if "B/op" in b and "B/op" in ref and ref["B/op"] > 0:
+            ratio = b["B/op"] / ref["B/op"]
+            if ratio > 1.25:
+                status = "ALLOC REGRESSION"
+                failed = True
+            elif ratio < 0.75:
+                status = ("IMPROVED BEYOND BAND — refresh the committed "
+                          "baseline with this run's numbers")
+                failed = True
+            else:
+                status = "ok"
+            print(f"{name}: {ref['B/op']:.0f} -> {b['B/op']:.0f} B/op "
+                  f"({ratio:.2f}x) {status}")
+
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -8,6 +8,7 @@
 //	vdnn-explore -network vgg16 -batch 64 devices
 //	vdnn-explore -network vgg16 -batch 128 codec
 //	vdnn-explore -network vgg16 -batch 64 stages
+//	vdnn-explore -cpuprofile cpu.pprof -network vgg16 capacity
 //
 // Sweeps: capacity, link, batch, prefetch, pagemig, devices, codec, stages.
 //
@@ -26,19 +27,28 @@ import (
 	"strings"
 
 	"vdnn"
+	"vdnn/internal/perf"
 	"vdnn/internal/plan"
 	"vdnn/internal/report"
 )
 
 func main() {
 	var (
-		network = flag.String("network", "vgg16", "network: "+strings.Join(vdnn.NetworkNames(), ", "))
-		batch   = flag.Int("batch", 64, "batch size")
-		jobs    = flag.Int("j", 0, "max simulations in flight (0 = all cores)")
+		network    = flag.String("network", "vgg16", "network: "+strings.Join(vdnn.NetworkNames(), ", "))
+		batch      = flag.Int("batch", 64, "batch size")
+		jobs       = flag.Int("j", 0, "max simulations in flight (0 = all cores)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: vdnn-explore [-network N] [-batch B] capacity|link|batch|prefetch|pagemig|devices|codec|stages")
+		os.Exit(1)
+	}
+
+	prof, err := perf.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vdnn-explore:", err)
 		os.Exit(1)
 	}
 
@@ -66,6 +76,11 @@ func main() {
 		e.stagesSweep(*batch)
 	default:
 		fmt.Fprintf(os.Stderr, "vdnn-explore: unknown sweep %q\n", flag.Arg(0))
+		os.Exit(1)
+	}
+
+	if err := prof.Stop(); err != nil {
+		fmt.Fprintln(os.Stderr, "vdnn-explore:", err)
 		os.Exit(1)
 	}
 }

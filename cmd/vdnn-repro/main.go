@@ -5,6 +5,7 @@
 //	vdnn-repro fig1 fig11 fig14
 //	vdnn-repro -csv fig12 > fig12.csv
 //	vdnn-repro -j 8            # 8 simulations in flight
+//	vdnn-repro -cpuprofile cpu.pprof -memprofile mem.pprof   # then: go tool pprof
 //
 // The selected experiments' configurations are enqueued as one batch on a
 // concurrent sweep engine (internal/sweep) that runs -j simulations in
@@ -30,12 +31,15 @@ import (
 	"vdnn"
 	"vdnn/internal/figures"
 	"vdnn/internal/gpu"
+	"vdnn/internal/perf"
 	"vdnn/internal/sweep"
 )
 
 func main() {
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	jobs := flag.Int("j", 0, "max simulations in flight (0 = all cores, 1 = sequential)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
 	sim := vdnn.NewSimulator(vdnn.WithParallelism(*jobs))
@@ -56,6 +60,12 @@ func main() {
 			fmt.Fprintf(os.Stderr, "vdnn-repro: unknown experiment %q\n", w)
 			os.Exit(1)
 		}
+	}
+
+	prof, err := perf.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vdnn-repro:", err)
+		os.Exit(1)
 	}
 
 	// Enqueue every selected experiment's simulations as one batch so the
@@ -81,5 +91,17 @@ func main() {
 			t.Render(os.Stdout)
 			fmt.Println()
 		}
+	}
+
+	// Per-experiment wall clock, to stderr: stdout carries only the figure
+	// tables, which are byte-identical at any -j — timing and cache stats
+	// are scheduling-dependent diagnostics.
+	if !*csv {
+		suite.Timings().Render(os.Stderr)
+	}
+
+	if err := prof.Stop(); err != nil {
+		fmt.Fprintln(os.Stderr, "vdnn-repro:", err)
+		os.Exit(1)
 	}
 }

@@ -16,6 +16,10 @@
 // identical responses. See internal/serve for the wire formats, error
 // taxonomy, and admission-control behavior.
 //
+// Diagnostics: -pprof localhost:6060 serves net/http/pprof on a separate
+// listener (CPU/heap/goroutine profiles of the live daemon); it is off by
+// default and never shares the public listener.
+//
 // Shutdown is graceful: on SIGINT/SIGTERM the daemon stops admitting work
 // (/readyz flips to 503, new simulations fast-fail with 503 "draining"),
 // waits up to -drain for in-flight requests, then hard-cancels stragglers
@@ -30,6 +34,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux, served only via -pprof
 	"os"
 	"os/signal"
 	"syscall"
@@ -48,8 +53,21 @@ func main() {
 		deadline = flag.Duration("deadline", 2*time.Minute, "default per-request deadline (0 = none)")
 		maxDL    = flag.Duration("max-deadline", 10*time.Minute, "ceiling on client deadline_ms (0 = no ceiling)")
 		drain    = flag.Duration("drain", 30*time.Second, "graceful-drain budget before in-flight work is canceled")
+		pprofA   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty = disabled)")
 	)
 	flag.Parse()
+
+	// Profiling endpoint on its own listener, never the public one: the API
+	// handler below is an explicit mux, so /debug/pprof is reachable only when
+	// -pprof names an address (bind it to localhost in production).
+	if *pprofA != "" {
+		go func() {
+			log.Printf("vdnn-serve: pprof listening on %s", *pprofA)
+			if err := http.ListenAndServe(*pprofA, nil); err != nil {
+				log.Printf("vdnn-serve: pprof server: %v", err)
+			}
+		}()
+	}
 
 	sim := vdnn.NewSimulator(vdnn.WithParallelism(*jobs), vdnn.WithCacheBound(*cache))
 	api := serve.New(sim,

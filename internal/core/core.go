@@ -539,6 +539,18 @@ func Run(net *dnn.Network, cfg Config) (*Result, error) {
 // context.Background(). Cancellation reaches every trainer — single-device,
 // data-parallel, pipeline — and the dynamic policy's profiling candidates.
 func RunContext(ctx context.Context, net *dnn.Network, cfg Config) (*Result, error) {
+	return RunContextWith(ctx, net, cfg, nil)
+}
+
+// RunContextWith is RunContext with the profiling candidates delegated: when
+// the configuration resolves to a profiling policy and runSub is non-nil,
+// every candidate simulation is routed through runSub instead of being
+// executed inline. runSub receives the normalized candidate Config and must
+// return exactly what runStatic would — which is what lets a result cache
+// (internal/sweep) serve profiling candidates from, and into, the shared
+// cache. Results runSub serves may be shared: the profiler's mutations are
+// applied to a clone. Static (non-profiling) configurations ignore runSub.
+func RunContextWith(ctx context.Context, net *dnn.Network, cfg Config, runSub Simulate) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -546,6 +558,19 @@ func RunContext(ctx context.Context, net *dnn.Network, cfg Config) (*Result, err
 		return nil, canceled(ctx)
 	}
 	cfg = cfg.WithDefaults()
+	pol, err := validateConfig(net, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if prof, ok := pol.(Profiler); ok {
+		return prof.Profile(net, cfg, profileSimulateWith(ctx, net, runSub))
+	}
+	return runStatic(ctx, net, cfg, pol)
+}
+
+// validateConfig runs the full validation chain on a normalized
+// configuration and resolves its policy implementation.
+func validateConfig(net *dnn.Network, cfg Config) (OffloadPolicy, error) {
 	if err := cfg.Spec.Validate(); err != nil {
 		return nil, err
 	}
@@ -564,14 +589,7 @@ func RunContext(ctx context.Context, net *dnn.Network, cfg Config) (*Result, err
 	if err := net.Validate(); err != nil {
 		return nil, err
 	}
-	pol, err := cfg.policyImpl()
-	if err != nil {
-		return nil, err
-	}
-	if prof, ok := pol.(Profiler); ok {
-		return prof.Profile(net, cfg, profileSimulate(ctx, net))
-	}
-	return runStatic(ctx, net, cfg, pol)
+	return cfg.policyImpl()
 }
 
 // runStatic simulates one non-profiling configuration, falling back to an
@@ -618,6 +636,15 @@ func runStatic(ctx context.Context, net *dnn.Network, cfg Config, pol OffloadPol
 // canceled request aborts every profiling candidate too (a canceled
 // candidate propagates its error instead of reading as "untrainable").
 func profileSimulate(ctx context.Context, net *dnn.Network) Simulate {
+	return profileSimulateWith(ctx, net, nil)
+}
+
+// profileSimulateWith is profileSimulate with the candidate execution
+// optionally delegated to runSub (a runStatic-equivalent callback, usually a
+// cache front). The Simulate contract is translated either way: an
+// untrainable candidate reads as (nil, nil), and results served by runSub are
+// cloned before the profiler mutates them (they may be cache-shared).
+func profileSimulateWith(ctx context.Context, net *dnn.Network, runSub Simulate) Simulate {
 	return func(sub Config) (*Result, error) {
 		if ctx.Err() != nil {
 			return nil, canceled(ctx)
@@ -629,6 +656,17 @@ func profileSimulate(ctx context.Context, net *dnn.Network) Simulate {
 		}
 		if _, ok := pol.(Profiler); ok {
 			return nil, fmt.Errorf("core: profiling policy %q cannot simulate another profiling policy", pol.Name())
+		}
+		if runSub != nil {
+			res, err := runSub(sub)
+			if err != nil {
+				return nil, err
+			}
+			if !res.Trainable {
+				return nil, nil // untrainable under this candidate
+			}
+			r := *res
+			return &r, nil
 		}
 		plan, err := buildPlan(net, sub, pol)
 		if err != nil {

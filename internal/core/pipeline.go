@@ -212,7 +212,7 @@ func executePP(ctx context.Context, net *dnn.Network, cfg Config, pol OffloadPol
 		if err != nil {
 			return nil, fmt.Errorf("stage %d: %w", s, err)
 		}
-		rt, err := newRuntimeRange(net, stCfg, plan, dev, pr.Lo, pr.Hi, cfg.MicroBatches)
+		rt, err := newRuntimeRange(net, stCfg, plan, dev, pr.Lo, pr.Hi, cfg.MicroBatches, nil)
 		if err != nil {
 			return nil, fmt.Errorf("stage %d: %w", s, err)
 		}

@@ -145,13 +145,14 @@ type runtime struct {
 // manager controls: feature-extraction maps, gradient maps, FE weights, and
 // convolution workspaces. Figure 11's usage numbers are pool numbers.
 func newRuntime(net *dnn.Network, cfg Config, plan *Plan, dev *gpu.Device) (*runtime, error) {
-	return newRuntimeRange(net, cfg, plan, dev, 0, len(net.Layers), 1)
+	return newRuntimeRange(net, cfg, plan, dev, 0, len(net.Layers), 1, nil)
 }
 
 // newRuntimeRange builds the execution context of one pipeline stage owning
 // layers [lo, hi), split into mbCount micro-batches. The full range with one
-// micro-batch is exactly newRuntime.
-func newRuntimeRange(net *dnn.Network, cfg Config, plan *Plan, dev *gpu.Device, lo, hi, mbCount int) (*runtime, error) {
+// micro-batch is exactly newRuntime. A non-nil tr attaches an allocator
+// trace recorder to the vDNN pool (differential evaluation; structure.go).
+func newRuntimeRange(net *dnn.Network, cfg Config, plan *Plan, dev *gpu.Device, lo, hi, mbCount int, tr *memalloc.Trace) (*runtime, error) {
 	e := &runtime{
 		cfg:       cfg,
 		net:       net,
@@ -170,15 +171,26 @@ func newRuntimeRange(net *dnn.Network, cfg Config, plan *Plan, dev *gpu.Device, 
 		lay:       make([]*layerState, len(net.Layers)),
 		chosenAlg: make([]LayerAlgos, len(net.Layers)),
 	}
-	for _, t := range net.Tensors {
-		e.buf[t] = &bufState{}
+	// One arena allocation backs all per-tensor and per-layer state, instead
+	// of an allocator round-trip per tensor — these dominate the allocation
+	// profile of a sweep (one runtime per sweep point).
+	bufArena := make([]bufState, len(net.Tensors))
+	for i, t := range net.Tensors {
+		e.buf[t] = &bufArena[i]
 	}
+	layArena := make([]layerState, len(e.lay))
 	for i := range e.lay {
-		e.lay[i] = &layerState{}
+		e.lay[i] = &layArena[i]
 	}
 	copy(e.chosenAlg, plan.Algos)
-	for t, l := range e.lastBwdReaders() {
-		e.freeAtBwd[l.ID] = append(e.freeAtBwd[l.ID], t)
+	// Walk tensors in graph order, not map order: the release sequence feeds
+	// the pool's pending-free heap, and the allocator call sequence must be
+	// reproducible for the recorded trace to price other capacities exactly.
+	lastBwd := e.lastBwdReaders()
+	for _, t := range net.Tensors {
+		if l, ok := lastBwd[t]; ok {
+			e.freeAtBwd[l.ID] = append(e.freeAtBwd[l.ID], t)
+		}
 	}
 	e.wState = map[*dnn.Layer]*bufState{}
 	e.wPrefetchAt = make([][]*dnn.Layer, len(net.Layers))
@@ -207,7 +219,11 @@ func newRuntimeRange(net *dnn.Network, cfg Config, plan *Plan, dev *gpu.Device, 
 	if capacity <= 0 {
 		return nil, fmt.Errorf("core: classifier memory %d alone exceeds device capacity", e.fw.Used())
 	}
-	e.pool = memalloc.New(capacity)
+	if tr != nil {
+		e.pool = memalloc.NewTraced(capacity, tr)
+	} else {
+		e.pool = memalloc.New(capacity)
+	}
 	if err := e.setup(); err != nil {
 		return nil, err
 	}
@@ -222,16 +238,19 @@ func newRuntimeRange(net *dnn.Network, cfg Config, plan *Plan, dev *gpu.Device, 
 	e.mbBufs[0], e.mbLay[0] = e.buf, e.lay
 	for mb := 1; mb < e.mbCount; mb++ {
 		bufs := make(map[*dnn.Tensor]*bufState, len(net.Tensors))
+		mbBufArena := make([]bufState, 0, len(net.Tensors))
 		for t, st := range e.mbBufs[0] {
 			if st.persist || st.gradPersist {
 				bufs[t] = st
 			} else {
-				bufs[t] = &bufState{}
+				mbBufArena = append(mbBufArena, bufState{})
+				bufs[t] = &mbBufArena[len(mbBufArena)-1]
 			}
 		}
 		lay := make([]*layerState, len(net.Layers))
+		mbLayArena := make([]layerState, len(lay))
 		for i := range lay {
-			lay[i] = &layerState{}
+			lay[i] = &mbLayArena[i]
 		}
 		e.mbBufs[mb], e.mbLay[mb] = bufs, lay
 	}
@@ -482,16 +501,23 @@ func (e *runtime) setup() error {
 }
 
 func (e *runtime) resetIteration() {
-	e.stats = make([]LayerStats, len(e.net.Layers))
-	e.fwdStarts = make([]sim.Time, len(e.net.Layers))
+	// The stats and fwdStarts slices are reused across iterations (only the
+	// last iteration's numbers reach the Result): the full-struct overwrite
+	// below zeroes every per-iteration field a fresh allocation would have.
+	if e.stats == nil {
+		e.stats = make([]LayerStats, len(e.net.Layers))
+		e.fwdStarts = make([]sim.Time, len(e.net.Layers))
+	}
+	clear(e.fwdStarts)
 	for i, l := range e.net.Layers {
-		st := &e.stats[i]
-		st.Name = l.Name
-		st.Kind = l.Kind
-		st.Stage = l.Stage
-		st.WeightBytes = l.WeightBytes(e.net.DType)
-		st.XBytes = sumInputBytes(l, e.net.DType)
-		st.YBytes = l.Output.Bytes(e.net.DType)
+		e.stats[i] = LayerStats{
+			Name:        l.Name,
+			Kind:        l.Kind,
+			Stage:       l.Stage,
+			WeightBytes: l.WeightBytes(e.net.DType),
+			XBytes:      sumInputBytes(l, e.net.DType),
+			YBytes:      l.Output.Bytes(e.net.DType),
+		}
 	}
 	for _, lay := range e.mbLay {
 		for _, ls := range lay {

@@ -28,7 +28,7 @@ func execute(ctx context.Context, net *dnn.Network, cfg Config, pol OffloadPolic
 	}
 	dev := gpu.NewDevice(cfg.Spec)
 	dev.UsePageMigration = cfg.PageMigration
-	e, err := newRuntime(net, cfg, plan, dev)
+	e, err := newRuntimeRange(net, cfg, plan, dev, 0, len(net.Layers), 1, allocTraceFrom(ctx))
 	if err != nil {
 		return nil, err
 	}

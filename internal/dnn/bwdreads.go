@@ -37,7 +37,25 @@ func (l *Layer) BwdReads() []*Tensor {
 // each buffer once that layer's backward completes. Buffers no backward
 // kernel reads fall back to their producer's backward slot, which is always
 // safe (nothing below the producer can reference them).
+//
+// The result is memoized per network identity and shared between callers:
+// read it, do not mutate it.
 func LastBwdReaders(n *Network) map[*Tensor]*Layer {
+	derivedMu.Lock()
+	d := derivedOf(n)
+	m := d.lastBwd
+	derivedMu.Unlock()
+	if m == nil {
+		m = computeLastBwdReaders(n)
+		derivedMu.Lock()
+		derivedOf(n).lastBwd = m
+		derivedMu.Unlock()
+	}
+	return m
+}
+
+// computeLastBwdReaders is the uncached analysis behind LastBwdReaders.
+func computeLastBwdReaders(n *Network) map[*Tensor]*Layer {
 	m := make(map[*Tensor]*Layer, len(n.Tensors))
 	for _, l := range n.Layers {
 		for _, t := range l.BwdReads() {

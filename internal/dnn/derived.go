@@ -1,0 +1,62 @@
+package dnn
+
+import "sync"
+
+// Per-network memoization of derived graph analyses.
+//
+// GradientInfos and LastBwdReaders are pure functions of the immutable layer
+// graph, yet every simulation runtime re-derives them — across a design-space
+// sweep that is thousands of identical liveness analyses of a handful of
+// networks. The memo keys by network identity (the same identity callers and
+// the sweep cache key by), holds the canonical result per network, and is
+// bounded so ad-hoc throwaway graphs cannot grow it without limit.
+
+const derivedCap = 256
+
+// derived is one network's memoized analyses, filled lazily per field.
+type derived struct {
+	gradInfos map[*Tensor]*GradInfo
+	lastBwd   map[*Tensor]*Layer
+}
+
+var (
+	derivedMu    sync.Mutex
+	derivedMemo  = map[*Network]*derived{}
+	derivedOrder []*Network // FIFO eviction queue
+)
+
+// derivedOf returns (creating if needed) the network's memo slot. Called
+// with derivedMu held.
+func derivedOf(n *Network) *derived {
+	d := derivedMemo[n]
+	if d == nil {
+		if len(derivedMemo) >= derivedCap {
+			oldest := derivedOrder[0]
+			derivedOrder = derivedOrder[1:]
+			delete(derivedMemo, oldest)
+		}
+		d = &derived{}
+		derivedMemo[n] = d
+		derivedOrder = append(derivedOrder, n)
+	}
+	return d
+}
+
+// PurgeDerived drops the network's memoized analyses. Callers that evict a
+// network from their own memoization (the sweep engine's PurgeNetwork) use
+// it so a dead graph identity does not pin its analyses until FIFO eviction
+// reaches them.
+func PurgeDerived(n *Network) {
+	derivedMu.Lock()
+	defer derivedMu.Unlock()
+	if _, ok := derivedMemo[n]; !ok {
+		return
+	}
+	delete(derivedMemo, n)
+	for i, o := range derivedOrder {
+		if o == n {
+			derivedOrder = append(derivedOrder[:i], derivedOrder[i+1:]...)
+			break
+		}
+	}
+}

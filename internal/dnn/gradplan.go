@@ -2,6 +2,7 @@ package dnn
 
 import (
 	"fmt"
+	"maps"
 	"sort"
 )
 
@@ -50,7 +51,27 @@ func GradRoot(t *Tensor) *Tensor {
 // keyed by aliasing root. The network input has no gradient (frameworks skip
 // gradInput for the data layer), and the loss output has no gradient (the
 // loss layer's backward *generates* the seed, Equation 1).
+//
+// The analysis is memoized per network identity; the returned map is the
+// caller's to reshape (a fresh clone each call), but the *GradInfo values
+// are shared and must not be mutated.
 func GradientInfos(n *Network) map[*Tensor]*GradInfo {
+	derivedMu.Lock()
+	d := derivedOf(n)
+	infos := d.gradInfos
+	derivedMu.Unlock()
+	if infos == nil {
+		infos = computeGradientInfos(n)
+		derivedMu.Lock()
+		derivedOf(n).gradInfos = infos
+		derivedMu.Unlock()
+	}
+	return maps.Clone(infos)
+}
+
+// computeGradientInfos is the uncached liveness analysis behind
+// GradientInfos.
+func computeGradientInfos(n *Network) map[*Tensor]*GradInfo {
 	rev := func(l *Layer) int { return len(n.Layers) - 1 - l.ID }
 	infos := map[*Tensor]*GradInfo{}
 	for _, t := range n.Tensors {

@@ -59,8 +59,9 @@ func TestExperimentsShareCache(t *testing.T) {
 		t.Skip("full evaluation suite; skipped in -short mode")
 	}
 	s := NewSuiteSim(gpu.TitanX(), vdnn.NewSimulator(vdnn.WithParallelism(4)))
+	exps := s.Experiments()
 	var enqueued int
-	for _, e := range s.Experiments() {
+	for _, e := range exps {
 		enqueued += len(e.Jobs())
 		e.Gen()
 	}
@@ -68,6 +69,16 @@ func TestExperimentsShareCache(t *testing.T) {
 	if st.Simulations >= int64(enqueued) {
 		t.Errorf("simulations = %d of %d enqueued jobs: experiments are not sharing the cache",
 			st.Simulations, enqueued)
+	}
+	// The shared cache must actually be hit across the full evaluation — the
+	// suite's whole reason for one simulator per run.
+	if st.Hits == 0 {
+		t.Errorf("cache hits = 0 after a full suite run (stats %+v)", st)
+	}
+	// Every experiment's wall clock is attributable.
+	timings := s.Timings()
+	if len(timings.Rows) != len(exps) {
+		t.Errorf("timings table has %d rows, want one per experiment (%d)", len(timings.Rows), len(exps))
 	}
 	// Regenerating everything must be free.
 	before := st.Simulations

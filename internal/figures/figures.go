@@ -12,6 +12,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"vdnn"
 	"vdnn/internal/core"
@@ -36,8 +37,9 @@ type Suite struct {
 
 	sim *vdnn.Simulator
 
-	mu   sync.Mutex
-	nets map[string]*dnn.Network
+	mu      sync.Mutex
+	nets    map[string]*dnn.Network
+	timings map[string]time.Duration // wall clock of each experiment's last Gen
 }
 
 // NewSuite creates a Suite for the given device (use gpu.TitanX() for the
@@ -53,7 +55,8 @@ func NewSuite(spec gpu.Spec) *Suite {
 // network identity and each suite memoizes its own network instances —
 // reuse one Suite for warm-cache regeneration.
 func NewSuiteSim(spec gpu.Spec, sim *vdnn.Simulator) *Suite {
-	return &Suite{Spec: spec, sim: sim, nets: map[string]*dnn.Network{}}
+	return &Suite{Spec: spec, sim: sim, nets: map[string]*dnn.Network{},
+		timings: map[string]time.Duration{}}
 }
 
 // Simulator exposes the suite's simulator (for cache statistics).
@@ -72,8 +75,10 @@ type Experiment struct {
 }
 
 // Experiments lists every experiment in the order vdnn-repro prints them.
+// Each Gen records its wall clock in the suite (see Timings), so sweep-level
+// speedups are attributable to the experiments that earned them.
 func (s *Suite) Experiments() []Experiment {
-	return []Experiment{
+	exps := []Experiment{
 		{"fig1", s.fig1Jobs, s.Fig1},
 		{"fig4", s.fig1Jobs, s.Fig4}, // same simulation set as Figure 1
 		{"fig5", s.fig5Jobs, s.Fig5},
@@ -99,6 +104,47 @@ func (s *Suite) Experiments() []Experiment {
 		{"case-resnet", s.caseStudyResNetJobs, s.CaseStudyResNet},
 		{"case-plan", s.caseStudyPlannerJobs, s.CaseStudyPlanner},
 	}
+	for i := range exps {
+		name, gen := exps[i].Name, exps[i].Gen
+		exps[i].Gen = func() *report.Table {
+			start := time.Now()
+			t := gen()
+			s.mu.Lock()
+			s.timings[name] = time.Since(start)
+			s.mu.Unlock()
+			return t
+		}
+	}
+	return exps
+}
+
+// Timings reports the wall clock of every experiment generated so far (its
+// most recent Gen, including any simulations its priming triggered), in
+// experiment order, with the suite total and the simulator's cache counters
+// as a note. Timing lives in this separate table — never in the figure
+// tables themselves — so figure output stays byte-identical across runs and
+// parallelism levels.
+func (s *Suite) Timings() *report.Table {
+	s.mu.Lock()
+	timings := make(map[string]time.Duration, len(s.timings))
+	for k, v := range s.timings {
+		timings[k] = v
+	}
+	s.mu.Unlock()
+	t := report.NewTable("Wall clock per experiment", "experiment", "wall clock (ms)")
+	var total time.Duration
+	for _, e := range s.Experiments() {
+		d, ok := timings[e.Name]
+		if !ok {
+			continue
+		}
+		total += d
+		t.AddRow(e.Name, fmt.Sprintf("%.1f", float64(d.Microseconds())/1000))
+	}
+	st := s.sim.Stats()
+	t.AddNote("total %.1f ms; %d simulations (%d structures, %d priced), %d cache hits",
+		float64(total.Microseconds())/1000, st.Simulations, st.Structures, st.Priced, st.Hits)
+	return t
 }
 
 // Prime schedules a batch of simulations across the simulator's workers so

@@ -27,8 +27,9 @@ func (d *Device) MeasurePower(start, end sim.Time) PowerStats {
 		delta int // +1 op starts, -1 op ends
 		op    *sim.Op
 	}
-	var edges []edge
-	for _, o := range d.Ops() {
+	ops := d.Ops()
+	edges := make([]edge, 0, 2*len(ops))
+	for _, o := range ops {
 		if o.DurationT == 0 || o.End <= start || o.Start >= end {
 			continue
 		}
@@ -49,13 +50,29 @@ func (d *Device) MeasurePower(start, end sim.Time) PowerStats {
 	})
 
 	p := d.Spec.Power
-	active := map[*sim.Op]bool{}
+	// The active set is a slice kept sorted by op ID, not a map: the
+	// per-segment bandwidth sum below adds floats in iteration order, and map
+	// order would make the rounding — and so the reported watts — vary from
+	// run to run.
+	active := make([]*sim.Op, 0, 16)
+	add := func(o *sim.Op) {
+		i := sort.Search(len(active), func(i int) bool { return active[i].ID >= o.ID })
+		active = append(active, nil)
+		copy(active[i+1:], active[i:])
+		active[i] = o
+	}
+	remove := func(o *sim.Op) {
+		i := sort.Search(len(active), func(i int) bool { return active[i].ID >= o.ID })
+		if i < len(active) && active[i] == o {
+			active = append(active[:i], active[i+1:]...)
+		}
+	}
 	power := func() float64 {
 		w := p.IdleW
 		computeBusy := false
 		var dramBps float64
 		copies := 0
-		for o := range active {
+		for _, o := range active {
 			switch o.Kind {
 			case sim.OpKernel:
 				computeBusy = true
@@ -94,9 +111,9 @@ func (d *Device) MeasurePower(start, end sim.Time) PowerStats {
 		}
 		for i < len(edges) && edges[i].t == t {
 			if edges[i].delta > 0 {
-				active[edges[i].op] = true
+				add(edges[i].op)
 			} else {
-				delete(active, edges[i].op)
+				remove(edges[i].op)
 			}
 			i++
 		}

@@ -15,6 +15,11 @@ package memalloc
 type freeTree struct {
 	root *ftNode
 	rng  uint64
+
+	// freelist recycles removed nodes (linked through .left). Alloc/free
+	// churn removes and re-inserts spans constantly; reusing the nodes keeps
+	// the tree from hammering the heap on every simulated kernel launch.
+	freelist *ftNode
 }
 
 type ftNode struct {
@@ -106,7 +111,13 @@ func (t *freeTree) MaxSize() int64 {
 // Insert adds a span. Spans are disjoint; inserting an existing address is an
 // allocator bug.
 func (t *freeTree) Insert(addr, size int64) {
-	x := &ftNode{addr: addr, size: size, prio: t.next()}
+	x := t.freelist
+	if x != nil {
+		t.freelist = x.left
+		*x = ftNode{addr: addr, size: size, prio: t.next()}
+	} else {
+		x = &ftNode{addr: addr, size: size, prio: t.next()}
+	}
 	t.root = insertNode(t.root, x)
 }
 
@@ -134,22 +145,26 @@ func insertNode(n, x *ftNode) *ftNode {
 	return n
 }
 
-// Remove deletes the span at addr. The address must exist.
+// Remove deletes the span at addr. The address must exist. The removed node
+// goes to the freelist for reuse by a later Insert.
 func (t *freeTree) Remove(addr int64) {
-	t.root = removeNode(t.root, addr)
+	t.root = t.removeNode(t.root, addr)
 }
 
-func removeNode(n *ftNode, addr int64) *ftNode {
+func (t *freeTree) removeNode(n *ftNode, addr int64) *ftNode {
 	if n == nil {
 		panic("memalloc: removing unknown free span")
 	}
 	switch {
 	case addr < n.addr:
-		n.left = removeNode(n.left, addr)
+		n.left = t.removeNode(n.left, addr)
 	case addr > n.addr:
-		n.right = removeNode(n.right, addr)
+		n.right = t.removeNode(n.right, addr)
 	default:
-		return mergeNodes(n.left, n.right)
+		merged := mergeNodes(n.left, n.right)
+		n.left, n.right = t.freelist, nil
+		t.freelist = n
+		return merged
 	}
 	n.update()
 	return n

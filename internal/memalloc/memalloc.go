@@ -18,7 +18,6 @@
 package memalloc
 
 import (
-	"container/heap"
 	"fmt"
 	"sort"
 
@@ -63,6 +62,7 @@ type Block struct {
 	Kind       Kind
 	Label      string
 	freed      bool
+	seq        int32 // registration index in the pool's trace, if recording
 }
 
 // OOMError reports an allocation failure: the request, what was in use, and
@@ -92,17 +92,48 @@ type pendingFree struct {
 	b *Block
 }
 
+// freeHeap is a binary min-heap on time. It hand-rolls push/pop with the
+// exact sift arithmetic of container/heap — same comparisons, same swaps, so
+// the pop order of equal timestamps is unchanged — because the interface
+// boxing of heap.Push allocated on every scheduled free, squarely on the
+// simulation hot path.
 type freeHeap []pendingFree
 
-func (h freeHeap) Len() int            { return len(h) }
-func (h freeHeap) Less(i, j int) bool  { return h[i].t < h[j].t }
-func (h freeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *freeHeap) Push(x interface{}) { *h = append(*h, x.(pendingFree)) }
-func (h *freeHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
+func (h *freeHeap) push(pf pendingFree) {
+	*h = append(*h, pf)
+	// Sift up.
+	s := *h
+	for j := len(s) - 1; ; {
+		i := (j - 1) / 2
+		if i == j || !(s[j].t < s[i].t) {
+			break
+		}
+		s[i], s[j] = s[j], s[i]
+		j = i
+	}
+}
+
+func (h *freeHeap) pop() pendingFree {
+	s := *h
+	n := len(s) - 1
+	s[0], s[n] = s[n], s[0]
+	// Sift down over s[:n].
+	for i := 0; ; {
+		j := 2*i + 1
+		if j >= n {
+			break
+		}
+		if j2 := j + 1; j2 < n && s[j2].t < s[j].t {
+			j = j2
+		}
+		if !(s[j].t < s[i].t) {
+			break
+		}
+		s[i], s[j] = s[j], s[i]
+		i = j
+	}
+	x := s[n]
+	*h = s[:n]
 	return x
 }
 
@@ -148,6 +179,26 @@ type Pool struct {
 	peak       int64
 	peakTime   sim.Time
 	peakByKind [numKinds]int64
+
+	// trace, when non-nil, records every Alloc/Free/Flush for differential
+	// replay (see trace.go). metricsOff suppresses the usage timeline for
+	// replay pools, whose only output is the success/failure verdict.
+	trace      *Trace
+	metricsOff bool
+
+	// blockArena batches Block allocations in chunks. A full chunk is simply
+	// replaced — outstanding *Block pointers keep the old chunk alive.
+	blockArena []Block
+}
+
+const blockArenaChunk = 128
+
+func (p *Pool) newBlock(addr, size int64, kind Kind, label string) *Block {
+	if len(p.blockArena) == cap(p.blockArena) {
+		p.blockArena = make([]Block, 0, blockArenaChunk)
+	}
+	p.blockArena = append(p.blockArena, Block{Addr: addr, Size: size, Kind: kind, Label: label})
+	return &p.blockArena[len(p.blockArena)-1]
 }
 
 // New creates a pool of the given capacity. Allocations are rounded up to
@@ -186,7 +237,7 @@ func (p *Pool) roundUp(n int64) int64 {
 // applyPending applies all scheduled frees with time <= t, in time order.
 func (p *Pool) applyPending(t sim.Time) {
 	for len(p.pending) > 0 && p.pending[0].t <= t {
-		pf := heap.Pop(&p.pending).(pendingFree)
+		pf := p.pending.pop()
 		p.release(pf.b, pf.t)
 	}
 }
@@ -214,7 +265,7 @@ func (p *Pool) Alloc(t sim.Time, size int64, kind Kind, label string) (*Block, e
 		if cached := p.bins[n]; len(cached) > 0 {
 			sp := cached[len(cached)-1]
 			p.bins[n] = cached[:len(cached)-1]
-			b = &Block{Addr: sp.addr, Size: n, Kind: kind, Label: label}
+			b = p.newBlock(sp.addr, n, kind, label)
 		}
 	}
 	for b == nil {
@@ -237,12 +288,12 @@ func (p *Pool) Alloc(t sim.Time, size int64, kind Kind, label string) (*Block, e
 		}
 		p.free.Remove(addr)
 		if big {
-			b = &Block{Addr: addr + size - n, Kind: kind, Label: label, Size: n}
+			b = p.newBlock(addr+size-n, n, kind, label)
 			if size > n {
 				p.free.Insert(addr, size-n)
 			}
 		} else {
-			b = &Block{Addr: addr, Size: n, Kind: kind, Label: label}
+			b = p.newBlock(addr, n, kind, label)
 			if size > n {
 				p.free.Insert(addr+n, size-n)
 			}
@@ -250,11 +301,16 @@ func (p *Pool) Alloc(t sim.Time, size int64, kind Kind, label string) (*Block, e
 	}
 	p.used += n
 	p.byKind[kind] += n
-	p.events = append(p.events, usageEvent{t, n, kind, label})
+	if !p.metricsOff {
+		p.events = append(p.events, usageEvent{t, n, kind, label})
+	}
 	if p.used > p.peak {
 		p.peak = p.used
 		p.peakTime = t
 		p.peakByKind = p.byKind
+	}
+	if p.trace != nil {
+		p.trace.recordAlloc(b, t, size, kind, label)
 	}
 	return b, nil
 }
@@ -271,11 +327,14 @@ func (p *Pool) Free(b *Block, t sim.Time) {
 		panic(fmt.Sprintf("memalloc: double free of %q", b.Label))
 	}
 	b.freed = true
+	if p.trace != nil {
+		p.trace.recordFree(b, t)
+	}
 	if t <= p.lastTime {
 		p.release(b, t)
 		return
 	}
-	heap.Push(&p.pending, pendingFree{t, b})
+	p.pending.push(pendingFree{t, b})
 }
 
 // flushBins returns every cached hole to the coalescing freelist. Reports
@@ -298,7 +357,9 @@ func (p *Pool) flushBins() bool {
 func (p *Pool) release(b *Block, t sim.Time) {
 	p.used -= b.Size
 	p.byKind[b.Kind] -= b.Size
-	p.events = append(p.events, usageEvent{t, -b.Size, b.Kind, b.Label})
+	if !p.metricsOff {
+		p.events = append(p.events, usageEvent{t, -b.Size, b.Kind, b.Label})
+	}
 	if b.Kind == KindFeatureMap && b.Size >= bigBlockThreshold {
 		p.bins[b.Size] = append(p.bins[b.Size], span{b.Addr, b.Size})
 		return
@@ -323,6 +384,9 @@ func (p *Pool) insertFree(sp span) {
 
 // Flush applies every scheduled free with time <= t.
 func (p *Pool) Flush(t sim.Time) {
+	if p.trace != nil {
+		p.trace.recordFlush(t)
+	}
 	if t > p.lastTime {
 		p.lastTime = t
 	}

@@ -1,0 +1,101 @@
+package memalloc
+
+import "vdnn/internal/sim"
+
+// Allocation-trace recording for differential sweep evaluation.
+//
+// The executor's allocator call sequence — every Alloc, Free and Flush, with
+// their simulated timestamps — is a pure function of the configuration's
+// *structure* (network, policy, algorithms, schedule), never of the pool's
+// capacity, as long as every allocation succeeds: capacity feeds back into
+// the simulation only through allocation failure (and through LargestFree,
+// which only greedy algorithm selection consults). A trace recorded against
+// an effectively infinite pool can therefore be replayed against any real
+// capacity, and the replay's first failure is byte-for-byte the failure the
+// full simulation would have hit — while a clean replay proves the full
+// simulation would have succeeded with an identical timeline. That
+// equivalence is what lets the sweep engine price a capacity/batch sweep
+// point with one allocator replay instead of a whole re-simulation.
+
+type traceKind uint8
+
+const (
+	traceAlloc traceKind = iota
+	traceFree
+	traceFlush
+)
+
+// traceOp is one recorded pool call. For traceAlloc, ref is the index the
+// resulting block is registered under and size is the *unrounded* request;
+// for traceFree, ref names the block being freed.
+type traceOp struct {
+	op    traceKind
+	kind  Kind
+	t     sim.Time
+	size  int64
+	ref   int32
+	label string
+}
+
+// Trace is a recorded allocator call sequence.
+type Trace struct {
+	ops    []traceOp
+	blocks int32
+}
+
+// Len returns the number of recorded calls.
+func (tr *Trace) Len() int { return len(tr.ops) }
+
+// NewTraced creates a pool that records every Alloc, Free and Flush into tr
+// in call order. The recorded sequence can be replayed against a different
+// capacity with Replay.
+func NewTraced(capacity int64, tr *Trace) *Pool {
+	p := New(capacity)
+	p.trace = tr
+	return p
+}
+
+func (tr *Trace) recordAlloc(b *Block, t sim.Time, size int64, kind Kind, label string) {
+	b.seq = tr.blocks
+	tr.blocks++
+	tr.ops = append(tr.ops, traceOp{op: traceAlloc, kind: kind, t: t, size: size, ref: b.seq, label: label})
+}
+
+func (tr *Trace) recordFree(b *Block, t sim.Time) {
+	tr.ops = append(tr.ops, traceOp{op: traceFree, t: t, ref: b.seq})
+}
+
+func (tr *Trace) recordFlush(t sim.Time) {
+	tr.ops = append(tr.ops, traceOp{op: traceFlush, t: t})
+}
+
+// Replay re-executes the recorded call sequence against a fresh pool of the
+// given capacity and returns the first allocation failure, or nil if every
+// call succeeds. Because the pool is a deterministic function of its call
+// sequence, a nil return proves a full simulation at this capacity would
+// make exactly these calls and succeed; a non-nil return is the *OOMError
+// that simulation's first failing allocation would produce.
+func (tr *Trace) Replay(capacity int64) error {
+	if capacity <= 0 {
+		return &OOMError{Need: 1, Capacity: capacity}
+	}
+	p := New(capacity)
+	p.metricsOff = true // the verdict needs no usage timeline
+	blocks := make([]*Block, tr.blocks)
+	for i := range tr.ops {
+		o := &tr.ops[i]
+		switch o.op {
+		case traceAlloc:
+			b, err := p.Alloc(o.t, o.size, o.kind, o.label)
+			if err != nil {
+				return err
+			}
+			blocks[o.ref] = b
+		case traceFree:
+			p.Free(blocks[o.ref], o.t)
+		case traceFlush:
+			p.Flush(o.t)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,73 @@
+// Package perf is the profiling harness behind the engine's performance
+// work: a thin wrapper over runtime/pprof that captures CPU and heap
+// profiles around a workload. The CLIs' -cpuprofile/-memprofile flags and
+// the profiling test in this package (which pins the capture path against
+// bit-rot and doubles as the canonical "profile a sweep" recipe) share it.
+//
+// Workflow, end to end:
+//
+//	go test -run TestProfileSweepWorkload -v ./internal/perf   # profiles under $VDNN_PROFILE_DIR
+//	vdnn-repro -cpuprofile cpu.pprof -memprofile mem.pprof
+//	go tool pprof -top cpu.pprof
+//	go tool pprof -sample_index=alloc_space -top mem.pprof
+//
+// The heap profile is written after a forced GC, so it shows the live set
+// plus cumulative allocation counters (alloc_space is the view that drove
+// the arena/presizing work in internal/core and internal/sim).
+package perf
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Session is one in-progress capture. Start it before the workload and Stop
+// it after; an empty path disables the corresponding profile.
+type Session struct {
+	cpuFile *os.File
+	memPath string
+}
+
+// Start opens the profile outputs and begins CPU sampling. Either path may
+// be empty to skip that profile; Start("", "") returns a no-op session.
+func Start(cpuPath, memPath string) (*Session, error) {
+	s := &Session{memPath: memPath}
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("perf: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("perf: start cpu profile: %w", err)
+		}
+		s.cpuFile = f
+	}
+	return s, nil
+}
+
+// Stop ends the session: stops CPU sampling and writes the heap profile.
+// Safe to call on a no-op session; not safe to call twice.
+func (s *Session) Stop() error {
+	if s.cpuFile != nil {
+		pprof.StopCPUProfile()
+		if err := s.cpuFile.Close(); err != nil {
+			return fmt.Errorf("perf: %w", err)
+		}
+		s.cpuFile = nil
+	}
+	if s.memPath != "" {
+		f, err := os.Create(s.memPath)
+		if err != nil {
+			return fmt.Errorf("perf: %w", err)
+		}
+		defer f.Close()
+		runtime.GC() // the profile should show the live set, not the last iteration's garbage
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return fmt.Errorf("perf: write heap profile: %w", err)
+		}
+	}
+	return nil
+}

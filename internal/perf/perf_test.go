@@ -1,0 +1,84 @@
+package perf_test
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"vdnn/internal/core"
+	"vdnn/internal/gpu"
+	"vdnn/internal/networks"
+	"vdnn/internal/perf"
+	"vdnn/internal/sweep"
+)
+
+// TestProfileSweepWorkload is the harness's own evidence loop: capture CPU
+// and heap profiles of a representative sweep (a capacity ablation over the
+// policy grid — the figures' hot path) and check both profiles came out
+// non-empty and well-formed. Set VDNN_PROFILE_DIR to keep the profiles for
+// `go tool pprof` instead of a test tempdir:
+//
+//	VDNN_PROFILE_DIR=/tmp go test -run TestProfileSweepWorkload ./internal/perf
+//	go tool pprof -top /tmp/cpu.pprof
+func TestProfileSweepWorkload(t *testing.T) {
+	dir := os.Getenv("VDNN_PROFILE_DIR")
+	if dir == "" {
+		dir = t.TempDir()
+	}
+	cpuPath := filepath.Join(dir, "cpu.pprof")
+	memPath := filepath.Join(dir, "mem.pprof")
+
+	s, err := perf.Start(cpuPath, memPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	net := networks.AlexNet(128)
+	var jobs []sweep.Job
+	for _, memGB := range []int64{2, 4, 6, 8, 12} {
+		spec := gpu.TitanX().WithMemory(memGB << 30)
+		for _, pa := range []struct {
+			p core.Policy
+			a core.AlgoMode
+		}{
+			{core.Baseline, core.PerfOptimal},
+			{core.VDNNAll, core.MemOptimal},
+			{core.VDNNConv, core.PerfOptimal},
+		} {
+			jobs = append(jobs, sweep.Job{Net: net, Cfg: core.Config{Spec: spec, Policy: pa.p, Algo: pa.a}})
+		}
+	}
+	if _, err := sweep.NewEngine(2).RunAll(context.Background(), jobs); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := s.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpuPath, memPath} {
+		b, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(b) == 0 {
+			t.Errorf("%s: empty profile", p)
+		}
+		// pprof files are gzip-compressed protobufs.
+		if len(b) >= 2 && (b[0] != 0x1f || b[1] != 0x8b) {
+			t.Errorf("%s: not a gzip-compressed profile (magic %x %x)", p, b[0], b[1])
+		}
+	}
+}
+
+// TestNoopSession checks the disabled path the CLIs take when neither flag
+// is set.
+func TestNoopSession(t *testing.T) {
+	s, err := perf.Start("", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Stop(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -218,6 +218,7 @@ func (tl *Timeline) IssueTransfer(o *Op, s *Stream, e *Engine, c *SharedChannel,
 // dependencies, engine availability and the host's issue time, recording the
 // dependency edges on the op.
 func (tl *Timeline) startTime(o *Op, s *Stream, e *Engine, deps []*Op) Time {
+	o.deps = o.depbuf[:0]
 	start := tl.host
 	if s.last != nil {
 		o.deps = append(o.deps, s.last)

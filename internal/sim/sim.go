@@ -88,7 +88,8 @@ type Op struct {
 	Start Time
 	End   Time
 
-	deps []*Op
+	deps   []*Op
+	depbuf [4]*Op // inline storage for deps: nearly every op has ≤4 (stream order + a few events)
 }
 
 // Deps returns the ops this op waited on (program order and events).

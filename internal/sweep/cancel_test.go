@@ -153,7 +153,11 @@ func TestWaiterCancelKeepsSharedRun(t *testing.T) {
 // and matching the context error, and jobs never dispatched must not have
 // been simulated.
 func TestRunAllCancelMidBatch(t *testing.T) {
-	eng := NewEngine(2)
+	// One worker: while the spin job holds it, jobs 1..15 are provably
+	// undispatched at cancel time. (With more workers the others could drain
+	// the whole queue before cancel lands — differential pricing makes the
+	// non-spinning jobs nearly free.)
+	eng := NewEngine(1)
 	net := networks.AlexNet(32)
 	pol := &spinPolicy{namedPolicy: namedPolicy{name: "batch-spin"}, started: make(chan struct{})}
 	jobs := make([]Job, 16)

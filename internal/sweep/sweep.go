@@ -10,22 +10,35 @@
 //     configuration is simulated exactly once no matter how many figures or
 //     requests reference it — optionally bounded, with FIFO eviction,
 //   - singleflight deduplication: concurrent requests for one key coalesce
-//     onto the in-flight simulation instead of repeating it, and
+//     onto the in-flight simulation instead of repeating it,
 //   - context-aware scheduling: callers abandon waits on cancellation, and a
-//     batch stops dispatching new simulations once its context is done.
+//     batch stops dispatching new simulations once its context is done, and
+//   - differential evaluation: sweep points that share a capacity-independent
+//     structure (core.StructureShaped) are simulated once at oracle capacity
+//     and re-priced at each real capacity by replaying the recorded allocator
+//     trace — the same Results, a fraction of the work.
+//
+// The cache is sharded by key hash so concurrent hits on distinct keys do not
+// contend on one mutex; eviction bookkeeping stays global (FIFO order across
+// shards) and is touched only on the miss path, where the simulation about to
+// run dwarfs it.
 //
 // Determinism guarantee: RunAll returns results in job order and each
 // simulation is a pure function of its (network, configuration) inputs, so
 // the result set — and any report formatted from it — is byte-identical
-// whether the engine runs with 1 worker or N.
+// whether the engine runs with 1 worker or N, and whether a result was
+// simulated in full or priced from a shared structure (the differential path
+// is exact, enforced by this package's equivalence tests).
 package sweep
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"hash/maphash"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"vdnn/internal/core"
 	"vdnn/internal/dnn"
@@ -59,49 +72,102 @@ func keyOf(net *dnn.Network, cfg core.Config) key {
 	return k
 }
 
-// entry is one cache slot. done is closed when res/err are final, which is
-// what lets concurrent requests for the same key wait on the first without
-// holding the engine lock.
+// oracleMemSentinel is the device-memory value substituted into every
+// structure key. A structure is capacity-independent by construction, so
+// every capacity ablation of one configuration normalizes to a single
+// structure entry; the sentinel is just "a capacity", chosen absurdly large
+// so a colliding genuine user request (an Oracle simulation of a 1 TiB
+// device) is served the exact result it would have computed anyway.
+const oracleMemSentinel = 1 << 40
+
+// structureKey normalizes a structure-shaped key to its capacity-independent
+// form: the oracle simulation at the sentinel capacity. Every sweep point
+// differing only in MemBytes/ReservedBytes/Oracle maps to the same structure
+// entry. Idempotent: structureKey(structureKey(k)) == structureKey(k).
+func structureKey(k key) key {
+	k.cfg.Oracle = true
+	k.cfg.Spec.MemBytes = oracleMemSentinel
+	k.cfg.Spec.ReservedBytes = 0
+	return k
+}
+
+// entry is one cache slot — a completed or in-flight computation of one key.
+// done is closed when res/err are final, which is what lets concurrent
+// requests for the same key wait on the first without holding any lock.
 //
-// refs counts the callers interested in the in-flight simulation — the
-// initiator plus every coalesced waiter (guarded by the engine mutex). A
-// caller abandoning its wait drops its reference; when the last reference is
-// dropped the simulation's own context is canceled, so work nobody is
-// waiting for stops at the next layer boundary instead of burning a full
-// simulation. One surviving waiter keeps the simulation alive for everyone.
+// structure is set on structure-key entries: the capacity-independent stage
+// shared by every sweep point that normalizes to this key (res then aliases
+// structure.Res, the oracle result).
+//
+// refs counts the callers interested in the in-flight computation — the
+// initiator plus every coalesced waiter (guarded by the owning shard's
+// mutex). A caller abandoning its wait drops its reference; when the last
+// reference is dropped the computation's own context is canceled, so work
+// nobody is waiting for stops at the next layer boundary instead of burning
+// a full simulation. One surviving waiter keeps the computation alive for
+// everyone.
 type entry struct {
-	done   chan struct{}
-	res    *core.Result
-	err    error
-	refs   int
-	cancel context.CancelFunc
+	done      chan struct{}
+	res       *core.Result
+	err       error
+	structure *core.Structure
+	refs      int
+	cancel    context.CancelFunc
 }
 
 // Stats counts the engine's cache behavior (test, reporting and /v1/stats
 // aid).
 type Stats struct {
-	// Simulations is the number of core.Run invocations actually performed.
+	// Simulations is the number of top-level requests that were computed
+	// rather than served from the cache — each holds a worker slot and
+	// counts once whether it ran a full simulation or was priced from a
+	// shared structure.
 	Simulations int64 `json:"simulations"`
+	// Structures is the number of capacity-independent structure builds —
+	// full simulations recorded for differential re-pricing (usually a
+	// configuration's first sweep point, simulated at its own capacity;
+	// oracle-capacity builds when that first point is untrainable or the
+	// request itself is an oracle run).
+	Structures int64 `json:"structures"`
+	// Priced is the number of results produced by replaying a structure's
+	// allocator trace instead of running a full simulation — the work the
+	// differential path avoided.
+	Priced int64 `json:"priced"`
 	// Hits is the number of requests served from a completed cache entry.
 	Hits int64 `json:"hits"`
 	// Coalesced is the number of requests folded onto another request of the
-	// same key instead of starting their own simulation: duplicates within a
-	// RunAll batch, plus Run calls that waited on an in-flight simulation.
+	// same key instead of starting their own computation: duplicates within
+	// a RunAll batch, plus requests that waited on an in-flight entry.
 	Coalesced int64 `json:"coalesced"`
 	// Evictions is the number of completed entries dropped to honor the
 	// cache bound.
 	Evictions int64 `json:"evictions"`
-	// Canceled is the number of simulations aborted mid-flight because every
-	// caller waiting on them went away.
+	// Canceled is the number of computations aborted mid-flight because
+	// every caller waiting on them went away.
 	Canceled int64 `json:"canceled"`
 }
 
+// nShards is the cache partition count. Shard selection hashes the full key,
+// so concurrent lookups of distinct keys — the RunAll hot path — contend on
+// a shard mutex 1/nShards as often as on a single cache lock. Sixteen covers
+// any worker count this engine is configured with; a larger fan-out buys
+// nothing once shards outnumber workers.
+const nShards = 16
+
+// shard is one cache partition: a mutex and the entries whose key hashes
+// here. Entry refcounts are guarded by the owning shard's mutex.
+type shard struct {
+	mu    sync.Mutex
+	cache map[key]*entry
+}
+
 // Engine schedules simulations over a bounded worker pool with a shared,
-// deduplicated result cache. The zero value is not usable; use NewEngine.
+// deduplicated, sharded result cache. The zero value is not usable; use
+// NewEngine.
 type Engine struct {
 	workers    int
 	maxEntries int
-	sem        chan struct{} // worker slots; every simulation holds one
+	sem        chan struct{} // worker slots; every top-level computation holds one
 
 	// hook, when set, is called at the fault-injection points of the worker
 	// loop (SetChaosHook). A returned error fails the simulation without
@@ -109,11 +175,35 @@ type Engine struct {
 	// failures are transient, so they are never retained in the cache.
 	hook func(point string) error
 
-	mu    sync.Mutex
-	cache map[key]*entry
+	// fullSim disables differential evaluation: every computation takes the
+	// full-simulation path. Reference mode for equivalence tests and the
+	// speedup benchmarks (SetFullSimulation).
+	fullSim bool
+
+	seed   maphash.Seed
+	shards [nShards]shard
+	count  atomic.Int64 // live entries across all shards
+
+	// Eviction bookkeeping, bounded caches only. evmu is acquired before any
+	// shard mutex (never the other way around) and only on the miss path —
+	// claiming a key — where the simulation about to run dwarfs it.
+	evmu  sync.Mutex
 	order []key // eviction queue; order[head:] is live, oldest first
 	head  int
-	stats Stats
+
+	stats engineStats
+}
+
+// engineStats is the engine's internal counter block: atomics, so the hit
+// path touches no lock beyond its shard's.
+type engineStats struct {
+	simulations atomic.Int64
+	structures  atomic.Int64
+	priced      atomic.Int64
+	hits        atomic.Int64
+	coalesced   atomic.Int64
+	evictions   atomic.Int64
+	canceled    atomic.Int64
 }
 
 // NewEngine creates an engine running at most workers simulations
@@ -124,7 +214,7 @@ func NewEngine(workers int) *Engine { return NewEngineCache(workers, 0) }
 
 // NewEngineCache creates an engine whose result cache holds at most
 // maxEntries completed results (0 = unbounded). When full, the oldest
-// completed entries are evicted first; in-flight simulations are never
+// completed entries are evicted first; in-flight computations are never
 // evicted. Bounding the cache trades repeat-hit latency for memory — a
 // long-lived serving process wants a bound, a one-shot evaluation does not.
 func NewEngineCache(workers, maxEntries int) *Engine {
@@ -134,88 +224,123 @@ func NewEngineCache(workers, maxEntries int) *Engine {
 	if maxEntries < 0 {
 		maxEntries = 0
 	}
-	return &Engine{
+	e := &Engine{
 		workers:    workers,
 		maxEntries: maxEntries,
 		sem:        make(chan struct{}, workers),
-		cache:      map[key]*entry{},
+		seed:       maphash.MakeSeed(),
 	}
+	for i := range e.shards {
+		e.shards[i].cache = map[key]*entry{}
+	}
+	return e
+}
+
+// shardOf maps a key to its cache partition.
+func (e *Engine) shardOf(k key) *shard {
+	return &e.shards[maphash.Comparable(e.seed, k)%nShards]
 }
 
 // Workers returns the configured parallelism.
 func (e *Engine) Workers() int { return e.workers }
 
-// SetChaosHook installs a fault-injection hook called once per simulation
-// attempt, just before the simulation runs (point "simulate"). A non-nil
-// return fails the attempt with that error; a panic is recovered by the
-// engine's panic isolation and becomes a shared error. Pass nil to remove.
-// Set it before the engine serves traffic — it is read without locking on
-// the hot path.
+// SetChaosHook installs a fault-injection hook called once per top-level
+// simulation attempt, just before the computation runs (point "simulate").
+// A non-nil return fails the attempt with that error; a panic is recovered
+// by the engine's panic isolation and becomes a shared error. Pass nil to
+// remove. Set it before the engine serves traffic — it is read without
+// locking on the hot path.
 func (e *Engine) SetChaosHook(h func(point string) error) { e.hook = h }
 
 // CacheBound returns the configured cache capacity (0 = unbounded).
 func (e *Engine) CacheBound() int { return e.maxEntries }
 
+// SetFullSimulation, when on, disables differential evaluation: every
+// computation runs the complete simulation even when a shared structure could
+// have priced it. Results are identical either way (that equivalence is
+// tested); full mode is the reference the differential path is measured and
+// verified against. Set it before the engine serves traffic — it is read
+// without locking on the hot path.
+func (e *Engine) SetFullSimulation(on bool) { e.fullSim = on }
+
 // Stats returns a snapshot of the cache counters.
 func (e *Engine) Stats() Stats {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.stats
+	return Stats{
+		Simulations: e.stats.simulations.Load(),
+		Structures:  e.stats.structures.Load(),
+		Priced:      e.stats.priced.Load(),
+		Hits:        e.stats.hits.Load(),
+		Coalesced:   e.stats.coalesced.Load(),
+		Evictions:   e.stats.evictions.Load(),
+		Canceled:    e.stats.canceled.Load(),
+	}
 }
 
 // PurgeNetwork drops every cached result keyed by the given network
-// instance. Callers that evict a network from their own memoization use it
-// so results keyed by the dead identity — unreachable by any future request
-// — do not pin the graph forever in an unbounded cache. An in-flight entry
-// finishes normally for its waiters and is then deleted asynchronously.
+// instance — structure entries included — along with the network's memoized
+// derived data in package dnn. Callers that evict a network from their own
+// memoization use it so results keyed by the dead identity — unreachable by
+// any future request — do not pin the graph forever in an unbounded cache.
+// An in-flight entry finishes normally for its waiters and is then deleted
+// asynchronously.
 func (e *Engine) PurgeNetwork(net *dnn.Network) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	for k, ent := range e.cache {
-		if k.net != net {
-			continue
+	for i := range e.shards {
+		sh := &e.shards[i]
+		sh.mu.Lock()
+		for k, ent := range sh.cache {
+			if k.net != net {
+				continue
+			}
+			select {
+			case <-ent.done:
+				delete(sh.cache, k)
+				e.count.Add(-1)
+				e.stats.evictions.Add(1)
+			default:
+				// Still running: collect it once it completes, or the
+				// dead-keyed result would survive forever in an unbounded
+				// cache.
+				go func(sh *shard, k key, ent *entry) {
+					<-ent.done
+					sh.mu.Lock()
+					if sh.cache[k] == ent {
+						delete(sh.cache, k)
+						e.count.Add(-1)
+						e.stats.evictions.Add(1)
+					}
+					sh.mu.Unlock()
+				}(sh, k, ent)
+			}
 		}
-		select {
-		case <-ent.done:
-			delete(e.cache, k)
-			e.stats.Evictions++
-		default:
-			// Still running: collect it once it completes, or the dead-keyed
-			// result would survive forever in an unbounded cache.
-			go func(k key, ent *entry) {
-				<-ent.done
-				e.mu.Lock()
-				if e.cache[k] == ent {
-					delete(e.cache, k)
-					e.stats.Evictions++
-				}
-				e.mu.Unlock()
-			}(k, ent)
-		}
+		sh.mu.Unlock()
 	}
+	dnn.PurgeDerived(net)
 }
 
 // evictLocked drops oldest completed entries until the cache fits the bound
-// again (leaving room for one insertion). Called with e.mu held. The common
-// case — the oldest entry has completed — is an O(1) head advance; the
-// splice only runs when the head entry is still in flight (transient).
+// again (leaving room for one insertion). Called with e.evmu held and no
+// shard mutex held. The common case — the oldest entry has completed — is an
+// O(1) head advance; the splice only runs when the head entry is still in
+// flight (transient).
 func (e *Engine) evictLocked() {
-	if e.maxEntries <= 0 {
-		return
-	}
-	for len(e.cache) >= e.maxEntries {
+	for int(e.count.Load()) >= e.maxEntries {
 		evicted := false
 		for i := e.head; i < len(e.order); i++ {
 			k := e.order[i]
-			if ent, ok := e.cache[k]; ok {
+			sh := e.shardOf(k)
+			sh.mu.Lock()
+			if ent, ok := sh.cache[k]; ok {
 				select {
 				case <-ent.done:
 				default:
+					sh.mu.Unlock()
 					continue // in-flight: never evict
 				}
-				delete(e.cache, k)
-				e.stats.Evictions++
+				delete(sh.cache, k)
+				e.count.Add(-1)
+				e.stats.evictions.Add(1)
 			}
+			sh.mu.Unlock()
 			if i == e.head {
 				e.order[i] = key{} // release references
 				e.head++
@@ -238,11 +363,34 @@ func (e *Engine) evictLocked() {
 	}
 }
 
+// claim inserts ent as the in-flight entry for k, evicting first when the
+// cache is bounded. Returns false when another caller claimed the key in the
+// window since the caller's lookup — coalesce onto theirs.
+func (e *Engine) claim(sh *shard, k key, ent *entry) bool {
+	if e.maxEntries > 0 {
+		e.evmu.Lock()
+		defer e.evmu.Unlock()
+		e.evictLocked()
+	}
+	sh.mu.Lock()
+	if _, ok := sh.cache[k]; ok {
+		sh.mu.Unlock()
+		return false
+	}
+	sh.cache[k] = ent
+	e.count.Add(1)
+	sh.mu.Unlock()
+	if e.maxEntries > 0 {
+		e.order = append(e.order, k) // eviction order; unused when unbounded
+	}
+	return true
+}
+
 // dropRef releases one caller's interest in an in-flight entry; the last
-// drop cancels the simulation's context so abandoned work stops at the next
+// drop cancels the computation's context so abandoned work stops at the next
 // layer boundary.
-func (e *Engine) dropRef(ent *entry) {
-	e.mu.Lock()
+func (e *Engine) dropRef(sh *shard, ent *entry) {
+	sh.mu.Lock()
 	ent.refs--
 	last := ent.refs <= 0
 	if last {
@@ -250,44 +398,45 @@ func (e *Engine) dropRef(ent *entry) {
 		case <-ent.done:
 			last = false // already finished; nothing to abort
 		default:
-			e.stats.Canceled++
+			e.stats.canceled.Add(1)
 		}
 	}
-	e.mu.Unlock()
+	sh.mu.Unlock()
 	if last {
 		ent.cancel()
 	}
 }
 
 // uncache removes a completed entry that must not serve future requests —
-// errored simulations: cancellations and injected faults are transient, and
+// errored computations: cancellations and injected faults are transient, and
 // caching a panic or validation error would pin a one-off failure onto a key
 // forever. Waiters already parked on the entry still share its error; only
-// later requests re-simulate.
-func (e *Engine) uncache(k key, ent *entry) {
-	e.mu.Lock()
-	if e.cache[k] == ent {
-		delete(e.cache, k)
+// later requests re-compute.
+func (e *Engine) uncache(sh *shard, k key, ent *entry) {
+	sh.mu.Lock()
+	if sh.cache[k] == ent {
+		delete(sh.cache, k)
+		e.count.Add(-1)
 	}
-	e.mu.Unlock()
+	sh.mu.Unlock()
 }
 
 // Run simulates one job, serving it from the cache when an identical job has
-// already run (or is running). Safe for concurrent use. Every actual
-// simulation holds one of the engine's worker slots, so single-Run callers
+// already run (or is running). Safe for concurrent use. Every top-level
+// computation holds one of the engine's worker slots, so single-Run callers
 // (the HTTP daemon's simulate endpoint, many goroutines deep) are bounded by
 // the configured parallelism exactly like RunAll batches. (The bound counts
-// top-level simulations: the dynamic policy's profiler speculatively runs up
-// to three candidate passes inside its one slot — a deliberate, fixed-factor
-// overshoot documented in core/dynamic.go; candidates cannot take engine
-// slots of their own without risking nested-acquire deadlock.)
+// top-level computations: structure builds and a profiling policy's
+// candidate simulations run nested inside their initiator's slot — a
+// deliberate, fixed-factor overshoot; nested work cannot take engine slots
+// of its own without risking nested-acquire deadlock.)
 //
 // Cancellation: a canceled context abandons the wait immediately, and the
-// in-flight simulation is reference-counted — it keeps running while any
+// in-flight computation is reference-counted — it keeps running while any
 // other caller still waits on it and is itself canceled (mid-flight, at the
 // next layer boundary) when the last waiter goes away. Errored results,
 // cancellations included, are never retained in the cache: a fresh request
-// for the same key re-simulates.
+// for the same key re-computes.
 func (e *Engine) Run(ctx context.Context, net *dnn.Network, cfg core.Config) (*core.Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -295,75 +444,95 @@ func (e *Engine) Run(ctx context.Context, net *dnn.Network, cfg core.Config) (*c
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	k := keyOf(net, cfg)
+	res, _, err := e.resolve(ctx, net, cfg.Custom, keyOf(net, cfg), true)
+	return res, err
+}
+
+// resolve serves one key from the cache, coalescing onto an in-flight
+// computation or claiming and computing the entry itself. It is the single
+// code path behind top-level requests (topLevel: holds a worker slot, fires
+// the chaos hook, counts toward Stats.Simulations) and nested resolutions —
+// structure fetches and profiling-candidate simulations issued from inside a
+// computation, which run under their initiator's slot and report
+// cancellation as core.ErrCanceled the way an in-process candidate would.
+func (e *Engine) resolve(ctx context.Context, net *dnn.Network, custom core.OffloadPolicy, k key, topLevel bool) (*core.Result, *core.Structure, error) {
+	if ctx.Err() != nil {
+		if topLevel {
+			return nil, nil, ctx.Err()
+		}
+		return nil, nil, canceledAs(ctx)
+	}
+	sh := e.shardOf(k)
 	for {
-		e.mu.Lock()
-		if ent, ok := e.cache[k]; ok {
+		sh.mu.Lock()
+		if ent, ok := sh.cache[k]; ok {
 			select {
 			case <-ent.done:
-				e.stats.Hits++
-				e.mu.Unlock()
-				return ent.res, ent.err
+				e.stats.hits.Add(1)
+				sh.mu.Unlock()
+				return ent.res, ent.structure, ent.err
 			default:
 				ent.refs++
-				e.stats.Coalesced++
+				e.stats.coalesced.Add(1)
 			}
-			e.mu.Unlock()
+			sh.mu.Unlock()
 			select {
 			case <-ent.done:
 				if ent.err != nil && errors.Is(ent.err, core.ErrCanceled) {
 					if ctx.Err() == nil {
-						// The run we coalesced onto was aborted (its last
-						// other waiter left before our reference landed, or
-						// the cancel raced our join), but this caller is
+						// The computation we coalesced onto was aborted (its
+						// last other waiter left before our reference landed,
+						// or the cancel raced our join), but this caller is
 						// still live: retry on a fresh entry.
 						continue
 					}
-					return nil, canceledAs(ctx)
+					return nil, nil, canceledAs(ctx)
 				}
-				return ent.res, ent.err
+				return ent.res, ent.structure, ent.err
 			case <-ctx.Done():
-				e.dropRef(ent)
-				return nil, ctx.Err()
+				e.dropRef(sh, ent)
+				if topLevel {
+					return nil, nil, ctx.Err()
+				}
+				return nil, nil, canceledAs(ctx)
 			}
 		}
-		e.mu.Unlock()
+		sh.mu.Unlock()
 
-		// Acquire a worker slot BEFORE claiming the key: a wait abandoned by
-		// cancellation then leaves no half-made entry behind for other
-		// callers to hang on.
-		select {
-		case e.sem <- struct{}{}:
-		case <-ctx.Done():
-			return nil, ctx.Err()
+		if topLevel {
+			// Acquire a worker slot BEFORE claiming the key: a wait
+			// abandoned by cancellation then leaves no half-made entry
+			// behind for other callers to hang on.
+			select {
+			case e.sem <- struct{}{}:
+			case <-ctx.Done():
+				return nil, nil, ctx.Err()
+			}
 		}
 
-		e.mu.Lock()
-		if _, ok := e.cache[k]; ok {
-			// Another caller claimed the key while we waited for the slot;
-			// release it and coalesce onto theirs.
-			e.mu.Unlock()
-			<-e.sem
-			continue
-		}
-		e.evictLocked()
 		runCtx, runCancel := context.WithCancel(context.Background())
 		ent := &entry{done: make(chan struct{}), refs: 1, cancel: runCancel}
-		e.cache[k] = ent
-		if e.maxEntries > 0 {
-			e.order = append(e.order, k) // eviction order; unused when unbounded
+		if !e.claim(sh, k, ent) {
+			// Another caller claimed the key while we waited for the slot;
+			// release it and coalesce onto theirs.
+			runCancel()
+			if topLevel {
+				<-e.sem
+			}
+			continue
 		}
-		e.stats.Simulations++
-		e.mu.Unlock()
+		if topLevel {
+			e.stats.simulations.Add(1)
+		}
 
-		// The initiator runs the simulation on its own goroutine, so its
+		// The initiator runs the computation on its own goroutine, so its
 		// cancellation must be observed from the side: AfterFunc drops the
 		// initiator's reference when ctx fires, which cancels runCtx only if
 		// no coalesced waiter still wants the result.
-		stopWatch := context.AfterFunc(ctx, func() { e.dropRef(ent) })
+		stopWatch := context.AfterFunc(ctx, func() { e.dropRef(sh, ent) })
 
 		runCfg := k.cfg
-		runCfg.Custom = cfg.Custom
+		runCfg.Custom = custom
 		func() {
 			// done must close on every path: a panic that escaped past it
 			// would leave the entry permanently in flight, hanging every
@@ -378,17 +547,21 @@ func (e *Engine) Run(ctx context.Context, net *dnn.Network, cfg core.Config) (*c
 				stopWatch()
 				runCancel() // release the context's resources on every path
 				if ent.err != nil {
-					e.uncache(k, ent)
+					e.uncache(sh, k, ent)
 				}
-				<-e.sem
+				if topLevel {
+					<-e.sem
+				}
 			}()
-			if h := e.hook; h != nil {
-				if herr := h("simulate"); herr != nil {
-					ent.err = fmt.Errorf("sweep: injected fault: %w", herr)
-					return
+			if topLevel {
+				if h := e.hook; h != nil {
+					if herr := h("simulate"); herr != nil {
+						ent.err = fmt.Errorf("sweep: injected fault: %w", herr)
+						return
+					}
 				}
 			}
-			ent.res, ent.err = core.RunContext(runCtx, net, runCfg)
+			e.compute(runCtx, net, runCfg, k, ent)
 		}()
 		if ent.err != nil && errors.Is(ent.err, core.ErrCanceled) {
 			if ctx.Err() == nil {
@@ -396,14 +569,153 @@ func (e *Engine) Run(ctx context.Context, net *dnn.Network, cfg core.Config) (*c
 				// caller is still live: retry.
 				continue
 			}
-			return nil, canceledAs(ctx)
+			return nil, nil, canceledAs(ctx)
 		}
-		return ent.res, ent.err
+		return ent.res, ent.structure, ent.err
 	}
 }
 
-// canceledAs rewraps an abort with the calling context's own cause. The
-// simulation runs under a detached context whose cancellation is always a
+// compute fills ent for key k: via the differential structure/pricing split
+// when the configuration is eligible, via a full simulation otherwise. cfg
+// is k.cfg with the caller's Custom policy instance restored.
+func (e *Engine) compute(runCtx context.Context, net *dnn.Network, cfg core.Config, k key, ent *entry) {
+	if !e.fullSim && cfg.Custom == nil && core.StructureShaped(cfg) && core.ValidateRun(net, cfg) == nil {
+		sk := structureKey(k)
+		if sk == k {
+			// The request is itself a structure key: build the structure
+			// here — the entry serves both the oracle Result and the trace
+			// every capacity ablation of this configuration re-prices.
+			st, err := core.BuildStructure(runCtx, net, cfg)
+			if err != nil {
+				ent.err = err
+				return
+			}
+			e.stats.structures.Add(1)
+			ent.structure, ent.res = st, st.Res
+			return
+		} else if !cfg.Oracle {
+			// No structure cached yet? Then this request IS the structure
+			// build: run it at its own capacity with the trace recorded, so
+			// the first sweep point of a configuration costs one simulation
+			// and still leaves the structure behind for its siblings. A
+			// cached or in-flight structure takes the pricing path below
+			// instead, and a lost claim race just means another caller is
+			// building it — coalesce there.
+			sksh := e.shardOf(sk)
+			sksh.mu.Lock()
+			_, building := sksh.cache[sk]
+			sksh.mu.Unlock()
+			if !building {
+				skEnt := &entry{done: make(chan struct{}), refs: 1, cancel: func() {}}
+				if e.claim(sksh, sk, skEnt) {
+					res, err := e.buildStructureAt(runCtx, net, cfg, sksh, sk, skEnt)
+					if err == nil {
+						ent.res = res
+						return
+					}
+					if errors.Is(err, core.ErrCanceled) {
+						ent.err = err
+						return
+					}
+					// Any other failure falls through to the full path: it
+					// reproduces the error (or succeeds if the fault was
+					// transient) — a structure bug must never mask a real
+					// result.
+					ent.res, ent.err = e.runFull(runCtx, net, cfg)
+					return
+				}
+			}
+		}
+		if st, err := e.structureFor(runCtx, net, sk); err != nil && errors.Is(err, core.ErrCanceled) {
+			ent.err = err
+			return
+		} else if err == nil && st != nil {
+			// A structure-build failure for any non-cancellation reason
+			// falls through to the full path instead: it reproduces the
+			// error (or succeeds if the fault was transient) — a structure
+			// bug must never mask a real result.
+			if cfg.Oracle {
+				// The structure's Result is exactly this oracle request's;
+				// clone so a caller patching its copy cannot corrupt the
+				// shared structure.
+				r := *st.Res
+				ent.res = &r
+				e.stats.priced.Add(1)
+				return
+			}
+			res, ok, perr := st.Price(runCtx, net, cfg)
+			if perr != nil {
+				ent.err = perr
+				return
+			}
+			if ok {
+				ent.res = res
+				e.stats.priced.Add(1)
+				return
+			}
+			// Pricing declined (the classifier alone exceeds this capacity):
+			// the full path produces the exact failure chain.
+		}
+	}
+	ent.res, ent.err = e.runFull(runCtx, net, cfg)
+}
+
+// structureFor resolves a structure key — nested, under the caller's worker
+// slot.
+func (e *Engine) structureFor(ctx context.Context, net *dnn.Network, sk key) (*core.Structure, error) {
+	_, st, err := e.resolve(ctx, net, nil, sk, false)
+	return st, err
+}
+
+// buildStructureAt runs core.BuildStructureAt for cfg and finalizes the
+// claimed sk entry on every path — a panic must still close the entry (then
+// propagate to resolve's recovery for the requesting key), or every sibling
+// coalesced onto the structure would hang forever. The caller holds the
+// entry's initiating reference, so its cancel hook can be a no-op: the
+// build runs under the requesting key's runCtx and dies with it.
+func (e *Engine) buildStructureAt(runCtx context.Context, net *dnn.Network, cfg core.Config, sksh *shard, sk key, skEnt *entry) (res *core.Result, err error) {
+	var st *core.Structure
+	defer func() {
+		if r := recover(); r != nil {
+			skEnt.err = fmt.Errorf("sweep: simulation panic: %v", r)
+			close(skEnt.done)
+			e.uncache(sksh, sk, skEnt)
+			panic(r)
+		}
+		skEnt.structure, skEnt.err = st, err
+		if st != nil {
+			skEnt.res = st.Res
+		}
+		close(skEnt.done)
+		if skEnt.err != nil {
+			e.uncache(sksh, sk, skEnt)
+		}
+	}()
+	st, res, err = core.BuildStructureAt(runCtx, net, cfg)
+	if err == nil {
+		e.stats.structures.Add(1)
+	}
+	return res, err
+}
+
+// runFull runs the complete simulation for cfg, routing a profiling policy's
+// candidate configurations back through the engine so candidates shared
+// between sweep points — and the structures behind them — are computed once
+// across the whole sweep instead of once per profiling pass. In full-
+// simulation mode the routing is off too: every profiling candidate
+// simulates inline, the reference engine behavior.
+func (e *Engine) runFull(runCtx context.Context, net *dnn.Network, cfg core.Config) (*core.Result, error) {
+	if e.fullSim {
+		return core.RunContext(runCtx, net, cfg)
+	}
+	return core.RunContextWith(runCtx, net, cfg, func(sub core.Config) (*core.Result, error) {
+		res, _, err := e.resolve(runCtx, net, sub.Custom, keyOf(net, sub), false)
+		return res, err
+	})
+}
+
+// canceledAs rewraps an abort with the calling context's own cause. A
+// computation runs under a detached context whose cancellation is always a
 // plain Canceled, so the shared entry error cannot distinguish a caller
 // whose deadline fired from one that hung up — each caller reports its own
 // reason.
@@ -430,7 +742,7 @@ func (e *Engine) RunAll(ctx context.Context, jobs []Job) ([]*core.Result, error)
 	// with the same key; only first occurrences are dispatched.
 	canon := make([]int, len(jobs))
 	firstOf := make(map[key]int, len(jobs))
-	var unique []int
+	unique := make([]int, 0, len(jobs))
 	for i, j := range jobs {
 		k := keyOf(j.Net, j.Cfg)
 		if f, ok := firstOf[k]; ok {
@@ -442,9 +754,7 @@ func (e *Engine) RunAll(ctx context.Context, jobs []Job) ([]*core.Result, error)
 		}
 	}
 	if dups := len(jobs) - len(unique); dups > 0 {
-		e.mu.Lock()
-		e.stats.Coalesced += int64(dups)
-		e.mu.Unlock()
+		e.stats.coalesced.Add(int64(dups))
 	}
 
 	workers := e.workers

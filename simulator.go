@@ -50,6 +50,7 @@ type SimulatorOption func(*simulatorConfig)
 type simulatorConfig struct {
 	parallelism int
 	cacheBound  int
+	fullSim     bool
 	gpus        map[string]GPU
 	links       map[string]Link
 }
@@ -68,6 +69,16 @@ func WithParallelism(n int) SimulatorOption {
 // serving processes want a bound; one-shot evaluations do not.
 func WithCacheBound(n int) SimulatorOption {
 	return func(c *simulatorConfig) { c.cacheBound = n }
+}
+
+// WithFullSimulation disables differential sweep evaluation: every
+// computation runs the complete simulation, even when a cached
+// capacity-independent structure could have re-priced it. Results are
+// identical either way — the differential path is exact, and equivalence is
+// enforced by the engine's tests — so the only reason to turn it on is as the
+// reference when measuring or debugging the differential path itself.
+func WithFullSimulation() SimulatorOption {
+	return func(c *simulatorConfig) { c.fullSim = true }
 }
 
 // WithGPU adds a named device to the simulator's registry, shadowing any
@@ -89,8 +100,10 @@ func NewSimulator(opts ...SimulatorOption) *Simulator {
 	for _, o := range opts {
 		o(&c)
 	}
+	eng := sweep.NewEngineCache(c.parallelism, c.cacheBound)
+	eng.SetFullSimulation(c.fullSim)
 	return &Simulator{
-		eng:   sweep.NewEngineCache(c.parallelism, c.cacheBound),
+		eng:   eng,
 		gpus:  c.gpus,
 		links: c.links,
 		nets:  map[netKey]*Network{},
