@@ -10,6 +10,8 @@ import (
 	"vdnn/internal/networks"
 	"vdnn/internal/pcie"
 	"vdnn/internal/sim"
+	"vdnn/internal/store"
+	"vdnn/internal/sweep"
 	"vdnn/internal/tensor"
 )
 
@@ -127,6 +129,28 @@ type DeviceResult = core.DeviceResult
 // measured pipeline bubble, its inter-stage wire traffic and its own
 // offload/prefetch traffic.
 type StageResult = core.StageResult
+
+// ResultStore is a persistent result cache a Simulator reads through before
+// simulating and writes through after (WithStore). Store is the file-backed
+// implementation; the interface is exported so tests and alternative
+// backends can substitute their own.
+type ResultStore = sweep.ResultStore
+
+// Store is the file-backed ResultStore: one content-addressed, checksummed
+// record file per (network, normalized configuration) key, written
+// atomically so concurrent processes can share a store directory. See
+// OpenStore.
+type Store = store.Store
+
+// StoreStats is a snapshot of a Store's counters (records, hits, misses,
+// writes, write errors, corrupt records skipped).
+type StoreStats = store.Stats
+
+// OpenStore opens (creating if needed) a persistent result store rooted at
+// dir. Every record is validated up front: truncated or corrupt records are
+// skipped and counted, never fatal, so a store that survived a crash or a
+// bad disk still serves its intact results. Pass the result to WithStore.
+func OpenStore(dir string) (*Store, error) { return store.Open(dir) }
 
 // GPU describes the simulated device.
 type GPU = gpu.Spec

@@ -15,6 +15,13 @@ Two independent checks, either of which fails the gate:
      baseline, so it can never be skipped by a missing or mismatched
      baseline entry.
 
+     The speedup-x floor asserts parallel scaling, which a single-core
+     runner cannot exhibit, so it applies only to measurements taken with
+     gomaxprocs > 1 (recorded per benchmark by the render step; a
+     measurement missing the field is gated conservatively, as if
+     multi-core). reduction-x floors measure work avoided, not
+     parallelism, and always apply.
+
   2. Relative bands against the baseline, matched by normalized name
      (the "-<GOMAXPROCS>" suffix go test appends is stripped on both
      sides — the gate's original sin was matching "BenchmarkReproAll/par"
@@ -60,6 +67,12 @@ def main(argv):
     for b in current["benchmarks"]:
         for metric, floor in floors.items():
             if metric not in b:
+                continue
+            gmp = b.get("gomaxprocs")
+            if metric == "speedup-x" and gmp is not None and gmp <= 1:
+                print(f"{norm(b['name'])}: {metric} {b[metric]:.2f} floor "
+                      f"skipped (gomaxprocs {gmp}: parallel speedup cannot "
+                      f"be asserted on a single core)")
                 continue
             if b[metric] < floor:
                 print(f"{norm(b['name'])}: {metric} {b[metric]:.2f} "

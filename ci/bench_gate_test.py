@@ -1,0 +1,136 @@
+#!/usr/bin/env python3
+"""Self-test for bench_gate.py — run directly or via unittest.
+
+Covers the gating matrix the CI job relies on:
+
+  - absolute floors pass/fail, with the speedup-x floor skipped for
+    single-core measurements (gomaxprocs <= 1) but reduction-x still
+    enforced there;
+  - measurements missing the gomaxprocs field gated conservatively;
+  - relative ns/op and B/op bands against a baseline, including the
+    two-sided B/op band (an improvement beyond the band fails too);
+  - GOMAXPROCS-suffix normalization when matching baseline entries.
+"""
+
+import json
+import os
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import bench_gate
+
+
+def bench(name, ns=100.0, **extra):
+    b = {"name": name, "iterations": 1, "ns_per_op": ns}
+    b.update(extra)
+    return b
+
+
+class GateTest(unittest.TestCase):
+    def run_gate(self, current, baseline=None, env=None):
+        """Run bench_gate.main in a temp dir; returns its exit status."""
+        saved_env = {k: os.environ.pop(k, None)
+                     for k in ("BENCH_SPEEDUP_FLOOR", "BENCH_REDUCTION_FLOOR")}
+        os.environ.update(env or {})
+        cwd = os.getcwd()
+        try:
+            with tempfile.TemporaryDirectory() as d:
+                os.chdir(d)
+                cur = os.path.join(d, "BENCH_pr99.json")
+                json.dump({"pr": "99", "benchmarks": current}, open(cur, "w"))
+                argv = ["bench_gate.py", cur]
+                if baseline is not None:
+                    base = os.path.join(d, "BENCH_pr98.json")
+                    json.dump({"pr": "98", "benchmarks": baseline},
+                              open(base, "w"))
+                    argv.append(base)
+                return bench_gate.main(argv)
+        finally:
+            os.chdir(cwd)
+            for k, v in saved_env.items():
+                os.environ.pop(k, None)
+                if v is not None:
+                    os.environ[k] = v
+
+    # --- absolute floors ---------------------------------------------------
+
+    def test_speedup_floor_passes_multicore(self):
+        cur = [bench("BenchmarkReproAll/par", **{"speedup-x": 2.0,
+                                                 "gomaxprocs": 4})]
+        self.assertEqual(
+            self.run_gate(cur, env={"BENCH_SPEEDUP_FLOOR": "1.5"}), 0)
+
+    def test_speedup_floor_fails_multicore(self):
+        cur = [bench("BenchmarkReproAll/par", **{"speedup-x": 1.1,
+                                                 "gomaxprocs": 4})]
+        self.assertEqual(
+            self.run_gate(cur, env={"BENCH_SPEEDUP_FLOOR": "1.5"}), 1)
+
+    def test_speedup_floor_skipped_on_single_core(self):
+        # One core cannot exhibit parallel speedup; the floor must not fail
+        # the measurement there.
+        cur = [bench("BenchmarkReproAll/par", **{"speedup-x": 0.9,
+                                                 "gomaxprocs": 1})]
+        self.assertEqual(
+            self.run_gate(cur, env={"BENCH_SPEEDUP_FLOOR": "1.5"}), 0)
+
+    def test_speedup_floor_conservative_without_gomaxprocs(self):
+        # A measurement that does not say how many cores it used is gated as
+        # if multi-core — old reports cannot dodge the floor.
+        cur = [bench("BenchmarkReproAll/par", **{"speedup-x": 0.9})]
+        self.assertEqual(
+            self.run_gate(cur, env={"BENCH_SPEEDUP_FLOOR": "1.5"}), 1)
+
+    def test_reduction_floor_applies_on_single_core(self):
+        # Work avoided is core-count independent: the reduction floor holds
+        # even at gomaxprocs 1.
+        cur = [bench("BenchmarkDifferentialSweep", **{"reduction-x": 2.0,
+                                                      "gomaxprocs": 1})]
+        self.assertEqual(
+            self.run_gate(cur, env={"BENCH_REDUCTION_FLOOR": "5"}), 1)
+        cur[0]["reduction-x"] = 6.0
+        self.assertEqual(
+            self.run_gate(cur, env={"BENCH_REDUCTION_FLOOR": "5"}), 0)
+
+    # --- relative bands ----------------------------------------------------
+
+    def test_ns_per_op_band(self):
+        base = [bench("BenchmarkFoo", ns=100.0)]
+        self.assertEqual(
+            self.run_gate([bench("BenchmarkFoo", ns=120.0)], base), 0)
+        self.assertEqual(
+            self.run_gate([bench("BenchmarkFoo", ns=130.0)], base), 1)
+        # Timing may improve without bound.
+        self.assertEqual(
+            self.run_gate([bench("BenchmarkFoo", ns=10.0)], base), 0)
+
+    def test_b_per_op_band_two_sided(self):
+        base = [bench("BenchmarkFoo", **{"B/op": 1000.0})]
+        self.assertEqual(
+            self.run_gate([bench("BenchmarkFoo", **{"B/op": 1100.0})], base), 0)
+        self.assertEqual(
+            self.run_gate([bench("BenchmarkFoo", **{"B/op": 1500.0})], base), 1)
+        # Beyond-band improvement fails too: the baseline must be refreshed.
+        self.assertEqual(
+            self.run_gate([bench("BenchmarkFoo", **{"B/op": 500.0})], base), 1)
+
+    def test_gomaxprocs_suffix_normalized(self):
+        # "-8" on the current name and "-4" on the baseline are the same
+        # benchmark measured on different machines.
+        base = [bench("BenchmarkFoo/par-4", ns=100.0)]
+        self.assertEqual(
+            self.run_gate([bench("BenchmarkFoo/par-8", ns=200.0)], base), 1)
+        self.assertEqual(
+            self.run_gate([bench("BenchmarkFoo/par-8", ns=100.0)], base), 0)
+
+    def test_new_benchmark_without_baseline_entry_passes(self):
+        base = [bench("BenchmarkFoo", ns=100.0)]
+        self.assertEqual(
+            self.run_gate([bench("BenchmarkFoo", ns=100.0),
+                           bench("BenchmarkNew", ns=1.0)], base), 0)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -5,6 +5,7 @@
 //	vdnn-repro fig1 fig11 fig14
 //	vdnn-repro -csv fig12 > fig12.csv
 //	vdnn-repro -j 8            # 8 simulations in flight
+//	vdnn-repro -store ~/.cache/vdnn   # persist results; repeat runs simulate nothing
 //	vdnn-repro -cpuprofile cpu.pprof -memprofile mem.pprof   # then: go tool pprof
 //
 // The selected experiments' configurations are enqueued as one batch on a
@@ -38,11 +39,28 @@ import (
 func main() {
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	jobs := flag.Int("j", 0, "max simulations in flight (0 = all cores, 1 = sequential)")
+	storeDir := flag.String("store", "", "persist results to this directory and reuse them across runs")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
-	sim := vdnn.NewSimulator(vdnn.WithParallelism(*jobs))
+	simOpts := []vdnn.SimulatorOption{vdnn.WithParallelism(*jobs)}
+	if *storeDir != "" {
+		st, err := vdnn.OpenStore(*storeDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vdnn-repro:", err)
+			os.Exit(1)
+		}
+		simOpts = append(simOpts, vdnn.WithStore(st))
+		// The warm/cold split is the number a repeat run cares about; stderr
+		// keeps stdout byte-identical with and without a store.
+		defer func() {
+			ss := st.Stats()
+			fmt.Fprintf(os.Stderr, "store %s: %d hits, %d writes, %d records\n",
+				*storeDir, ss.Hits, ss.Writes, ss.Records)
+		}()
+	}
+	sim := vdnn.NewSimulator(simOpts...)
 	suite := figures.NewSuiteSim(gpu.TitanX(), sim)
 	all := suite.Experiments()
 

@@ -1,7 +1,7 @@
 // vdnn-serve is the HTTP daemon of the library: a JSON API serving vDNN
 // simulations from a shared, deduplicated result cache under concurrency.
 //
-//	vdnn-serve -addr :8080 -j 8 -cache 65536 -drain 30s
+//	vdnn-serve -addr :8080 -j 8 -cache 65536 -drain 30s -store /var/lib/vdnn/results
 //
 //	curl localhost:8080/healthz
 //	curl localhost:8080/readyz
@@ -9,7 +9,16 @@
 //	curl -d '{"network":"vgg16","batch":256}' localhost:8080/v1/simulate
 //	curl -d '{"jobs":[{"network":"alexnet"},{"network":"vgg16","policy":"base","algo":"p"}]}' \
 //	     localhost:8080/v1/sweep
+//	curl -d '{"jobs":[{"network":"alexnet"},{"network":"vgg16"}]}' localhost:8080/v1/jobs
+//	curl localhost:8080/v1/jobs/<id>      # NDJSON point stream + summary
 //	curl localhost:8080/v1/stats
+//	curl localhost:8080/metrics           # Prometheus text exposition
+//
+// With -store DIR, every finished simulation is persisted to DIR and served
+// from there after a restart (or by another replica sharing the directory):
+// a repeated sweep against a warm store costs zero simulations. The store
+// tolerates torn writes — corrupt records are skipped and logged at open,
+// never fatal.
 //
 // Repeated and concurrent identical requests are simulated once; every
 // simulation is deterministic, so identical requests always produce
@@ -32,6 +41,7 @@ import (
 	"errors"
 	"flag"
 	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux, served only via -pprof
@@ -54,6 +64,10 @@ func main() {
 		maxDL    = flag.Duration("max-deadline", 10*time.Minute, "ceiling on client deadline_ms (0 = no ceiling)")
 		drain    = flag.Duration("drain", 30*time.Second, "graceful-drain budget before in-flight work is canceled")
 		pprofA   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty = disabled)")
+		storeDir = flag.String("store", "", "persist results to this directory and serve repeats from it (empty = memory only)")
+		jWorkers = flag.Int("job-workers", 0, "async jobs executing concurrently (0 = half of -j, at least 1)")
+		jQueue   = flag.Int("job-queue", -1, "accepted jobs waiting for a worker before 503 (-1 = 16)")
+		logJSON  = flag.Bool("log-json", false, "emit structured request logs as JSON (default: logfmt-style text)")
 	)
 	flag.Parse()
 
@@ -69,11 +83,33 @@ func main() {
 		}()
 	}
 
-	sim := vdnn.NewSimulator(vdnn.WithParallelism(*jobs), vdnn.WithCacheBound(*cache))
-	api := serve.New(sim,
+	logHandler := slog.Handler(slog.NewTextHandler(os.Stderr, nil))
+	if *logJSON {
+		logHandler = slog.NewJSONHandler(os.Stderr, nil)
+	}
+	logger := slog.New(logHandler)
+
+	simOpts := []vdnn.SimulatorOption{vdnn.WithParallelism(*jobs), vdnn.WithCacheBound(*cache)}
+	serveOpts := []serve.Option{
 		serve.WithQueueDepth(*queue),
 		serve.WithDeadlines(*deadline, *maxDL),
-	)
+		serve.WithJobWorkers(*jWorkers),
+		serve.WithJobQueueDepth(*jQueue),
+		serve.WithLogger(logger),
+	}
+	if *storeDir != "" {
+		st, err := vdnn.OpenStore(*storeDir)
+		if err != nil {
+			log.Fatalf("vdnn-serve: opening store %s: %v", *storeDir, err)
+		}
+		ss := st.Stats()
+		log.Printf("vdnn-serve: store %s: %d records (%d corrupt skipped)",
+			*storeDir, ss.Records, ss.CorruptSkipped)
+		simOpts = append(simOpts, vdnn.WithStore(st))
+		serveOpts = append(serveOpts, serve.WithStore(st))
+	}
+	sim := vdnn.NewSimulator(simOpts...)
+	api := serve.New(sim, serveOpts...)
 
 	// baseCtx parents every request context; canceling it is the hard-cancel
 	// lever that reaches in-flight simulations when the drain budget runs out.
@@ -95,14 +131,22 @@ func main() {
 		go func() {
 			<-sigs
 			log.Printf("vdnn-serve: second signal: canceling in-flight work")
+			api.CancelJobs()
 			cancelBase()
 		}()
 		ctx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
+		// Accepted async jobs are part of the drain contract: wait for them
+		// under the same budget before (or while) connections wind down.
+		if err := api.DrainJobs(ctx); err != nil {
+			log.Printf("vdnn-serve: drain budget exhausted: canceling async jobs (%v)", err)
+			api.CancelJobs()
+		}
 		if err := srv.Shutdown(ctx); err != nil {
 			// Budget exhausted: cancel the base context so every in-flight
 			// simulation unwinds through its per-layer checks, then close.
 			log.Printf("vdnn-serve: drain budget exhausted: canceling in-flight work (%v)", err)
+			api.CancelJobs()
 			cancelBase()
 			srv.Close()
 		}

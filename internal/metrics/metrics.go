@@ -1,0 +1,407 @@
+// Package metrics is a dependency-free Prometheus client: counters, gauges
+// and histograms registered in a Registry and exposed in the text-based
+// exposition format (version 0.0.4, the format every Prometheus server
+// scrapes). Only the features vdnn-serve needs are implemented — no
+// summaries, no exemplars, no push gateway — which keeps the package small
+// enough to audit in one sitting and keeps the repo at zero external
+// dependencies.
+//
+// Two collector styles coexist:
+//
+//   - Owned state: Counter/Gauge/Histogram (and their label Vec variants)
+//     hold their own atomics and are updated on the hot path.
+//   - Scrape-time closures: CounterFunc/GaugeFunc read a value when the
+//     registry is written. The serving stack already keeps atomic counters
+//     (engine stats, admission counters, store stats); closures expose those
+//     without double-counting or a second write on the hot path.
+//
+// All exposition output is deterministic: families sort by name, label
+// children sort by label values, so tests can assert on exact scrape text.
+package metrics
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry holds a set of metric families and renders them in text format.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+type collector interface {
+	// sample appends exposition lines (without HELP/TYPE headers) for one
+	// collector. Label-less collectors append exactly one line; vecs append
+	// one per child; histograms append bucket/sum/count series.
+	sample(w *bufio.Writer, name string)
+}
+
+type family struct {
+	name string
+	help string
+	typ  string // "counter" | "gauge" | "histogram"
+	c    collector
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+func (r *Registry) register(name, help, typ string, c collector) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.families[name]; dup {
+		panic(fmt.Sprintf("metrics: duplicate registration of %q", name))
+	}
+	r.families[name] = &family{name: name, help: help, typ: typ, c: c}
+}
+
+// Write renders every registered family in Prometheus text format, sorted by
+// family name.
+func (r *Registry) Write(w io.Writer) error {
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	bw := bufio.NewWriter(w)
+	for _, f := range fams {
+		fmt.Fprintf(bw, "# HELP %s %s\n", f.name, f.help)
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.typ)
+		f.c.sample(bw, f.name)
+	}
+	return bw.Flush()
+}
+
+// Handler returns an http.Handler serving the registry as a scrape endpoint.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.Write(w)
+	})
+}
+
+// --- scalar formatting ------------------------------------------------------
+
+func writeVal(w *bufio.Writer, v float64) {
+	switch {
+	case math.IsInf(v, +1):
+		w.WriteString("+Inf")
+	case math.IsInf(v, -1):
+		w.WriteString("-Inf")
+	case math.IsNaN(v):
+		w.WriteString("NaN")
+	default:
+		w.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+	}
+}
+
+var labelEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`, `"`, `\"`)
+
+// labelPairs renders {k1="v1",k2="v2"} (empty string for no labels).
+func labelPairs(keys, vals []string) string {
+	if len(keys) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(labelEscaper.Replace(vals[i]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func writeSample(w *bufio.Writer, name, labels string, v float64) {
+	w.WriteString(name)
+	w.WriteString(labels)
+	w.WriteByte(' ')
+	writeVal(w, v)
+	w.WriteByte('\n')
+}
+
+// --- counter ----------------------------------------------------------------
+
+// Counter is a monotonically increasing float64.
+type Counter struct{ bits atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds v; negative deltas panic (counters only go up).
+func (c *Counter) Add(v float64) {
+	if v < 0 {
+		panic("metrics: counter decrease")
+	}
+	addFloat(&c.bits, v)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() float64 { return math.Float64frombits(c.bits.Load()) }
+
+func (c *Counter) sample(w *bufio.Writer, name string) { writeSample(w, name, "", c.Value()) }
+
+// NewCounter registers and returns a counter.
+func (r *Registry) NewCounter(name, help string) *Counter {
+	c := &Counter{}
+	r.register(name, help, "counter", c)
+	return c
+}
+
+// --- gauge ------------------------------------------------------------------
+
+// Gauge is a float64 that can go up and down.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adjusts the value by v (negative allowed).
+func (g *Gauge) Add(v float64) { addFloat(&g.bits, v) }
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+func (g *Gauge) sample(w *bufio.Writer, name string) { writeSample(w, name, "", g.Value()) }
+
+// NewGauge registers and returns a gauge.
+func (r *Registry) NewGauge(name, help string) *Gauge {
+	g := &Gauge{}
+	r.register(name, help, "gauge", g)
+	return g
+}
+
+func addFloat(bits *atomic.Uint64, v float64) {
+	for {
+		old := bits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if bits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// --- scrape-time closures ---------------------------------------------------
+
+type funcCollector struct{ fn func() float64 }
+
+func (f funcCollector) sample(w *bufio.Writer, name string) { writeSample(w, name, "", f.fn()) }
+
+// NewCounterFunc registers a counter whose value is read at scrape time.
+// The closure must be monotonic and safe to call concurrently.
+func (r *Registry) NewCounterFunc(name, help string, fn func() float64) {
+	r.register(name, help, "counter", funcCollector{fn})
+}
+
+// NewGaugeFunc registers a gauge whose value is read at scrape time.
+func (r *Registry) NewGaugeFunc(name, help string, fn func() float64) {
+	r.register(name, help, "gauge", funcCollector{fn})
+}
+
+// --- histogram --------------------------------------------------------------
+
+// DefBuckets are the default latency buckets (seconds), spanning sub-ms
+// cache hits to multi-second saturated sweeps.
+var DefBuckets = []float64{
+	.001, .0025, .005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10,
+}
+
+// Histogram counts observations into cumulative buckets.
+type Histogram struct {
+	bounds  []float64 // strictly increasing upper bounds, +Inf implicit
+	counts  []atomic.Uint64
+	sumBits atomic.Uint64
+	count   atomic.Uint64
+}
+
+func newHistogram(buckets []float64) *Histogram {
+	if len(buckets) == 0 {
+		buckets = DefBuckets
+	}
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i] <= buckets[i-1] {
+			panic("metrics: histogram buckets not strictly increasing")
+		}
+	}
+	bounds := append([]float64(nil), buckets...)
+	return &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i].Add(1)
+	addFloat(&h.sumBits, v)
+	h.count.Add(1)
+}
+
+func (h *Histogram) sample(w *bufio.Writer, name string) { h.sampleLabels(w, name, nil, nil) }
+
+func (h *Histogram) sampleLabels(w *bufio.Writer, name string, keys, vals []string) {
+	var cum uint64
+	bk := append(append([]string(nil), keys...), "le")
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		bv := append(append([]string(nil), vals...), strconv.FormatFloat(b, 'g', -1, 64))
+		writeSample(w, name+"_bucket", labelPairs(bk, bv), float64(cum))
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	bv := append(append([]string(nil), vals...), "+Inf")
+	writeSample(w, name+"_bucket", labelPairs(bk, bv), float64(cum))
+	labels := labelPairs(keys, vals)
+	writeSample(w, name+"_sum", labels, math.Float64frombits(h.sumBits.Load()))
+	writeSample(w, name+"_count", labels, float64(cum))
+}
+
+// NewHistogram registers a histogram with the given bucket upper bounds
+// (DefBuckets when nil).
+func (r *Registry) NewHistogram(name, help string, buckets []float64) *Histogram {
+	h := newHistogram(buckets)
+	r.register(name, help, "histogram", h)
+	return h
+}
+
+// --- label vectors ----------------------------------------------------------
+
+// CounterVec is a counter family partitioned by label values.
+type CounterVec struct {
+	keys     []string
+	mu       sync.Mutex
+	children map[string]*Counter
+	vals     map[string][]string
+}
+
+// WithLabelValues returns (creating if needed) the child for the given label
+// values, which must match the registered label names in number and order.
+func (v *CounterVec) WithLabelValues(vals ...string) *Counter {
+	if len(vals) != len(v.keys) {
+		panic(fmt.Sprintf("metrics: %d label values for %d labels", len(vals), len(v.keys)))
+	}
+	k := strings.Join(vals, "\x00")
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	c, ok := v.children[k]
+	if !ok {
+		c = &Counter{}
+		v.children[k] = c
+		v.vals[k] = append([]string(nil), vals...)
+	}
+	return c
+}
+
+func (v *CounterVec) sample(w *bufio.Writer, name string) {
+	v.mu.Lock()
+	keys := make([]string, 0, len(v.children))
+	for k := range v.children {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	type child struct {
+		vals []string
+		c    *Counter
+	}
+	kids := make([]child, 0, len(keys))
+	for _, k := range keys {
+		kids = append(kids, child{v.vals[k], v.children[k]})
+	}
+	v.mu.Unlock()
+	for _, kid := range kids {
+		writeSample(w, name, labelPairs(v.keys, kid.vals), kid.c.Value())
+	}
+}
+
+// NewCounterVec registers a counter vector with the given label names.
+func (r *Registry) NewCounterVec(name, help string, labels ...string) *CounterVec {
+	v := &CounterVec{
+		keys:     append([]string(nil), labels...),
+		children: make(map[string]*Counter),
+		vals:     make(map[string][]string),
+	}
+	r.register(name, help, "counter", v)
+	return v
+}
+
+// HistogramVec is a histogram family partitioned by label values.
+type HistogramVec struct {
+	keys     []string
+	buckets  []float64
+	mu       sync.Mutex
+	children map[string]*Histogram
+	vals     map[string][]string
+}
+
+// WithLabelValues returns (creating if needed) the child histogram.
+func (v *HistogramVec) WithLabelValues(vals ...string) *Histogram {
+	if len(vals) != len(v.keys) {
+		panic(fmt.Sprintf("metrics: %d label values for %d labels", len(vals), len(v.keys)))
+	}
+	k := strings.Join(vals, "\x00")
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	h, ok := v.children[k]
+	if !ok {
+		h = newHistogram(v.buckets)
+		v.children[k] = h
+		v.vals[k] = append([]string(nil), vals...)
+	}
+	return h
+}
+
+func (v *HistogramVec) sample(w *bufio.Writer, name string) {
+	v.mu.Lock()
+	keys := make([]string, 0, len(v.children))
+	for k := range v.children {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	type child struct {
+		vals []string
+		h    *Histogram
+	}
+	kids := make([]child, 0, len(keys))
+	for _, k := range keys {
+		kids = append(kids, child{v.vals[k], v.children[k]})
+	}
+	v.mu.Unlock()
+	for _, kid := range kids {
+		kid.h.sampleLabels(w, name, v.keys, kid.vals)
+	}
+}
+
+// NewHistogramVec registers a histogram vector with the given label names
+// and bucket bounds (DefBuckets when nil).
+func (r *Registry) NewHistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	v := &HistogramVec{
+		keys:     append([]string(nil), labels...),
+		buckets:  append([]float64(nil), buckets...),
+		children: make(map[string]*Histogram),
+		vals:     make(map[string][]string),
+	}
+	r.register(name, help, "histogram", v)
+	return v
+}

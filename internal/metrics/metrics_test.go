@@ -1,0 +1,202 @@
+package metrics
+
+import (
+	"bufio"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func scrape(t *testing.T, r *Registry) string {
+	t.Helper()
+	var b strings.Builder
+	if err := r.Write(&b); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	return b.String()
+}
+
+func TestCounterGaugeExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("test_ops_total", "Ops.")
+	g := r.NewGauge("test_depth", "Depth.")
+	c.Inc()
+	c.Add(2.5)
+	g.Set(7)
+	g.Dec()
+
+	out := scrape(t, r)
+	for _, want := range []string{
+		"# HELP test_ops_total Ops.\n# TYPE test_ops_total counter\ntest_ops_total 3.5\n",
+		"# HELP test_depth Depth.\n# TYPE test_depth gauge\ntest_depth 6\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("scrape missing %q in:\n%s", want, out)
+		}
+	}
+	// Families must be sorted by name: test_depth before test_ops_total.
+	if strings.Index(out, "test_depth") > strings.Index(out, "test_ops_total") {
+		t.Errorf("families not sorted:\n%s", out)
+	}
+}
+
+func TestCounterRejectsDecrease(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add(-1) did not panic")
+		}
+	}()
+	(&Counter{}).Add(-1)
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("dup_total", "x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	r.NewCounter("dup_total", "y")
+}
+
+func TestHistogramBucketsCumulative(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("test_lat_seconds", "Latency.", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	out := scrape(t, r)
+	for _, want := range []string{
+		`test_lat_seconds_bucket{le="0.1"} 1`,
+		`test_lat_seconds_bucket{le="1"} 3`,
+		`test_lat_seconds_bucket{le="10"} 4`,
+		`test_lat_seconds_bucket{le="+Inf"} 5`,
+		`test_lat_seconds_sum 56.05`,
+		`test_lat_seconds_count 5`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("scrape missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramBoundaryValueLandsInBucket(t *testing.T) {
+	h := newHistogram([]float64{1, 2})
+	h.Observe(1) // le="1" is inclusive
+	var b strings.Builder
+	bw := bufio.NewWriter(&b)
+	h.sample(bw, "h")
+	bw.Flush()
+	if !strings.Contains(b.String(), `h_bucket{le="1"} 1`) {
+		t.Errorf("boundary observation not in inclusive bucket:\n%s", b.String())
+	}
+}
+
+func TestVecLabelOrderingAndEscaping(t *testing.T) {
+	r := NewRegistry()
+	v := r.NewCounterVec("test_req_total", "Reqs.", "endpoint", "code")
+	v.WithLabelValues("simulate", "200").Add(3)
+	v.WithLabelValues("plan", "400").Inc()
+	v.WithLabelValues(`we"ird`+"\n", "200").Inc()
+
+	out := scrape(t, r)
+	for _, want := range []string{
+		`test_req_total{endpoint="plan",code="400"} 1`,
+		`test_req_total{endpoint="simulate",code="200"} 3`,
+		`test_req_total{endpoint="we\"ird\n",code="200"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("scrape missing %q in:\n%s", want, out)
+		}
+	}
+	// Children sorted by label values: plan before simulate.
+	if strings.Index(out, `endpoint="plan"`) > strings.Index(out, `endpoint="simulate"`) {
+		t.Errorf("vec children not sorted:\n%s", out)
+	}
+}
+
+func TestHistogramVec(t *testing.T) {
+	r := NewRegistry()
+	v := r.NewHistogramVec("test_dur_seconds", "Durations.", []float64{1}, "endpoint")
+	v.WithLabelValues("jobs").Observe(0.5)
+	v.WithLabelValues("jobs").Observe(2)
+	out := scrape(t, r)
+	for _, want := range []string{
+		`test_dur_seconds_bucket{endpoint="jobs",le="1"} 1`,
+		`test_dur_seconds_bucket{endpoint="jobs",le="+Inf"} 2`,
+		`test_dur_seconds_sum{endpoint="jobs"} 2.5`,
+		`test_dur_seconds_count{endpoint="jobs"} 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("scrape missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestFuncCollectors(t *testing.T) {
+	r := NewRegistry()
+	n := 41.0
+	r.NewCounterFunc("test_fn_total", "Fn.", func() float64 { n++; return n })
+	r.NewGaugeFunc("test_fn_gauge", "FnG.", func() float64 { return -2 })
+	out := scrape(t, r)
+	if !strings.Contains(out, "test_fn_total 42\n") {
+		t.Errorf("counter func not read at scrape time:\n%s", out)
+	}
+	if !strings.Contains(out, "test_fn_gauge -2\n") {
+		t.Errorf("gauge func missing:\n%s", out)
+	}
+}
+
+func TestHandlerContentType(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("test_total", "x")
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatalf("GET: %v", err)
+	}
+	defer resp.Body.Close()
+	ct := resp.Header.Get("Content-Type")
+	if !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("Content-Type = %q, want text exposition format", ct)
+	}
+}
+
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("test_conc_total", "x")
+	g := r.NewGauge("test_conc_gauge", "x")
+	h := r.NewHistogram("test_conc_hist", "x", []float64{0.5})
+	v := r.NewCounterVec("test_conc_vec", "x", "w")
+
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i%2) * 0.75)
+				v.WithLabelValues("a").Inc()
+			}
+		}(w)
+	}
+	// Scrape concurrently with the writers.
+	for i := 0; i < 50; i++ {
+		scrape(t, r)
+	}
+	wg.Wait()
+	if got := c.Value(); got != 8000 {
+		t.Errorf("counter = %v, want 8000", got)
+	}
+	if got := h.count.Load(); got != 8000 {
+		t.Errorf("histogram count = %v, want 8000", got)
+	}
+	if got := v.WithLabelValues("a").Value(); got != 8000 {
+		t.Errorf("vec child = %v, want 8000", got)
+	}
+}

@@ -1,0 +1,83 @@
+package serve
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"vdnn"
+)
+
+// TestMetricsExposition scrapes /metrics on a store-backed server after some
+// traffic and checks the series the CI smoke greps for are all present, typed
+// and non-trivial.
+func TestMetricsExposition(t *testing.T) {
+	st, err := vdnn.OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := vdnn.NewSimulator(vdnn.WithParallelism(2), vdnn.WithStore(st))
+	srv := New(sim, WithStore(st))
+	t.Cleanup(srv.Close)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+
+	// Traffic: one sync simulation (engine + store + http series move) and
+	// one async job (jobs series move).
+	resp, err := http.Post(ts.URL+"/v1/simulate", "application/json",
+		strings.NewReader(`{"network":"alexnet","batch":16,"policy":"vdnn-all"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Header.Get("X-Request-Id") == "" {
+		t.Fatalf("response without X-Request-Id")
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	acc := submitJob(t, ts, sweepBody(1))
+	if _, sum := streamJob(t, ts, acc.ID); sum.Status != JobDone {
+		t.Fatalf("job: %+v", sum)
+	}
+
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if got, want := resp.Header.Get("Content-Type"), "text/plain; version=0.0.4; charset=utf-8"; got != want {
+		t.Fatalf("Content-Type %q, want %q", got, want)
+	}
+	text := string(body)
+
+	for _, series := range []string{
+		"vdnn_engine_simulations_total",
+		"vdnn_engine_cache_hits_total",
+		"vdnn_store_hits_total",
+		"vdnn_store_writes_total",
+		"vdnn_jobs_queue_depth",
+		"vdnn_jobs_submitted_total",
+		"vdnn_serve_admitted_total",
+		"vdnn_http_in_flight",
+		"vdnn_http_requests_total",
+		"vdnn_http_request_duration_seconds_bucket",
+	} {
+		if !strings.Contains(text, "\n"+series) && !strings.HasPrefix(text, series) {
+			t.Errorf("missing series %s", series)
+		}
+	}
+	for _, line := range []string{
+		"# TYPE vdnn_http_request_duration_seconds histogram",
+		"vdnn_engine_simulations_total 2", // the sync simulate + the job point
+		"vdnn_store_writes_total 2",
+		"vdnn_jobs_points_completed_total 1",
+		`endpoint="POST /v1/simulate"`,
+		`code="200"`,
+	} {
+		if !strings.Contains(text, line) {
+			t.Errorf("missing %q in exposition:\n%s", line, text)
+		}
+	}
+}

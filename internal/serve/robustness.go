@@ -4,12 +4,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"strings"
 	"sync/atomic"
 	"time"
 
+	"vdnn"
 	"vdnn/internal/chaos"
 )
 
@@ -44,6 +46,10 @@ type options struct {
 	defaultDeadline time.Duration
 	maxDeadline     time.Duration
 	injector        *chaos.Injector
+	jobWorkers      int
+	jobQueueDepth   int
+	logger          *slog.Logger
+	store           *vdnn.Store
 }
 
 // WithMaxConcurrent bounds how many simulation requests (simulate or sweep)
@@ -86,6 +92,50 @@ func WithDeadlines(def, max time.Duration) Option {
 // path. Test harness only.
 func WithChaos(in *chaos.Injector) Option {
 	return func(o *options) { o.injector = in }
+}
+
+// WithJobWorkers sets how many async jobs (POST /v1/jobs) execute
+// concurrently. Each running job occupies one of the server's execution
+// slots while it simulates, so jobs and synchronous requests share one
+// concurrency budget. Default: half of MaxConcurrent, at least 1. n <= 0
+// keeps the default.
+func WithJobWorkers(n int) Option {
+	return func(o *options) {
+		if n > 0 {
+			o.jobWorkers = n
+		}
+	}
+}
+
+// WithJobQueueDepth bounds how many accepted jobs may wait for a job worker;
+// a submission arriving past that fails fast with 503 + Retry-After.
+// Default 16. n < 0 keeps the default; 0 admits only as many jobs as there
+// are idle workers.
+func WithJobQueueDepth(n int) Option {
+	return func(o *options) {
+		if n >= 0 {
+			o.jobQueueDepth = n
+		}
+	}
+}
+
+// WithLogger routes the server's structured request logs (one slog record
+// per request, with request ids) and the job runner's lifecycle logs to l.
+// Default: discard.
+func WithLogger(l *slog.Logger) Option {
+	return func(o *options) {
+		if l != nil {
+			o.logger = l
+		}
+	}
+}
+
+// WithStore tells the server which persistent result store its simulator
+// was configured with, so store counters appear in GET /v1/stats and
+// /metrics. It does not install the store on the simulator — pass it to
+// vdnn.WithStore for that.
+func WithStore(st *vdnn.Store) Option {
+	return func(o *options) { o.store = st }
 }
 
 // admission is the bounded job queue: queue admits at most
@@ -249,24 +299,36 @@ func (s *Server) writeCtxError(w http.ResponseWriter, err error) {
 	writeErrorCode(w, StatusClientClosedRequest, "canceled", err)
 }
 
-// writeSimError classifies a Run/RunBatch error. The Run contract makes
-// plain errors invalid configurations (client-supplied here → 400); context
-// outcomes and panics are distinguished first.
-func (s *Server) writeSimError(w http.ResponseWriter, err error) {
+// simErrorStatus maps a Run/RunBatch error onto the taxonomy. The Run
+// contract makes plain errors invalid configurations (client-supplied here →
+// 400); context outcomes and panics are distinguished first. Shared by the
+// synchronous error writer and the async job runner, so a failed job point
+// reports the same code its synchronous twin would.
+func simErrorStatus(err error) (status int, code string) {
 	switch {
 	case errors.Is(err, context.DeadlineExceeded):
-		s.counters.deadlineExceeded.Add(1)
-		writeErrorCode(w, http.StatusRequestTimeout, "deadline", err)
-	case errors.Is(err, context.Canceled):
-		s.counters.canceled.Add(1)
-		writeErrorCode(w, StatusClientClosedRequest, "canceled", err)
+		return http.StatusRequestTimeout, "deadline"
+	case errors.Is(err, context.Canceled), errors.Is(err, vdnn.ErrCanceled):
+		return StatusClientClosedRequest, "canceled"
 	case errors.Is(err, chaos.ErrInjected):
-		writeErrorCode(w, http.StatusInternalServerError, "injected", err)
+		return http.StatusInternalServerError, "injected"
 	case strings.Contains(err.Error(), "panic"):
-		writeErrorCode(w, http.StatusInternalServerError, "internal", err)
+		return http.StatusInternalServerError, "internal"
 	default:
-		writeErrorCode(w, http.StatusBadRequest, "invalid", err)
+		return http.StatusBadRequest, "invalid"
 	}
+}
+
+// writeSimError classifies a Run/RunBatch error for a synchronous response.
+func (s *Server) writeSimError(w http.ResponseWriter, err error) {
+	status, code := simErrorStatus(err)
+	switch code {
+	case "deadline":
+		s.counters.deadlineExceeded.Add(1)
+	case "canceled":
+		s.counters.canceled.Add(1)
+	}
+	writeErrorCode(w, status, code, err)
 }
 
 // recoverer is the panic-isolation middleware: a panic anywhere below it —

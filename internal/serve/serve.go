@@ -6,13 +6,18 @@
 //
 // Endpoints:
 //
-//	POST /v1/simulate   one configuration        -> SimResponse
-//	POST /v1/sweep      {"jobs": [...]} batch    -> SweepResponse
-//	POST /v1/plan       design-space search      -> PlanResponse
-//	GET  /v1/networks   model/device/link names  -> CatalogResponse
-//	GET  /v1/stats      cache + serve counters   -> StatsResponse
-//	GET  /healthz       liveness                 -> "ok"
-//	GET  /readyz        readiness (503 draining) -> "ready"
+//	POST   /v1/simulate   one configuration        -> SimResponse
+//	POST   /v1/sweep      {"jobs": [...]} batch    -> SweepResponse
+//	POST   /v1/jobs       async sweep              -> 202 JobAccepted
+//	GET    /v1/jobs       retained job summaries   -> {"jobs": [...]}
+//	GET    /v1/jobs/{id}  NDJSON point stream      -> JobEvent* JobSummary
+//	DELETE /v1/jobs/{id}  cancel                   -> JobSummary
+//	POST   /v1/plan       design-space search      -> PlanResponse
+//	GET    /v1/networks   model/device/link names  -> CatalogResponse
+//	GET    /v1/stats      cache + store + serve + job counters
+//	GET    /metrics       Prometheus text exposition
+//	GET    /healthz       liveness                 -> "ok"
+//	GET    /readyz        readiness (503 draining) -> "ready"
 //
 // Simulation requests pass through admission control (bounded queue, 503 +
 // Retry-After when full) and run under a per-request deadline (server
@@ -26,12 +31,14 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"strings"
 	"sync/atomic"
 	"time"
 
 	"vdnn"
+	"vdnn/internal/metrics"
 )
 
 // SimRequest is the wire form of one simulation. GPUs and links are
@@ -208,6 +215,11 @@ type StatsResponse struct {
 	vdnn.EngineStats
 	Serve   ServeStats        `json:"serve"`
 	Planner vdnn.PlanCounters `json:"planner"`
+	// Jobs counts the async job subsystem (POST /v1/jobs).
+	Jobs JobStats `json:"jobs"`
+	// Store counts the persistent result store; absent when the daemon runs
+	// without one.
+	Store *vdnn.StoreStats `json:"store,omitempty"`
 }
 
 // SweepResponse carries one result per job, in job order.
@@ -238,6 +250,12 @@ type Server struct {
 	draining        atomic.Bool
 	defaultDeadline time.Duration
 	maxDeadline     time.Duration
+
+	jobs  *jobRunner
+	log   *slog.Logger
+	store *vdnn.Store // stats/metrics visibility only; may be nil
+	reg   *metrics.Registry
+	http  httpMetrics
 }
 
 // Request guardrails. Every numeric knob below is client-controlled, so the
@@ -272,6 +290,7 @@ func New(sim *vdnn.Simulator, opts ...Option) *Server {
 		queueDepth:      -1,
 		defaultDeadline: defaultRequestDeadline,
 		maxDeadline:     defaultMaxDeadline,
+		jobQueueDepth:   -1,
 	}
 	for _, opt := range opts {
 		opt(&o)
@@ -282,26 +301,51 @@ func New(sim *vdnn.Simulator, opts ...Option) *Server {
 	if o.queueDepth < 0 {
 		o.queueDepth = 4 * o.maxConcurrent
 	}
+	if o.jobWorkers <= 0 {
+		o.jobWorkers = max(1, o.maxConcurrent/2)
+	}
+	if o.jobQueueDepth < 0 {
+		o.jobQueueDepth = defaultJobQueueDepth
+	}
+	if o.logger == nil {
+		o.logger = slog.New(slog.DiscardHandler)
+	}
 	s := &Server{
 		sim:             sim,
 		mux:             http.NewServeMux(),
 		adm:             newAdmission(o.maxConcurrent, o.queueDepth),
 		defaultDeadline: o.defaultDeadline,
 		maxDeadline:     o.maxDeadline,
+		log:             o.logger,
+		store:           o.store,
 	}
-	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
-	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
-	s.mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
-	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
-	s.mux.HandleFunc("POST /v1/plan", s.handlePlan)
-	s.mux.HandleFunc("GET /v1/networks", s.handleNetworks)
-	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.jobs = newJobRunner(s, o.jobWorkers, o.jobQueueDepth)
+	s.reg = s.newMetricsRegistry()
+	s.route("GET /healthz", s.handleHealthz)
+	s.route("GET /readyz", s.handleReadyz)
+	s.route("POST /v1/simulate", s.handleSimulate)
+	s.route("POST /v1/sweep", s.handleSweep)
+	s.route("POST /v1/plan", s.handlePlan)
+	s.route("GET /v1/networks", s.handleNetworks)
+	s.route("GET /v1/stats", s.handleStats)
+	s.route("POST /v1/jobs", s.handleJobSubmit)
+	s.route("GET /v1/jobs", s.handleJobList)
+	s.route("GET /v1/jobs/{id}", s.handleJobStream)
+	s.route("DELETE /v1/jobs/{id}", s.handleJobDelete)
+	s.route("GET /metrics", s.reg.Handler().ServeHTTP)
 	var h http.Handler = s.mux
 	if o.injector != nil {
 		h = o.injector.Middleware(h)
 	}
 	s.handler = s.recoverer(h)
 	return s
+}
+
+// route registers a handler wrapped in the observability middleware: request
+// id, in-flight gauge, per-endpoint request counter and latency histogram,
+// and one structured log record per request.
+func (s *Server) route(pattern string, h http.HandlerFunc) {
+	s.mux.Handle(pattern, s.instrument(pattern, h))
 }
 
 // ServeHTTP implements http.Handler.
@@ -549,54 +593,65 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, out)
 }
 
-func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+// parseSweep decodes and resolves a sweep body — shared by the synchronous
+// /v1/sweep and the asynchronous POST /v1/jobs. On failure it has already
+// written the 400 response and returns ok=false.
+func (s *Server) parseSweep(w http.ResponseWriter, r *http.Request) (reqs []SimRequest, jobs []vdnn.BatchJob, deadlineMS int64, ok bool) {
 	var sr struct {
 		Jobs       []json.RawMessage `json:"jobs"`
 		DeadlineMS int64             `json:"deadline_ms"`
 	}
 	if err := decodeJSON(w, r, &sr); err != nil {
 		writeError(w, http.StatusBadRequest, err)
-		return
+		return nil, nil, 0, false
 	}
 	if err := validDeadlineMS(sr.DeadlineMS); err != nil {
 		writeError(w, http.StatusBadRequest, err)
-		return
+		return nil, nil, 0, false
 	}
 	if len(sr.Jobs) == 0 {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("empty sweep: provide jobs"))
-		return
+		return nil, nil, 0, false
 	}
 	if len(sr.Jobs) > maxSweepJobs {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("sweep of %d jobs exceeds the limit of %d", len(sr.Jobs), maxSweepJobs))
-		return
+		return nil, nil, 0, false
 	}
-	reqs := make([]SimRequest, len(sr.Jobs))
-	jobs := make([]vdnn.BatchJob, len(sr.Jobs))
+	reqs = make([]SimRequest, len(sr.Jobs))
+	jobs = make([]vdnn.BatchJob, len(sr.Jobs))
 	for i, raw := range sr.Jobs {
 		req := defaultRequest()
 		if err := strictDecode(bytes.NewReader(raw), &req); err != nil {
 			writeError(w, http.StatusBadRequest, fmt.Errorf("job %d: %w", i, err))
-			return
+			return nil, nil, 0, false
 		}
 		if req.Trace {
 			// A sweep of inline traces would dwarf any sane response body;
 			// request traces one simulation at a time.
 			writeError(w, http.StatusBadRequest, fmt.Errorf("job %d: trace is not available in sweeps; use /v1/simulate", i))
-			return
+			return nil, nil, 0, false
 		}
 		if req.DeadlineMS != 0 {
 			writeError(w, http.StatusBadRequest, fmt.Errorf("job %d: deadline_ms applies to the whole sweep; set it on the sweep body", i))
-			return
+			return nil, nil, 0, false
 		}
 		net, cfg, err := s.resolve(req)
 		if err != nil {
 			writeError(w, http.StatusBadRequest, fmt.Errorf("job %d: %w", i, err))
-			return
+			return nil, nil, 0, false
 		}
 		reqs[i] = req
 		jobs[i] = vdnn.BatchJob{Net: net, Cfg: cfg}
 	}
-	ctx, cancel := s.requestContext(r.Context(), sr.DeadlineMS)
+	return reqs, jobs, sr.DeadlineMS, true
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	reqs, jobs, deadlineMS, ok := s.parseSweep(w, r)
+	if !ok {
+		return
+	}
+	ctx, cancel := s.requestContext(r.Context(), deadlineMS)
 	defer cancel()
 	release, ok := s.admit(w, ctx)
 	if !ok {
@@ -631,7 +686,17 @@ func (s *Server) handleNetworks(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, StatsResponse{EngineStats: s.sim.Stats(), Serve: s.counters.snapshot(), Planner: s.planner.snapshot()})
+	out := StatsResponse{
+		EngineStats: s.sim.Stats(),
+		Serve:       s.counters.snapshot(),
+		Planner:     s.planner.snapshot(),
+		Jobs:        s.jobs.stats(),
+	}
+	if s.store != nil {
+		st := s.store.Stats()
+		out.Store = &st
+	}
+	writeJSON(w, out)
 }
 
 // decodeJSON reads a size-capped request body strictly: unknown fields are

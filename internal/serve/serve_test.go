@@ -244,8 +244,13 @@ func TestNetworksCatalog(t *testing.T) {
 // goroutines posting the same request must all receive byte-identical
 // responses, from (at most) one simulation. Run under -race.
 func TestConcurrentIdenticalRequests(t *testing.T) {
-	srv, ts := newTestServer(t, vdnn.WithParallelism(4))
 	const n = 24
+	// This test exercises coalescing, not admission: give the queue room
+	// for all n requests at once so none can flake into a 503 (default
+	// capacity is 4 executing + 16 queued = 20 < n).
+	srv := New(vdnn.NewSimulator(vdnn.WithParallelism(4)), WithQueueDepth(n))
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
 	body := `{"network":"googlenet","batch":64,"policy":"vdnn-conv","algo":"m"}`
 
 	responses := make([]string, n)

@@ -180,6 +180,12 @@ type Engine struct {
 	// speedup benchmarks (SetFullSimulation).
 	fullSim bool
 
+	// store, when set, extends the in-memory cache with a persistent
+	// read/write-through layer (SetStore). Loaded before a claimed
+	// computation simulates, written after it succeeds; structure probes
+	// (whose value is in-process allocator state) are never stored.
+	store ResultStore
+
 	seed   maphash.Seed
 	shards [nShards]shard
 	count  atomic.Int64 // live entries across all shards
@@ -254,6 +260,29 @@ func (e *Engine) SetChaosHook(h func(point string) error) { e.hook = h }
 
 // CacheBound returns the configured cache capacity (0 = unbounded).
 func (e *Engine) CacheBound() int { return e.maxEntries }
+
+// ResultStore is a persistent result cache behind the in-memory one —
+// implemented by internal/store, abstracted here so the engine stays
+// storage-agnostic. Load returns a previously persisted result for exactly
+// the computation (net, cfg) describes, or ok=false (a miss, a corrupt
+// record, or a config the store cannot address, e.g. a custom policy). Save
+// persists a successful result; it must not fail the computation, so it
+// returns nothing. Both must be safe for concurrent use.
+type ResultStore interface {
+	Load(net *dnn.Network, cfg core.Config) (*core.Result, bool)
+	Save(net *dnn.Network, cfg core.Config, res *core.Result)
+}
+
+// SetStore installs a persistent read/write-through store: every claimed
+// computation — top-level requests and nested profiling candidates alike —
+// first consults the store, and a hit is returned without simulating (it
+// does not count toward Stats.Simulations, so a fully warm store means zero
+// simulations). Successful results are written through after computing.
+// Structure probes are exempt in both directions: their value is the
+// in-process allocator trace, which is not meaningful across processes.
+// Set it before the engine serves traffic — it is read without locking on
+// the hot path.
+func (e *Engine) SetStore(s ResultStore) { e.store = s }
 
 // SetFullSimulation, when on, disables differential evaluation: every
 // computation runs the complete simulation even when a shared structure could
@@ -521,10 +550,6 @@ func (e *Engine) resolve(ctx context.Context, net *dnn.Network, custom core.Offl
 			}
 			continue
 		}
-		if topLevel {
-			e.stats.simulations.Add(1)
-		}
-
 		// The initiator runs the computation on its own goroutine, so its
 		// cancellation must be observed from the side: AfterFunc drops the
 		// initiator's reference when ctx fires, which cancels runCtx only if
@@ -553,7 +578,22 @@ func (e *Engine) resolve(ctx context.Context, net *dnn.Network, custom core.Offl
 					<-e.sem
 				}
 			}()
+			// Read through the persistent store before simulating. A stored
+			// result is exact — keys are normalized configs plus the network's
+			// structural fingerprint — so a hit is not a simulation: it fires
+			// no chaos hook and does not count toward Stats.Simulations, which
+			// is what lets a restarted daemon serve a repeated sweep with zero
+			// re-simulations. Structure keys are exempt: their entries carry
+			// the in-process allocator trace a stored Result cannot.
+			persistable := e.store != nil && k != structureKey(k)
+			if persistable {
+				if res, ok := e.store.Load(net, runCfg); ok {
+					ent.res = res
+					return
+				}
+			}
 			if topLevel {
+				e.stats.simulations.Add(1)
 				if h := e.hook; h != nil {
 					if herr := h("simulate"); herr != nil {
 						ent.err = fmt.Errorf("sweep: injected fault: %w", herr)
@@ -562,6 +602,9 @@ func (e *Engine) resolve(ctx context.Context, net *dnn.Network, custom core.Offl
 				}
 			}
 			e.compute(runCtx, net, runCfg, k, ent)
+			if persistable && ent.err == nil && ent.res != nil {
+				e.store.Save(net, runCfg, ent.res)
+			}
 		}()
 		if ent.err != nil && errors.Is(ent.err, core.ErrCanceled) {
 			if ctx.Err() == nil {

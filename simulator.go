@@ -27,6 +27,7 @@ type EngineStats = sweep.Stats
 // one-shot convenience for scripts that simulate a single configuration.
 type Simulator struct {
 	eng   *sweep.Engine
+	store ResultStore
 	gpus  map[string]GPU
 	links map[string]Link
 
@@ -51,6 +52,7 @@ type simulatorConfig struct {
 	parallelism int
 	cacheBound  int
 	fullSim     bool
+	store       ResultStore
 	gpus        map[string]GPU
 	links       map[string]Link
 }
@@ -81,6 +83,18 @@ func WithFullSimulation() SimulatorOption {
 	return func(c *simulatorConfig) { c.fullSim = true }
 }
 
+// WithStore backs the simulator's in-memory result cache with a persistent
+// read/write-through store (usually OpenStore's file-backed one): completed
+// simulations are written through, and a request whose result is already
+// stored — by an earlier process, or by another live process sharing the
+// same store directory — is served from it without simulating. Store hits
+// do not count toward EngineStats.Simulations. Results for custom-policy
+// configurations and the engine's internal structure probes are never
+// persisted.
+func WithStore(s ResultStore) SimulatorOption {
+	return func(c *simulatorConfig) { c.store = s }
+}
+
 // WithGPU adds a named device to the simulator's registry, shadowing any
 // built-in entry with the same name. The registry backs GPUByName and the
 // serialized request surfaces (vdnn-serve) built on it.
@@ -102,8 +116,12 @@ func NewSimulator(opts ...SimulatorOption) *Simulator {
 	}
 	eng := sweep.NewEngineCache(c.parallelism, c.cacheBound)
 	eng.SetFullSimulation(c.fullSim)
+	if c.store != nil {
+		eng.SetStore(c.store)
+	}
 	return &Simulator{
 		eng:   eng,
+		store: c.store,
 		gpus:  c.gpus,
 		links: c.links,
 		nets:  map[netKey]*Network{},
@@ -175,6 +193,10 @@ func (s *Simulator) RunBatch(ctx context.Context, jobs []BatchJob) ([]*Result, e
 
 // Stats returns a snapshot of the simulator's cache counters.
 func (s *Simulator) Stats() EngineStats { return s.eng.Stats() }
+
+// ResultStore returns the persistent store configured with WithStore, or
+// nil.
+func (s *Simulator) ResultStore() ResultStore { return s.store }
 
 // Parallelism returns the configured concurrency.
 func (s *Simulator) Parallelism() int { return s.eng.Workers() }

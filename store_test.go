@@ -1,0 +1,72 @@
+package vdnn_test
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"vdnn"
+)
+
+// TestSimulatorWithStore exercises the public persistent-store surface the
+// way the CLIs use it: OpenStore + WithStore, a cold process filling the
+// store, and a fresh process (new Simulator, new Store over the same
+// directory) serving the identical sweep without simulating.
+func TestSimulatorWithStore(t *testing.T) {
+	dir := t.TempDir()
+
+	jobs := func(s *vdnn.Simulator) []vdnn.BatchJob {
+		net, err := s.Network("alexnet", 32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []vdnn.BatchJob
+		for _, p := range []vdnn.Policy{vdnn.Baseline, vdnn.VDNNAll, vdnn.VDNNConv} {
+			out = append(out, vdnn.BatchJob{Net: net, Cfg: vdnn.Config{
+				Spec: vdnn.TitanX(), Policy: p, Algo: vdnn.MemOptimal,
+			}})
+		}
+		return out
+	}
+
+	st1, err := vdnn.OpenStore(dir)
+	if err != nil {
+		t.Fatalf("OpenStore: %v", err)
+	}
+	sim1 := vdnn.NewSimulator(vdnn.WithParallelism(2), vdnn.WithStore(st1))
+	if sim1.ResultStore() == nil {
+		t.Fatalf("ResultStore() nil after WithStore")
+	}
+	cold, err := sim1.RunBatch(context.Background(), jobs(sim1))
+	if err != nil {
+		t.Fatalf("cold RunBatch: %v", err)
+	}
+	if s := sim1.Stats(); s.Simulations == 0 {
+		t.Fatalf("cold run did not simulate: %+v", s)
+	}
+	if s := st1.Stats(); s.Writes != 3 {
+		t.Fatalf("store after cold run: %+v, want 3 writes", s)
+	}
+
+	st2, err := vdnn.OpenStore(dir)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if s := st2.Stats(); s.Records != 3 {
+		t.Fatalf("reopened store: %+v, want 3 records", s)
+	}
+	sim2 := vdnn.NewSimulator(vdnn.WithParallelism(2), vdnn.WithStore(st2))
+	warm, err := sim2.RunBatch(context.Background(), jobs(sim2))
+	if err != nil {
+		t.Fatalf("warm RunBatch: %v", err)
+	}
+	if s := sim2.Stats(); s.Simulations != 0 {
+		t.Fatalf("warm run simulated: %+v", s)
+	}
+	if s := st2.Stats(); s.Hits != 3 {
+		t.Fatalf("store after warm run: %+v, want 3 hits", s)
+	}
+	if !reflect.DeepEqual(cold, warm) {
+		t.Errorf("store-served results differ from simulated ones")
+	}
+}
