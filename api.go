@@ -152,11 +152,54 @@ type StoreStats = store.Stats
 // bad disk still serves its intact results. Pass the result to WithStore.
 func OpenStore(dir string) (*Store, error) { return store.Open(dir) }
 
-// GPU describes the simulated device.
+// GPU describes the simulated device: compute cost, memory hierarchy
+// (capacity, bandwidth, reservation, MemoryKind), host Link, and the linear
+// power/energy model. Every entry of the hardware catalog materializes to
+// one of these.
 type GPU = gpu.Spec
+
+// Backend is a pluggable accelerator entry of the hardware catalog: a
+// stable registry token plus the GPU spec it materializes. Fixed profiles
+// use SpecBackend; RegisterBackend installs custom implementations.
+type Backend = gpu.Backend
+
+// SpecBackend is the trivial Backend: a token bound to a fixed GPU spec.
+type SpecBackend = gpu.SpecBackend
+
+// MemoryKind classifies a device's memory technology (GDDR, HBM stacks, or
+// the accelerator-resident DRAM of a near-memory design). Catalog metadata
+// only — it never changes a schedule.
+type MemoryKind = gpu.MemoryKind
+
+// Memory kinds.
+const (
+	GDDR     = gpu.GDDR
+	HBM      = gpu.HBM
+	NearDRAM = gpu.NearDRAM
+)
+
+// PowerStats is a Result's board-power summary: time-weighted average and
+// instantaneous maximum watts over the measured iteration.
+type PowerStats = gpu.PowerStats
+
+// EnergyStats is a Result's per-op energy breakdown in joules — compute,
+// DMA, codec and idle-floor buckets whose TotalJ() equals the power
+// timeline's integral (Power.AvgW x the measured span).
+type EnergyStats = gpu.EnergyStats
 
 // Link describes a host interconnect.
 type Link = pcie.Link
+
+// LinkClass groups links into interconnect families (PCIe, NVLINK-class,
+// on-die fabric). Catalog metadata only — costs come from the Link numbers.
+type LinkClass = pcie.LinkClass
+
+// Link classes.
+const (
+	ClassPCIe   = pcie.ClassPCIe
+	ClassNVLink = pcie.ClassNVLink
+	ClassOnDie  = pcie.ClassOnDie
+)
 
 // Topology describes how data-parallel replicas attach to the host
 // interconnect: dedicated per-device links, or links sharing a root complex
@@ -217,31 +260,76 @@ const (
 // FormatBytes renders a byte count with a binary-unit suffix ("1.5 GB").
 func FormatBytes(n int64) string { return tensor.FormatBytes(n) }
 
+// The hardware constructors below are thin aliases over the catalog — each
+// one returns exactly its registry entry (GPUByName / LinkByName /
+// TopologyByName), which is the preferred way to address hardware. They are
+// kept so no existing caller breaks; new code should resolve catalog names.
+
+// catalogGPU, catalogLink and catalogTopology back the legacy constructors
+// with registry lookups. The built-in names are always registered, so a
+// miss is a programming error.
+func catalogGPU(name string) GPU {
+	s, ok := gpu.ByName(name)
+	if !ok {
+		panic("vdnn: built-in device " + name + " missing from catalog")
+	}
+	return s
+}
+
+func catalogLink(name string) Link {
+	l, ok := pcie.ByName(name)
+	if !ok {
+		panic("vdnn: built-in link " + name + " missing from catalog")
+	}
+	return l
+}
+
+func catalogTopology(name string) Topology {
+	t, ok := pcie.TopologyByName(name)
+	if !ok {
+		panic("vdnn: built-in topology " + name + " missing from catalog")
+	}
+	return t
+}
+
 // TitanX returns the paper's evaluation GPU: NVIDIA Titan X (Maxwell),
-// 7 TFLOPS, 336 GB/s, 12 GB, PCIe gen3 x16.
-func TitanX() GPU { return gpu.TitanX() }
+// 7 TFLOPS, 336 GB/s, 12 GB, PCIe gen3 x16. Alias for GPUByName("titanx").
+func TitanX() GPU { return catalogGPU("titanx") }
 
 // TitanXNVLink returns a what-if Titan X with an NVLINK-class interconnect.
-func TitanXNVLink() GPU { return gpu.TitanXNVLink() }
+// Alias for GPUByName("titanx-nvlink").
+func TitanXNVLink() GPU { return catalogGPU("titanx-nvlink") }
 
-// GTX980 returns the 4 GB previous-generation Maxwell card.
-func GTX980() GPU { return gpu.GTX980() }
+// GTX980 returns the 4 GB previous-generation Maxwell card. Alias for
+// GPUByName("gtx980").
+func GTX980() GPU { return catalogGPU("gtx980") }
 
-// TeslaK40 returns the Kepler-generation 12 GB compute card.
-func TeslaK40() GPU { return gpu.TeslaK40() }
+// TeslaK40 returns the Kepler-generation 12 GB compute card. Alias for
+// GPUByName("teslak40").
+func TeslaK40() GPU { return catalogGPU("teslak40") }
 
 // PascalP100 returns a forward-looking 16 GB HBM2 device with NVLINK.
-func PascalP100() GPU { return gpu.PascalP100() }
+// Alias for GPUByName("p100").
+func PascalP100() GPU { return catalogGPU("p100") }
+
+// RapidNN returns the RAPIDNN-style near-memory accelerator profile: compute
+// in the DRAM stack, an on-die fabric in place of a host link (offload wire
+// cost near zero), and a far lower power envelope. Alias for
+// GPUByName("rapidnn").
+func RapidNN() GPU { return catalogGPU("rapidnn") }
 
 // PCIeGen3 returns the paper's interconnect (12.8 GB/s effective DMA).
-func PCIeGen3() Link { return pcie.Gen3x16() }
+// Alias for LinkByName("pcie3").
+func PCIeGen3() Link { return catalogLink("pcie3") }
 
-// NVLink returns a first-generation NVLINK link model.
-func NVLink() Link { return pcie.NVLink1() }
+// NVLink returns a first-generation NVLINK link model. Alias for
+// LinkByName("nvlink").
+func NVLink() Link { return catalogLink("nvlink") }
 
 // DedicatedTopology gives every replica its full link: transfers never
-// contend (the single-GPU model, and the zero value of Topology).
-func DedicatedTopology() Topology { return pcie.Dedicated() }
+// contend (the single-GPU model, and the zero value of Topology). Alias for
+// TopologyByName("dedicated").
+func DedicatedTopology() Topology { return catalogTopology("dedicated") }
 
 // SharedRootTopology builds a topology whose device links hang off a root
 // complex with the given per-direction aggregate bandwidth (bytes/sec).
@@ -251,8 +339,9 @@ func SharedRootTopology(name string, aggregateBps int64) Topology {
 
 // SharedGen3Root returns the worst-case multi-GPU topology: every replica
 // behind one gen3 x16 uplink (12.8 GB/s effective, shared). This is the
-// default topology of multi-device configurations.
-func SharedGen3Root() Topology { return pcie.SharedGen3Root() }
+// default topology of multi-device configurations. Alias for
+// TopologyByName("shared-x16").
+func SharedGen3Root() Topology { return catalogTopology("shared-x16") }
 
 // ErrCanceled marks a simulation abandoned by context cancellation: errors
 // from Simulator.Run/RunBatch satisfy errors.Is(err, ErrCanceled) (and

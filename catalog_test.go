@@ -1,0 +1,120 @@
+package vdnn_test
+
+import (
+	"slices"
+	"testing"
+
+	"vdnn"
+)
+
+// TestConstructorAliasesMatchRegistry pins the API redesign's compatibility
+// contract: every legacy hardware constructor is a thin alias that returns
+// exactly its catalog entry.
+func TestConstructorAliasesMatchRegistry(t *testing.T) {
+	gpus := map[string]func() vdnn.GPU{
+		"titanx":        vdnn.TitanX,
+		"titanx-nvlink": vdnn.TitanXNVLink,
+		"gtx980":        vdnn.GTX980,
+		"teslak40":      vdnn.TeslaK40,
+		"p100":          vdnn.PascalP100,
+		"rapidnn":       vdnn.RapidNN,
+	}
+	for name, fn := range gpus {
+		reg, ok := vdnn.GPUByName(name)
+		if !ok {
+			t.Errorf("catalog lacks %q", name)
+			continue
+		}
+		if got := fn(); got != reg {
+			t.Errorf("%s() != GPUByName(%q):\n got %+v\nwant %+v", name, name, got, reg)
+		}
+	}
+	links := map[string]func() vdnn.Link{
+		"pcie3":  vdnn.PCIeGen3,
+		"nvlink": vdnn.NVLink,
+	}
+	for name, fn := range links {
+		reg, ok := vdnn.LinkByName(name)
+		if !ok {
+			t.Errorf("catalog lacks link %q", name)
+			continue
+		}
+		if got := fn(); got != reg {
+			t.Errorf("%s() != LinkByName(%q): got %+v want %+v", name, name, got, reg)
+		}
+	}
+	topos := map[string]func() vdnn.Topology{
+		"dedicated":  vdnn.DedicatedTopology,
+		"shared-x16": vdnn.SharedGen3Root,
+	}
+	for name, fn := range topos {
+		reg, ok := vdnn.TopologyByName(name)
+		if !ok {
+			t.Errorf("catalog lacks topology %q", name)
+			continue
+		}
+		if got := fn(); got != reg {
+			t.Errorf("alias != TopologyByName(%q): got %+v want %+v", name, got, reg)
+		}
+	}
+}
+
+// TestBackendRegistry checks the Backend layer under the spec lookups: the
+// same namespace, materialization through Spec(), and custom registration.
+func TestBackendRegistry(t *testing.T) {
+	if !slices.Equal(vdnn.BackendNames(), vdnn.GPUNames()) {
+		t.Errorf("BackendNames %v != GPUNames %v", vdnn.BackendNames(), vdnn.GPUNames())
+	}
+	for _, name := range vdnn.BackendNames() {
+		b, ok := vdnn.BackendByName(name)
+		if !ok {
+			t.Fatalf("BackendByName(%q) missing", name)
+		}
+		if b.Name() != name {
+			t.Errorf("backend %q reports Name() %q", name, b.Name())
+		}
+		spec, _ := vdnn.GPUByName(name)
+		if b.Spec() != spec {
+			t.Errorf("backend %q materializes %+v, GPUByName gives %+v", name, b.Spec(), spec)
+		}
+	}
+	custom := vdnn.SpecBackend{Token: "test-custom", Device: vdnn.GTX980()}
+	if err := vdnn.RegisterBackend(custom); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := vdnn.GPUByName("test-custom"); !ok || got != vdnn.GTX980() {
+		t.Errorf("registered backend resolves to %+v (%v)", got, ok)
+	}
+	bad := vdnn.SpecBackend{Token: "test-bad", Device: vdnn.GPU{}}
+	if err := vdnn.RegisterBackend(bad); err == nil {
+		t.Error("invalid backend spec accepted")
+	}
+}
+
+// TestCatalogMetadataInert proves the redesign's byte-identity promise: the
+// new classification fields (MemoryKind, LinkClass) are catalog metadata,
+// never cost-model inputs, so stripping them changes nothing about a
+// simulation — schedules, memory, power and energy all match exactly.
+func TestCatalogMetadataInert(t *testing.T) {
+	spec := vdnn.PascalP100()
+	bare := spec
+	bare.MemKind = vdnn.GDDR
+	bare.Link.Class = vdnn.ClassPCIe
+
+	net := vdnn.VGG16(64)
+	a, err := vdnn.Run(net, vdnn.Config{Spec: spec, Policy: vdnn.VDNNAll, Algo: vdnn.MemOptimal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := vdnn.Run(net, vdnn.Config{Spec: bare, Policy: vdnn.VDNNAll, Algo: vdnn.MemOptimal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.IterTime != b.IterTime || a.MaxUsage != b.MaxUsage || a.OffloadBytes != b.OffloadBytes {
+		t.Errorf("metadata changed the schedule: %v/%d/%d vs %v/%d/%d",
+			a.IterTime, a.MaxUsage, a.OffloadBytes, b.IterTime, b.MaxUsage, b.OffloadBytes)
+	}
+	if a.Power != b.Power || a.Energy != b.Energy {
+		t.Errorf("metadata changed power/energy: %+v %+v vs %+v %+v", a.Power, a.Energy, b.Power, b.Energy)
+	}
+}

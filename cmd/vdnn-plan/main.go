@@ -1,4 +1,4 @@
-// vdnn-plan searches the parallelism design space for the fastest trainable
+// vdnn-plan searches the parallelism design space for the best trainable
 // configuration of a workload under a memory cap: data-parallel replica
 // counts, pipeline shapes, the vDNN offload policies, convolution algorithm
 // modes and the compressed-DMA codecs. It prints the winning configuration
@@ -8,7 +8,10 @@
 //
 // The fleet is described by -gpu, -max-devices and -topology; -mem-cap
 // overrides the device's physical memory, which is the hard per-device cap
-// the winner must train under.
+// the winner must train under. -objective selects what "best" means: step
+// time (default) or whole-fleet energy per iteration — the two can disagree,
+// e.g. a data-parallel fleet that wins on time pays N idle floors plus
+// all-reduce traffic and can lose on joules to a single vDNN device.
 package main
 
 import (
@@ -32,7 +35,10 @@ func main() {
 		topo     = flag.String("topology", "", "multi-GPU topology: "+strings.Join(vdnn.TopologyNames(), ", ")+" (default shared-x16)")
 		noCodec  = flag.Bool("no-codec", false, "search only the codec-free branch (skip compressed DMA)")
 		jsonOut  = flag.Bool("json", false, "emit the plan as JSON instead of text")
+
+		objective vdnn.PlanObjective
 	)
+	flag.Var(&objective, "objective", "what the search minimizes: time or energy")
 	flag.Parse()
 
 	spec, ok := vdnn.GPUByName(*gpuName)
@@ -51,6 +57,7 @@ func main() {
 		MemCapBytes: int64(*memCapGB) << 30,
 		MaxDevices:  *maxDev,
 		Topology:    topology,
+		Objective:   objective,
 	}
 	if *noCodec {
 		req.Codecs = []vdnn.Compression{{}}
@@ -72,8 +79,8 @@ func main() {
 	if cap == 0 {
 		cap = spec.MemBytes
 	}
-	fmt.Printf("planning %s, batch %d on %s (cap %s, budget %d devices)\n",
-		*network, *batch, spec.Name, vdnn.FormatBytes(cap), *maxDev)
+	fmt.Printf("planning %s, batch %d on %s (cap %s, budget %d devices, objective %v)\n",
+		*network, *batch, spec.Name, vdnn.FormatBytes(cap), *maxDev, objective)
 	if !plan.Feasible {
 		fmt.Printf("  no trainable configuration under the cap\n\n")
 		plan.Table().Render(os.Stdout)
@@ -84,6 +91,10 @@ func main() {
 	fmt.Printf("  step time %.1f ms, peak memory %s (pool %s + classifier-side %s)\n",
 		res.IterTime.Msec(), vdnn.FormatBytes(res.TotalMaxUsage()),
 		vdnn.FormatBytes(res.MaxUsage), vdnn.FormatBytes(res.FrameworkBytes))
+	if objective == vdnn.MinimizeEnergy {
+		fmt.Printf("  energy %.2f J/iter (compute %.2f + dma %.2f + codec %.2f + idle %.2f)\n",
+			res.Energy.TotalJ(), res.Energy.ComputeJ, res.Energy.DMAJ, res.Energy.CodecJ, res.Energy.IdleJ)
+	}
 	fmt.Printf("  search: %d-candidate space, %d evaluated (%d refined), %d pruned unevaluated\n\n",
 		plan.Counters.Space, plan.Counters.Evaluated, plan.Counters.Refined, plan.Counters.Pruned)
 	plan.Table().Render(os.Stdout)

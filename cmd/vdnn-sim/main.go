@@ -139,6 +139,8 @@ func main() {
 	fmt.Printf("  time: iteration %.1f ms (feature extraction %.1f ms)\n",
 		res.IterTime.Msec(), res.FETime.Msec())
 	fmt.Printf("  power: avg %.0f W, max %.0f W\n", res.Power.AvgW, res.Power.MaxW)
+	fmt.Printf("  energy: %.2f J/iter (compute %.2f + dma %.2f + codec %.2f + idle %.2f)\n",
+		res.Energy.TotalJ(), res.Energy.ComputeJ, res.Energy.DMAJ, res.Energy.CodecJ, res.Energy.IdleJ)
 
 	if len(res.Stages) > 0 {
 		fmt.Printf("  pipeline: %d stages x %d micro-batches over %v, inter-stage %s, bubble %.1f ms (%.0f%%), imbalance %.2fx\n",

@@ -373,6 +373,14 @@ type Result struct {
 
 	Power gpu.PowerStats
 
+	// Energy is the measured iteration's joule breakdown (compute, DMA,
+	// codec, idle). Its TotalJ() equals the Power timeline integral —
+	// Power.AvgW x the iteration span — by construction. Unlike Power (which
+	// for data-parallel runs describes one replica), Energy always aggregates
+	// over every device in the run: replicas for data parallelism, stages for
+	// pipelines. Per-device breakdowns stay in Devices[i].Energy.
+	Energy gpu.EnergyStats
+
 	Layers []LayerStats
 
 	// Schedule is the op-level timeline of the measured iteration
@@ -469,6 +477,10 @@ type DeviceResult struct {
 	OverlapEff float64
 
 	Power gpu.PowerStats
+
+	// Energy is the replica's joule breakdown over its measured window;
+	// TotalJ() equals Power.AvgW x that window.
+	Energy gpu.EnergyStats
 }
 
 // StageResult is the per-stage view of a pipeline-parallel run.

@@ -1,8 +1,11 @@
 package core
 
 import (
+	"encoding/json"
 	"fmt"
 	"strings"
+
+	"vdnn/internal/gpu"
 )
 
 // Text round-tripping for the configuration enums. MarshalText emits a
@@ -118,3 +121,33 @@ func (m *PrefetchMode) UnmarshalText(text []byte) error {
 
 // Set implements flag.Value.
 func (m *PrefetchMode) Set(s string) error { return m.UnmarshalText([]byte(s)) }
+
+// UnmarshalJSON decodes a Config, additionally accepting a "Backend" key
+// naming a device from the hardware catalog (gpu.BackendNames): the named
+// backend's spec is materialized into Spec, so JSON configurations can say
+// {"Backend": "p100"} instead of spelling out a full device description.
+// Naming a backend and giving an explicit Spec at once is rejected — the
+// two would silently shadow each other. A config without the key decodes
+// exactly as before.
+func (c *Config) UnmarshalJSON(data []byte) error {
+	type alias Config // alias drops the methods: no recursion
+	aux := struct {
+		*alias
+		Backend string
+	}{alias: (*alias)(c)}
+	if err := json.Unmarshal(data, &aux); err != nil {
+		return err
+	}
+	if aux.Backend == "" {
+		return nil
+	}
+	if c.Spec != (gpu.Spec{}) {
+		return fmt.Errorf("core: config names backend %q and an explicit Spec; give one or the other", aux.Backend)
+	}
+	s, ok := gpu.ByName(aux.Backend)
+	if !ok {
+		return fmt.Errorf("core: unknown backend %q (have %s)", aux.Backend, strings.Join(gpu.Names(), ", "))
+	}
+	c.Spec = s
+	return nil
+}

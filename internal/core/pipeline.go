@@ -497,6 +497,7 @@ func assemblePP(rts []*runtime, cfg Config, winStart, winEnd sim.Time) *Result {
 		r.InterStageRawBytes += rt.ppSendRaw
 		r.Power.AvgW += dr.Power.AvgW
 		r.Power.MaxW += dr.Power.MaxW
+		r.Energy = r.Energy.Add(dr.Energy)
 
 		sr := StageResult{
 			Stage:         s,

@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"vdnn/internal/dnn"
+	"vdnn/internal/gpu"
 	"vdnn/internal/memalloc"
 	"vdnn/internal/sim"
 )
@@ -64,7 +65,7 @@ func (e *runtime) assemble(winStart, winEnd sim.Time) *Result {
 	r.CompressionRatio = compressionRatio(r.OffloadRawBytes, r.OffloadBytes)
 	r.OnDemandFetches = e.onDemand
 	r.HostPinnedPeak = e.host.Peak()
-	r.Power = e.dev.MeasurePower(winStart, winEnd)
+	r.Power, r.Energy = e.dev.MeasurePowerEnergy(winStart, winEnd)
 
 	// Per-layer stats: finish reuse distances and algorithm records, then
 	// derive the feature-extraction window and the maximum layer-wise
@@ -194,6 +195,9 @@ func assembleDP(reps []*runtime, cfg Config, winStart, winEnd sim.Time) *Result 
 	r.OffloadBytes, r.PrefetchBytes, r.HostPinnedPeak = 0, 0, 0
 	r.OffloadRawBytes, r.PrefetchRawBytes = 0, 0
 	r.CompressTime, r.DecompressTime = 0, 0
+	// Power keeps replica 0's view (replicas are symmetric); Energy, like the
+	// traffic counters, aggregates over every replica.
+	r.Energy = gpu.EnergyStats{}
 	if cfg.CaptureSchedule {
 		r.Schedule = nil
 		for _, rt := range reps {
@@ -206,6 +210,7 @@ func assembleDP(reps []*runtime, cfg Config, winStart, winEnd sim.Time) *Result 
 	for _, rt := range reps {
 		d := rt.deviceResult(winStart, winEnd)
 		r.Devices = append(r.Devices, d)
+		r.Energy = r.Energy.Add(d.Energy)
 		r.OffloadBytes += d.OffloadBytes
 		r.PrefetchBytes += d.PrefetchBytes
 		r.AllReduceBytes += d.AllReduceBytes
@@ -291,7 +296,7 @@ func (e *runtime) deviceResult(winStart, winEnd sim.Time) DeviceResult {
 	}
 	dr.OffloadRawBytes = e.offRawBytes
 	dr.CompressionRatio = compressionRatio(dr.OffloadRawBytes, dr.OffloadBytes)
-	dr.Power = e.dev.MeasurePower(winStart, winEnd)
+	dr.Power, dr.Energy = e.dev.MeasurePowerEnergy(winStart, winEnd)
 	return dr
 }
 

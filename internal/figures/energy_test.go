@@ -1,0 +1,115 @@
+package figures
+
+import (
+	"context"
+	"math"
+	"strings"
+	"testing"
+
+	"vdnn"
+	"vdnn/internal/gpu"
+	"vdnn/internal/sim"
+)
+
+// conserved reports the relative error between the per-op joule breakdown
+// and the power-timeline integral over the measurement window.
+func conserved(e gpu.EnergyStats, avgW float64, window sim.Time) float64 {
+	want := avgW * float64(window) / float64(sim.Second)
+	if want == 0 {
+		return math.Abs(e.TotalJ())
+	}
+	return math.Abs(e.TotalJ()-want) / want
+}
+
+// TestEnergyConservedOnEveryExperiment is the acceptance criterion of the
+// energy model: on every simulation of every figures experiment, the
+// compute/DMA/codec/idle joule breakdown sums to the MeasurePower timeline
+// integral within 1e-9 relative tolerance. Multi-device results are checked
+// per device row (the Result-level Energy is the whole-fleet sum, while
+// Power keeps a single device's view).
+func TestEnergyConservedOnEveryExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full evaluation suite; skipped in -short mode")
+	}
+	const tol = 1e-9
+	for _, e := range suite.Experiments() {
+		res, err := suite.Simulator().RunBatch(context.Background(), e.Jobs())
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name, err)
+		}
+		for i, r := range res {
+			if r == nil {
+				continue
+			}
+			if len(r.Devices) > 0 {
+				var sum gpu.EnergyStats
+				for _, d := range r.Devices {
+					if rel := conserved(d.Energy, d.Power.AvgW, r.IterTime); rel > tol {
+						t.Errorf("%s job %d: device %d energy off by %.3g relative", e.Name, i, d.Device, rel)
+					}
+					sum = sum.Add(d.Energy)
+				}
+				if sum != r.Energy {
+					t.Errorf("%s job %d: Result.Energy %+v != device sum %+v", e.Name, i, r.Energy, sum)
+				}
+			} else if rel := conserved(r.Energy, r.Power.AvgW, r.IterTime); rel > tol {
+				t.Errorf("%s job %d: energy off by %.3g relative", e.Name, i, rel)
+			}
+		}
+	}
+}
+
+// TestCaseStudyEnergyShape checks the backend comparison table and the
+// physics it exists to show: the near-memory accelerator's DMA energy share
+// undercuts the PCIe-attached parts'.
+func TestCaseStudyEnergyShape(t *testing.T) {
+	tb := suite.CaseStudyEnergy()
+	if len(tb.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3 backends", len(tb.Rows))
+	}
+	share := func(row int) string { return tb.Rows[row][len(tb.Rows[row])-1] }
+	if share(2) >= share(0) { // formatted percentages compare lexically at equal width
+		t.Errorf("RAPIDNN dma share %s should undercut Titan X %s", share(2), share(0))
+	}
+	if len(tb.Notes) == 0 || !strings.Contains(tb.Notes[0], "minimize energy picks") {
+		t.Errorf("note should document the planner objective flip: %q", tb.Notes)
+	}
+}
+
+// TestPlannerObjectiveFlip pins the documented case study in which the two
+// objectives disagree: VGG-16 at a 256-image global batch on up to four
+// 16 GB devices behind a shared gen3 root. Minimizing step time picks a
+// data-parallel fleet; minimizing energy picks a single vDNN device (the
+// fleet pays N idle floors plus all-reduce traffic).
+func TestPlannerObjectiveFlip(t *testing.T) {
+	timePlan, err := suite.Simulator().Plan(context.Background(), suite.energyPlanRequest(vdnn.MinimizeTime))
+	if err != nil {
+		t.Fatal(err)
+	}
+	energyPlan, err := suite.Simulator().Plan(context.Background(), suite.energyPlanRequest(vdnn.MinimizeEnergy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tBest, eBest := *timePlan.Best, *energyPlan.Best
+	if tBest == eBest {
+		t.Fatalf("objectives agree on %+v; the case study should flip", tBest)
+	}
+	if tBest.Devices <= 1 {
+		t.Errorf("time objective picked %d devices, expected a data-parallel fleet", tBest.Devices)
+	}
+	if eBest.Devices != 1 || eBest.Stages > 1 {
+		t.Errorf("energy objective picked %d devices x %d stages, expected a single device", eBest.Devices, eBest.Stages)
+	}
+	// The winners dominate each other on their own metrics.
+	if timePlan.Result.IterTime >= energyPlan.Result.IterTime {
+		t.Errorf("time winner is slower: %.1f ms vs %.1f ms",
+			timePlan.Result.IterTime.Msec(), energyPlan.Result.IterTime.Msec())
+	}
+	if energyPlan.Result.Energy.TotalJ() >= timePlan.Result.Energy.TotalJ() {
+		t.Errorf("energy winner burns more: %.1f J vs %.1f J",
+			energyPlan.Result.Energy.TotalJ(), timePlan.Result.Energy.TotalJ())
+	}
+	if timePlan.Objective != vdnn.MinimizeTime || energyPlan.Objective != vdnn.MinimizeEnergy {
+		t.Errorf("plans record objectives %v / %v", timePlan.Objective, energyPlan.Objective)
+	}
+}

@@ -103,6 +103,7 @@ func (s *Suite) Experiments() []Experiment {
 		{"case-devices", s.caseStudyDevicesJobs, s.CaseStudyDevices},
 		{"case-resnet", s.caseStudyResNetJobs, s.CaseStudyResNet},
 		{"case-plan", s.caseStudyPlannerJobs, s.CaseStudyPlanner},
+		{"case-energy", s.caseStudyEnergyJobs, s.CaseStudyEnergy},
 	}
 	for i := range exps {
 		name, gen := exps[i].Name, exps[i].Gen

@@ -1,0 +1,33 @@
+package gpu
+
+// Backend is a pluggable accelerator description: anything that can produce
+// a device Spec under a stable catalog token. The simulator itself always
+// runs on a concrete Spec — compute cost, memory hierarchy (capacity,
+// bandwidth, reservation, GDDR/HBM/near-DRAM kind), host link (PCIe
+// gen3/gen4, NVLINK-class, on-die) and the linear power/energy model are all
+// fields of Spec — so a Backend is the unit of *registration*: the catalog
+// stores Backends, and lookups materialize the Spec at the moment of use.
+//
+// The indirection is what makes the catalog pluggable. A Backend may be a
+// fixed profile (every built-in is a SpecBackend), or something that derives
+// its Spec — scaled variants, file-loaded calibrations — without the
+// registry or its consumers knowing the difference.
+type Backend interface {
+	// Name is the stable registry token ("titanx", "p100", "rapidnn", ...).
+	Name() string
+	// Spec materializes the full device description. It must validate.
+	Spec() Spec
+}
+
+// SpecBackend is the trivial Backend: a token bound to a fixed Spec. All
+// built-in devices are SpecBackends, and Register wraps bare Specs in one.
+type SpecBackend struct {
+	Token  string
+	Device Spec
+}
+
+// Name returns the registry token.
+func (b SpecBackend) Name() string { return b.Token }
+
+// Spec returns the fixed device description.
+func (b SpecBackend) Spec() Spec { return b.Device }

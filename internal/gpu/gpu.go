@@ -7,42 +7,99 @@ package gpu
 
 import (
 	"fmt"
+	"strings"
 
 	"vdnn/internal/pcie"
 	"vdnn/internal/sim"
 )
 
+// MemoryKind classifies a device's memory technology. Like pcie.LinkClass
+// it is catalog metadata: the cost model reads only DRAMBps/MemBytes, so the
+// kind never changes a schedule — it describes the capacity/bandwidth point
+// (GDDR vs HBM stacks vs the accelerator-resident DRAM of a near-memory
+// design) for catalog consumers.
+type MemoryKind int
+
+const (
+	// GDDR is the zero value: conventional off-package graphics DRAM.
+	GDDR MemoryKind = iota
+	// HBM covers on-package stacked high-bandwidth memory (P100-class).
+	HBM
+	// NearDRAM marks a near/in-memory accelerator whose compute sits inside
+	// the DRAM stack itself (RAPIDNN-style).
+	NearDRAM
+)
+
+var memoryKindNames = map[MemoryKind]string{
+	GDDR:     "gddr",
+	HBM:      "hbm",
+	NearDRAM: "near-dram",
+}
+
+// String returns the canonical lowercase token.
+func (k MemoryKind) String() string {
+	if s, ok := memoryKindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("MemoryKind(%d)", int(k))
+}
+
+// MarshalText emits the canonical token, making MemoryKind JSON-friendly.
+func (k MemoryKind) MarshalText() ([]byte, error) {
+	s, ok := memoryKindNames[k]
+	if !ok {
+		return nil, fmt.Errorf("gpu: unknown memory kind %d", int(k))
+	}
+	return []byte(s), nil
+}
+
+// UnmarshalText parses a canonical token, case-insensitively.
+func (k *MemoryKind) UnmarshalText(text []byte) error {
+	t := strings.ToLower(string(text))
+	for kk, s := range memoryKindNames {
+		if s == t {
+			*k = kk
+			return nil
+		}
+	}
+	return fmt.Errorf("gpu: unknown memory kind %q (have gddr, hbm, near-dram)", string(text))
+}
+
 // Spec is a GPU hardware description. All cost models are parameterized on
 // it so "what-if" devices (more memory, NVLINK, ...) are one literal away.
 type Spec struct {
-	Name string
+	Name string `json:"name"`
 
-	PeakFlops float64 // single-precision FLOP/s
-	DRAMBps   float64 // peak DRAM bandwidth, bytes/s
+	PeakFlops float64 `json:"peak_flops"` // single-precision FLOP/s
+	DRAMBps   float64 `json:"dram_bps"`   // peak DRAM bandwidth, bytes/s
 	// EffDRAMFrac is the fraction of peak DRAM bandwidth streaming kernels
 	// achieve in practice (copy/transform kernels never hit theoretical peak).
-	EffDRAMFrac float64
+	EffDRAMFrac float64 `json:"eff_dram_frac"`
 
-	MemBytes      int64 // physical device memory
-	ReservedBytes int64 // CUDA context + cuDNN handle + driver reservation
-	L2Bytes       int64 // last-level cache, used by the DRAM-traffic model
+	MemBytes      int64 `json:"mem_bytes"`                // physical device memory
+	ReservedBytes int64 `json:"reserved_bytes,omitempty"` // CUDA context + cuDNN handle + driver reservation
+	L2Bytes       int64 `json:"l2_bytes"`                 // last-level cache, used by the DRAM-traffic model
 
-	Link pcie.Link // host interconnect
+	// MemKind is the memory technology of the capacity/bandwidth point above;
+	// metadata only, never read by the cost model.
+	MemKind MemoryKind `json:"mem_kind,omitempty"`
 
-	LaunchOverhead sim.Time // host cost of one async launch
-	SyncOverhead   sim.Time // host cost of one blocking synchronization
+	Link pcie.Link `json:"link"` // host interconnect
 
-	Power PowerParams
+	LaunchOverhead sim.Time `json:"launch_overhead"` // host cost of one async launch
+	SyncOverhead   sim.Time `json:"sync_overhead"`   // host cost of one blocking synchronization
+
+	Power PowerParams `json:"power"`
 }
 
 // PowerParams is a linear power model: idle floor, a compute-engine term, a
 // DRAM term proportional to achieved bandwidth, and a per-active-copy-engine
 // term. Calibrated so a fully busy Titan X sits near its 250 W TDP.
 type PowerParams struct {
-	IdleW    float64 // board power with an active CUDA context, no work
-	ComputeW float64 // added when the compute engine is busy
-	DRAMW    float64 // added at 100% of peak DRAM bandwidth, scaled linearly
-	CopyW    float64 // added per busy copy engine
+	IdleW    float64 `json:"idle_w"`    // board power with an active CUDA context, no work
+	ComputeW float64 `json:"compute_w"` // added when the compute engine is busy
+	DRAMW    float64 `json:"dram_w"`    // added at 100% of peak DRAM bandwidth, scaled linearly
+	CopyW    float64 `json:"copy_w"`    // added per busy copy engine
 }
 
 // TitanX returns the paper's evaluation platform: NVIDIA GeForce GTX Titan X
@@ -113,9 +170,38 @@ func PascalP100() Spec {
 	s.DRAMBps = 732e9
 	s.MemBytes = 16 << 30
 	s.L2Bytes = 4 << 20
+	s.MemKind = HBM
 	s.Link = pcie.NVLink1()
 	s.Power = PowerParams{IdleW: 90, ComputeW: 160, DRAMW: 40, CopyW: 8}
 	return s
+}
+
+// RapidNN is a RAPIDNN-style near-memory accelerator profile: compute sits
+// inside the DRAM stack, so "offload" traffic moves between banks over an
+// on-die fabric at near-DRAM bandwidth — the wire cost of vDNN's eviction is
+// almost free, inverting the offload-vs-keep tradeoff the paper evaluates on
+// PCIe. Kernel costs differ too: less raw FLOP throughput than a Titan X but
+// an order of magnitude more memory bandwidth at a fraction of the board
+// power (no GDDR PHYs, no long board traces).
+func RapidNN() Spec {
+	return Spec{
+		Name:           "RAPIDNN near-memory accelerator",
+		PeakFlops:      3e12,
+		DRAMBps:        1e12,
+		EffDRAMFrac:    0.95,
+		MemBytes:       8 << 30,
+		L2Bytes:        4 << 20,
+		MemKind:        NearDRAM,
+		Link:           pcie.OnDie(),
+		LaunchOverhead: 2 * sim.Microsecond,
+		SyncOverhead:   4 * sim.Microsecond,
+		Power: PowerParams{
+			IdleW:    25,
+			ComputeW: 45,
+			DRAMW:    18,
+			CopyW:    2,
+		},
+	}
 }
 
 // WithMemory returns the spec with a different physical memory size; used by

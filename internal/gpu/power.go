@@ -10,17 +10,59 @@ import (
 // what the paper collects with nvprof (Section V-D): the time-weighted
 // average and the instantaneous maximum.
 type PowerStats struct {
-	AvgW float64
-	MaxW float64
+	AvgW float64 `json:"avg_w"`
+	MaxW float64 `json:"max_w"`
+}
+
+// EnergyStats is the per-op energy breakdown of the same window, in joules:
+// the power timeline's integral attributed to what the board was doing.
+// Every watt of every segment lands in exactly one bucket, so
+// TotalJ() == AvgW x window (the MeasurePower integral) by construction —
+// the conservation invariant the energy tests pin.
+//
+//   - ComputeJ: the compute-engine term plus the DRAM term driven by kernel
+//     traffic.
+//   - DMAJ: busy copy-engine terms plus the DRAM term driven by transfer
+//     traffic (offload, prefetch, peer, inter-stage).
+//   - CodecJ: the compressing-DMA passes' engine and DRAM terms.
+//   - IdleJ: the idle floor, paid for the whole window regardless of work.
+type EnergyStats struct {
+	ComputeJ float64 `json:"compute_j"`
+	DMAJ     float64 `json:"dma_j"`
+	CodecJ   float64 `json:"codec_j"`
+	IdleJ    float64 `json:"idle_j"`
+}
+
+// TotalJ is the whole-window energy, equal to the power-timeline integral.
+func (e EnergyStats) TotalJ() float64 { return e.ComputeJ + e.DMAJ + e.CodecJ + e.IdleJ }
+
+// Add returns the component-wise sum; multi-device results aggregate
+// per-device breakdowns with it.
+func (e EnergyStats) Add(o EnergyStats) EnergyStats {
+	return EnergyStats{
+		ComputeJ: e.ComputeJ + o.ComputeJ,
+		DMAJ:     e.DMAJ + o.DMAJ,
+		CodecJ:   e.CodecJ + o.CodecJ,
+		IdleJ:    e.IdleJ + o.IdleJ,
+	}
 }
 
 // MeasurePower evaluates the device's linear power model over [start, end).
-// The instantaneous power in any interval is determined by which engines are
-// busy and by the achieved DRAM bandwidth of the ops running there, so the
-// measurement sweeps the op boundaries.
 func (d *Device) MeasurePower(start, end sim.Time) PowerStats {
+	s, _ := d.MeasurePowerEnergy(start, end)
+	return s
+}
+
+// MeasurePowerEnergy evaluates the linear power model over [start, end) and
+// attributes the same timeline's energy to compute/DMA/codec/idle. The
+// instantaneous power in any interval is determined by which engines are
+// busy and by the achieved DRAM bandwidth of the ops running there, so the
+// measurement sweeps the op boundaries; both results come from one sweep and
+// the PowerStats arithmetic is exactly the historical MeasurePower's, so
+// adding the breakdown changed no reported watt.
+func (d *Device) MeasurePowerEnergy(start, end sim.Time) (PowerStats, EnergyStats) {
 	if end <= start {
-		return PowerStats{AvgW: d.Spec.Power.IdleW, MaxW: d.Spec.Power.IdleW}
+		return PowerStats{AvgW: d.Spec.Power.IdleW, MaxW: d.Spec.Power.IdleW}, EnergyStats{}
 	}
 	type edge struct {
 		t     sim.Time
@@ -67,24 +109,42 @@ func (d *Device) MeasurePower(start, end sim.Time) PowerStats {
 			active = append(active[:i], active[i+1:]...)
 		}
 	}
-	power := func() float64 {
-		w := p.IdleW
+	// power returns the segment's total watts — computed with the identical
+	// accumulation the historical MeasurePower used — plus the above-idle
+	// watts attributed to each category. The DRAM term is one clamped total
+	// (DRAMW x min(1, sum bps / peak)); its attribution splits it in
+	// proportion to each category's share of the bandwidth sum, so the split
+	// is exact even when the clamp engages.
+	power := func() (w, computeW, dmaW, codecW float64) {
+		w = p.IdleW
 		computeBusy := false
 		var dramBps float64
 		copies := 0
+		var kernelBps, copyBps, codecBps float64
+		nCopy, nCodec := 0, 0
 		for _, o := range active {
+			var bps float64
+			if o.DurationT > 0 {
+				bps = float64(o.DRAMBytes) / o.DurationT.Seconds()
+			}
 			switch o.Kind {
 			case sim.OpKernel:
 				computeBusy = true
-			case sim.OpCopyD2H, sim.OpCopyH2D, sim.OpCopyP2P, sim.OpCopyStage, sim.OpCompress, sim.OpDecompress:
+				kernelBps += bps
+			case sim.OpCompress, sim.OpDecompress:
 				copies++ // codec passes keep their DMA engine busy
+				nCodec++
+				codecBps += bps
+			case sim.OpCopyD2H, sim.OpCopyH2D, sim.OpCopyP2P, sim.OpCopyStage:
+				copies++
+				nCopy++
+				copyBps += bps
 			}
-			if o.DurationT > 0 {
-				dramBps += float64(o.DRAMBytes) / o.DurationT.Seconds()
-			}
+			dramBps += bps
 		}
 		if computeBusy {
 			w += p.ComputeW
+			computeW = p.ComputeW
 		}
 		frac := dramBps / d.Spec.DRAMBps
 		if frac > 1 {
@@ -92,21 +152,38 @@ func (d *Device) MeasurePower(start, end sim.Time) PowerStats {
 		}
 		w += p.DRAMW * frac
 		w += p.CopyW * float64(copies)
-		return w
+		dmaW = p.CopyW * float64(nCopy)
+		codecW = p.CopyW * float64(nCodec)
+		if catBps := kernelBps + copyBps + codecBps; catBps > 0 {
+			dram := p.DRAMW * frac
+			computeW += dram * kernelBps / catBps
+			dmaW += dram * copyBps / catBps
+			codecW += dram * codecBps / catBps
+		}
+		return w, computeW, dmaW, codecW
 	}
 
 	stats := PowerStats{MaxW: p.IdleW}
+	var es EnergyStats
 	var energy float64 // watt-seconds
+	account := func(dt sim.Time) {
+		w, cw, dw, xw := power()
+		s := dt.Seconds()
+		energy += w * s
+		es.IdleJ += p.IdleW * s
+		es.ComputeJ += cw * s
+		es.DMAJ += dw * s
+		es.CodecJ += xw * s
+		if w > stats.MaxW {
+			stats.MaxW = w
+		}
+	}
 	cursor := start
 	i := 0
 	for i < len(edges) {
 		t := edges[i].t
 		if t > cursor {
-			w := power()
-			energy += w * (t - cursor).Seconds()
-			if w > stats.MaxW {
-				stats.MaxW = w
-			}
+			account(t - cursor)
 			cursor = t
 		}
 		for i < len(edges) && edges[i].t == t {
@@ -119,12 +196,8 @@ func (d *Device) MeasurePower(start, end sim.Time) PowerStats {
 		}
 	}
 	if cursor < end {
-		w := power()
-		energy += w * (end - cursor).Seconds()
-		if w > stats.MaxW {
-			stats.MaxW = w
-		}
+		account(end - cursor)
 	}
 	stats.AvgW = energy / (end - start).Seconds()
-	return stats
+	return stats, es
 }

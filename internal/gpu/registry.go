@@ -6,32 +6,47 @@ import (
 	"sync"
 )
 
-// The named device registry backs every surface that addresses GPUs by a
-// short stable token instead of a Spec literal: CLI flags, the HTTP daemon's
-// JSON requests, and sweep configuration files. The built-in names cover the
-// paper's evaluation and what-if devices; Register adds process-wide custom
-// entries (per-simulator overlays live in the public package).
+// The named device catalog backs every surface that addresses accelerators
+// by a short stable token instead of a Spec literal: CLI flags, the HTTP
+// daemon's JSON requests, and sweep configuration files. It stores Backends
+// (see backend.go), so registered entries may be fixed profiles or derive
+// their Spec on lookup. The built-in names cover the paper's evaluation and
+// what-if devices plus the near-memory accelerator profile; Register and
+// RegisterBackend add process-wide custom entries (per-simulator overlays
+// live in the public package).
 
 var (
 	regMu    sync.RWMutex
-	registry = map[string]Spec{
-		"titanx":        TitanX(),
-		"titanx-nvlink": TitanXNVLink(),
-		"gtx980":        GTX980(),
-		"teslak40":      TeslaK40(),
-		"p100":          PascalP100(),
+	registry = map[string]Backend{
+		"titanx":        SpecBackend{"titanx", TitanX()},
+		"titanx-nvlink": SpecBackend{"titanx-nvlink", TitanXNVLink()},
+		"gtx980":        SpecBackend{"gtx980", GTX980()},
+		"teslak40":      SpecBackend{"teslak40", TeslaK40()},
+		"p100":          SpecBackend{"p100", PascalP100()},
+		"rapidnn":       SpecBackend{"rapidnn", RapidNN()},
 	}
 )
 
-// ByName returns the registered device spec for a name like "titanx".
+// ByName materializes the registered backend's device spec for a name like
+// "titanx". This is the lookup every cost-model consumer uses; BackendByName
+// returns the Backend itself.
 func ByName(name string) (Spec, bool) {
-	regMu.RLock()
-	defer regMu.RUnlock()
-	s, ok := registry[name]
-	return s, ok
+	b, ok := BackendByName(name)
+	if !ok {
+		return Spec{}, false
+	}
+	return b.Spec(), true
 }
 
-// Names lists the registered device names, sorted.
+// BackendByName returns the registered backend for a name like "titanx".
+func BackendByName(name string) (Backend, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	b, ok := registry[name]
+	return b, ok
+}
+
+// Names lists the registered backend names, sorted.
 func Names() []string {
 	regMu.RLock()
 	defer regMu.RUnlock()
@@ -43,7 +58,11 @@ func Names() []string {
 	return names
 }
 
-// Register adds (or replaces) a named device spec. The spec must validate.
+// BackendNames is Names under the catalog-API name.
+func BackendNames() []string { return Names() }
+
+// Register adds (or replaces) a named device spec, wrapping it in a
+// SpecBackend. The spec must validate.
 func Register(name string, s Spec) error {
 	if name == "" {
 		return fmt.Errorf("gpu: empty registry name")
@@ -51,8 +70,20 @@ func Register(name string, s Spec) error {
 	if err := s.Validate(); err != nil {
 		return err
 	}
+	return RegisterBackend(SpecBackend{Token: name, Device: s})
+}
+
+// RegisterBackend adds (or replaces) a backend under its own Name. The
+// materialized spec must validate.
+func RegisterBackend(b Backend) error {
+	if b == nil || b.Name() == "" {
+		return fmt.Errorf("gpu: backend without a registry name")
+	}
+	if err := b.Spec().Validate(); err != nil {
+		return err
+	}
 	regMu.Lock()
 	defer regMu.Unlock()
-	registry[name] = s
+	registry[b.Name()] = b
 	return nil
 }

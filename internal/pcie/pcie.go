@@ -11,18 +11,71 @@ package pcie
 
 import (
 	"fmt"
+	"strings"
 
 	"vdnn/internal/sim"
 )
 
+// LinkClass groups links into interconnect families. It is catalog
+// metadata: the cost model reads only the bandwidth and latency numbers, so
+// the class never changes a schedule — it tells catalog consumers (serve,
+// CLIs) what kind of wire a backend sits on.
+type LinkClass int
+
+const (
+	// ClassPCIe is the zero value: a conventional PCIe host link.
+	ClassPCIe LinkClass = iota
+	// ClassNVLink covers NVLINK-generation point-to-point links.
+	ClassNVLink
+	// ClassOnDie marks the near-zero-cost path of a near-memory
+	// accelerator, where "offload" never leaves the package.
+	ClassOnDie
+)
+
+var linkClassNames = map[LinkClass]string{
+	ClassPCIe:   "pcie",
+	ClassNVLink: "nvlink",
+	ClassOnDie:  "on-die",
+}
+
+// String returns the canonical lowercase token.
+func (c LinkClass) String() string {
+	if s, ok := linkClassNames[c]; ok {
+		return s
+	}
+	return fmt.Sprintf("LinkClass(%d)", int(c))
+}
+
+// MarshalText emits the canonical token, making LinkClass JSON-friendly.
+func (c LinkClass) MarshalText() ([]byte, error) {
+	s, ok := linkClassNames[c]
+	if !ok {
+		return nil, fmt.Errorf("pcie: unknown link class %d", int(c))
+	}
+	return []byte(s), nil
+}
+
+// UnmarshalText parses a canonical token, case-insensitively.
+func (c *LinkClass) UnmarshalText(text []byte) error {
+	t := strings.ToLower(string(text))
+	for k, s := range linkClassNames {
+		if s == t {
+			*c = k
+			return nil
+		}
+	}
+	return fmt.Errorf("pcie: unknown link class %q (have pcie, nvlink, on-die)", string(text))
+}
+
 // Link describes one direction-agnostic interconnect between host and device.
 type Link struct {
-	Name        string
-	PeakBps     int64    // advertised peak, bytes/sec
-	EffBps      int64    // achieved DMA bandwidth, bytes/sec
-	DMASetup    sim.Time // per-transfer setup latency (driver + DMA engine)
-	PageLatency sim.Time // per-page cost in page-migration mode
-	PageSize    int64    // migration granularity, bytes
+	Name        string    `json:"name"`
+	Class       LinkClass `json:"class,omitempty"` // interconnect family; metadata only
+	PeakBps     int64     `json:"peak_bps"`        // advertised peak, bytes/sec
+	EffBps      int64     `json:"eff_bps"`         // achieved DMA bandwidth, bytes/sec
+	DMASetup    sim.Time  `json:"dma_setup"`       // per-transfer setup latency (driver + DMA engine)
+	PageLatency sim.Time  `json:"page_latency"`    // per-page cost in page-migration mode
+	PageSize    int64     `json:"page_size"`       // migration granularity, bytes
 }
 
 // Gen3x16 is the paper's interconnect: PCIe gen3 x16 between a Titan X and
@@ -47,15 +100,46 @@ func Gen2x16() Link {
 	return l
 }
 
+// Gen4x16 doubles gen3: PCIe gen4 x16 at the same ~80% DMA efficiency the
+// paper measures for gen3, with a slightly cheaper setup path.
+func Gen4x16() Link {
+	return Link{
+		Name:        "PCIe gen4 x16",
+		PeakBps:     32e9,
+		EffBps:      25.6e9,
+		DMASetup:    20 * sim.Microsecond,
+		PageLatency: 30 * sim.Microsecond,
+		PageSize:    4 << 10,
+	}
+}
+
 // NVLink1 models a first-generation NVLINK link (the paper names NVLINK as
 // the natural successor interconnect, Section III-A).
 func NVLink1() Link {
 	return Link{
 		Name:        "NVLINK 1.0",
+		Class:       ClassNVLink,
 		PeakBps:     40e9,
 		EffBps:      35e9,
 		DMASetup:    10 * sim.Microsecond,
 		PageLatency: 20 * sim.Microsecond,
+		PageSize:    4 << 10,
+	}
+}
+
+// OnDie models the host path of a near-memory accelerator in the RAPIDNN
+// mold: "offloading" moves data between banks of the same DRAM stack, so
+// the wire runs at close to DRAM bandwidth with microsecond setup. Under
+// this link vDNN's offload-vs-keep tradeoff effectively inverts — evicting
+// is nearly free.
+func OnDie() Link {
+	return Link{
+		Name:        "on-die fabric",
+		Class:       ClassOnDie,
+		PeakBps:     800e9,
+		EffBps:      780e9,
+		DMASetup:    1 * sim.Microsecond,
+		PageLatency: 5 * sim.Microsecond,
 		PageSize:    4 << 10,
 	}
 }

@@ -14,7 +14,9 @@ var (
 	registry = map[string]Link{
 		"pcie2":  Gen2x16(),
 		"pcie3":  Gen3x16(),
+		"pcie4":  Gen4x16(),
 		"nvlink": NVLink1(),
+		"on-die": OnDie(),
 	}
 )
 

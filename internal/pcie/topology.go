@@ -20,12 +20,12 @@ import (
 type Topology struct {
 	// Name identifies the topology in results, registries and wire requests.
 	// Empty names mean "dedicated".
-	Name string `json:",omitempty"`
+	Name string `json:"name,omitempty"`
 	// RootBps is the per-direction aggregate bandwidth (bytes/sec) of the
 	// shared root complex the device links hang off. PCIe is full duplex, so
 	// each direction has its own RootBps of capacity. 0 means dedicated
 	// per-device links with no shared stage.
-	RootBps int64 `json:",omitempty"`
+	RootBps int64 `json:"root_bps,omitempty"`
 }
 
 // Dedicated returns the no-sharing topology: every device gets its full

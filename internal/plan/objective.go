@@ -1,0 +1,76 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"vdnn/internal/core"
+)
+
+// Objective selects the metric the planner minimizes over trainable
+// candidates.
+//
+// The pruning waves are objective-independent: they discard candidates for
+// untrainability or because a same-point sibling dominates them under the
+// linear cost/power model, and those dominations hold for energy exactly as
+// for time (within one parallelism point, less offload traffic means both
+// less copy/DRAM energy and a shorter idle-floor window). Divergence between
+// the objectives is cross-point — e.g. data parallelism can win on step time
+// while paying N idle floors plus all-reduce energy, losing on joules to a
+// single vDNN device — and every parallelism point survives pruning, so the
+// winner under either objective is the true optimum of the searched space.
+type Objective int
+
+const (
+	// MinimizeTime picks the lowest step time — the default and the zero
+	// value, so existing requests and wire payloads are unchanged.
+	MinimizeTime Objective = iota
+	// MinimizeEnergy picks the lowest whole-fleet energy per iteration
+	// (Result.Energy.TotalJ(), summed over every device of the candidate).
+	MinimizeEnergy
+)
+
+// MarshalText encodes the objective as "time" or "energy".
+func (o Objective) MarshalText() ([]byte, error) {
+	switch o {
+	case MinimizeTime:
+		return []byte("time"), nil
+	case MinimizeEnergy:
+		return []byte("energy"), nil
+	}
+	return nil, fmt.Errorf("plan: cannot marshal unknown objective %d", int(o))
+}
+
+// UnmarshalText decodes an objective token. Accepted (case-insensitive):
+// "time"/"step-time" and "energy"/"joules".
+func (o *Objective) UnmarshalText(text []byte) error {
+	switch strings.ToLower(strings.TrimSpace(string(text))) {
+	case "", "time", "step-time":
+		*o = MinimizeTime
+	case "energy", "joules":
+		*o = MinimizeEnergy
+	default:
+		return fmt.Errorf("plan: unknown objective %q (want time or energy)", text)
+	}
+	return nil
+}
+
+// Set implements flag.Value.
+func (o *Objective) Set(s string) error { return o.UnmarshalText([]byte(s)) }
+
+// String returns the canonical token.
+func (o Objective) String() string {
+	b, err := o.MarshalText()
+	if err != nil {
+		return fmt.Sprintf("Objective(%d)", int(o))
+	}
+	return string(b)
+}
+
+// metric returns the candidate score the objective minimizes.
+func (o Objective) metric(r *core.Result) float64 {
+	if o == MinimizeEnergy {
+		return r.Energy.TotalJ()
+	}
+	return float64(r.IterTime)
+}

@@ -84,6 +84,11 @@ type Evidence struct {
 	PeakMiB        float64 `json:"peak_mib,omitempty"`
 	BubbleFraction float64 `json:"bubble_fraction,omitempty"`
 	Imbalance      float64 `json:"imbalance,omitempty"`
+	// EnergyJ is the candidate's whole-fleet energy per iteration in
+	// joules (all devices, compute + DMA + codec + idle) — the quantity
+	// the MinimizeEnergy objective ranks by, recorded for every evaluated
+	// trainable row regardless of objective.
+	EnergyJ float64 `json:"energy_j,omitempty"`
 }
 
 // Plan is the search outcome: the winning configuration (when one exists)
@@ -91,6 +96,8 @@ type Evidence struct {
 type Plan struct {
 	Network string `json:"network"`
 	Batch   int    `json:"batch"`
+	// Objective is what the search minimized ("time" or "energy").
+	Objective Objective `json:"objective"`
 
 	// Feasible reports whether any candidate trained under the cap.
 	Feasible bool `json:"feasible"`
@@ -134,7 +141,12 @@ type Plan struct {
 //     (micro-batch counts between grid lines, non-power-of-two replica
 //     counts) is evaluated last and wins only on strictly better step time.
 //
-// Ties in step time resolve to the earliest candidate in enumeration
+// Request.Objective selects what the winner minimizes: step time (the
+// default) or whole-fleet energy per iteration. The waves above prune only
+// on trainability and on dominations that hold under both metrics (see
+// Objective), so the same evidence table serves either objective.
+//
+// Ties in the objective resolve to the earliest candidate in enumeration
 // order, i.e. the simplest configuration. The result is deterministic:
 // same request, same plan, same evidence table.
 func Search(ctx context.Context, req Request, env Env) (*Plan, error) {
@@ -660,15 +672,17 @@ func (s *searcher) searchAborted(ctx context.Context, err error) error {
 	return nil
 }
 
-// best returns the index of the trainable candidate with the lowest step
-// time, ties resolving to the earliest (simplest) one; -1 when none train.
+// best returns the index of the trainable candidate with the lowest value
+// of the request's objective (step time by default, fleet joules per
+// iteration under MinimizeEnergy), ties resolving to the earliest
+// (simplest) one; -1 when none train.
 func (s *searcher) best() int {
 	best := -1
 	for i := range s.cands {
 		if s.status[i] != statusEvaluated || !s.res[i].Trainable {
 			continue
 		}
-		if best < 0 || s.res[i].IterTime < s.res[best].IterTime {
+		if best < 0 || s.req.Objective.metric(s.res[i]) < s.req.Objective.metric(s.res[best]) {
 			best = i
 		}
 	}
@@ -753,10 +767,11 @@ func (s *searcher) refine(ctx context.Context, best int) error {
 
 func (s *searcher) plan() (*Plan, error) {
 	p := &Plan{
-		Network:  s.req.Network,
-		Batch:    s.req.Batch,
-		Counters: s.counters,
-		Evidence: make([]Evidence, len(s.cands)),
+		Network:   s.req.Network,
+		Batch:     s.req.Batch,
+		Objective: s.req.Objective,
+		Counters:  s.counters,
+		Evidence:  make([]Evidence, len(s.cands)),
 	}
 	for i, c := range s.cands {
 		ev := Evidence{Candidate: c, Reason: s.reason[i]}
@@ -771,6 +786,7 @@ func (s *searcher) plan() (*Plan, error) {
 				ev.PeakMiB = float64(r.TotalMaxUsage()) / (1 << 20)
 				ev.BubbleFraction = r.BubbleFraction
 				ev.Imbalance = r.DeviceImbalance()
+				ev.EnergyJ = r.Energy.TotalJ()
 			}
 		case statusPruned:
 			ev.Status = StatusPruned
@@ -803,14 +819,28 @@ func codecSuffix(c compress.Config) string {
 }
 
 // Table renders the evidence as a report table: one row per candidate in
-// enumeration order, with the winner starred.
+// enumeration order, with the winner starred. Under the energy objective an
+// energy column appears between step time and peak memory; time-objective
+// tables keep their historical columns byte for byte.
 func (p *Plan) Table() *report.Table {
+	energy := p.Objective == MinimizeEnergy
+	headers := []string{"", "mode", "policy", "codec", "status", "step ms"}
+	aligns := []report.Align{report.Left, report.Left, report.Left, report.Left, report.Left, report.Right}
+	if energy {
+		headers = append(headers, "joules")
+		aligns = append(aligns, report.Right)
+	}
+	headers = append(headers, "peak MiB", "bubble", "imbal", "why / fail")
+	aligns = append(aligns, report.Right, report.Right, report.Right, report.Left)
 	t := report.NewTable(
-		fmt.Sprintf("Planner evidence — %s, batch %d", p.Network, p.Batch),
-		"", "mode", "policy", "codec", "status", "step ms", "peak MiB", "bubble", "imbal", "why / fail")
-	t.SetAligns(report.Left, report.Left, report.Left, report.Left,
-		report.Left, report.Right, report.Right, report.Right,
-		report.Right, report.Left)
+		fmt.Sprintf("Planner evidence — %s, batch %d", p.Network, p.Batch), headers...)
+	t.SetAligns(aligns...)
+	blanks := func(row []string) []string {
+		for len(row) < len(headers)-1 {
+			row = append(row, "-")
+		}
+		return row
+	}
 	for _, ev := range p.Evidence {
 		star := ""
 		if p.Best != nil && ev.Candidate.Index == p.Best.Index {
@@ -819,13 +849,17 @@ func (p *Plan) Table() *report.Table {
 		row := []string{star, ev.Candidate.Mode(), ev.Candidate.PolicyLabel(), ev.Candidate.CodecLabel(), ev.Status}
 		switch {
 		case ev.Status == StatusEvaluated && ev.Trainable:
+			row = append(row, fmt.Sprintf("%.1f", ev.StepMS))
+			if energy {
+				row = append(row, fmt.Sprintf("%.2f", ev.EnergyJ))
+			}
 			row = append(row,
-				fmt.Sprintf("%.1f", ev.StepMS), fmt.Sprintf("%.0f", ev.PeakMiB),
+				fmt.Sprintf("%.0f", ev.PeakMiB),
 				fmt.Sprintf("%.2f", ev.BubbleFraction), fmt.Sprintf("%.2f", ev.Imbalance), "")
 		case ev.Status == StatusEvaluated:
-			row = append(row, "-", "-", "-", "-", "untrainable: "+ev.FailReason)
+			row = append(blanks(row), "untrainable: "+ev.FailReason)
 		default:
-			row = append(row, "-", "-", "-", "-", ev.Reason)
+			row = append(blanks(row), ev.Reason)
 		}
 		t.AddRow(row...)
 	}

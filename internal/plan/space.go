@@ -1,8 +1,9 @@
 // Package plan implements the auto-parallelism planner: a pruned
 // design-space search that, given a workload (network name, global batch
 // size) and a fleet description (GPU model, device-count budget, topology,
-// per-device memory cap), finds the minimum-step-time trainable
-// configuration across data parallelism, pipeline parallelism, the vDNN
+// per-device memory cap), finds the trainable configuration minimizing the
+// requested objective — step time by default, or whole-fleet energy per
+// iteration — across data parallelism, pipeline parallelism, the vDNN
 // offload policies, convolution algorithm modes and the compressed-DMA
 // codecs.
 //
@@ -175,6 +176,13 @@ type Request struct {
 	// plus ZVC on the cDMA sparsity profile). A codec-free branch is always
 	// searched.
 	Codecs []compress.Config
+
+	// Objective selects what the search minimizes: step time (the zero
+	// value, the historical behavior) or whole-fleet energy per iteration
+	// (see Objective). The candidate space and the pruning waves are
+	// identical either way — only the final comparison changes — so an
+	// unset objective plans exactly as before.
+	Objective Objective
 }
 
 // MaxBudget is the largest MaxDevices a Request may ask for.

@@ -1,0 +1,152 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestCatalogListsBackends checks the hardware-catalog listing on both
+// routes: the backend entries carry the classification metadata (memory
+// kind, link class) alongside the names the simulate/sweep/plan endpoints
+// accept.
+func TestCatalogListsBackends(t *testing.T) {
+	_, ts := newTestServer(t)
+	for _, path := range []string{"/v1/networks", "/v1/catalog"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var cat CatalogResponse
+		err = json.NewDecoder(resp.Body).Decode(&cat)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		if len(cat.Backends) == 0 || len(cat.Backends) != len(cat.GPUs) {
+			t.Fatalf("%s: %d backends vs %d gpus", path, len(cat.Backends), len(cat.GPUs))
+		}
+		byName := map[string]BackendInfo{}
+		for _, b := range cat.Backends {
+			byName[b.Name] = b
+		}
+		rapid, ok := byName["rapidnn"]
+		if !ok {
+			t.Fatalf("%s: backends lack rapidnn: %+v", path, cat.Backends)
+		}
+		if rapid.Memory != "near-dram" || rapid.LinkClass != "on-die" {
+			t.Errorf("%s: rapidnn classified as %q/%q", path, rapid.Memory, rapid.LinkClass)
+		}
+		p100, ok := byName["p100"]
+		if !ok || p100.Memory != "hbm" || p100.LinkClass != "nvlink" {
+			t.Errorf("%s: p100 entry = %+v (%v)", path, p100, ok)
+		}
+		titan, ok := byName["titanx"]
+		if !ok || titan.Memory != "gddr" || titan.LinkClass != "pcie" || titan.MemGB != 12 {
+			t.Errorf("%s: titanx entry = %+v (%v)", path, titan, ok)
+		}
+	}
+}
+
+// TestSimulateReportsEnergy checks the wire energy breakdown: present,
+// conserved against the reported power over the step, and per-device on
+// multi-device runs.
+func TestSimulateReportsEnergy(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, body := post(t, ts.URL+"/v1/simulate",
+		`{"network":"alexnet","batch":128,"policy":"vdnn-all","algo":"m","codec":"zvc"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, body)
+	}
+	var sr SimResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.EnergyJ <= 0 || sr.ComputeEnergyJ <= 0 || sr.IdleEnergyJ <= 0 {
+		t.Fatalf("energy fields = %+v", sr)
+	}
+	sum := sr.ComputeEnergyJ + sr.DMAEnergyJ + sr.CodecEnergyJ + sr.IdleEnergyJ
+	if rel := (sum - sr.EnergyJ) / sr.EnergyJ; rel > 1e-9 || rel < -1e-9 {
+		t.Errorf("breakdown %f != total %f", sum, sr.EnergyJ)
+	}
+	want := sr.AvgPowerW * sr.IterTimeMs / 1e3
+	if rel := (sr.EnergyJ - want) / want; rel > 1e-6 || rel < -1e-6 {
+		t.Errorf("energy %f J != avg power x step %f J", sr.EnergyJ, want)
+	}
+
+	resp, body = post(t, ts.URL+"/v1/simulate",
+		`{"network":"alexnet","batch":128,"policy":"vdnn-conv","algo":"p","devices":2,"topology":"shared-x16"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if len(sr.PerDevice) != 2 {
+		t.Fatalf("device rows = %d", len(sr.PerDevice))
+	}
+	var devSum float64
+	for _, d := range sr.PerDevice {
+		if d.EnergyJ <= 0 {
+			t.Errorf("device %d energy = %f", d.Device, d.EnergyJ)
+		}
+		devSum += d.EnergyJ
+	}
+	if rel := (devSum - sr.EnergyJ) / sr.EnergyJ; rel > 1e-9 || rel < -1e-9 {
+		t.Errorf("fleet energy %f != device sum %f", sr.EnergyJ, devSum)
+	}
+}
+
+// TestPlanObjectiveOnWire checks the planner endpoint round-trips the
+// objective and defaults it to time.
+func TestPlanObjectiveOnWire(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, body := post(t, ts.URL+"/v1/plan",
+		`{"network":"alexnet","batch":64,"max_devices":1,"objective":"energy"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, body)
+	}
+	var pr PlanResponse
+	if err := json.Unmarshal(body, &pr); err != nil {
+		t.Fatal(err)
+	}
+	if pr.Objective != "energy" {
+		t.Errorf("objective = %q", pr.Objective)
+	}
+	if pr.Feasible && pr.Result.EnergyJ <= 0 {
+		t.Errorf("winner reports no energy: %+v", pr.Result)
+	}
+	resp, body = post(t, ts.URL+"/v1/plan", `{"network":"alexnet","batch":64,"max_devices":1}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &pr); err != nil {
+		t.Fatal(err)
+	}
+	if pr.Objective != "time" {
+		t.Errorf("default objective = %q", pr.Objective)
+	}
+}
+
+// TestSweepUnknownBackend400 completes the 400 taxonomy across the three
+// simulation surfaces: a sweep job naming an unknown backend fails the whole
+// request up front with the catalog in the message.
+func TestSweepUnknownBackend400(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, body := post(t, ts.URL+"/v1/sweep",
+		`{"jobs":[{"network":"alexnet"},{"network":"alexnet","gpu":"tpu"}]}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "unknown gpu") || !strings.Contains(string(body), "titanx") {
+		t.Errorf("body = %s", body)
+	}
+	var e struct{ Code string }
+	if err := json.Unmarshal(body, &e); err != nil {
+		t.Fatal(err)
+	}
+	if e.Code != "invalid" {
+		t.Errorf("code = %q", e.Code)
+	}
+}

@@ -36,6 +36,10 @@ type PlanRequest struct {
 	// always included.
 	Codecs []vdnn.Codec `json:"codecs,omitempty"`
 
+	// Objective selects what the search minimizes: "time" (default) or
+	// "energy" (whole-fleet joules per iteration).
+	Objective string `json:"objective,omitempty"`
+
 	// DeadlineMS bounds the whole search in milliseconds (server clamps and
 	// defaults as for simulations).
 	DeadlineMS int64 `json:"deadline_ms,omitempty"`
@@ -55,10 +59,12 @@ type PlanChoice struct {
 // winner (with its full simulation metrics), the evidence table and the
 // search counters.
 type PlanResponse struct {
-	Network  string `json:"network"`
-	Batch    int    `json:"batch"`
-	GPU      string `json:"gpu"`
-	Feasible bool   `json:"feasible"`
+	Network string `json:"network"`
+	Batch   int    `json:"batch"`
+	GPU     string `json:"gpu"`
+	// Objective is what the search minimized ("time" or "energy").
+	Objective string `json:"objective"`
+	Feasible  bool   `json:"feasible"`
 
 	Best   *PlanChoice  `json:"best,omitempty"`
 	Result *SimResponse `json:"result,omitempty"`
@@ -112,6 +118,10 @@ func (s *Server) resolvePlan(req PlanRequest) (vdnn.PlanRequest, error) {
 	for _, c := range req.Codecs {
 		codecs = append(codecs, vdnn.Compression{Codec: c})
 	}
+	var objective vdnn.PlanObjective
+	if err := objective.UnmarshalText([]byte(req.Objective)); err != nil {
+		return preq, fmt.Errorf("unknown objective %q (want time or energy)", req.Objective)
+	}
 	return vdnn.PlanRequest{
 		Network:     req.Network,
 		Batch:       req.Batch,
@@ -120,6 +130,7 @@ func (s *Server) resolvePlan(req PlanRequest) (vdnn.PlanRequest, error) {
 		MaxDevices:  req.MaxDevices,
 		Topology:    topology,
 		Codecs:      codecs,
+		Objective:   objective,
 	}, nil
 }
 
@@ -179,12 +190,13 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	}
 	s.planner.add(plan.Counters)
 	out := PlanResponse{
-		Network:  plan.Network,
-		Batch:    plan.Batch,
-		GPU:      req.GPU,
-		Feasible: plan.Feasible,
-		Evidence: plan.Evidence,
-		Counters: plan.Counters,
+		Network:   plan.Network,
+		Batch:     plan.Batch,
+		GPU:       req.GPU,
+		Objective: plan.Objective.String(),
+		Feasible:  plan.Feasible,
+		Evidence:  plan.Evidence,
+		Counters:  plan.Counters,
 	}
 	if plan.Feasible {
 		best := *plan.Best

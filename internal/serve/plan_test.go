@@ -109,6 +109,7 @@ func TestPlanValidation(t *testing.T) {
 		{"budget too large", `{"network": "alexnet", "max_devices": 99}`, "max_devices"},
 		{"unknown gpu", `{"network": "alexnet", "gpu": "tpu"}`, "unknown gpu"},
 		{"unknown topology", `{"network": "alexnet", "topology": "mesh"}`, "unknown topology"},
+		{"unknown objective", `{"network": "alexnet", "objective": "watts"}`, "unknown objective"},
 		{"unknown field", `{"network": "alexnet", "bacth": 8}`, "bacth"},
 		{"bad codec", `{"network": "alexnet", "codecs": ["lzma"]}`, "invalid request body"},
 		{"negative deadline", `{"network": "alexnet", "deadline_ms": -1}`, "deadline_ms"},

@@ -14,6 +14,8 @@
 //	DELETE /v1/jobs/{id}  cancel                   -> JobSummary
 //	POST   /v1/plan       design-space search      -> PlanResponse
 //	GET    /v1/networks   model/device/link names  -> CatalogResponse
+//	GET    /v1/catalog    same body: the full hardware catalog, including
+//	                      structured backend entries (memory kind, link class)
 //	GET    /v1/stats      cache + store + serve + job counters
 //	GET    /metrics       Prometheus text exposition
 //	GET    /healthz       liveness                 -> "ok"
@@ -152,6 +154,15 @@ type SimResponse struct {
 	AvgPowerW float64 `json:"avg_power_w"`
 	MaxPowerW float64 `json:"max_power_w"`
 
+	// Energy breakdown of the measured iteration, in joules, summed over
+	// every device of the run. The buckets add up to energy_j, which equals
+	// the power timeline's integral.
+	EnergyJ        float64 `json:"energy_j"`
+	ComputeEnergyJ float64 `json:"compute_energy_j"`
+	DMAEnergyJ     float64 `json:"dma_energy_j"`
+	CodecEnergyJ   float64 `json:"codec_energy_j,omitempty"`
+	IdleEnergyJ    float64 `json:"idle_energy_j"`
+
 	// Multi-device results (devices > 1 in the request).
 	Devices         int              `json:"devices,omitempty"`
 	Topology        string           `json:"topology,omitempty"`
@@ -184,6 +195,7 @@ type DeviceResponse struct {
 	OverlapEff     float64 `json:"overlap_efficiency"`
 	ComputeBusyMs  float64 `json:"compute_busy_ms"`
 	CopyBusyMs     float64 `json:"copy_busy_ms"`
+	EnergyJ        float64 `json:"energy_j"`
 }
 
 // StageResponse is the wire form of one pipeline stage's metrics.
@@ -227,14 +239,37 @@ type SweepResponse struct {
 	Results []SimResponse `json:"results"`
 }
 
-// CatalogResponse lists everything a request can name.
+// CatalogResponse lists everything a request can name. Backends carries the
+// structured hardware catalog behind the flat gpus name list (same names,
+// same order).
 type CatalogResponse struct {
-	Networks         []string `json:"networks"`
-	GPUs             []string `json:"gpus"`
-	Links            []string `json:"links"`
-	Topologies       []string `json:"topologies"`
-	Codecs           []string `json:"codecs"`
-	SparsityProfiles []string `json:"sparsity_profiles"`
+	Networks         []string      `json:"networks"`
+	GPUs             []string      `json:"gpus"`
+	Backends         []BackendInfo `json:"backends"`
+	Links            []string      `json:"links"`
+	Topologies       []string      `json:"topologies"`
+	Codecs           []string      `json:"codecs"`
+	SparsityProfiles []string      `json:"sparsity_profiles"`
+}
+
+// BackendInfo is one accelerator backend of the hardware catalog, as the
+// simulator this server answers from resolves it (process-wide registry
+// plus any per-simulator overlays).
+type BackendInfo struct {
+	// Name is the registry token requests use in their gpu field.
+	Name string `json:"name"`
+	// Device is the backend's display name ("NVIDIA Titan X (Maxwell)").
+	Device string `json:"device"`
+	// Memory is the device memory technology ("gddr", "hbm", "near-dram").
+	Memory string `json:"memory"`
+	// MemGB is the physical device memory in GiB.
+	MemGB float64 `json:"mem_gb"`
+	// PeakTFLOPS is the single-precision compute peak.
+	PeakTFLOPS float64 `json:"peak_tflops"`
+	// LinkClass is the host interconnect family ("pcie", "nvlink", "on-die").
+	LinkClass string `json:"link_class"`
+	// Link is the host interconnect's display name ("PCIe gen3 x16").
+	Link string `json:"link"`
 }
 
 // Server is the HTTP handler. Create with New; it is an http.Handler safe
@@ -327,6 +362,7 @@ func New(sim *vdnn.Simulator, opts ...Option) *Server {
 	s.route("POST /v1/sweep", s.handleSweep)
 	s.route("POST /v1/plan", s.handlePlan)
 	s.route("GET /v1/networks", s.handleNetworks)
+	s.route("GET /v1/catalog", s.handleNetworks) // same body, catalog-first name
 	s.route("GET /v1/stats", s.handleStats)
 	s.route("POST /v1/jobs", s.handleJobSubmit)
 	s.route("GET /v1/jobs", s.handleJobList)
@@ -483,6 +519,12 @@ func response(req SimRequest, res *vdnn.Result) (SimResponse, error) {
 
 		AvgPowerW: res.Power.AvgW,
 		MaxPowerW: res.Power.MaxW,
+
+		EnergyJ:        res.Energy.TotalJ(),
+		ComputeEnergyJ: res.Energy.ComputeJ,
+		DMAEnergyJ:     res.Energy.DMAJ,
+		CodecEnergyJ:   res.Energy.CodecJ,
+		IdleEnergyJ:    res.Energy.IdleJ,
 	}
 	if req.Codec != vdnn.CodecNone {
 		out.Codec = req.Codec.String()
@@ -512,6 +554,7 @@ func response(req SimRequest, res *vdnn.Result) (SimResponse, error) {
 				OverlapEff:     d.OverlapEff,
 				ComputeBusyMs:  d.ComputeBusy.Msec(),
 				CopyBusyMs:     d.CopyBusy.Msec(),
+				EnergyJ:        d.Energy.TotalJ(),
 			})
 		}
 	}
@@ -675,9 +718,27 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleNetworks(w http.ResponseWriter, _ *http.Request) {
+	gpus := s.sim.GPUNames()
+	backends := make([]BackendInfo, 0, len(gpus))
+	for _, name := range gpus {
+		spec, ok := s.sim.GPUByName(name)
+		if !ok {
+			continue // racing Register/overlay change; skip rather than 500
+		}
+		backends = append(backends, BackendInfo{
+			Name:       name,
+			Device:     spec.Name,
+			Memory:     spec.MemKind.String(),
+			MemGB:      float64(spec.MemBytes) / (1 << 30),
+			PeakTFLOPS: spec.PeakFlops / 1e12,
+			LinkClass:  spec.Link.Class.String(),
+			Link:       spec.Link.Name,
+		})
+	}
 	writeJSON(w, CatalogResponse{
 		Networks:         vdnn.NetworkNames(),
-		GPUs:             s.sim.GPUNames(),
+		GPUs:             gpus,
+		Backends:         backends,
 		Links:            s.sim.LinkNames(),
 		Topologies:       vdnn.TopologyNames(),
 		Codecs:           vdnn.CodecNames(),

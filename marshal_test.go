@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"flag"
 	"io"
+	"strings"
 	"testing"
 
 	"vdnn"
@@ -135,6 +136,185 @@ func TestEnumFlagValue(t *testing.T) {
 	}
 	if err := fs.Parse([]string{"-policy", "nope"}); err == nil {
 		t.Error("invalid -policy accepted")
+	}
+}
+
+// TestHardwareEnumTextRoundTrip covers the catalog enums the backend
+// redesign added: memory kinds, link classes, and the planner objective
+// (which also binds as a CLI flag, the way cmd/vdnn-plan uses it).
+func TestHardwareEnumTextRoundTrip(t *testing.T) {
+	for _, k := range []vdnn.MemoryKind{vdnn.GDDR, vdnn.HBM, vdnn.NearDRAM} {
+		b, err := k.MarshalText()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got vdnn.MemoryKind
+		if err := got.UnmarshalText(b); err != nil || got != k {
+			t.Errorf("memory kind %v round trip via %q failed: %v", k, b, err)
+		}
+	}
+	for _, c := range []vdnn.LinkClass{vdnn.ClassPCIe, vdnn.ClassNVLink, vdnn.ClassOnDie} {
+		b, err := c.MarshalText()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got vdnn.LinkClass
+		if err := got.UnmarshalText(b); err != nil || got != c {
+			t.Errorf("link class %v round trip via %q failed: %v", c, b, err)
+		}
+	}
+	for _, o := range []vdnn.PlanObjective{vdnn.MinimizeTime, vdnn.MinimizeEnergy} {
+		b, err := o.MarshalText()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got vdnn.PlanObjective
+		if err := got.UnmarshalText(b); err != nil || got != o {
+			t.Errorf("objective %v round trip via %q failed: %v", o, b, err)
+		}
+	}
+	var o vdnn.PlanObjective
+	for in, want := range map[string]vdnn.PlanObjective{
+		"": vdnn.MinimizeTime, "time": vdnn.MinimizeTime, "step-time": vdnn.MinimizeTime,
+		"energy": vdnn.MinimizeEnergy, "joules": vdnn.MinimizeEnergy, "ENERGY": vdnn.MinimizeEnergy,
+	} {
+		if err := o.UnmarshalText([]byte(in)); err != nil || o != want {
+			t.Errorf("objective %q = %v (%v), want %v", in, o, err, want)
+		}
+	}
+	if err := o.UnmarshalText([]byte("watts")); err == nil {
+		t.Error("bogus objective token accepted")
+	}
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	var flagObj vdnn.PlanObjective
+	fs.Var(&flagObj, "objective", "")
+	if err := fs.Parse([]string{"-objective", "energy"}); err != nil || flagObj != vdnn.MinimizeEnergy {
+		t.Errorf("-objective energy parsed to %v (%v)", flagObj, err)
+	}
+}
+
+// TestHardwareJSONTags pins the lowercase wire names of the hardware types
+// (matching the compress.Config convention), so serve/sweep payloads stay
+// stable as fields move.
+func TestHardwareJSONTags(t *testing.T) {
+	spec := vdnn.PascalP100()
+	b, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(b, &m); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"name", "peak_flops", "dram_bps", "eff_dram_frac",
+		"mem_bytes", "l2_bytes", "mem_kind", "link", "launch_overhead", "sync_overhead", "power"} {
+		if _, ok := m[key]; !ok {
+			t.Errorf("gpu spec JSON lacks %q: %s", key, b)
+		}
+	}
+	if m["mem_kind"] != "hbm" {
+		t.Errorf("P100 mem_kind = %v, want hbm", m["mem_kind"])
+	}
+	power, ok := m["power"].(map[string]any)
+	if !ok {
+		t.Fatalf("power JSON form = %v", m["power"])
+	}
+	for _, key := range []string{"idle_w", "compute_w", "dram_w", "copy_w"} {
+		if _, ok := power[key]; !ok {
+			t.Errorf("power params JSON lacks %q: %s", key, b)
+		}
+	}
+	link, ok := m["link"].(map[string]any)
+	if !ok {
+		t.Fatalf("link JSON form = %v", m["link"])
+	}
+	for _, key := range []string{"name", "class", "peak_bps", "eff_bps", "dma_setup", "page_latency", "page_size"} {
+		if _, ok := link[key]; !ok {
+			t.Errorf("link JSON lacks %q: %s", key, b)
+		}
+	}
+	if link["class"] != "nvlink" {
+		t.Errorf("P100 link class = %v, want nvlink", link["class"])
+	}
+
+	var gotSpec vdnn.GPU
+	if err := json.Unmarshal(b, &gotSpec); err != nil {
+		t.Fatal(err)
+	}
+	if gotSpec != spec {
+		t.Errorf("spec round trip changed:\n got %+v\nwant %+v", gotSpec, spec)
+	}
+
+	topo, _ := vdnn.TopologyByName("shared-2x16")
+	tb, err := json.Marshal(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tm map[string]any
+	if err := json.Unmarshal(tb, &tm); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := tm["root_bps"]; !ok {
+		t.Errorf("topology JSON lacks root_bps: %s", tb)
+	}
+	var gotTopo vdnn.Topology
+	if err := json.Unmarshal(tb, &gotTopo); err != nil {
+		t.Fatal(err)
+	}
+	if gotTopo != topo {
+		t.Errorf("topology round trip changed: got %+v want %+v", gotTopo, topo)
+	}
+
+	e := vdnn.EnergyStats{ComputeJ: 1, DMAJ: 2, CodecJ: 3, IdleJ: 4}
+	eb, err := json.Marshal(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var em map[string]any
+	if err := json.Unmarshal(eb, &em); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"compute_j", "dma_j", "codec_j", "idle_j"} {
+		if _, ok := em[key]; !ok {
+			t.Errorf("energy stats JSON lacks %q: %s", key, eb)
+		}
+	}
+}
+
+// TestConfigBackendByName checks Config JSON accepts the catalog name form:
+// {"Backend": "p100"} resolves through the registry, an explicit Spec and a
+// name together are rejected, and unknown names list the catalog.
+func TestConfigBackendByName(t *testing.T) {
+	var cfg vdnn.Config
+	if err := json.Unmarshal([]byte(`{"Backend":"p100","Policy":"vdnn-all","Algo":"m"}`), &cfg); err != nil {
+		t.Fatal(err)
+	}
+	if want, _ := vdnn.GPUByName("p100"); cfg.Spec != want {
+		t.Errorf("backend name resolved to %+v, want the p100 entry", cfg.Spec)
+	}
+	if cfg.Policy != vdnn.VDNNAll {
+		t.Errorf("sibling fields lost: policy = %v", cfg.Policy)
+	}
+
+	var bad vdnn.Config
+	err := json.Unmarshal([]byte(`{"Backend":"titan-z"}`), &bad)
+	if err == nil {
+		t.Fatal("unknown backend accepted")
+	}
+	for _, n := range vdnn.GPUNames() {
+		if !strings.Contains(err.Error(), n) {
+			t.Errorf("error %q does not list catalog name %q", err, n)
+		}
+	}
+
+	full, err := json.Marshal(vdnn.Config{Spec: vdnn.TitanX()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conflict := `{"Backend":"gtx980",` + string(full[1:])
+	if err := json.Unmarshal([]byte(conflict), &bad); err == nil {
+		t.Fatal("backend name + explicit spec accepted")
 	}
 }
 

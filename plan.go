@@ -33,6 +33,21 @@ type PlanEvidence = plan.Evidence
 // for: space size, evaluated, pruned without evaluation, invalid, refined.
 type PlanCounters = plan.Counters
 
+// PlanObjective selects what the planner minimizes: step time (the zero
+// value, the historical behavior) or whole-fleet energy per iteration. Set
+// it on PlanRequest.Objective; it round-trips as "time"/"energy" in JSON
+// and implements flag.Value for CLI binding.
+type PlanObjective = plan.Objective
+
+// Planner objectives.
+const (
+	// MinimizeTime picks the lowest step time (default).
+	MinimizeTime = plan.MinimizeTime
+	// MinimizeEnergy picks the lowest Result.Energy.TotalJ() across every
+	// device of the candidate.
+	MinimizeEnergy = plan.MinimizeEnergy
+)
+
 // PlanMaxDevices is the largest device budget a PlanRequest may ask for.
 const PlanMaxDevices = plan.MaxBudget
 
@@ -43,8 +58,10 @@ var ErrInfeasiblePlan = plan.ErrInfeasible
 
 // Plan searches the parallelism design space (devices x stages x
 // micro-batches x offload policy x algorithm mode x codec) for the
-// minimum-step-time configuration that trains under the request's memory
-// cap — the one-shot convenience for scripts. Long-lived callers should use
+// configuration that trains under the request's memory cap and minimizes
+// the request's objective (step time by default, or energy per iteration
+// with PlanRequest.Objective = MinimizeEnergy) — the one-shot convenience
+// for scripts. Long-lived callers should use
 // Simulator.Plan, which shares the simulator's result cache across
 // searches. On an infeasible request the error is ErrInfeasiblePlan and the
 // returned PlanResult holds the full evidence table.

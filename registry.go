@@ -6,25 +6,42 @@ import (
 	"vdnn/internal/pcie"
 )
 
-// Process-wide named registries for devices and interconnects. Names are the
-// serializable identities of GPU and Link values: CLI flags, JSON requests
-// and sweep files address hardware by these tokens, and the Simulator
-// resolves them (optionally shadowed per-simulator via WithGPU/WithLink).
+// Process-wide named registries — the hardware catalog — for accelerator
+// backends and interconnects. Names are the serializable identities of GPU
+// and Link values: CLI flags, JSON requests and sweep files address hardware
+// by these tokens, and the Simulator resolves them (optionally shadowed
+// per-simulator via WithGPU/WithLink).
 //
-// Built-in device names: "titanx", "titanx-nvlink", "gtx980", "teslak40",
-// "p100". Built-in link names: "pcie2", "pcie3", "nvlink". Built-in
-// topology names: "dedicated", "shared-x16", "shared-2x16", "shared-4x16".
-// Built-in sparsity-profile names: "cdma", "flat50", "dense".
+// Built-in backend names: "titanx", "titanx-nvlink", "gtx980", "teslak40",
+// "p100" (HBM + NVLINK), "rapidnn" (near-memory accelerator on an on-die
+// fabric). Built-in link names: "pcie2", "pcie3", "pcie4", "nvlink",
+// "on-die". Built-in topology names: "dedicated", "shared-x16",
+// "shared-2x16", "shared-4x16". Built-in sparsity-profile names: "cdma",
+// "flat50", "dense".
 
-// GPUByName returns the registered device spec for a name like "titanx".
+// GPUByName materializes the registered backend's device spec for a name
+// like "titanx". BackendByName returns the Backend entry itself.
 func GPUByName(name string) (GPU, bool) { return gpu.ByName(name) }
 
-// GPUNames lists the registered device names, sorted.
+// GPUNames lists the registered backend names, sorted.
 func GPUNames() []string { return gpu.Names() }
 
-// RegisterGPU adds (or replaces) a process-wide named device spec. The spec
-// must validate. Prefer the scoped WithGPU option for per-Simulator devices.
+// RegisterGPU adds (or replaces) a process-wide named device spec, wrapping
+// it in a SpecBackend. The spec must validate. Prefer the scoped WithGPU
+// option for per-Simulator devices.
 func RegisterGPU(name string, spec GPU) error { return gpu.Register(name, spec) }
+
+// BackendByName returns the registered accelerator backend for a name like
+// "titanx". Most callers want GPUByName, which materializes the spec.
+func BackendByName(name string) (Backend, bool) { return gpu.BackendByName(name) }
+
+// BackendNames lists the registered backend names, sorted (same list as
+// GPUNames; the catalog has one namespace).
+func BackendNames() []string { return gpu.BackendNames() }
+
+// RegisterBackend adds (or replaces) a process-wide accelerator backend
+// under its own Name. Its materialized spec must validate.
+func RegisterBackend(b Backend) error { return gpu.RegisterBackend(b) }
 
 // LinkByName returns the registered interconnect for a name like "pcie3".
 func LinkByName(name string) (Link, bool) { return pcie.ByName(name) }
